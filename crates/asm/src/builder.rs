@@ -1,0 +1,781 @@
+//! The [`Assembler`] builder.
+
+use crate::error::AsmError;
+use crate::program::{Program, TEXT_BASE};
+use gemfi_isa::opcode::{BranchCond, FpBranchCond, FpFunc, IntFunc};
+use gemfi_isa::{encode, FpReg, Instr, IntReg, JumpKind, MemOp, Operand, PalFunc, RawInstr};
+use std::collections::{BTreeMap, HashMap};
+
+const DATA_ALIGN: u64 = 0x1000;
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch the 21-bit branch displacement of the word at `at` to reach
+    /// text label `label`.
+    Branch { at: usize, label: String },
+    /// Patch an `ldah`/`lda` pair at `at`/`at + 1` to materialize the
+    /// absolute address of `symbol` plus `offset`.
+    LoadAddr { at: usize, symbol: String, offset: i64 },
+}
+
+/// Incremental builder for guest programs.
+///
+/// One method per mnemonic plus labels, data directives and pseudo-
+/// instructions. Terminal method [`Assembler::finish`] links branches and
+/// address materializations and produces a [`Program`].
+///
+/// Labels name *text* positions; data symbols name *data* offsets; both share
+/// one namespace and one symbol table in the final program, so `la` can load
+/// the address of either.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    text: Vec<u32>,
+    data: Vec<u8>,
+    text_labels: HashMap<String, usize>,
+    data_symbols: HashMap<String, u64>,
+    fixups: Vec<Fixup>,
+    entry_label: Option<String>,
+    /// Literal pool, keyed by bit pattern. A BTreeMap keeps the pool
+    /// layout deterministic across processes (HashMap ordering would change
+    /// data addresses run-to-run and perturb cache timing).
+    lit_pool: BTreeMap<u64, String>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Emits a raw decoded instruction. All mnemonic methods funnel here.
+    pub fn emit(&mut self, instr: Instr) -> &mut Assembler {
+        self.text.push(encode(&instr).0);
+        self
+    }
+
+    /// Emits a raw instruction word (possibly an intentionally-illegal one,
+    /// for tests).
+    pub fn emit_raw(&mut self, word: u32) -> &mut Assembler {
+        self.text.push(word);
+        self
+    }
+
+    /// Current text position in instruction words.
+    pub fn here(&self) -> usize {
+        self.text.len()
+    }
+
+    // ---- labels & symbols -------------------------------------------------
+
+    /// Defines a text label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (programs are built by code, so a
+    /// duplicate is a bug at the construction site, not an input error).
+    pub fn label(&mut self, name: &str) -> &mut Assembler {
+        let prev = self.text_labels.insert(name.to_string(), self.text.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Marks a label as the program entry point (default: first instruction).
+    pub fn entry(&mut self, label: &str) -> &mut Assembler {
+        self.entry_label = Some(label.to_string());
+        self
+    }
+
+    // ---- data directives --------------------------------------------------
+
+    /// Defines a data symbol at the current data offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition.
+    pub fn dsym(&mut self, name: &str) -> &mut Assembler {
+        let prev = self.data_symbols.insert(name.to_string(), self.data.len() as u64);
+        assert!(prev.is_none(), "duplicate data symbol `{name}`");
+        self
+    }
+
+    /// Appends raw bytes to the data image.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> &mut Assembler {
+        self.data.extend_from_slice(bytes);
+        self
+    }
+
+    /// Appends 64-bit little-endian words.
+    pub fn data_u64(&mut self, words: &[u64]) -> &mut Assembler {
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends 32-bit little-endian words.
+    pub fn data_u32(&mut self, words: &[u32]) -> &mut Assembler {
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends IEEE doubles.
+    pub fn data_f64(&mut self, values: &[f64]) -> &mut Assembler {
+        for v in values {
+            self.data.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        self
+    }
+
+    /// Appends `n` zero bytes.
+    pub fn zeros(&mut self, n: usize) -> &mut Assembler {
+        self.data.resize(self.data.len() + n, 0);
+        self
+    }
+
+    /// Pads the data image to the given alignment (power of two).
+    pub fn align(&mut self, align: usize) -> &mut Assembler {
+        debug_assert!(align.is_power_of_two());
+        while !self.data.len().is_multiple_of(align) {
+            self.data.push(0);
+        }
+        self
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    /// `ra = rb + disp`
+    pub fn lda(&mut self, ra: IntReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Lda { ra, rb, disp })
+    }
+
+    /// `ra = rb + (disp << 16)`
+    pub fn ldah(&mut self, ra: IntReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Ldah { ra, rb, disp })
+    }
+
+    /// Load 64-bit: `ra = mem[rb + disp]`
+    pub fn ldq(&mut self, ra: IntReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Mem { op: MemOp::Ldq, ra, rb, disp })
+    }
+
+    /// Load sign-extended 32-bit.
+    pub fn ldl(&mut self, ra: IntReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Mem { op: MemOp::Ldl, ra, rb, disp })
+    }
+
+    /// Store 64-bit.
+    pub fn stq(&mut self, ra: IntReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Mem { op: MemOp::Stq, ra, rb, disp })
+    }
+
+    /// Store low 32 bits.
+    pub fn stl(&mut self, ra: IntReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Mem { op: MemOp::Stl, ra, rb, disp })
+    }
+
+    /// FP load double.
+    pub fn ldt(&mut self, fa: FpReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Ldt { fa, rb, disp })
+    }
+
+    /// FP store double.
+    pub fn stt(&mut self, fa: FpReg, disp: i16, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Stt { fa, rb, disp })
+    }
+
+    // ---- control flow -----------------------------------------------------
+
+    /// Unconditional branch to `label`.
+    pub fn br(&mut self, label: &str) -> &mut Assembler {
+        self.fixups.push(Fixup::Branch { at: self.text.len(), label: label.to_string() });
+        self.emit(Instr::Br { ra: IntReg::ZERO, disp: 0 })
+    }
+
+    /// Branch to subroutine, linking into `ra` (usually [`IntReg::RA`]).
+    pub fn bsr(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.fixups.push(Fixup::Branch { at: self.text.len(), label: label.to_string() });
+        self.emit(Instr::Bsr { ra, disp: 0 })
+    }
+
+    /// Call a subroutine: `bsr ra, label` with the conventional link register.
+    pub fn call(&mut self, label: &str) -> &mut Assembler {
+        self.bsr(IntReg::RA, label)
+    }
+
+    /// Return: `ret zero, (ra)`.
+    pub fn ret(&mut self) -> &mut Assembler {
+        self.emit(Instr::Jump { kind: JumpKind::Ret, ra: IntReg::ZERO, rb: IntReg::RA })
+    }
+
+    /// Indirect jump through `rb`.
+    pub fn jmp(&mut self, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Jump { kind: JumpKind::Jmp, ra: IntReg::ZERO, rb })
+    }
+
+    /// Indirect call through `rb`, linking into `ra`.
+    pub fn jsr(&mut self, ra: IntReg, rb: IntReg) -> &mut Assembler {
+        self.emit(Instr::Jump { kind: JumpKind::Jsr, ra, rb })
+    }
+
+    fn cond_br(&mut self, cond: BranchCond, ra: IntReg, label: &str) -> &mut Assembler {
+        self.fixups.push(Fixup::Branch { at: self.text.len(), label: label.to_string() });
+        self.emit(Instr::CondBr { cond, ra, disp: 0 })
+    }
+
+    fn fp_cond_br(&mut self, cond: FpBranchCond, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fixups.push(Fixup::Branch { at: self.text.len(), label: label.to_string() });
+        self.emit(Instr::FpCondBr { cond, fa, disp: 0 })
+    }
+
+    /// `beq ra, label`
+    pub fn beq(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Eq, ra, label)
+    }
+
+    /// `bne ra, label`
+    pub fn bne(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Ne, ra, label)
+    }
+
+    /// `blt ra, label`
+    pub fn blt(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Lt, ra, label)
+    }
+
+    /// `ble ra, label`
+    pub fn ble(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Le, ra, label)
+    }
+
+    /// `bgt ra, label`
+    pub fn bgt(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Gt, ra, label)
+    }
+
+    /// `bge ra, label`
+    pub fn bge(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Ge, ra, label)
+    }
+
+    /// `blbc ra, label` (branch if low bit clear)
+    pub fn blbc(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Lbc, ra, label)
+    }
+
+    /// `blbs ra, label` (branch if low bit set)
+    pub fn blbs(&mut self, ra: IntReg, label: &str) -> &mut Assembler {
+        self.cond_br(BranchCond::Lbs, ra, label)
+    }
+
+    /// `fbeq fa, label`
+    pub fn fbeq(&mut self, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fp_cond_br(FpBranchCond::Eq, fa, label)
+    }
+
+    /// `fbne fa, label`
+    pub fn fbne(&mut self, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fp_cond_br(FpBranchCond::Ne, fa, label)
+    }
+
+    /// `fblt fa, label`
+    pub fn fblt(&mut self, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fp_cond_br(FpBranchCond::Lt, fa, label)
+    }
+
+    /// `fble fa, label`
+    pub fn fble(&mut self, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fp_cond_br(FpBranchCond::Le, fa, label)
+    }
+
+    /// `fbgt fa, label`
+    pub fn fbgt(&mut self, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fp_cond_br(FpBranchCond::Gt, fa, label)
+    }
+
+    /// `fbge fa, label`
+    pub fn fbge(&mut self, fa: FpReg, label: &str) -> &mut Assembler {
+        self.fp_cond_br(FpBranchCond::Ge, fa, label)
+    }
+
+    // ---- integer operates ---------------------------------------------------
+
+    fn int_op(&mut self, func: IntFunc, ra: IntReg, rb: Operand, rc: IntReg) -> &mut Assembler {
+        self.emit(Instr::IntOp { func, ra, rb, rc })
+    }
+}
+
+macro_rules! op3 {
+    ($($(#[$doc:meta])* $name:ident, $name_lit:ident => $func:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, ra: IntReg, rb: IntReg, rc: IntReg) -> &mut Assembler {
+                    self.int_op($func, ra, Operand::Reg(rb), rc)
+                }
+
+                /// Literal-operand form of the same operation.
+                pub fn $name_lit(&mut self, ra: IntReg, lit: u8, rc: IntReg) -> &mut Assembler {
+                    self.int_op($func, ra, Operand::Lit(lit), rc)
+                }
+            )*
+        }
+    };
+}
+
+op3! {
+    /// `rc = ra + rb` (64-bit)
+    addq, addq_lit => IntFunc::Addq;
+    /// `rc = sext32(ra + rb)`
+    addl, addl_lit => IntFunc::Addl;
+    /// `rc = ra - rb` (64-bit)
+    subq, subq_lit => IntFunc::Subq;
+    /// `rc = sext32(ra - rb)`
+    subl, subl_lit => IntFunc::Subl;
+    /// `rc = ra * rb` (low 64 bits)
+    mulq, mulq_lit => IntFunc::Mulq;
+    /// `rc = sext32(ra * rb)`
+    mull, mull_lit => IntFunc::Mull;
+    /// `rc = high64(ra * rb)` unsigned
+    umulh, umulh_lit => IntFunc::Umulh;
+    /// `rc = ra*8 + rb`
+    s8addq, s8addq_lit => IntFunc::S8addq;
+    /// `rc = ra & rb`
+    and, and_lit => IntFunc::And;
+    /// `rc = ra & !rb`
+    bic, bic_lit => IntFunc::Bic;
+    /// `rc = ra | rb`
+    bis, bis_lit => IntFunc::Bis;
+    /// `rc = ra | !rb`
+    ornot, ornot_lit => IntFunc::Ornot;
+    /// `rc = ra ^ rb`
+    xor, xor_lit => IntFunc::Xor;
+    /// `rc = !(ra ^ rb)`
+    eqv, eqv_lit => IntFunc::Eqv;
+    /// `rc = ra << (rb & 63)`
+    sll, sll_lit => IntFunc::Sll;
+    /// `rc = ra >> (rb & 63)` logical
+    srl, srl_lit => IntFunc::Srl;
+    /// `rc = ra >> (rb & 63)` arithmetic
+    sra, sra_lit => IntFunc::Sra;
+    /// `rc = (ra == rb) as u64`
+    cmpeq, cmpeq_lit => IntFunc::Cmpeq;
+    /// `rc = (ra < rb) as u64` signed
+    cmplt, cmplt_lit => IntFunc::Cmplt;
+    /// `rc = (ra <= rb) as u64` signed
+    cmple, cmple_lit => IntFunc::Cmple;
+    /// `rc = (ra < rb) as u64` unsigned
+    cmpult, cmpult_lit => IntFunc::Cmpult;
+    /// `rc = (ra <= rb) as u64` unsigned
+    cmpule, cmpule_lit => IntFunc::Cmpule;
+    /// `rc = rb if ra == 0`
+    cmoveq, cmoveq_lit => IntFunc::Cmoveq;
+    /// `rc = rb if ra != 0`
+    cmovne, cmovne_lit => IntFunc::Cmovne;
+    /// `rc = rb if ra < 0`
+    cmovlt, cmovlt_lit => IntFunc::Cmovlt;
+    /// `rc = rb if ra >= 0`
+    cmovge, cmovge_lit => IntFunc::Cmovge;
+    /// `rc = rb if ra <= 0`
+    cmovle, cmovle_lit => IntFunc::Cmovle;
+    /// `rc = rb if ra > 0`
+    cmovgt, cmovgt_lit => IntFunc::Cmovgt;
+}
+
+macro_rules! fop3 {
+    ($($(#[$doc:meta])* $name:ident => $func:expr;)*) => {
+        impl Assembler {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, fa: FpReg, fb: FpReg, fc: FpReg) -> &mut Assembler {
+                    self.emit(Instr::FpOp { func: $func, fa, fb, fc })
+                }
+            )*
+        }
+    };
+}
+
+fop3! {
+    /// `fc = fa + fb`
+    addt => FpFunc::Addt;
+    /// `fc = fa - fb`
+    subt => FpFunc::Subt;
+    /// `fc = fa * fb`
+    mult => FpFunc::Mult;
+    /// `fc = fa / fb`
+    divt => FpFunc::Divt;
+    /// `fc = (fa == fb) ? 2.0 : 0.0`
+    cmpteq => FpFunc::Cmpteq;
+    /// `fc = (fa < fb) ? 2.0 : 0.0`
+    cmptlt => FpFunc::Cmptlt;
+    /// `fc = (fa <= fb) ? 2.0 : 0.0`
+    cmptle => FpFunc::Cmptle;
+    /// Copy sign of `fa` onto magnitude of `fb`.
+    cpys => FpFunc::Cpys;
+    /// Copy negated sign of `fa` onto magnitude of `fb`.
+    cpysn => FpFunc::Cpysn;
+    /// `fc = fb if fa == 0.0`
+    fcmoveq => FpFunc::Fcmoveq;
+    /// `fc = fb if fa != 0.0`
+    fcmovne => FpFunc::Fcmovne;
+}
+
+impl Assembler {
+    /// `fc = sqrt(fb)`
+    pub fn sqrtt(&mut self, fb: FpReg, fc: FpReg) -> &mut Assembler {
+        self.emit(Instr::FpOp { func: FpFunc::Sqrtt, fa: FpReg::ZERO, fb, fc })
+    }
+
+    /// `fc = (double) (quadword bits of fb)`
+    pub fn cvtqt(&mut self, fb: FpReg, fc: FpReg) -> &mut Assembler {
+        self.emit(Instr::FpOp { func: FpFunc::Cvtqt, fa: FpReg::ZERO, fb, fc })
+    }
+
+    /// `fc = (quadword) truncate(fb)`
+    pub fn cvttq(&mut self, fb: FpReg, fc: FpReg) -> &mut Assembler {
+        self.emit(Instr::FpOp { func: FpFunc::Cvttq, fa: FpReg::ZERO, fb, fc })
+    }
+
+    /// FP register move (`cpys fb, fb, fc`).
+    pub fn fmov(&mut self, fb: FpReg, fc: FpReg) -> &mut Assembler {
+        self.cpys(fb, fb, fc)
+    }
+
+    /// FP negate (`cpysn fb, fb, fc`).
+    pub fn fneg(&mut self, fb: FpReg, fc: FpReg) -> &mut Assembler {
+        self.cpysn(fb, fb, fc)
+    }
+
+    /// Move integer register bits into an FP register.
+    pub fn itoft(&mut self, rb: IntReg, fc: FpReg) -> &mut Assembler {
+        self.emit(Instr::Itoft { rb, fc })
+    }
+
+    /// Move FP register bits into an integer register.
+    pub fn ftoit(&mut self, fa: FpReg, rc: IntReg) -> &mut Assembler {
+        self.emit(Instr::Ftoit { fa, rc })
+    }
+
+    /// Integer register move (`bis rb, rb, rc`).
+    pub fn mov(&mut self, rb: IntReg, rc: IntReg) -> &mut Assembler {
+        self.bis(rb, rb, rc)
+    }
+
+    /// No-operation (`bis zero, zero, zero`).
+    pub fn nop(&mut self) -> &mut Assembler {
+        self.bis(IntReg::ZERO, IntReg::ZERO, IntReg::ZERO)
+    }
+
+    // ---- PAL calls ----------------------------------------------------------
+
+    /// Emits `call_pal` with the given service.
+    pub fn pal(&mut self, func: PalFunc) -> &mut Assembler {
+        self.emit(Instr::CallPal { func })
+    }
+
+    /// Terminates the thread with exit code `code` (clobbers `A0`).
+    pub fn exit(&mut self, code: i16) -> &mut Assembler {
+        self.lda(IntReg::A0, code, IntReg::ZERO);
+        self.pal(PalFunc::Exit)
+    }
+
+    /// Writes the low byte of `A0` to the console.
+    pub fn putc(&mut self) -> &mut Assembler {
+        self.pal(PalFunc::Putc)
+    }
+
+    /// Appends `A0` to the binary output channel.
+    pub fn write_word(&mut self) -> &mut Assembler {
+        self.pal(PalFunc::WriteWord)
+    }
+
+    // ---- GemFI pseudo-ops ----------------------------------------------------
+
+    /// `fi_activate_inst(id)` — toggle fault injection for this thread.
+    pub fn fi_activate(&mut self, id: u32) -> &mut Assembler {
+        self.emit(Instr::FiActivate { id })
+    }
+
+    /// `fi_read_init_all()` — checkpoint and re-read fault configuration.
+    pub fn fi_read_init(&mut self) -> &mut Assembler {
+        self.emit(Instr::FiReadInit)
+    }
+
+    // ---- pseudo-instructions ---------------------------------------------------
+
+    /// Loads a 64-bit signed constant into `rc`.
+    ///
+    /// Small constants assemble to one or two `lda`/`ldah` instructions;
+    /// general 64-bit constants are placed in an automatic literal pool in
+    /// the data section and loaded with `ldq`.
+    pub fn li(&mut self, rc: IntReg, value: i64) -> &mut Assembler {
+        if let Ok(v) = i16::try_from(value) {
+            return self.lda(rc, v, IntReg::ZERO);
+        }
+        let lo = value as i16; // sign-extending low 16 bits
+        let rest = value.wrapping_sub(lo as i64) >> 16;
+        if let Ok(hi) = i16::try_from(rest) {
+            self.ldah(rc, hi, IntReg::ZERO);
+            if lo != 0 {
+                self.lda(rc, lo, rc);
+            }
+            return self;
+        }
+        let sym = self.pool_u64(value as u64);
+        self.la(rc, &sym);
+        self.ldq(rc, 0, rc)
+    }
+
+    /// Loads an IEEE-double constant into `fc` from the literal pool
+    /// (clobbers `scratch`).
+    pub fn lif(&mut self, fc: FpReg, value: f64, scratch: IntReg) -> &mut Assembler {
+        if value == 0.0 && value.is_sign_positive() {
+            return self.fmov(FpReg::ZERO, fc);
+        }
+        let sym = self.pool_u64(value.to_bits());
+        self.la(scratch, &sym);
+        self.ldt(fc, 0, scratch)
+    }
+
+    fn pool_u64(&mut self, bits: u64) -> String {
+        if let Some(sym) = self.lit_pool.get(&bits) {
+            return sym.clone();
+        }
+        let sym = format!("__lit{}", self.lit_pool.len());
+        self.lit_pool.insert(bits, sym.clone());
+        sym
+    }
+
+    /// Loads the absolute address of a label or data symbol into `rc`.
+    ///
+    /// Assembles to an `ldah`/`lda` pair patched at link time; addresses must
+    /// fit in 31 bits (they always do: guest physical memory is far smaller).
+    pub fn la(&mut self, rc: IntReg, symbol: &str) -> &mut Assembler {
+        self.la_off(rc, symbol, 0)
+    }
+
+    /// Like [`Assembler::la`] but adds a byte offset to the symbol address.
+    pub fn la_off(&mut self, rc: IntReg, symbol: &str, offset: i64) -> &mut Assembler {
+        self.fixups.push(Fixup::LoadAddr {
+            at: self.text.len(),
+            symbol: symbol.to_string(),
+            offset,
+        });
+        self.ldah(rc, 0, IntReg::ZERO);
+        self.lda(rc, 0, rc)
+    }
+
+    // ---- linking -----------------------------------------------------------
+
+    /// Links the program: resolves branches, lays out the data image after
+    /// the text (page-aligned), flushes the literal pool, and builds the
+    /// symbol table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined or out-of-range label references.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        // Flush the literal pool into the data section.
+        self.align(8);
+        let pool: Vec<(u64, String)> =
+            self.lit_pool.iter().map(|(b, s)| (*b, s.clone())).collect();
+        for (bits, sym) in pool {
+            self.data_symbols.insert(sym, self.data.len() as u64);
+            self.data.extend_from_slice(&bits.to_le_bytes());
+        }
+
+        let text_end = TEXT_BASE + self.text.len() as u64 * 4;
+        let data_base = text_end.div_ceil(DATA_ALIGN) * DATA_ALIGN;
+
+        let mut symbols: HashMap<String, u64> = HashMap::new();
+        for (name, idx) in &self.text_labels {
+            symbols.insert(name.clone(), TEXT_BASE + *idx as u64 * 4);
+        }
+        for (name, off) in &self.data_symbols {
+            if symbols.contains_key(name) {
+                return Err(AsmError::DuplicateLabel(name.clone()));
+            }
+            symbols.insert(name.clone(), data_base + off);
+        }
+
+        for fixup in &self.fixups {
+            match fixup {
+                Fixup::Branch { at, label } => {
+                    let target = *self
+                        .text_labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let disp = target as i64 - (*at as i64 + 1);
+                    if !(-(1 << 20)..(1 << 20)).contains(&disp) {
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), disp });
+                    }
+                    let w = RawInstr(self.text[*at])
+                        .with_field(gemfi_isa::format::BDISP, disp as u32 & 0x1f_ffff);
+                    self.text[*at] = w.0;
+                }
+                Fixup::LoadAddr { at, symbol, offset } => {
+                    let addr = *symbols
+                        .get(symbol)
+                        .ok_or_else(|| AsmError::UndefinedData(symbol.clone()))?
+                        as i64
+                        + offset;
+                    debug_assert!((0..(1 << 31)).contains(&addr), "address out of la range");
+                    let lo = addr as i16;
+                    let hi = (addr.wrapping_sub(lo as i64) >> 16) as i16;
+                    let ldah = RawInstr(self.text[*at])
+                        .with_field(gemfi_isa::format::MDISP, hi as u16 as u32);
+                    let lda = RawInstr(self.text[*at + 1])
+                        .with_field(gemfi_isa::format::MDISP, lo as u16 as u32);
+                    self.text[*at] = ldah.0;
+                    self.text[*at + 1] = lda.0;
+                }
+            }
+        }
+
+        let entry = match &self.entry_label {
+            Some(l) => *symbols.get(l).ok_or_else(|| AsmError::UndefinedLabel(l.clone()))?,
+            None => TEXT_BASE,
+        };
+
+        Ok(Program::new(self.text, self.data, data_base, entry, symbols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+    use gemfi_isa::decode;
+
+    #[test]
+    fn branch_fixups_compute_word_displacements() {
+        let mut a = Assembler::new();
+        a.label("top");
+        a.nop();
+        a.br("top");
+        let p = a.finish().unwrap();
+        let w = RawInstr(p.text_words()[1]);
+        match decode(w).unwrap() {
+            Instr::Br { disp, .. } => assert_eq!(disp, -2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn forward_branches_resolve() {
+        let mut a = Assembler::new();
+        a.beq(Reg::R1, "end");
+        a.nop();
+        a.nop();
+        a.label("end");
+        a.exit(0);
+        let p = a.finish().unwrap();
+        match decode(RawInstr(p.text_words()[0])).unwrap() {
+            Instr::CondBr { disp, .. } => assert_eq!(disp, 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new();
+        a.br("nowhere");
+        assert_eq!(a.finish().unwrap_err(), AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn li_small_uses_one_instruction() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 42);
+        let p = a.finish().unwrap();
+        assert_eq!(p.text_len(), 1);
+    }
+
+    #[test]
+    fn li_32bit_uses_ldah_lda() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 0x12345678);
+        let p = a.finish().unwrap();
+        assert!(p.text_len() <= 2);
+    }
+
+    #[test]
+    fn li_64bit_goes_through_pool() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 0x1234_5678_9abc_def0);
+        let p = a.finish().unwrap();
+        // la (2 words) + ldq.
+        assert_eq!(p.text_len(), 3);
+        assert_eq!(p.data_bytes().len(), 8);
+        assert_eq!(
+            u64::from_le_bytes(p.data_bytes()[..8].try_into().unwrap()),
+            0x1234_5678_9abc_def0
+        );
+    }
+
+    #[test]
+    fn lif_pools_doubles_and_dedups() {
+        let mut a = Assembler::new();
+        a.lif(FReg::F1, 3.25, Reg::R9);
+        a.lif(FReg::F2, 3.25, Reg::R9);
+        let p = a.finish().unwrap();
+        assert_eq!(p.data_bytes().len(), 8, "pool must deduplicate");
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(p.data_bytes()[..8].try_into().unwrap())),
+            3.25
+        );
+    }
+
+    #[test]
+    fn data_symbols_resolve_after_text() {
+        let mut a = Assembler::new();
+        a.nop();
+        a.dsym("table");
+        a.data_u64(&[1, 2, 3]);
+        let p = a.finish().unwrap();
+        let addr = p.symbol("table").unwrap();
+        assert_eq!(addr, p.data_base());
+        assert_eq!(addr % 0x1000, 0);
+        assert!(addr >= TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn la_materializes_exact_address() {
+        let mut a = Assembler::new();
+        a.la(Reg::R1, "target");
+        a.exit(0);
+        a.label("target");
+        a.nop();
+        let p = a.finish().unwrap();
+        let target = p.symbol("target").unwrap();
+        // Decode the ldah/lda pair and recompute the address.
+        let ldah = decode(RawInstr(p.text_words()[0])).unwrap();
+        let lda = decode(RawInstr(p.text_words()[1])).unwrap();
+        let (hi, lo) = match (ldah, lda) {
+            (Instr::Ldah { disp: hi, .. }, Instr::Lda { disp: lo, .. }) => (hi, lo),
+            other => panic!("{other:?}"),
+        };
+        let addr = ((hi as i64) << 16).wrapping_add(lo as i64);
+        assert_eq!(addr as u64, target);
+    }
+
+    #[test]
+    fn entry_defaults_to_text_base_and_can_be_set() {
+        let mut a = Assembler::new();
+        a.nop();
+        a.label("main");
+        a.exit(0);
+        a.entry("main");
+        let p = a.finish().unwrap();
+        assert_eq!(p.entry(), TEXT_BASE + 4);
+    }
+}

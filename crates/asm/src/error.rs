@@ -1,0 +1,36 @@
+//! Assembly-time errors.
+
+use std::fmt;
+
+/// An error produced while assembling or linking a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch target is out of range for the displacement field.
+    BranchOutOfRange {
+        /// The referenced label.
+        label: String,
+        /// The required displacement in instruction words.
+        disp: i64,
+    },
+    /// A data symbol was referenced but never defined.
+    UndefinedData(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, disp } => {
+                write!(f, "branch to `{label}` out of range (displacement {disp} words)")
+            }
+            AsmError::UndefinedData(s) => write!(f, "undefined data symbol `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,37 @@
+//! Macro-assembler for the Alpha-subset guest ISA.
+//!
+//! The paper's benchmarks run *inside* the simulator so that faults can be
+//! injected into their architectural state. This crate is how those guest
+//! programs are built: an [`Assembler`] provides one method per mnemonic,
+//! label-based control flow, data directives (including IEEE-double pools),
+//! and a handful of pseudo-instructions (`li`, `la`, `call`, `ret`), and
+//! links everything into a loadable [`Program`].
+//!
+//! # Example
+//!
+//! ```
+//! use gemfi_asm::{Assembler, Reg};
+//!
+//! let mut a = Assembler::new();
+//! a.li(Reg::R1, 0);
+//! a.li(Reg::R2, 10);
+//! a.label("loop");
+//! a.addq_lit(Reg::R1, 1, Reg::R1);
+//! a.subq(Reg::R2, Reg::R1, Reg::R3);
+//! a.bgt(Reg::R3, "loop");
+//! a.exit(0);
+//! let program = a.finish().expect("assembles");
+//! assert!(program.text_words().len() > 4);
+//! ```
+
+mod builder;
+mod error;
+mod program;
+mod reg;
+pub mod text;
+
+pub use builder::Assembler;
+pub use error::AsmError;
+pub use program::{Program, TEXT_BASE};
+pub use reg::{FReg, Reg};
+pub use text::{assemble, TextAsmError};

@@ -1,0 +1,75 @@
+//! Linked guest programs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Base address where program text is loaded. Addresses below this are
+/// reserved for the kernel substrate (exception stubs, PCBs).
+pub const TEXT_BASE: u64 = 0x1_0000;
+
+/// A fully linked guest program: text, data, and a symbol table.
+///
+/// The machine loader writes `text` at [`TEXT_BASE`] and `data` at
+/// [`Program::data_base`], then starts the boot thread at
+/// [`Program::entry`]. Host-side code (workload drivers, the campaign
+/// classifier) uses [`Program::symbol`] to find input/output regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    text: Vec<u32>,
+    data: Vec<u8>,
+    data_base: u64,
+    entry: u64,
+    symbols: HashMap<String, u64>,
+}
+
+impl Program {
+    pub(crate) fn new(
+        text: Vec<u32>,
+        data: Vec<u8>,
+        data_base: u64,
+        entry: u64,
+        symbols: HashMap<String, u64>,
+    ) -> Program {
+        Program { text, data, data_base, entry, symbols }
+    }
+
+    /// The instruction words, to be loaded at [`TEXT_BASE`].
+    pub fn text_words(&self) -> &[u32] {
+        &self.text
+    }
+
+    /// The initialized data image, to be loaded at [`Program::data_base`].
+    pub fn data_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Load address of the data image.
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Entry-point address of the boot thread.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// First address past the loaded image (start of the heap).
+    pub fn image_end(&self) -> u64 {
+        self.data_base + self.data.len() as u64
+    }
+
+    /// Looks up a label or data symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total number of instruction words.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Iterates over `(name, address)` pairs of the symbol table.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation of the Sec. III-C optimization: resolving the running thread's
+//! `ThreadEnabledFault` through the per-core pointer cache (refreshed only
+//! on context switches) versus a hash-table lookup on every simulated
+//! event. The paper credits this cache with keeping GemFI's per-tick cost
+//! negligible; this benchmark quantifies the claim on our engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemfi::engine::EngineConfig;
+use gemfi::{FaultConfig, GemFiEngine};
+use gemfi_sim::{Machine, RunExit};
+use gemfi_workloads::pi::MonteCarloPi;
+use gemfi_workloads::{workload_machine_config, Workload};
+use gemfi_cpu::CpuKind;
+
+fn run_with_cache(pcb_pointer_cache: bool) {
+    let w = MonteCarloPi { points: 400, init_spins: 100, ..MonteCarloPi::default() };
+    let guest = w.build();
+    let engine = GemFiEngine::with_config(
+        FaultConfig::empty(),
+        EngineConfig { pcb_pointer_cache, cores: 1 },
+    );
+    let mut m = Machine::boot(workload_machine_config(CpuKind::Atomic), &guest.program, engine)
+        .expect("boots");
+    let mut exit = m.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = m.run();
+    }
+    assert_eq!(exit, RunExit::Halted(0));
+}
+
+fn bench_pcb_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_pcb_cache");
+    group.sample_size(20);
+    group.bench_function("pointer_cache", |b| b.iter(|| run_with_cache(true)));
+    group.bench_function("hash_every_event", |b| b.iter(|| run_with_cache(false)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcb_cache);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Regenerates Fig. 5: application behavior when fault-injecting different
+//! architectural components.
+//!
+//! For every workload × location class, runs a campaign of uniform
+//! single-bit-flip faults (Sec. IV-B-1) and prints the stacked-bar
+//! percentages. `--leveugle` prints the statistically required sample size
+//! per the DATE'09 sizing at 99%/1% (the paper's ≈2501); the default run
+//! uses `--experiments` samples per (workload, class) cell so the figure
+//! regenerates in minutes.
+//!
+//! ```text
+//! cargo run --release -p gemfi-bench --bin fig5 -- \
+//!     [--scale small|default|paper] [--experiments N] [--threads T] \
+//!     [--workloads pi,dct,...] [--leveugle] [--atomic]
+//! ```
+
+use gemfi_bench::Args;
+use gemfi_campaign::{
+    leveugle_sample_size, prepare_workload, run_experiment, FaultSampler, LocationClass,
+    OutcomeTable, RunnerConfig,
+};
+use gemfi_cpu::CpuKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let per_cell: usize = args.number("experiments", 25);
+    let threads: usize = args.number(
+        "threads",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    );
+    let seed: u64 = args.number("seed", 0xf15_f15);
+    let runner = if args.has("atomic") {
+        RunnerConfig {
+            inject_cpu: CpuKind::Atomic,
+            finish_cpu: CpuKind::Atomic,
+            ..RunnerConfig::default()
+        }
+    } else {
+        RunnerConfig::default()
+    };
+    let workloads = gemfi_bench::select_workloads(scale, args.value_of("workloads"));
+
+    println!(
+        "Fig. 5: outcome vs fault location ({} experiments per cell, {} threads, inject={})",
+        per_cell, threads, runner.inject_cpu
+    );
+    println!(
+        "columns: {:>7} {:>7} {:>7} {:>7} {:>7}  (percent)\n",
+        "crash", "nonprop", "strict", "correct", "sdc"
+    );
+
+    for workload in &workloads {
+        let prepared = match prepare_workload(workload.as_ref()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", workload.name());
+                continue;
+            }
+        };
+        if args.has("leveugle") {
+            let mut sampler = FaultSampler::new(seed, prepared.stage_events, 0, 0);
+            let pop = sampler.total_population();
+            let _ = sampler.sample_any();
+            let n = leveugle_sample_size(pop, 0.01, gemfi_campaign::stats::Z_99, 0.5);
+            println!(
+                "{}: fault-space population {} -> Leveugle 99%/1% sample size {}",
+                workload.name(),
+                pop,
+                n
+            );
+        }
+        println!("{} (kernel: {} instructions)", workload.name(), prepared.stage_events[4]);
+        let mut summary = OutcomeTable::new();
+        for class in LocationClass::ALL {
+            // Sample serially for determinism, run in parallel.
+            let mut sampler =
+                FaultSampler::new(seed ^ class.stage().index() as u64, prepared.stage_events, 0, 0);
+            let specs: Vec<_> = (0..per_cell).map(|_| sampler.sample(class)).collect();
+            let next = AtomicUsize::new(0);
+            let table = Mutex::new(OutcomeTable::new());
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(per_cell.max(1)) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        let r =
+                            run_experiment(&prepared, workload.as_ref(), specs[i], &runner);
+                        table.lock().expect("no poisoned threads").add(r.outcome);
+                    });
+                }
+            });
+            let table = table.into_inner().expect("threads joined");
+            println!("  {:<9} {}", class.to_string(), table);
+            summary.merge(&table);
+        }
+        println!("  {:<9} {}\n", "ALL", summary);
+    }
+}

@@ -1,0 +1,143 @@
+//! `gemfi_run` — the command-line front end the paper describes: "Using the
+//! command line, the user provides a configuration file (Listing 1)
+//! describing all the faults to be injected in the simulation."
+//!
+//! Runs one of the bundled workloads under GemFI with a user-supplied fault
+//! file, printing the injection log and the classified outcome.
+//!
+//! ```text
+//! cargo run --release -p gemfi-bench --bin gemfi_run -- \
+//!     --workload pi --faults faults.txt [--cpu o3|atomic|inorder|timing] \
+//!     [--scale small|default|paper]
+//!
+//! # example faults.txt line (the paper's Listing 1):
+//! # RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu0 occ:1 int 1
+//! ```
+
+use gemfi::{FaultConfig, GemFiEngine};
+use gemfi_bench::Args;
+use gemfi_campaign::{prepare_workload, run_experiment_multi, RunnerConfig};
+use gemfi_cpu::CpuKind;
+use gemfi_sim::{Machine, MachineConfig};
+
+/// Runs a user-supplied `.s` assembly file under GemFI (no outcome
+/// classification — there is no golden model for arbitrary programs).
+fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind) -> ! {
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let program = gemfi_asm::assemble(&source).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let config = MachineConfig { cpu, ..MachineConfig::default() };
+    let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults))
+        .unwrap_or_else(|t| {
+            eprintln!("boot failed: {t}");
+            std::process::exit(1);
+        });
+    let mut exit = machine.run();
+    while exit == gemfi_sim::RunExit::CheckpointRequest {
+        exit = machine.run();
+    }
+    println!("exit: {exit}");
+    if !machine.console().is_empty() {
+        println!("console: {}", String::from_utf8_lossy(machine.console()));
+    }
+    if !machine.out_words().is_empty() {
+        println!("out_words: {:?}", machine.out_words());
+    }
+    println!("injections:");
+    for r in machine.hooks().records() {
+        println!("  {r}");
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = Args::from_env();
+    let cpu_of = |args: &Args| match args.value_of("cpu") {
+        Some("atomic") => CpuKind::Atomic,
+        Some("inorder") => CpuKind::InOrder,
+        Some("timing") => CpuKind::Timing,
+        _ => CpuKind::O3,
+    };
+    if let Some(path) = args.value_of("program") {
+        let faults = match args.value_of("faults") {
+            Some(f) => FaultConfig::load(std::path::Path::new(f)).unwrap_or_else(|e| {
+                eprintln!("cannot read fault file {f}: {e}");
+                std::process::exit(2);
+            }),
+            None => FaultConfig::empty(),
+        };
+        run_assembly_file(path, faults, cpu_of(&args));
+    }
+    let Some(name) = args.value_of("workload") else {
+        eprintln!(
+            "usage: gemfi_run (--workload <name> | --program <file.s>) \
+       [--faults <file>] [--cpu o3|atomic|inorder|timing]"
+        );
+        eprintln!("workloads: dct jacobi pi knapsack deblock canneal");
+        std::process::exit(2);
+    };
+    let workloads = gemfi_bench::select_workloads(args.scale(), Some(name));
+    let Some(workload) = workloads.first() else {
+        eprintln!("unknown workload `{name}`");
+        std::process::exit(2);
+    };
+
+    let faults = match args.value_of("faults") {
+        Some(path) => match FaultConfig::load(std::path::Path::new(path)) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot read fault file {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => FaultConfig::empty(),
+    };
+    let cpu = cpu_of(&args);
+
+    println!("workload: {} | injection model: {cpu} | faults: {}", workload.name(), faults.len());
+    for f in faults.faults() {
+        println!("  {f}");
+    }
+
+    let prepared = prepare_workload(workload.as_ref()).unwrap_or_else(|e| {
+        eprintln!("prepare failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "\ncheckpoint at tick {}; fault space (events/stage): {:?}",
+        prepared.checkpoint.tick, prepared.stage_events
+    );
+
+    if faults.is_empty() {
+        println!("\nno faults: golden run only");
+        println!("  exit: {}", prepared.golden.exit);
+        println!("  stats:\n{}", indent(&prepared.golden.stats.to_string()));
+        return;
+    }
+
+    let runner = RunnerConfig { inject_cpu: cpu, ..RunnerConfig::default() };
+    let result =
+        run_experiment_multi(&prepared, workload.as_ref(), faults.faults(), &runner);
+
+    println!("\ninjections:");
+    if result.injections.is_empty() {
+        println!("  (none fired)");
+    }
+    for r in &result.injections {
+        println!("  {r}");
+    }
+    println!("\nexit: {}", result.exit);
+    println!("outcome: {}", result.outcome);
+    if let Some(f) = result.injection_fraction {
+        println!("first injection at {:.0}% of the kernel", f * 100.0);
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

@@ -1,0 +1,72 @@
+//! Fault-permanence study: the paper's fault model covers "transient,
+//! intermittent and permanent faults" (Sec. VII), though its evaluation
+//! exercised only single-event upsets. This binary fills that gap: the same
+//! uniformly-sampled fault sites are injected as transients (`occ:1`),
+//! intermittents (`occ:N`), and permanents (`occ:perm`), and the outcome
+//! distributions are compared.
+//!
+//! Expected shape: severity grows with persistence — permanents produce the
+//! most crashes/SDCs, transients the most masked outcomes.
+//!
+//! ```text
+//! cargo run --release -p gemfi-bench --bin permanence -- \
+//!     [--experiments N] [--workloads pi,...] [--scale small|default|paper]
+//! ```
+
+use gemfi::spec::OCC_PERMANENT;
+use gemfi_bench::Args;
+use gemfi_campaign::{
+    prepare_workload, run_experiment, FaultSampler, LocationClass, OutcomeTable, RunnerConfig,
+};
+use gemfi_cpu::CpuKind;
+
+fn main() {
+    let args = Args::from_env();
+    let per_mode: usize = args.number("experiments", 30);
+    let seed: u64 = args.number("seed", 0x9e99);
+    let runner = RunnerConfig {
+        inject_cpu: CpuKind::Atomic,
+        finish_cpu: CpuKind::Atomic,
+        ..RunnerConfig::default()
+    };
+    let workloads = gemfi_bench::select_workloads(args.scale(), args.value_of("workloads"));
+    let modes: [(&str, u64); 3] =
+        [("transient", 1), ("intermittent", 64), ("permanent", OCC_PERMANENT)];
+
+    println!("Fault permanence study ({per_mode} experiments per mode)\n");
+    println!(
+        "{:<10} {:<13} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "workload", "mode", "crash", "nonprop", "strict", "correct", "sdc"
+    );
+    gemfi_bench::rule(72);
+    for workload in &workloads {
+        let prepared = match prepare_workload(workload.as_ref()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", workload.name());
+                continue;
+            }
+        };
+        for (name, occ) in modes {
+            // The same sampled sites across modes: reseed per workload+mode
+            // index so only `occurrences` differs.
+            let mut sampler = FaultSampler::new(seed, prepared.stage_events, 0, 0);
+            let mut table = OutcomeTable::new();
+            for i in 0..per_mode {
+                let class = [
+                    LocationClass::IntReg,
+                    LocationClass::FpReg,
+                    LocationClass::Execute,
+                    LocationClass::Mem,
+                ][i % 4];
+                let mut spec = sampler.sample(class);
+                spec.occurrences = occ;
+                let r = run_experiment(&prepared, workload.as_ref(), spec, &runner);
+                table.add(r.outcome);
+            }
+            println!("{:<10} {:<13} {}", workload.name(), name, table);
+        }
+        println!();
+    }
+    println!("expected shape: severity grows with persistence (crash+sdc rises, masked falls)");
+}

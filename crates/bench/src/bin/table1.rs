@@ -1,0 +1,34 @@
+//! Regenerates Table I: the Alpha instruction formats, printed from the
+//! ISA's own field metadata (so the table cannot drift from the decoder).
+//!
+//! ```text
+//! cargo run -p gemfi-bench --bin table1
+//! ```
+
+use gemfi_isa::Format;
+
+fn main() {
+    println!("Table I: Alpha instruction formats (from gemfi-isa field metadata)\n");
+    println!("{:<10} fields [hi:lo]", "format");
+    gemfi_bench::rule(72);
+    for format in [Format::PalCode, Format::Branch, Format::Memory, Format::Operate] {
+        let fields: Vec<String> = format
+            .fields()
+            .iter()
+            .map(|f| format!("{}[{}:{}]", f.name, f.hi, f.lo))
+            .collect();
+        println!("{:<10} {}", format.to_string(), fields.join(" | "));
+    }
+    gemfi_bench::rule(72);
+    println!(
+        "\nRegister-selector fields targeted by decode-stage faults:"
+    );
+    for format in [Format::Branch, Format::Memory, Format::Operate] {
+        let sel: Vec<String> = format
+            .reg_selector_fields()
+            .iter()
+            .map(|f| format!("{}[{}:{}]", f.name, f.hi, f.lo))
+            .collect();
+        println!("  {:<10} {}", format.to_string(), sel.join(", "));
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Each binary regenerates one artifact of the paper's evaluation:
+//!
+//! | binary   | paper artifact |
+//! |----------|----------------|
+//! | `table1` | Table I — Alpha instruction formats |
+//! | `fig4`   | Fig. 4 — result-category examples for DCT |
+//! | `fig5`   | Fig. 5 — outcome distribution vs. fault location |
+//! | `fig6`   | Fig. 6 — outcome vs. normalized injection time |
+//! | `fig7`   | Fig. 7 — GemFI overhead vs. unmodified simulator |
+//! | `fig8`   | Fig. 8 — campaign time: baseline / checkpoint / NoW |
+//!
+//! Binaries accept `--scale small|default|paper` to trade fidelity for
+//! runtime, plus per-figure options; run with `--help` for details.
+
+use gemfi_workloads::{canneal, dct, deblock, jacobi, knapsack, pi, Workload};
+
+/// Workload size tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure sizes for CI and smoke runs.
+    Small,
+    /// The workspace defaults (minutes per figure).
+    Default,
+    /// The paper's original sizes (hours; intended for NoW-style parallel
+    /// hosts).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small|default|paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "default" => Some(Scale::Default),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's six benchmarks at the given scale, figure order.
+pub fn workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    match scale {
+        Scale::Small => vec![
+            Box::new(dct::Dct { width: 16, height: 16 }),
+            Box::new(jacobi::Jacobi { n: 8, max_iters: 120 }),
+            Box::new(pi::MonteCarloPi { points: 400, init_spins: 2_000, ..Default::default() }),
+            Box::new(knapsack::Knapsack { generations: 8, ..Default::default() }),
+            Box::new(deblock::Deblock { width: 48, height: 16 }),
+            Box::new(canneal::Canneal { steps: 128, ..Default::default() }),
+        ],
+        Scale::Default => vec![
+            Box::new(dct::Dct::default()),
+            Box::new(jacobi::Jacobi::default()),
+            Box::new(pi::MonteCarloPi::default()),
+            Box::new(knapsack::Knapsack::default()),
+            Box::new(deblock::Deblock::default()),
+            Box::new(canneal::Canneal::default()),
+        ],
+        Scale::Paper => vec![
+            Box::new(dct::Dct::paper()),
+            Box::new(jacobi::Jacobi::paper()),
+            Box::new(pi::MonteCarloPi::paper()),
+            Box::new(knapsack::Knapsack::paper()),
+            Box::new(deblock::Deblock::paper()),
+            Box::new(canneal::Canneal::paper()),
+        ],
+    }
+}
+
+/// Selects workloads by comma-separated names (all when `names` is `None`).
+pub fn select_workloads(scale: Scale, names: Option<&str>) -> Vec<Box<dyn Workload>> {
+    let all = workloads(scale);
+    match names {
+        None => all,
+        Some(list) => {
+            let wanted: Vec<&str> = list.split(',').map(str::trim).collect();
+            all.into_iter().filter(|w| wanted.contains(&w.name())).collect()
+        }
+    }
+}
+
+/// A minimal `--flag value` argument scanner.
+#[derive(Debug, Clone)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn from_env() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// The value following `--name`, if present.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value_of(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// The scale option (default [`Scale::Small`] — figures should run out
+    /// of the box).
+    pub fn scale(&self) -> Scale {
+        self.value_of("scale").and_then(Scale::parse).unwrap_or(Scale::Small)
+    }
+}
+
+/// Prints a horizontal rule sized to the paper-style tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scales_provide_six_workloads() {
+        for scale in [Scale::Small, Scale::Default, Scale::Paper] {
+            let w = workloads(scale);
+            assert_eq!(w.len(), 6);
+            let names: Vec<_> = w.iter().map(|w| w.name()).collect();
+            assert_eq!(names, ["dct", "jacobi", "pi", "knapsack", "deblock", "canneal"]);
+        }
+    }
+
+    #[test]
+    fn selection_filters_by_name() {
+        let w = select_workloads(Scale::Small, Some("pi,dct"));
+        let names: Vec<_> = w.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["dct", "pi"]);
+    }
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Outcome classification (Sec. IV-B-1).
+
+use gemfi::{InjectionRecord, Outcome};
+use gemfi_sim::RunExit;
+use gemfi_workloads::{Quality, Workload};
+
+/// Classifies one experiment.
+///
+/// * Any trap, hang, or abnormal exit code → [`Outcome::Crashed`].
+/// * If no injected fault propagated (register faults dead/overwritten, or
+///   the corruption left the value unchanged) → [`Outcome::NonPropagated`].
+/// * Bit-identical output → [`Outcome::StrictlyCorrect`].
+/// * Within the workload's quality margin → [`Outcome::Correct`].
+/// * Otherwise → [`Outcome::Sdc`].
+pub fn classify(
+    workload: &dyn Workload,
+    golden_output: &[u8],
+    exit: RunExit,
+    output: &[u8],
+    records: &[InjectionRecord],
+) -> Outcome {
+    match exit {
+        RunExit::Trapped(_) | RunExit::Watchdog => return Outcome::Crashed,
+        RunExit::Halted(code) if code != 0 => return Outcome::Crashed,
+        RunExit::Halted(_) => {}
+        // A checkpoint request is not a terminal state; reaching here is a
+        // runner bug, but classify conservatively.
+        RunExit::CheckpointRequest => return Outcome::Crashed,
+    }
+    let propagated = records.iter().any(InjectionRecord::propagated);
+    if output == golden_output {
+        return if propagated { Outcome::StrictlyCorrect } else { Outcome::NonPropagated };
+    }
+    match workload.classify(output, golden_output) {
+        Quality::BitExact => unreachable!("handled by the byte comparison above"),
+        Quality::Acceptable => Outcome::Correct,
+        Quality::Unacceptable => Outcome::Sdc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemfi::{FaultLocation, Stage};
+    use gemfi_isa::Trap;
+    use gemfi_workloads::GuestWorkload;
+
+    struct Threshold;
+    impl Workload for Threshold {
+        fn name(&self) -> &'static str {
+            "threshold"
+        }
+        fn build(&self) -> GuestWorkload {
+            unimplemented!("classification-only fake")
+        }
+        fn reference(&self) -> Vec<u8> {
+            vec![10]
+        }
+        fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
+            !faulty.is_empty() && faulty[0].abs_diff(golden[0]) <= 3
+        }
+    }
+
+    fn consumed_record() -> InjectionRecord {
+        InjectionRecord {
+            tick: 1,
+            stage: Stage::Register,
+            location: FaultLocation::IntReg { core: 0, reg: 1 },
+            thread: 0,
+            pc: 0,
+            instr: None,
+            before: 0,
+            after: 1,
+            consumed: true,
+            overwritten: false,
+        }
+    }
+
+    #[test]
+    fn traps_and_hangs_are_crashes() {
+        let w = Threshold;
+        let g = w.reference();
+        let trap = RunExit::Trapped(Trap::WatchdogTimeout);
+        assert_eq!(classify(&w, &g, trap, &[], &[]), Outcome::Crashed);
+        assert_eq!(classify(&w, &g, RunExit::Watchdog, &[], &[]), Outcome::Crashed);
+        assert_eq!(classify(&w, &g, RunExit::Halted(1), &g, &[]), Outcome::Crashed);
+    }
+
+    #[test]
+    fn identical_output_splits_on_propagation() {
+        let w = Threshold;
+        let g = w.reference();
+        assert_eq!(
+            classify(&w, &g, RunExit::Halted(0), &g, &[]),
+            Outcome::NonPropagated,
+            "no fault fired"
+        );
+        let mut dead = consumed_record();
+        dead.consumed = false;
+        dead.overwritten = true;
+        assert_eq!(
+            classify(&w, &g, RunExit::Halted(0), &g, &[dead]),
+            Outcome::NonPropagated,
+            "overwritten before use"
+        );
+        assert_eq!(
+            classify(&w, &g, RunExit::Halted(0), &g, &[consumed_record()]),
+            Outcome::StrictlyCorrect,
+            "consumed but masked"
+        );
+    }
+
+    #[test]
+    fn quality_gate_separates_correct_from_sdc() {
+        let w = Threshold;
+        let g = w.reference();
+        let r = [consumed_record()];
+        assert_eq!(classify(&w, &g, RunExit::Halted(0), &[12], &r), Outcome::Correct);
+        assert_eq!(classify(&w, &g, RunExit::Halted(0), &[50], &r), Outcome::Sdc);
+    }
+}

@@ -1,0 +1,39 @@
+//! Fault-injection campaigns over the GemFI engine (Sec. IV–V methodology).
+//!
+//! A campaign reproduces the paper's experimental pipeline end to end:
+//!
+//! 1. **Checkpoint**: run the workload once up to its `fi_read_init_all()`
+//!    marker (system "boot" + application initialization) and snapshot the
+//!    machine (Fig. 3).
+//! 2. **Golden run**: continue fault-free to get the reference output, the
+//!    kernel's per-stage event counts (the samplable fault space), and the
+//!    fault-free timing.
+//! 3. **Sampling**: draw faults uniformly over *Location*, *Time* and
+//!    *Behavior* (Sec. IV-B-1, single-event-upset bit flips), sized by the
+//!    statistical-fault-injection formula of Leveugle et al. (DATE'09).
+//! 4. **Experiments**: for each fault, restore the checkpoint into **O3**
+//!    mode, inject, continue "until the affected instruction commits or
+//!    squashes", then switch to **atomic** mode until termination.
+//! 5. **Classification**: crashed / non-propagated / strictly-correct /
+//!    correct / SDC, using each workload's acceptability gate.
+//! 6. Optionally, execute the experiment set on a simulated **network of
+//!    workstations** pulling work from a shared spool directory
+//!    (Sec. III-E).
+
+pub mod classify;
+pub mod now;
+pub mod report;
+pub mod runner;
+pub mod sampler;
+pub mod stats;
+pub mod timing;
+
+pub use classify::classify;
+pub use now::{run_campaign_now, NowConfig, NowReport};
+pub use report::OutcomeTable;
+pub use runner::{
+    prepare_workload, run_experiment, run_experiment_from, run_experiment_multi,
+    ExperimentResult, PreparedWorkload, RunnerConfig,
+};
+pub use sampler::{FaultSampler, LocationClass};
+pub use stats::{leveugle_sample_size, proportion_ci};

@@ -1,0 +1,201 @@
+//! Campaign execution on a (simulated) network of workstations — the
+//! Sec. III-E protocol:
+//!
+//! 1. fault-configuration files for all experiments go to a network share;
+//! 2. one simulation runs to the activation point and the checkpoint is
+//!    stored on the share;
+//! 3. each workstation takes a local copy of the checkpoint;
+//! 4. each workstation repeatedly claims a remaining experiment from the
+//!    share and executes it locally from the checkpointed state;
+//! 5. results move back to the share;
+//! 6. until no experiments remain.
+//!
+//! "Workstations" are thread groups sharing one local checkpoint copy; the
+//! share is a real spool directory, so the artifacts (fault files, the
+//! checkpoint blob, result files) are the same ones a physical cluster
+//! would exchange over NFS.
+
+use crate::report::OutcomeTable;
+use crate::runner::{run_experiment_from, ExperimentResult, PreparedWorkload, RunnerConfig};
+use gemfi::{FaultConfig, FaultSpec};
+use gemfi_sim::Checkpoint;
+use gemfi_workloads::Workload;
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Cluster shape.
+#[derive(Debug, Clone)]
+pub struct NowConfig {
+    /// Number of workstations (the paper uses 27).
+    pub workstations: usize,
+    /// Concurrent experiments per workstation (the paper uses 4).
+    pub slots_per_workstation: usize,
+    /// The shared spool directory ("network share").
+    pub share_dir: PathBuf,
+}
+
+/// What the cluster did.
+#[derive(Debug, Clone)]
+pub struct NowReport {
+    /// Wall-clock duration of the parallel phase.
+    pub wall: Duration,
+    /// Experiments executed per workstation (load balance check).
+    pub per_workstation: Vec<usize>,
+    /// Total experiments.
+    pub experiments: usize,
+}
+
+/// Runs a whole campaign on the simulated NoW. Returns the merged outcome
+/// table, per-experiment results (in experiment order), and the report.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the share directory.
+pub fn run_campaign_now(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    specs: &[FaultSpec],
+    runner: &RunnerConfig,
+    config: &NowConfig,
+) -> std::io::Result<(OutcomeTable, Vec<ExperimentResult>, NowReport)> {
+    std::fs::create_dir_all(&config.share_dir)?;
+
+    // Step 1: experiment configurations onto the share.
+    for (i, spec) in specs.iter().enumerate() {
+        FaultConfig::from_specs(vec![*spec]).save(&fault_path(&config.share_dir, i))?;
+    }
+    // Step 2: the checkpoint onto the share.
+    let ckpt_path = config.share_dir.join("campaign.ckpt");
+    prepared.checkpoint.save(&ckpt_path)?;
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<ExperimentResult>>> = Mutex::new(vec![None; specs.len()]);
+    let per_ws: Mutex<Vec<usize>> = Mutex::new(vec![0; config.workstations]);
+
+    let started = Instant::now();
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for ws in 0..config.workstations {
+            // Step 3: one local checkpoint copy per workstation.
+            let local = Arc::new(Checkpoint::load(&ckpt_path)?);
+            for _slot in 0..config.slots_per_workstation {
+                let local = Arc::clone(&local);
+                let next = &next;
+                let results = &results;
+                let per_ws = &per_ws;
+                let share = config.share_dir.clone();
+                handles.push(scope.spawn(move || {
+                    loop {
+                        // Step 4: claim the next remaining experiment.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        let cfg = FaultConfig::load(&fault_path(&share, i))
+                            .expect("spooled fault file readable");
+                        let spec = cfg.faults()[0];
+                        let result =
+                            run_experiment_from(&local, prepared, workload, spec, runner);
+                        // Step 5: the result back to the share.
+                        let line = format!(
+                            "{} outcome={} exit={}\n",
+                            spec, result.outcome, result.exit
+                        );
+                        std::fs::write(result_path(&share, i), line)
+                            .expect("share writable");
+                        results.lock()[i] = Some(result);
+                        per_ws.lock()[ws] += 1;
+                    }
+                }));
+            }
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        Ok(())
+    })?;
+    let wall = started.elapsed();
+
+    let results: Vec<ExperimentResult> = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all experiments executed"))
+        .collect();
+    let table: OutcomeTable = results.iter().map(|r| r.outcome).collect();
+    let per_workstation = per_ws.into_inner();
+    Ok((
+        table,
+        results,
+        NowReport { wall, per_workstation, experiments: specs.len() },
+    ))
+}
+
+fn fault_path(share: &Path, i: usize) -> PathBuf {
+    share.join(format!("exp{i:05}.fault"))
+}
+
+fn result_path(share: &Path, i: usize) -> PathBuf {
+    share.join(format!("exp{i:05}.result"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::prepare_workload;
+    use crate::sampler::FaultSampler;
+    use gemfi_cpu::CpuKind;
+    use gemfi_workloads::pi::MonteCarloPi;
+
+    #[test]
+    fn now_executes_every_experiment_and_spools_artifacts() {
+        let w = MonteCarloPi { points: 60, init_spins: 30, ..MonteCarloPi::default() };
+        let p = prepare_workload(&w).unwrap();
+        let mut sampler = FaultSampler::new(3, p.stage_events, 0, 0);
+        let specs: Vec<_> = (0..12).map(|_| sampler.sample_any()).collect();
+        let share = std::env::temp_dir().join(format!("gemfi-now-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&share);
+        let runner = RunnerConfig {
+            inject_cpu: CpuKind::Atomic,
+            finish_cpu: CpuKind::Atomic,
+            ..RunnerConfig::default()
+        };
+        let cfg = NowConfig { workstations: 3, slots_per_workstation: 2, share_dir: share.clone() };
+        let (table, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        assert_eq!(table.total(), 12);
+        assert_eq!(results.len(), 12);
+        assert_eq!(report.experiments, 12);
+        assert_eq!(report.per_workstation.iter().sum::<usize>(), 12);
+        // Spool artifacts exist.
+        assert!(share.join("campaign.ckpt").exists());
+        assert!(share.join("exp00000.fault").exists());
+        assert!(share.join("exp00011.result").exists());
+        std::fs::remove_dir_all(&share).ok();
+    }
+
+    #[test]
+    fn now_results_match_serial_execution() {
+        let w = MonteCarloPi { points: 50, init_spins: 20, ..MonteCarloPi::default() };
+        let p = prepare_workload(&w).unwrap();
+        let mut sampler = FaultSampler::new(11, p.stage_events, 0, 0);
+        let specs: Vec<_> = (0..6).map(|_| sampler.sample_any()).collect();
+        let runner = RunnerConfig {
+            inject_cpu: CpuKind::Atomic,
+            finish_cpu: CpuKind::Atomic,
+            ..RunnerConfig::default()
+        };
+        let serial: Vec<_> = specs
+            .iter()
+            .map(|s| crate::runner::run_experiment(&p, &w, *s, &runner).outcome)
+            .collect();
+        let share = std::env::temp_dir().join(format!("gemfi-now2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&share);
+        let cfg = NowConfig { workstations: 2, slots_per_workstation: 2, share_dir: share.clone() };
+        let (_, results, _) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        let parallel: Vec<_> = results.iter().map(|r| r.outcome).collect();
+        assert_eq!(serial, parallel, "determinism across execution modes");
+        std::fs::remove_dir_all(&share).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! Outcome tabulation (the Fig. 5/6 data structure).
+
+use gemfi::Outcome;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counts of experiment outcomes, one bar of the paper's stacked charts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeTable {
+    counts: [u64; 5],
+}
+
+impl OutcomeTable {
+    /// An empty table.
+    pub fn new() -> OutcomeTable {
+        OutcomeTable::default()
+    }
+
+    /// Records one experiment.
+    pub fn add(&mut self, outcome: Outcome) {
+        self.counts[outcome.index()] += 1;
+    }
+
+    /// Count of one outcome class.
+    pub fn count(&self, outcome: Outcome) -> u64 {
+        self.counts[outcome.index()]
+    }
+
+    /// Total experiments recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of one outcome class in `[0, 1]`.
+    pub fn fraction(&self, outcome: Outcome) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / self.total() as f64
+        }
+    }
+
+    /// The paper's Fig. 6 *Acceptable* series: correct ∪ strictly-correct ∪
+    /// non-propagated.
+    pub fn acceptable_fraction(&self) -> f64 {
+        Outcome::ALL
+            .iter()
+            .filter(|o| o.is_acceptable())
+            .map(|o| self.fraction(*o))
+            .sum()
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &OutcomeTable) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+
+    /// A fixed-width percentage row: `crash non-prop strict correct sdc`.
+    pub fn percent_row(&self) -> String {
+        Outcome::ALL
+            .iter()
+            .map(|o| format!("{:6.1}%", self.fraction(*o) * 100.0))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for OutcomeTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={})", self.percent_row(), self.total())
+    }
+}
+
+impl FromIterator<Outcome> for OutcomeTable {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> OutcomeTable {
+        let mut t = OutcomeTable::new();
+        for o in iter {
+            t.add(o);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t: OutcomeTable = [
+            Outcome::Crashed,
+            Outcome::Crashed,
+            Outcome::Correct,
+            Outcome::Sdc,
+            Outcome::StrictlyCorrect,
+            Outcome::NonPropagated,
+        ]
+        .into_iter()
+        .collect();
+        let sum: f64 = Outcome::ALL.iter().map(|o| t.fraction(*o)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.count(Outcome::Crashed), 2);
+        assert!((t.acceptable_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: OutcomeTable = [Outcome::Crashed].into_iter().collect();
+        let b: OutcomeTable = [Outcome::Sdc, Outcome::Sdc].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(Outcome::Sdc), 2);
+    }
+
+    #[test]
+    fn empty_table_is_safe() {
+        let t = OutcomeTable::new();
+        assert_eq!(t.fraction(Outcome::Crashed), 0.0);
+        assert_eq!(t.acceptable_fraction(), 0.0);
+        assert!(t.to_string().contains("n=0"));
+    }
+}

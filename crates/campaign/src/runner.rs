@@ -1,0 +1,410 @@
+//! The experiment runner: checkpoint preparation and single-experiment
+//! execution (Sec. IV-B methodology).
+
+use crate::classify::classify;
+use gemfi::{FaultConfig, FaultSpec, GemFiEngine, InjectionRecord, Outcome};
+use gemfi_cpu::CpuKind;
+use gemfi_sim::{Checkpoint, Machine, RunExit};
+use gemfi_workloads::{workload_machine_config, GuestWorkload, RunOutput, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Everything a campaign needs about one workload, produced once and shared
+/// by all experiments.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// The built guest program.
+    pub guest: GuestWorkload,
+    /// Snapshot taken at the `fi_read_init_all()` marker (post-boot,
+    /// post-initialization — the Fig. 3 fast-forward point).
+    pub checkpoint: Checkpoint,
+    /// The fault-free reference run (output bytes, stats).
+    pub golden: RunOutput,
+    /// Instructions served per pipeline stage during the fault-injection
+    /// window — the samplable fault space.
+    pub stage_events: [u64; 5],
+    /// Ticks from machine boot to the checkpoint (the initialization cost
+    /// that checkpointing amortizes away, Fig. 8).
+    pub boot_ticks: u64,
+    /// Fault-free ticks from the checkpoint to termination.
+    pub kernel_ticks: u64,
+}
+
+/// How experiments are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// CPU model used around the injection point (the paper uses O3).
+    pub inject_cpu: CpuKind,
+    /// CPU model used to fast-forward after the fault commits or squashes
+    /// (the paper switches to atomic simple).
+    pub finish_cpu: CpuKind,
+    /// Extra ticks to run in the injection model after the last fault fires,
+    /// letting it commit or squash before the switch.
+    pub switch_grace: u64,
+    /// Watchdog budget as a multiple of the fault-free kernel ticks.
+    pub watchdog_factor: u64,
+    /// Scheduling granularity in ticks.
+    pub chunk: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> RunnerConfig {
+        RunnerConfig {
+            inject_cpu: CpuKind::O3,
+            finish_cpu: CpuKind::Atomic,
+            switch_grace: 2_000,
+            watchdog_factor: 30,
+            chunk: 20_000,
+        }
+    }
+}
+
+/// The record of one completed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The injected fault.
+    pub spec: FaultSpec,
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// How the run terminated.
+    pub exit: RunExit,
+    /// Injection records (what was corrupted, and the affected instruction).
+    pub injections: Vec<InjectionRecord>,
+    /// The output region at termination (possibly partial after a crash).
+    pub output: Vec<u8>,
+    /// Total simulated ticks of this run (from boot, including the
+    /// checkpointed prefix).
+    pub ticks: u64,
+    /// Normalized injection time actually observed: fraction of the
+    /// fault-free kernel at which the (first) fault fired.
+    pub injection_fraction: Option<f64>,
+}
+
+/// Builds the guest, runs to the checkpoint marker, snapshots, and finishes
+/// a fault-free golden run, profiling the fault space along the way.
+///
+/// # Errors
+///
+/// Returns a message when the workload does not reach its checkpoint marker
+/// or does not terminate cleanly.
+pub fn prepare_workload(workload: &dyn Workload) -> Result<PreparedWorkload, String> {
+    let guest = workload.build();
+    // Profile with a faultless engine: its per-stage counters measure the
+    // fault space between the fi_activate markers.
+    let engine = GemFiEngine::new(FaultConfig::empty());
+    let mut machine =
+        Machine::boot(workload_machine_config(CpuKind::Atomic), &guest.program, engine)
+            .map_err(|t| format!("{}: image does not fit: {t}", workload.name()))?;
+
+    let exit = machine.run();
+    if exit != RunExit::CheckpointRequest {
+        return Err(format!(
+            "{}: expected a fi_read_init_all checkpoint, got {exit}",
+            workload.name()
+        ));
+    }
+    let checkpoint = machine.checkpoint();
+    let boot_ticks = machine.tick();
+
+    let mut exit = machine.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = machine.run();
+    }
+    if exit != RunExit::Halted(0) {
+        return Err(format!("{}: golden run ended with {exit}", workload.name()));
+    }
+    let bytes = machine
+        .mem()
+        .read_slice(guest.output_addr(), guest.output_len)
+        .expect("output region mapped")
+        .to_vec();
+    let golden = RunOutput {
+        exit,
+        bytes,
+        console: machine.console().to_vec(),
+        stats: machine.stats(),
+    };
+    let stage_events = machine.hooks().stage_events();
+    let kernel_ticks = machine.tick() - boot_ticks;
+    Ok(PreparedWorkload { guest, checkpoint, golden, stage_events, boot_ticks, kernel_ticks })
+}
+
+/// Runs one experiment from an explicit checkpoint (the NoW path passes a
+/// workstation-local copy).
+pub fn run_experiment_from(
+    checkpoint: &Checkpoint,
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    spec: FaultSpec,
+    config: &RunnerConfig,
+) -> ExperimentResult {
+    let mut ckpt = checkpoint.clone();
+    // Corrupted control flow loops forever; bound the run relative to the
+    // fault-free kernel time instead of the generous global default.
+    ckpt.config.max_ticks = ckpt
+        .tick
+        .saturating_add(prepared.kernel_ticks.saturating_mul(config.watchdog_factor))
+        .saturating_add(1_000_000);
+
+    // `fi_read_init_all` restore semantics: a fresh engine re-reads the
+    // fault configuration for this experiment.
+    let engine = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
+    let mut machine = Machine::restore(&ckpt, Some(config.inject_cpu), engine);
+
+    let mut switched = config.inject_cpu == config.finish_cpu;
+    let exit = loop {
+        if !switched && machine.hooks_mut().pending_faults() == 0 {
+            // The fault fired (or expired): give the affected instruction
+            // time to commit or squash, then fast-forward in the cheap model.
+            if let Some(exit) = machine.run_for(config.switch_grace) {
+                if exit != RunExit::CheckpointRequest {
+                    break exit;
+                }
+            }
+            machine.switch_cpu(config.finish_cpu);
+            switched = true;
+        }
+        match machine.run_for(config.chunk) {
+            Some(RunExit::CheckpointRequest) => continue,
+            Some(exit) => break exit,
+            None => {}
+        }
+    };
+
+    let output = machine
+        .mem()
+        .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
+        .map(<[u8]>::to_vec)
+        .unwrap_or_default();
+    let injections = machine.hooks().records().to_vec();
+    let outcome = classify(workload, &prepared.golden.bytes, exit, &output, &injections);
+
+    let injection_fraction = injections.first().map(|r| {
+        let rel = r.tick.saturating_sub(checkpoint.tick) as f64;
+        (rel / prepared.kernel_ticks.max(1) as f64).min(1.0)
+    });
+    ExperimentResult {
+        spec,
+        outcome,
+        exit,
+        injections,
+        output,
+        ticks: machine.tick(),
+        injection_fraction,
+    }
+}
+
+/// Runs one experiment with *multiple* simultaneous faults (multi-bit
+/// upsets, or the Vdd-scaling model's per-run fault population). The
+/// outcome is classified exactly like a single-fault experiment.
+pub fn run_experiment_multi(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    specs: &[FaultSpec],
+    config: &RunnerConfig,
+) -> ExperimentResult {
+    assert!(!specs.is_empty(), "at least one fault");
+    let mut ckpt = prepared.checkpoint.clone();
+    ckpt.config.max_ticks = ckpt
+        .tick
+        .saturating_add(prepared.kernel_ticks.saturating_mul(config.watchdog_factor))
+        .saturating_add(1_000_000);
+    let engine = GemFiEngine::new(FaultConfig::from_specs(specs.to_vec()));
+    let mut machine = Machine::restore(&ckpt, Some(config.inject_cpu), engine);
+    let mut switched = config.inject_cpu == config.finish_cpu;
+    let exit = loop {
+        if !switched && machine.hooks_mut().pending_faults() == 0 {
+            if let Some(exit) = machine.run_for(config.switch_grace) {
+                if exit != RunExit::CheckpointRequest {
+                    break exit;
+                }
+            }
+            machine.switch_cpu(config.finish_cpu);
+            switched = true;
+        }
+        match machine.run_for(config.chunk) {
+            Some(RunExit::CheckpointRequest) => continue,
+            Some(exit) => break exit,
+            None => {}
+        }
+    };
+    let output = machine
+        .mem()
+        .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
+        .map(<[u8]>::to_vec)
+        .unwrap_or_default();
+    let injections = machine.hooks().records().to_vec();
+    let outcome = classify(workload, &prepared.golden.bytes, exit, &output, &injections);
+    let injection_fraction = injections.first().map(|r| {
+        let rel = r.tick.saturating_sub(prepared.checkpoint.tick) as f64;
+        (rel / prepared.kernel_ticks.max(1) as f64).min(1.0)
+    });
+    ExperimentResult {
+        spec: specs[0],
+        outcome,
+        exit,
+        injections,
+        output,
+        ticks: machine.tick(),
+        injection_fraction,
+    }
+}
+
+/// Runs one experiment using the prepared workload's own checkpoint.
+pub fn run_experiment(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    spec: FaultSpec,
+    config: &RunnerConfig,
+) -> ExperimentResult {
+    run_experiment_from(&prepared.checkpoint, prepared, workload, spec, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemfi::{FaultBehavior, FaultLocation, FaultTiming};
+    use gemfi_workloads::pi::MonteCarloPi;
+
+    fn small_pi() -> MonteCarloPi {
+        MonteCarloPi { points: 120, init_spins: 60, ..MonteCarloPi::default() }
+    }
+
+    #[test]
+    fn prepare_measures_the_fault_space() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        assert_eq!(p.golden.bytes, w.reference(), "golden must match the host model");
+        assert!(p.stage_events[0] > 0, "fetch events counted");
+        assert!(p.stage_events[4] > 0, "committed instructions counted");
+        assert!(p.boot_ticks > 0 && p.kernel_ticks > 0);
+        // The kernel is ~120 iterations × ~20 instructions.
+        assert!(p.stage_events[4] > 1_000 && p.stage_events[4] < 100_000);
+    }
+
+    #[test]
+    fn harmless_fault_is_not_sdc() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        // Flip a bit of FP register f20 (unused by pi): never consumed.
+        let spec = FaultSpec {
+            location: FaultLocation::FpReg { core: 0, reg: 20 },
+            thread: 0,
+            timing: FaultTiming::Instructions(10),
+            behavior: FaultBehavior::Flip(40),
+            occurrences: 1,
+        };
+        let r = run_experiment(&p, &w, spec, &RunnerConfig::default());
+        assert_eq!(r.outcome, Outcome::NonPropagated, "{:?}", r.exit);
+        assert_eq!(r.injections.len(), 1);
+    }
+
+    #[test]
+    fn wild_base_register_fault_crashes() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        // Set the stack pointer to garbage right inside the kernel: the
+        // next stack access (or PAL context save) dies.
+        let spec = FaultSpec {
+            location: FaultLocation::Pc { core: 0 },
+            thread: 0,
+            timing: FaultTiming::Instructions(50),
+            behavior: FaultBehavior::Set(0x00ff_ff00),
+            occurrences: 1,
+        };
+        let r = run_experiment(&p, &w, spec, &RunnerConfig::default());
+        assert_eq!(r.outcome, Outcome::Crashed, "{:?}", r.exit);
+    }
+
+    #[test]
+    fn low_bit_flip_in_counted_register_gives_close_pi() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        // Flip the low bit of the inside-count register (r2) late in the
+        // kernel: pi changes by ±4/120 — not strictly correct, and outside
+        // the 2-decimal gate → SDC; or masked if r2's low bit flips back.
+        let spec = FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 2 },
+            thread: 0,
+            timing: FaultTiming::Instructions(p.stage_events[4] - 100),
+            behavior: FaultBehavior::Flip(0),
+            occurrences: 1,
+        };
+        // Under O3 the in-flight consumer may have captured its operand
+        // before the boundary injection, erasing the fault (a legitimate
+        // non-propagated outcome); under atomic injection the next reader
+        // always consumes it.
+        let r = run_experiment(&p, &w, spec, &RunnerConfig::default());
+        assert!(
+            matches!(
+                r.outcome,
+                Outcome::Sdc
+                    | Outcome::StrictlyCorrect
+                    | Outcome::Correct
+                    | Outcome::NonPropagated
+            ),
+            "unexpected outcome {:?} ({:?})",
+            r.outcome,
+            r.exit
+        );
+        let atomic = run_experiment(
+            &p,
+            &w,
+            spec,
+            &RunnerConfig {
+                inject_cpu: CpuKind::Atomic,
+                finish_cpu: CpuKind::Atomic,
+                ..RunnerConfig::default()
+            },
+        );
+        assert!(
+            atomic.injections.iter().any(|i| i.consumed),
+            "atomic-mode injection into a live register must be consumed"
+        );
+    }
+
+    #[test]
+    fn injection_fraction_tracks_fault_time() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        let spec = FaultSpec {
+            location: FaultLocation::FpReg { core: 0, reg: 20 },
+            thread: 0,
+            timing: FaultTiming::Instructions(p.stage_events[4] / 2),
+            behavior: FaultBehavior::Flip(1),
+            occurrences: 1,
+        };
+        let r = run_experiment(&p, &w, spec, &RunnerConfig::default());
+        let f = r.injection_fraction.expect("fault fired");
+        assert!((0.2..0.9).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn atomic_only_runner_agrees_with_o3_runner_on_outcome() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        let spec = FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 1 },
+            thread: 0,
+            timing: FaultTiming::Instructions(200),
+            behavior: FaultBehavior::Flip(3),
+            occurrences: 1,
+        };
+        let o3 = run_experiment(&p, &w, spec, &RunnerConfig::default());
+        let atomic = run_experiment(
+            &p,
+            &w,
+            spec,
+            &RunnerConfig {
+                inject_cpu: CpuKind::Atomic,
+                finish_cpu: CpuKind::Atomic,
+                ..RunnerConfig::default()
+            },
+        );
+        // Both models classify the experiment to *some* outcome and record
+        // the injection; the exact class may differ because O3's in-flight
+        // instructions capture operands before a boundary injection lands.
+        assert_eq!(o3.injections.len(), 1);
+        assert_eq!(atomic.injections.len(), 1);
+        assert_ne!(atomic.outcome, Outcome::Crashed, "{:?}", atomic.exit);
+    }
+}

@@ -1,0 +1,223 @@
+//! Uniform fault sampling over (Location, Time, Behavior) — Sec. IV-B-1:
+//! "Each experiment injects a flip-bit fault, using a uniform distribution
+//! for the Location, Time and Behavior" (a single-event-upset model).
+
+use gemfi::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, Stage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The location classes of the paper's Fig. 5 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocationClass {
+    /// Integer register file.
+    IntReg,
+    /// Floating-point register file.
+    FpReg,
+    /// Fetched instruction word.
+    Fetch,
+    /// Decode-stage register selection.
+    Decode,
+    /// Execution-stage result.
+    Execute,
+    /// Memory transaction data.
+    Mem,
+    /// Program counter.
+    Pc,
+}
+
+impl LocationClass {
+    /// All classes, Fig. 5 column order.
+    pub const ALL: [LocationClass; 7] = [
+        LocationClass::IntReg,
+        LocationClass::FpReg,
+        LocationClass::Fetch,
+        LocationClass::Decode,
+        LocationClass::Execute,
+        LocationClass::Mem,
+        LocationClass::Pc,
+    ];
+
+    /// The stage whose event counter bounds this class's injection times.
+    pub fn stage(self) -> Stage {
+        match self {
+            LocationClass::Fetch => Stage::Fetch,
+            LocationClass::Decode => Stage::Decode,
+            LocationClass::Execute => Stage::Execute,
+            LocationClass::Mem => Stage::Memory,
+            LocationClass::IntReg | LocationClass::FpReg | LocationClass::Pc => Stage::Register,
+        }
+    }
+
+    /// Number of corruptible bits at this location class.
+    pub fn bit_width(self) -> u8 {
+        match self {
+            LocationClass::Fetch => 32,
+            LocationClass::Decode => gemfi::engine::DECODE_SELECTOR_BITS,
+            _ => 64,
+        }
+    }
+}
+
+impl fmt::Display for LocationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LocationClass::IntReg => "int-reg",
+            LocationClass::FpReg => "fp-reg",
+            LocationClass::Fetch => "fetch",
+            LocationClass::Decode => "decode",
+            LocationClass::Execute => "execute",
+            LocationClass::Mem => "mem",
+            LocationClass::Pc => "pc",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Uniform single-bit-flip fault sampler over a measured fault space.
+///
+/// `stage_events` come from a fault-free profiling run: the number of
+/// instructions served per stage while injection was active, which bounds
+/// the `Inst:` times so every sampled fault lands inside the kernel.
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    rng: StdRng,
+    stage_events: [u64; 5],
+    thread: u32,
+    core: usize,
+}
+
+impl FaultSampler {
+    /// A sampler for thread `thread` on core `core`, over the given
+    /// per-stage event counts, seeded deterministically.
+    pub fn new(seed: u64, stage_events: [u64; 5], thread: u32, core: usize) -> FaultSampler {
+        FaultSampler { rng: StdRng::seed_from_u64(seed), stage_events, thread, core }
+    }
+
+    /// The population size of class `class` (events × bits), the `N` of the
+    /// Leveugle sizing formula.
+    pub fn population(&self, class: LocationClass) -> u64 {
+        let events = self.stage_events[class.stage().index()].max(1);
+        events.saturating_mul(class.bit_width() as u64)
+    }
+
+    /// Total population over all classes.
+    pub fn total_population(&self) -> u64 {
+        LocationClass::ALL.iter().map(|c| self.population(*c)).sum()
+    }
+
+    /// Draws one transient single-bit-flip fault in `class`.
+    pub fn sample(&mut self, class: LocationClass) -> FaultSpec {
+        let core = self.core;
+        let location = match class {
+            // R31/F31 are architectural zeroes; the samplable file is 0–30.
+            LocationClass::IntReg => FaultLocation::IntReg {
+                core,
+                reg: self.rng.gen_range(0..31),
+            },
+            LocationClass::FpReg => FaultLocation::FpReg {
+                core,
+                reg: self.rng.gen_range(0..31),
+            },
+            LocationClass::Fetch => FaultLocation::Fetch { core },
+            LocationClass::Decode => FaultLocation::Decode { core },
+            LocationClass::Execute => FaultLocation::Execute { core },
+            LocationClass::Mem => FaultLocation::Mem {
+                core,
+                target: if self.rng.gen_bool(0.5) { MemTarget::Load } else { MemTarget::Store },
+            },
+            LocationClass::Pc => FaultLocation::Pc { core },
+        };
+        let events = self.stage_events[class.stage().index()].max(1);
+        let time = self.rng.gen_range(1..=events);
+        let bit = self.rng.gen_range(0..class.bit_width());
+        FaultSpec {
+            location,
+            thread: self.thread,
+            timing: FaultTiming::Instructions(time),
+            behavior: FaultBehavior::Flip(bit),
+            occurrences: 1,
+        }
+    }
+
+    /// Draws one fault with the injection time confined to the given
+    /// fraction band `[lo, hi)` of the kernel (the Fig. 6 deciles).
+    pub fn sample_in_band(&mut self, class: LocationClass, lo: f64, hi: f64) -> FaultSpec {
+        let events = self.stage_events[class.stage().index()].max(1);
+        let start = ((events as f64 * lo) as u64).max(1);
+        let end = ((events as f64 * hi) as u64).max(start + 1);
+        let mut spec = self.sample(class);
+        spec.timing = FaultTiming::Instructions(self.rng.gen_range(start..end));
+        spec
+    }
+
+    /// Draws a fault from a uniformly chosen class (the whole-space model).
+    pub fn sample_any(&mut self) -> FaultSpec {
+        let class = LocationClass::ALL[self.rng.gen_range(0..LocationClass::ALL.len())];
+        self.sample(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> FaultSampler {
+        FaultSampler::new(42, [1000, 1000, 800, 300, 900], 0, 0)
+    }
+
+    #[test]
+    fn samples_stay_inside_the_fault_space() {
+        let mut s = sampler();
+        for class in LocationClass::ALL {
+            for _ in 0..200 {
+                let f = s.sample(class);
+                assert_eq!(f.thread, 0);
+                assert_eq!(f.occurrences, 1);
+                let FaultTiming::Instructions(t) = f.timing else { panic!("inst timing") };
+                assert!(t >= 1 && t <= 1000, "{class}: t={t}");
+                let FaultBehavior::Flip(bit) = f.behavior else { panic!("flip") };
+                assert!(bit < class.bit_width());
+                assert_eq!(f.location.stage(), class.stage());
+            }
+        }
+    }
+
+    #[test]
+    fn register_samples_avoid_the_zero_registers() {
+        let mut s = sampler();
+        for _ in 0..500 {
+            if let FaultLocation::IntReg { reg, .. } = s.sample(LocationClass::IntReg).location {
+                assert!(reg < 31);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = FaultSampler::new(7, [100; 5], 0, 0);
+        let mut b = FaultSampler::new(7, [100; 5], 0, 0);
+        for _ in 0..50 {
+            assert_eq!(a.sample_any(), b.sample_any());
+        }
+    }
+
+    #[test]
+    fn bands_confine_times() {
+        let mut s = sampler();
+        for _ in 0..100 {
+            let f = s.sample_in_band(LocationClass::Execute, 0.5, 0.6);
+            let FaultTiming::Instructions(t) = f.timing else { panic!() };
+            assert!((400..=480).contains(&t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn populations_multiply_events_and_bits() {
+        let s = sampler();
+        assert_eq!(s.population(LocationClass::Fetch), 1000 * 32);
+        assert_eq!(s.population(LocationClass::Execute), 800 * 64);
+        assert!(s.total_population() > 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Parsing fault-configuration input files (the paper's Listing 1 format).
+//!
+//! "On GemFI invocation the user also provides — at command line — an input
+//! file specifying the faults to be injected in the upcoming simulation.
+//! Each line of the input file describes the attributes of a single fault."
+//! (Sec. III-A.) Blank lines and `#` comments are ignored.
+
+use crate::spec::{
+    FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, OCC_PERMANENT,
+};
+use gemfi_isa::SpecialReg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A parse error with the offending line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+/// A parsed fault-injection configuration: the contents of one input file.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultConfig {
+    /// An empty configuration (no faults — the Fig. 7 overhead setup).
+    pub fn empty() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// A configuration from already-built specs (campaign generators).
+    pub fn from_specs(faults: Vec<FaultSpec>) -> FaultConfig {
+        FaultConfig { faults }
+    }
+
+    /// Reads a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`ParseFaultError`] wrapped as `InvalidData`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<FaultConfig> {
+        let text = std::fs::read_to_string(path)?;
+        text.parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Writes the configuration in the line format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut text = String::new();
+        for f in &self.faults {
+            text.push_str(&f.to_string());
+            text.push('\n');
+        }
+        std::fs::write(path, text)
+    }
+
+    /// The fault specs, in input order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether there are no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl FromIterator<FaultSpec> for FaultConfig {
+    fn from_iter<I: IntoIterator<Item = FaultSpec>>(iter: I) -> FaultConfig {
+        FaultConfig { faults: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<FaultSpec> for FaultConfig {
+    fn extend<I: IntoIterator<Item = FaultSpec>>(&mut self, iter: I) {
+        self.faults.extend(iter);
+    }
+}
+
+impl FromStr for FaultConfig {
+    type Err = ParseFaultError;
+
+    fn from_str(s: &str) -> Result<FaultConfig, ParseFaultError> {
+        let mut faults = Vec::new();
+        for (i, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            faults.push(parse_line(line).map_err(|message| ParseFaultError {
+                line: i + 1,
+                message,
+            })?);
+        }
+        Ok(FaultConfig { faults })
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        // Permit `_` digit separators, as Rust literals do.
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+            .map_err(|e| format!("bad hex number `{s}`: {e}"))
+    } else {
+        s.parse().map_err(|e| format!("bad number `{s}`: {e}"))
+    }
+}
+
+fn parse_line(line: &str) -> Result<FaultSpec, String> {
+    let mut tokens = line.split_whitespace();
+    let kind = tokens.next().ok_or("empty line")?;
+
+    let mut timing = None;
+    let mut behavior = None;
+    let mut thread = None;
+    let mut core = None;
+    let mut occurrences = 1;
+    let mut module: Vec<&str> = Vec::new();
+
+    for tok in tokens {
+        if let Some(v) = tok.strip_prefix("Inst:") {
+            timing = Some(FaultTiming::Instructions(parse_u64(v)?));
+        } else if let Some(v) = tok.strip_prefix("Tick:") {
+            timing = Some(FaultTiming::Ticks(parse_u64(v)?));
+        } else if let Some(v) = tok.strip_prefix("Flip:") {
+            let bit = parse_u64(v)?;
+            if bit > 63 {
+                return Err(format!("flip bit {bit} out of range 0–63"));
+            }
+            behavior = Some(FaultBehavior::Flip(bit as u8));
+        } else if let Some(v) = tok.strip_prefix("Xor:") {
+            behavior = Some(FaultBehavior::Xor(parse_u64(v)?));
+        } else if let Some(v) = tok.strip_prefix("Set:") {
+            behavior = Some(FaultBehavior::Set(parse_u64(v)?));
+        } else if tok == "AllZero" {
+            behavior = Some(FaultBehavior::AllZero);
+        } else if tok == "AllOne" {
+            behavior = Some(FaultBehavior::AllOne);
+        } else if let Some(v) = tok.strip_prefix("Threadid:") {
+            thread = Some(parse_u64(v)? as u32);
+        } else if let Some(v) = tok.strip_prefix("occ:") {
+            occurrences = if v == "perm" { OCC_PERMANENT } else { parse_u64(v)? };
+            if occurrences == 0 {
+                return Err("occ:0 would never fire".to_string());
+            }
+        } else if let Some(v) = tok.strip_prefix("system.cpu") {
+            core = Some(v.parse::<usize>().map_err(|e| format!("bad core `{tok}`: {e}"))?);
+        } else {
+            module.push(tok);
+        }
+    }
+
+    let timing = timing.ok_or("missing Inst:/Tick: attribute")?;
+    let behavior = behavior.ok_or("missing behavior (Flip:/Xor:/Set:/AllZero/AllOne)")?;
+    let thread = thread.ok_or("missing Threadid: attribute")?;
+    let core = core.ok_or("missing system.cpuN attribute")?;
+
+    let location = match kind {
+        "RegisterInjectedFault" => match module.as_slice() {
+            ["int", n] => {
+                let reg = parse_u64(n)? as u8;
+                if reg > 31 {
+                    return Err(format!("integer register {reg} out of range"));
+                }
+                FaultLocation::IntReg { core, reg }
+            }
+            ["float", n] => {
+                let reg = parse_u64(n)? as u8;
+                if reg > 31 {
+                    return Err(format!("float register {reg} out of range"));
+                }
+                FaultLocation::FpReg { core, reg }
+            }
+            ["special", name] => {
+                let reg = match *name {
+                    "pc" => SpecialReg::Pc,
+                    "pcbb" => SpecialReg::PcbBase,
+                    "psr" => SpecialReg::Psr,
+                    "excaddr" => SpecialReg::ExcAddr,
+                    other => return Err(format!("unknown special register `{other}`")),
+                };
+                FaultLocation::SpecialReg { core, reg }
+            }
+            other => return Err(format!("bad register module spec {other:?}")),
+        },
+        "FetchedInstructionInjectedFault" => FaultLocation::Fetch { core },
+        "DecodeStageInjectedFault" => FaultLocation::Decode { core },
+        "ExecutionStageInjectedFault" => FaultLocation::Execute { core },
+        "PCInjectedFault" => FaultLocation::Pc { core },
+        "MemoryInjectedFault" => {
+            let target = match module.as_slice() {
+                ["load"] | ["mem", "load"] => MemTarget::Load,
+                ["store"] | ["mem", "store"] => MemTarget::Store,
+                [] | ["any"] | ["mem"] | ["mem", "any"] => MemTarget::Any,
+                other => return Err(format!("bad memory target {other:?}")),
+            };
+            FaultLocation::Mem { core, target }
+        }
+        other => return Err(format!("unknown fault kind `{other}`")),
+    };
+
+    Ok(FaultSpec { location, thread, timing, behavior, occurrences })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_listing1_line() {
+        let cfg: FaultConfig =
+            "RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu1 occ:1 int 1"
+                .parse()
+                .unwrap();
+        assert_eq!(cfg.len(), 1);
+        let f = cfg.faults()[0];
+        assert_eq!(f.location, FaultLocation::IntReg { core: 1, reg: 1 });
+        assert_eq!(f.timing, FaultTiming::Instructions(2457));
+        assert_eq!(f.behavior, FaultBehavior::Flip(21));
+        assert_eq!(f.thread, 0);
+        assert_eq!(f.occurrences, 1);
+    }
+
+    #[test]
+    fn parses_every_location_kind() {
+        let text = "
+# a comment
+RegisterInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1 float 7
+RegisterInjectedFault Tick:50 AllZero Threadid:1 system.cpu0 occ:perm special psr
+FetchedInstructionInjectedFault Inst:3 Flip:26 Threadid:0 system.cpu0 occ:1
+DecodeStageInjectedFault Inst:4 Flip:2 Threadid:0 system.cpu0 occ:1
+ExecutionStageInjectedFault Inst:5 Xor:0xff Threadid:0 system.cpu0 occ:2
+PCInjectedFault Inst:6 Set:0x10000 Threadid:0 system.cpu0 occ:1
+MemoryInjectedFault Inst:7 Flip:63 Threadid:0 system.cpu0 occ:1 load
+MemoryInjectedFault Inst:8 AllOne Threadid:0 system.cpu0 occ:1 store
+";
+        let cfg: FaultConfig = text.parse().unwrap();
+        assert_eq!(cfg.len(), 8);
+        assert_eq!(cfg.faults()[1].occurrences, OCC_PERMANENT);
+        assert_eq!(
+            cfg.faults()[6].location,
+            FaultLocation::Mem { core: 0, target: MemTarget::Load }
+        );
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = "RegisterInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1 int 1\nbogus line"
+            .parse::<FaultConfig>()
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_missing_attributes() {
+        for bad in [
+            "RegisterInjectedFault Flip:0 Threadid:0 system.cpu0 int 1", // no timing
+            "RegisterInjectedFault Inst:1 Threadid:0 system.cpu0 int 1", // no behavior
+            "RegisterInjectedFault Inst:1 Flip:0 system.cpu0 int 1",     // no thread
+            "RegisterInjectedFault Inst:1 Flip:0 Threadid:0 int 1",      // no core
+            "RegisterInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 int 45", // bad reg
+            "RegisterInjectedFault Inst:1 Flip:99 Threadid:0 system.cpu0 int 1", // bad bit
+            "NonsenseFault Inst:1 Flip:0 Threadid:0 system.cpu0",
+        ] {
+            assert!(bad.parse::<FaultConfig>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let text = "ExecutionStageInjectedFault Inst:5 Xor:0xff Threadid:2 system.cpu0 occ:2";
+        let cfg: FaultConfig = text.parse().unwrap();
+        let printed = cfg.faults()[0].to_string();
+        let reparsed: FaultConfig = printed.parse().unwrap();
+        assert_eq!(reparsed.faults()[0], cfg.faults()[0]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cfg: FaultConfig =
+            "PCInjectedFault Inst:6 Set:0x10000 Threadid:0 system.cpu0 occ:1".parse().unwrap();
+        let dir = std::env::temp_dir().join("gemfi-cfg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.txt");
+        cfg.save(&path).unwrap();
+        assert_eq!(FaultConfig::load(&path).unwrap(), cfg);
+        std::fs::remove_file(&path).ok();
+    }
+}

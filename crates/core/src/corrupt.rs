@@ -1,0 +1,53 @@
+//! Applying fault behaviours to values.
+
+use crate::spec::FaultBehavior;
+
+/// Applies `behavior` to `value`, confined to the low `width` bits (32 for
+/// instruction words, 64 for registers and data). Bits above `width` are
+/// preserved.
+pub fn apply(behavior: FaultBehavior, value: u64, width: u8) -> u64 {
+    let mask: u64 = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let corrupted = match behavior {
+        FaultBehavior::Set(v) => v,
+        FaultBehavior::Xor(m) => value ^ m,
+        FaultBehavior::Flip(bit) => value ^ (1u64 << (bit as u32 % width.max(1) as u32)),
+        FaultBehavior::AllZero => 0,
+        FaultBehavior::AllOne => u64::MAX,
+    };
+    (value & !mask) | (corrupted & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive_and_width_confined() {
+        let v = 0xdead_beef_u64;
+        for bit in 0..32 {
+            let f = apply(FaultBehavior::Flip(bit), v, 32);
+            assert_ne!(f, v);
+            assert_eq!(apply(FaultBehavior::Flip(bit), f, 32), v);
+        }
+        // A bit index beyond the width wraps into the word.
+        let f = apply(FaultBehavior::Flip(35), v, 32);
+        assert_eq!(f, v ^ (1 << 3));
+    }
+
+    #[test]
+    fn set_xor_allzero_allone() {
+        assert_eq!(apply(FaultBehavior::Set(0x12), 0xff, 64), 0x12);
+        assert_eq!(apply(FaultBehavior::Xor(0x0f), 0xff, 64), 0xf0);
+        assert_eq!(apply(FaultBehavior::AllZero, u64::MAX, 64), 0);
+        assert_eq!(apply(FaultBehavior::AllOne, 0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn high_bits_preserved_for_narrow_widths() {
+        let v = 0xaaaa_bbbb_cccc_dddd;
+        let f = apply(FaultBehavior::AllOne, v, 32);
+        assert_eq!(f, 0xaaaa_bbbb_ffff_ffff);
+        let f = apply(FaultBehavior::AllZero, v, 32);
+        assert_eq!(f, 0xaaaa_bbbb_0000_0000);
+    }
+}

@@ -1,0 +1,675 @@
+//! The GemFI injection engine: a [`FaultHooks`] implementation.
+//!
+//! Fig. 2 of the paper, as code: on each simulated instruction the engine
+//! (1) checks whether the running thread has fault injection enabled — via
+//! the per-core cached pointer refreshed on context switches, or via a hash
+//! lookup when the optimization is disabled for the ablation — (2) updates
+//! the thread's per-stage counters, (3) scans the stage's fault queue for
+//! matching faults, and (4) corrupts the targeted value, logging an
+//! [`InjectionRecord`] with the affected instruction's disassembly.
+
+use crate::config::FaultConfig;
+use crate::corrupt::apply;
+use crate::queues::StageQueues;
+use crate::record::InjectionRecord;
+use crate::spec::{FaultLocation, FaultSpec, MemTarget, Stage};
+use crate::thread::ThreadTable;
+use gemfi_cpu::FaultHooks;
+use gemfi_isa::{disassemble, ArchState, FpReg, Instr, IntReg, RawInstr, RegRef};
+use gemfi_mem::Ticks;
+use serde::{Deserialize, Serialize};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Use the per-core cached pointer to the running thread's
+    /// `ThreadEnabledFault` (refreshed on context switches) instead of a
+    /// hash-table lookup on every simulated event — the Sec. III-C
+    /// optimization. Disable for the ablation benchmark.
+    pub pcb_pointer_cache: bool,
+    /// Number of cores the engine tracks.
+    pub cores: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { pcb_pointer_cache: true, cores: 1 }
+    }
+}
+
+/// In decode-stage faults, the corruptible space is the concatenation of the
+/// three register-selector fields: `Ra`(5) | `Rb`(5) | `Rc`(5) = 15 bits.
+pub const DECODE_SELECTOR_BITS: u8 = 15;
+
+fn selectors_of(word: RawInstr) -> u64 {
+    ((word.ra() as u64) << 10) | ((word.rb() as u64) << 5) | word.rc() as u64
+}
+
+fn with_selectors(word: RawInstr, sel: u64) -> RawInstr {
+    word.with_field(gemfi_isa::format::RA, ((sel >> 10) & 0x1f) as u32)
+        .with_field(gemfi_isa::format::RB, ((sel >> 5) & 0x1f) as u32)
+        .with_field(gemfi_isa::format::RC, (sel & 0x1f) as u32)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Watch {
+    record: usize,
+    core: usize,
+    reg: RegRef,
+}
+
+/// The fault-injection engine. Plug into a machine as its hook
+/// implementation:
+///
+/// ```
+/// use gemfi::{FaultConfig, GemFiEngine};
+/// use gemfi_asm::{Assembler, Reg};
+/// use gemfi_sim::{Machine, MachineConfig, RunExit};
+///
+/// let mut a = Assembler::new();
+/// a.fi_activate(0);
+/// a.li(Reg::R1, 5);
+/// a.addq_lit(Reg::R1, 1, Reg::A0);
+/// a.pal(gemfi_isa::PalFunc::Exit);
+/// let program = a.finish().expect("assembles");
+///
+/// let config: FaultConfig =
+///     "ExecutionStageInjectedFault Inst:2 Flip:3 Threadid:0 system.cpu0 occ:1"
+///         .parse()
+///         .expect("valid");
+/// let mut m = Machine::boot(
+///     MachineConfig::default(),
+///     &program,
+///     GemFiEngine::new(config),
+/// ).expect("boots");
+/// let exit = m.run();
+/// assert!(matches!(exit, RunExit::Halted(_)));
+/// assert_eq!(m.hooks().records().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GemFiEngine {
+    config: EngineConfig,
+    queues: StageQueues,
+    threads: ThreadTable,
+    records: Vec<InjectionRecord>,
+    watches: Vec<Watch>,
+    /// Current PCB base per core (for the uncached lookup path).
+    current_pcbb: Vec<u64>,
+    last_tick: Ticks,
+    /// Events processed per stage while a thread was enabled (engine-side
+    /// statistics; used by overhead analyses).
+    stage_events: [u64; 5],
+}
+
+impl GemFiEngine {
+    /// An engine with the default configuration.
+    pub fn new(faults: FaultConfig) -> GemFiEngine {
+        GemFiEngine::with_config(faults, EngineConfig::default())
+    }
+
+    /// An engine with explicit tuning.
+    pub fn with_config(faults: FaultConfig, config: EngineConfig) -> GemFiEngine {
+        GemFiEngine {
+            config,
+            queues: StageQueues::from_faults(faults.faults()),
+            threads: ThreadTable::new(config.cores),
+            records: Vec::new(),
+            watches: Vec::new(),
+            current_pcbb: vec![0; config.cores],
+            last_tick: 0,
+            stage_events: [0; 5],
+        }
+    }
+
+    /// Resets all internal state and installs a new fault configuration —
+    /// the `fi_read_init_all()` restore semantics ("Upon restoring from the
+    /// checkpoint, it resets all the internal information of GemFI, allowing
+    /// the same checkpoint to be used … with potentially different fault
+    /// injection configurations").
+    pub fn reset(&mut self, faults: FaultConfig) {
+        *self = GemFiEngine::with_config(faults, self.config);
+    }
+
+    /// The faults injected so far.
+    pub fn records(&self) -> &[InjectionRecord] {
+        &self.records
+    }
+
+    /// Faults still queued.
+    pub fn pending_faults(&self) -> usize {
+        self.queues.pending()
+    }
+
+    /// Threads currently enabled for injection.
+    pub fn active_threads(&self) -> usize {
+        self.threads.active_threads()
+    }
+
+    /// Events observed per stage while injection was enabled.
+    pub fn stage_events(&self) -> [u64; 5] {
+        self.stage_events
+    }
+
+    /// Whether any fired fault may have propagated (register faults must
+    /// have been consumed; in-flight faults must have changed the value).
+    pub fn any_propagated(&self) -> bool {
+        self.records.iter().any(InjectionRecord::propagated)
+    }
+
+    fn resolve_thread(
+        threads: &mut ThreadTable,
+        config: &EngineConfig,
+        current_pcbb: &[u64],
+        core: usize,
+    ) -> Option<ThreadKey> {
+        let rec = if config.pcb_pointer_cache {
+            threads.active_mut(core)?
+        } else {
+            threads.active_mut_uncached(core, *current_pcbb.get(core)?)?
+        };
+        Some(ThreadKey { id: rec.id })
+    }
+
+    /// Common stage-event processing: resolve thread, bump the stage
+    /// counter, and scan the queue. Returns fired specs (usually 0 or 1).
+    ///
+    /// This is the per-simulated-instruction hot path (Fig. 2): one thread
+    /// resolution (cached pointer or hash lookup), one counter bump, and a
+    /// queue scan that early-outs when the stage has nothing pending.
+    #[inline]
+    fn stage_event(
+        &mut self,
+        core: usize,
+        stage: Stage,
+        filter: impl FnMut(&FaultSpec) -> bool,
+    ) -> Vec<FaultSpec> {
+        let rec = if self.config.pcb_pointer_cache {
+            self.threads.active_mut(core)
+        } else {
+            let pcbb = self.current_pcbb.get(core).copied().unwrap_or(0);
+            self.threads.active_mut_uncached(core, pcbb)
+        };
+        let Some(rec) = rec else { return Vec::new() };
+        let id = rec.id;
+        let count = rec.bump(stage);
+        let ticks_since = rec.ticks_since_activation(self.last_tick);
+        self.stage_events[stage.index()] += 1;
+        if self.queues.pending_in(stage) == 0 {
+            return Vec::new();
+        }
+        let mut fired = Vec::new();
+        self.queues.scan(stage, core, id, count, ticks_since, filter, |spec| {
+            fired.push(*spec);
+        });
+        fired
+    }
+
+    fn push_record(
+        &mut self,
+        stage: Stage,
+        spec: &FaultSpec,
+        pc: u64,
+        instr: Option<String>,
+        before: u64,
+        after: u64,
+    ) -> usize {
+        self.records.push(InjectionRecord {
+            tick: self.last_tick,
+            stage,
+            location: spec.location,
+            thread: spec.thread,
+            pc,
+            instr,
+            before,
+            after,
+            consumed: false,
+            overwritten: false,
+        });
+        self.records.len() - 1
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ThreadKey {
+    id: u32,
+}
+
+impl FaultHooks for GemFiEngine {
+    fn before_instruction(&mut self, core: usize, now: Ticks, arch: &mut ArchState) {
+        self.last_tick = now;
+        if core < self.current_pcbb.len() {
+            self.current_pcbb[core] = arch.pcbb;
+        }
+        // Fast path: nothing queued for the register stage.
+        if self.queues.pending_in(Stage::Register) == 0 {
+            return;
+        }
+        // Register-stage timing counts *committed* instructions (bumped in
+        // `on_commit`); read without bumping here.
+        let Some(key) = Self::resolve_thread(
+            &mut self.threads,
+            &self.config,
+            &self.current_pcbb,
+            core,
+        ) else {
+            return;
+        };
+        let (count, ticks_since) = {
+            let rec = if self.config.pcb_pointer_cache {
+                self.threads.active_mut(core).expect("resolved above")
+            } else {
+                self.threads
+                    .active_mut_uncached(core, self.current_pcbb[core])
+                    .expect("resolved above")
+            };
+            (rec.count(Stage::Register), rec.ticks_since_activation(now))
+        };
+        let mut fired = Vec::new();
+        self.queues
+            .scan(Stage::Register, core, key.id, count, ticks_since, |_| true, |spec| {
+                fired.push(*spec);
+            });
+        for spec in fired {
+            let (before, after, watch_reg) = match spec.location {
+                FaultLocation::IntReg { reg, .. } => {
+                    let r = IntReg::from_bits(reg as u32);
+                    let before = arch.regs.read_int(r);
+                    let after = apply(spec.behavior, before, 64);
+                    arch.regs.write_int(r, after);
+                    (before, after, Some(RegRef::Int(r)))
+                }
+                FaultLocation::FpReg { reg, .. } => {
+                    let r = FpReg::from_bits(reg as u32);
+                    let before = arch.regs.read_fp_bits(r);
+                    let after = apply(spec.behavior, before, 64);
+                    arch.regs.write_fp_bits(r, after);
+                    (before, after, Some(RegRef::Fp(r)))
+                }
+                FaultLocation::SpecialReg { reg, .. } => {
+                    let before = arch.read_special(reg);
+                    let after = apply(spec.behavior, before, 64);
+                    arch.write_special(reg, after);
+                    (before, after, None)
+                }
+                FaultLocation::Pc { .. } => {
+                    let before = arch.pc;
+                    let after = apply(spec.behavior, before, 64);
+                    arch.pc = after;
+                    (before, after, None)
+                }
+                _ => unreachable!("register queue only holds register/PC faults"),
+            };
+            let idx = self.push_record(Stage::Register, &spec, arch.pc, None, before, after);
+            if let Some(reg) = watch_reg {
+                if before != after {
+                    self.watches.push(Watch { record: idx, core, reg });
+                }
+            }
+        }
+    }
+
+    fn on_fetch(&mut self, core: usize, pc: u64, word: RawInstr) -> RawInstr {
+        let fired = self.stage_event(core, Stage::Fetch, |_| true);
+        let mut w = word;
+        for spec in fired {
+            let before = w.0 as u64;
+            let after = apply(spec.behavior, before, 32);
+            w = RawInstr(after as u32);
+            self.push_record(
+                Stage::Fetch,
+                &spec,
+                pc,
+                Some(disassemble(word)),
+                before,
+                after,
+            );
+        }
+        w
+    }
+
+    fn on_decode(&mut self, core: usize, word: RawInstr) -> RawInstr {
+        let fired = self.stage_event(core, Stage::Decode, |_| true);
+        let mut w = word;
+        for spec in fired {
+            let before = selectors_of(w);
+            let after = apply(spec.behavior, before, DECODE_SELECTOR_BITS);
+            w = with_selectors(w, after);
+            self.push_record(
+                Stage::Decode,
+                &spec,
+                0,
+                Some(disassemble(word)),
+                before,
+                after,
+            );
+        }
+        w
+    }
+
+    fn on_execute_result(&mut self, core: usize, instr: &Instr, value: u64) -> u64 {
+        let fired = self.stage_event(core, Stage::Execute, |_| true);
+        let mut v = value;
+        for spec in fired {
+            let before = v;
+            v = apply(spec.behavior, before, 64);
+            self.push_record(Stage::Execute, &spec, 0, Some(instr.to_string()), before, v);
+        }
+        v
+    }
+
+    fn on_mem_load(&mut self, core: usize, addr: u64, value: u64) -> u64 {
+        let fired = self.stage_event(core, Stage::Memory, |spec| {
+            matches!(
+                spec.location,
+                FaultLocation::Mem { target: MemTarget::Load | MemTarget::Any, .. }
+            )
+        });
+        let mut v = value;
+        for spec in fired {
+            let before = v;
+            v = apply(spec.behavior, before, 64);
+            self.push_record(Stage::Memory, &spec, addr, None, before, v);
+        }
+        v
+    }
+
+    fn on_mem_store(&mut self, core: usize, addr: u64, value: u64) -> u64 {
+        let fired = self.stage_event(core, Stage::Memory, |spec| {
+            matches!(
+                spec.location,
+                FaultLocation::Mem { target: MemTarget::Store | MemTarget::Any, .. }
+            )
+        });
+        let mut v = value;
+        for spec in fired {
+            let before = v;
+            v = apply(spec.behavior, before, 64);
+            self.push_record(Stage::Memory, &spec, addr, None, before, v);
+        }
+        v
+    }
+
+    fn on_reg_read(&mut self, core: usize, reg: RegRef) {
+        if self.watches.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.watches.len() {
+            let w = self.watches[i];
+            if w.core == core && w.reg == reg {
+                self.records[w.record].consumed = true;
+                self.watches.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn on_reg_write(&mut self, core: usize, reg: RegRef) {
+        if self.watches.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.watches.len() {
+            let w = self.watches[i];
+            if w.core == core && w.reg == reg {
+                self.records[w.record].overwritten = true;
+                self.watches.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn on_commit(&mut self, core: usize, now: Ticks, _pc: u64, _instr: &Instr) {
+        self.last_tick = now;
+        // Advance the register-stage (committed-instruction) counter.
+        let rec = if self.config.pcb_pointer_cache {
+            self.threads.active_mut(core)
+        } else {
+            self.threads.active_mut_uncached(core, self.current_pcbb[core])
+        };
+        if let Some(rec) = rec {
+            rec.bump(Stage::Register);
+            self.stage_events[Stage::Register.index()] += 1;
+        }
+    }
+
+    fn on_fi_activate(&mut self, core: usize, now: Ticks, id: u32, pcbb: u64) {
+        self.last_tick = now;
+        if core < self.current_pcbb.len() {
+            self.current_pcbb[core] = pcbb;
+        }
+        self.threads.toggle(core, id, pcbb, now);
+    }
+
+    fn on_context_switch(&mut self, core: usize, new_pcbb: u64) {
+        if core < self.current_pcbb.len() {
+            self.current_pcbb[core] = new_pcbb;
+        }
+        self.threads.on_context_switch(core, new_pcbb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultBehavior, FaultTiming};
+
+    fn engine_with(line: &str) -> GemFiEngine {
+        GemFiEngine::new(line.parse().expect("valid fault line"))
+    }
+
+    #[test]
+    fn inactive_thread_sees_no_injection() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1",
+        );
+        // No fi_activate yet: value passes through untouched.
+        let nop = Instr::FiReadInit;
+        assert_eq!(e.on_execute_result(0, &nop, 42), 42);
+        assert!(e.records().is_empty());
+    }
+
+    #[test]
+    fn execute_fault_fires_at_the_right_event() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:3 Flip:0 Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let nop = Instr::FiReadInit;
+        assert_eq!(e.on_execute_result(0, &nop, 10), 10); // event 1
+        assert_eq!(e.on_execute_result(0, &nop, 10), 10); // event 2
+        assert_eq!(e.on_execute_result(0, &nop, 10), 11); // event 3: flip bit 0
+        assert_eq!(e.on_execute_result(0, &nop, 10), 10); // exhausted
+        assert_eq!(e.records().len(), 1);
+        assert!(e.records()[0].propagated());
+    }
+
+    #[test]
+    fn fetch_fault_corrupts_the_word_and_disassembles() {
+        let mut e = engine_with(
+            "FetchedInstructionInjectedFault Inst:1 Flip:26 Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let w = RawInstr(0);
+        let out = e.on_fetch(0, 0x1_0000, w);
+        assert_eq!(out.0, 1 << 26);
+        assert_eq!(e.records().len(), 1);
+        assert!(e.records()[0].instr.is_some());
+        assert_eq!(e.records()[0].pc, 0x1_0000);
+    }
+
+    #[test]
+    fn decode_fault_only_touches_selector_fields() {
+        let mut e = engine_with(
+            "DecodeStageInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let w = RawInstr(0);
+        let out = e.on_decode(0, w);
+        // All selector bits set; opcode/function/displacement bits untouched.
+        assert_eq!(out.ra(), 0x1f);
+        assert_eq!(out.rb(), 0x1f);
+        assert_eq!(out.rc(), 0x1f);
+        assert_eq!(out.opcode(), 0);
+        assert_eq!(out.function(), 0);
+    }
+
+    #[test]
+    fn register_fault_applies_at_boundary_and_tracks_consumption() {
+        let mut e = engine_with(
+            "RegisterInjectedFault Inst:0 Flip:21 Threadid:0 system.cpu0 occ:1 int 1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let mut arch = ArchState::new(0x1_0000);
+        arch.pcbb = 0x4000;
+        arch.regs.write_int(IntReg::from_bits(1), 5);
+        e.before_instruction(0, 1, &mut arch);
+        assert_eq!(arch.regs.read_int(IntReg::from_bits(1)), 5 | (1 << 21));
+        assert_eq!(e.records().len(), 1);
+        assert!(!e.records()[0].consumed);
+
+        // Reading the register marks the fault consumed.
+        e.on_reg_read(0, RegRef::Int(IntReg::from_bits(1)));
+        assert!(e.records()[0].consumed);
+        assert!(e.any_propagated());
+    }
+
+    #[test]
+    fn overwrite_before_read_is_non_propagated() {
+        let mut e = engine_with(
+            "RegisterInjectedFault Inst:0 Flip:0 Threadid:0 system.cpu0 occ:1 int 2",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let mut arch = ArchState::new(0);
+        arch.pcbb = 0x4000;
+        e.before_instruction(0, 1, &mut arch);
+        e.on_reg_write(0, RegRef::Int(IntReg::from_bits(2)));
+        assert!(e.records()[0].overwritten);
+        assert!(!e.records()[0].consumed);
+        assert!(!e.any_propagated());
+    }
+
+    #[test]
+    fn pc_fault_redirects_control() {
+        let mut e = engine_with(
+            "PCInjectedFault Inst:0 Set:0x2_0000 Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let mut arch = ArchState::new(0x1_0000);
+        arch.pcbb = 0x4000;
+        e.before_instruction(0, 1, &mut arch);
+        assert_eq!(arch.pc, 0x2_0000);
+    }
+
+    #[test]
+    fn toggling_twice_deactivates() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        e.on_fi_activate(0, 10, 0, 0x4000);
+        assert_eq!(e.active_threads(), 0);
+        let nop = Instr::FiReadInit;
+        assert_eq!(e.on_execute_result(0, &nop, 9), 9);
+        assert!(e.records().is_empty());
+    }
+
+    #[test]
+    fn thread_id_must_match_the_spec() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:5 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 3, 0x4000); // activates thread id 3
+        let nop = Instr::FiReadInit;
+        assert_eq!(e.on_execute_result(0, &nop, 8), 8);
+        assert_eq!(e.pending_faults(), 1, "fault for thread 5 must stay queued");
+    }
+
+    #[test]
+    fn context_switch_gates_injection() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:2 Flip:0 Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let nop = Instr::FiReadInit;
+        assert_eq!(e.on_execute_result(0, &nop, 3), 3); // event 1: too early
+        // Switch to a thread that never activated injection: its events do
+        // not advance the target thread's counters.
+        e.on_context_switch(0, 0x4400);
+        assert_eq!(e.on_execute_result(0, &nop, 3), 3);
+        // Switch back: the counter resumes and the fault fires at event 2.
+        e.on_context_switch(0, 0x4000);
+        assert_eq!(e.on_execute_result(0, &nop, 3), 2);
+    }
+
+    #[test]
+    fn uncached_lookup_behaves_identically() {
+        for cache in [true, false] {
+            let cfg = EngineConfig { pcb_pointer_cache: cache, cores: 1 };
+            let faults: FaultConfig =
+                "ExecutionStageInjectedFault Inst:2 Flip:1 Threadid:0 system.cpu0 occ:1"
+                    .parse()
+                    .unwrap();
+            let mut e = GemFiEngine::with_config(faults, cfg);
+            e.on_fi_activate(0, 0, 0, 0x4000);
+            let nop = Instr::FiReadInit;
+            assert_eq!(e.on_execute_result(0, &nop, 0), 0);
+            assert_eq!(e.on_execute_result(0, &nop, 0), 2, "cache={cache}");
+        }
+    }
+
+    #[test]
+    fn reset_reinstalls_configuration() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let nop = Instr::FiReadInit;
+        e.on_execute_result(0, &nop, 0);
+        assert_eq!(e.records().len(), 1);
+        e.reset(
+            "MemoryInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 load"
+                .parse()
+                .unwrap(),
+        );
+        assert!(e.records().is_empty());
+        assert_eq!(e.active_threads(), 0);
+        assert_eq!(e.pending_faults(), 1);
+    }
+
+    #[test]
+    fn mem_target_filter_distinguishes_loads_and_stores() {
+        let mut e = engine_with(
+            "MemoryInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 store",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        // A load is a memory event but must not trigger the store-targeted
+        // fault; the armed fault fires on the next *store*.
+        assert_eq!(e.on_mem_load(0, 0x100, 7), 7);
+        assert_eq!(e.on_mem_store(0, 0x100, 7), u64::MAX, "fires on the next store");
+        assert_eq!(e.pending_faults(), 0);
+    }
+
+    #[test]
+    fn permanent_register_fault_reasserts() {
+        let spec = FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 4 },
+            thread: 0,
+            timing: FaultTiming::Instructions(0),
+            behavior: FaultBehavior::AllZero,
+            occurrences: crate::spec::OCC_PERMANENT,
+        };
+        let mut e = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let mut arch = ArchState::new(0);
+        arch.pcbb = 0x4000;
+        for i in 0..5 {
+            arch.regs.write_int(IntReg::from_bits(4), 99);
+            e.before_instruction(0, i, &mut arch);
+            assert_eq!(arch.regs.read_int(IntReg::from_bits(4)), 0, "boundary {i}");
+        }
+        assert!(e.pending_faults() > 0, "permanent fault stays queued");
+    }
+}

@@ -1,0 +1,90 @@
+//! Experiment outcome classes (Sec. IV-B-1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The classification of one fault-injection experiment.
+///
+/// "The outcome of each experiment can be classified in the following
+/// categories: crashed, non propagated, strictly correct result, correct
+/// result and SDC (Silent Data Corruption)."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The experiment failed to terminate successfully (trap or hang).
+    Crashed,
+    /// The fault did not manifest as an error (e.g. the corrupted register
+    /// was dead or overwritten before use).
+    NonPropagated,
+    /// Output bit-wise identical to the fault-free execution.
+    StrictlyCorrect,
+    /// Output within the application's acceptable quality margin, though not
+    /// bit-wise identical.
+    Correct,
+    /// Terminated normally but with an unacceptable result.
+    Sdc,
+}
+
+impl Outcome {
+    /// All outcomes, chart order (matches the Fig. 5 stacking).
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Crashed,
+        Outcome::NonPropagated,
+        Outcome::StrictlyCorrect,
+        Outcome::Correct,
+        Outcome::Sdc,
+    ];
+
+    /// Dense index for tabulation.
+    pub fn index(self) -> usize {
+        match self {
+            Outcome::Crashed => 0,
+            Outcome::NonPropagated => 1,
+            Outcome::StrictlyCorrect => 2,
+            Outcome::Correct => 3,
+            Outcome::Sdc => 4,
+        }
+    }
+
+    /// Whether the run produced an acceptable result (the paper's
+    /// *Acceptable* series in Fig. 6: correct ∪ strictly correct; runs where
+    /// the fault never propagated are bit-identical and count as well).
+    pub fn is_acceptable(self) -> bool {
+        matches!(
+            self,
+            Outcome::StrictlyCorrect | Outcome::Correct | Outcome::NonPropagated
+        )
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Crashed => write!(f, "crashed"),
+            Outcome::NonPropagated => write!(f, "non-propagated"),
+            Outcome::StrictlyCorrect => write!(f, "strictly-correct"),
+            Outcome::Correct => write!(f, "correct"),
+            Outcome::Sdc => write!(f, "sdc"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, o) in Outcome::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
+    }
+
+    #[test]
+    fn acceptability_matches_fig6_definition() {
+        assert!(Outcome::StrictlyCorrect.is_acceptable());
+        assert!(Outcome::Correct.is_acceptable());
+        assert!(Outcome::NonPropagated.is_acceptable());
+        assert!(!Outcome::Crashed.is_acceptable());
+        assert!(!Outcome::Sdc.is_acceptable());
+    }
+}

@@ -1,0 +1,131 @@
+//! Injection records for post-mortem correlation.
+//!
+//! "When injecting a fault we print information on the affected assembly
+//! instruction. This information is used post-mortem to correlate, either
+//! analytically or statistically, the fault with the simulation result."
+//! (Sec. IV-B.)
+
+use crate::spec::{FaultLocation, Stage};
+use gemfi_isa::RegRef;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One fault actually injected during a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Simulation tick of the injection.
+    pub tick: u64,
+    /// Stage at which the corruption was applied.
+    pub stage: Stage,
+    /// The fault location.
+    pub location: FaultLocation,
+    /// Thread id the fault targeted.
+    pub thread: u32,
+    /// PC of the affected instruction (0 for boundary register faults).
+    pub pc: u64,
+    /// Disassembly of the affected instruction, when one exists.
+    pub instr: Option<String>,
+    /// Value before corruption.
+    pub before: u64,
+    /// Value after corruption.
+    pub after: u64,
+    /// For register faults: whether the corrupted location was read before
+    /// being overwritten (the *propagation* monitor feeding the paper's
+    /// non-propagated outcome class).
+    pub consumed: bool,
+    /// For register faults: whether the corrupted location was overwritten
+    /// before any read.
+    pub overwritten: bool,
+}
+
+impl InjectionRecord {
+    /// Whether the fault visibly changed the value.
+    pub fn changed_value(&self) -> bool {
+        self.before != self.after
+    }
+
+    /// Whether this fault may have propagated into execution. Register
+    /// faults propagate only if consumed; other stages corrupt values
+    /// already in flight.
+    pub fn propagated(&self) -> bool {
+        if !self.changed_value() {
+            return false;
+        }
+        match self.stage {
+            Stage::Register => self.consumed,
+            _ => true,
+        }
+    }
+
+    /// The register watched for consumption, if this is a register fault.
+    pub fn watched_reg(&self) -> Option<RegRef> {
+        match self.location {
+            FaultLocation::IntReg { reg, .. } => {
+                Some(RegRef::Int(gemfi_isa::IntReg::from_bits(reg as u32)))
+            }
+            FaultLocation::FpReg { reg, .. } => {
+                Some(RegRef::Fp(gemfi_isa::FpReg::from_bits(reg as u32)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InjectionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tick {} [{}] {}: {:#x} -> {:#x}",
+            self.tick, self.stage, self.location, self.before, self.after
+        )?;
+        if let Some(i) = &self.instr {
+            write!(f, " at pc {:#x} `{}`", self.pc, i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MemTarget;
+
+    fn record(stage: Stage, location: FaultLocation) -> InjectionRecord {
+        InjectionRecord {
+            tick: 10,
+            stage,
+            location,
+            thread: 0,
+            pc: 0x1_0000,
+            instr: Some("addq r1, r2, r3".into()),
+            before: 1,
+            after: 3,
+            consumed: false,
+            overwritten: false,
+        }
+    }
+
+    #[test]
+    fn register_faults_propagate_only_if_consumed() {
+        let mut r = record(Stage::Register, FaultLocation::IntReg { core: 0, reg: 1 });
+        assert!(!r.propagated());
+        r.consumed = true;
+        assert!(r.propagated());
+    }
+
+    #[test]
+    fn inflight_faults_propagate_when_value_changed() {
+        let r = record(Stage::Memory, FaultLocation::Mem { core: 0, target: MemTarget::Load });
+        assert!(r.propagated());
+        let unchanged = InjectionRecord { after: 1, ..r };
+        assert!(!unchanged.propagated());
+    }
+
+    #[test]
+    fn display_mentions_the_instruction() {
+        let r = record(Stage::Execute, FaultLocation::Execute { core: 0 });
+        let s = r.to_string();
+        assert!(s.contains("execute"));
+        assert!(s.contains("addq"));
+    }
+}

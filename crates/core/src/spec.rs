@@ -1,0 +1,339 @@
+//! Fault specifications: Location × Thread × Time × Behavior (Sec. III-A).
+
+use gemfi_isa::SpecialReg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which memory transactions a memory-stage fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemTarget {
+    /// Loaded values only.
+    Load,
+    /// Stored values only.
+    Store,
+    /// Either direction.
+    Any,
+}
+
+impl fmt::Display for MemTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemTarget::Load => write!(f, "load"),
+            MemTarget::Store => write!(f, "store"),
+            MemTarget::Any => write!(f, "any"),
+        }
+    }
+}
+
+/// The micro-architectural fault location (Sec. III-A-1).
+///
+/// Every variant names a core (GemFI's `system.cpuN` syntax); the supported
+/// module set matches the paper: registers (integer, floating point,
+/// special purpose), the fetched instruction, the selection of read/write
+/// registers during decoding, the result of an instruction at the execution
+/// stage, the PC address, and memory transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultLocation {
+    /// An integer register of a core.
+    IntReg {
+        /// Target core.
+        core: usize,
+        /// Register number 0–31.
+        reg: u8,
+    },
+    /// A floating-point register of a core.
+    FpReg {
+        /// Target core.
+        core: usize,
+        /// Register number 0–31.
+        reg: u8,
+    },
+    /// A special-purpose register of a core.
+    SpecialReg {
+        /// Target core.
+        core: usize,
+        /// Which special register.
+        reg: SpecialReg,
+    },
+    /// The instruction word produced by the fetch stage.
+    Fetch {
+        /// Target core.
+        core: usize,
+    },
+    /// The register-selection fields seen by the decode stage.
+    Decode {
+        /// Target core.
+        core: usize,
+    },
+    /// The result produced by the execution stage (ALU/FPU results,
+    /// computed effective addresses, control-flow targets).
+    Execute {
+        /// Target core.
+        core: usize,
+    },
+    /// The program counter.
+    Pc {
+        /// Target core.
+        core: usize,
+    },
+    /// A memory transaction's data value.
+    Mem {
+        /// Target core.
+        core: usize,
+        /// Loads, stores, or both.
+        target: MemTarget,
+    },
+}
+
+impl FaultLocation {
+    /// The core this fault targets.
+    pub fn core(&self) -> usize {
+        match *self {
+            FaultLocation::IntReg { core, .. }
+            | FaultLocation::FpReg { core, .. }
+            | FaultLocation::SpecialReg { core, .. }
+            | FaultLocation::Fetch { core }
+            | FaultLocation::Decode { core }
+            | FaultLocation::Execute { core }
+            | FaultLocation::Pc { core }
+            | FaultLocation::Mem { core, .. } => core,
+        }
+    }
+
+    /// The pipeline-stage queue this fault belongs to (Sec. III-C: "each
+    /// queue corresponds to a different pipeline stage").
+    pub fn stage(&self) -> Stage {
+        match self {
+            FaultLocation::Fetch { .. } => Stage::Fetch,
+            FaultLocation::Decode { .. } => Stage::Decode,
+            FaultLocation::Execute { .. } => Stage::Execute,
+            FaultLocation::Mem { .. } => Stage::Memory,
+            FaultLocation::IntReg { .. }
+            | FaultLocation::FpReg { .. }
+            | FaultLocation::SpecialReg { .. }
+            | FaultLocation::Pc { .. } => Stage::Register,
+        }
+    }
+}
+
+impl fmt::Display for FaultLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultLocation::IntReg { core, reg } => write!(f, "system.cpu{core} int {reg}"),
+            FaultLocation::FpReg { core, reg } => write!(f, "system.cpu{core} float {reg}"),
+            FaultLocation::SpecialReg { core, reg } => {
+                write!(f, "system.cpu{core} special {reg}")
+            }
+            FaultLocation::Fetch { core } => write!(f, "system.cpu{core} fetch"),
+            FaultLocation::Decode { core } => write!(f, "system.cpu{core} decode"),
+            FaultLocation::Execute { core } => write!(f, "system.cpu{core} execute"),
+            FaultLocation::Pc { core } => write!(f, "system.cpu{core} pc"),
+            FaultLocation::Mem { core, target } => write!(f, "system.cpu{core} mem {target}"),
+        }
+    }
+}
+
+/// The five per-stage fault queues of Sec. III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Fetched-instruction faults.
+    Fetch,
+    /// Decode register-selection faults.
+    Decode,
+    /// Execution-stage result faults.
+    Execute,
+    /// Memory-transaction faults.
+    Memory,
+    /// Register-file and PC faults (applied at instruction boundaries).
+    Register,
+}
+
+impl Stage {
+    /// All stages, queue-index order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Fetch, Stage::Decode, Stage::Execute, Stage::Memory, Stage::Register];
+
+    /// Dense index of this stage (queue array position).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Fetch => 0,
+            Stage::Decode => 1,
+            Stage::Execute => 2,
+            Stage::Memory => 3,
+            Stage::Register => 4,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Fetch => write!(f, "fetch"),
+            Stage::Decode => write!(f, "decode"),
+            Stage::Execute => write!(f, "execute"),
+            Stage::Memory => write!(f, "memory"),
+            Stage::Register => write!(f, "register"),
+        }
+    }
+}
+
+/// How the value at the fault location is corrupted (Sec. III-A-4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultBehavior {
+    /// Assign an immediate value.
+    Set(u64),
+    /// XOR the running value with a constant.
+    Xor(u64),
+    /// Flip one bit. Multiple bit flips are expressed as multiple faults on
+    /// the same module, exactly as the paper prescribes.
+    Flip(u8),
+    /// Set all bits to zero.
+    AllZero,
+    /// Set all bits to one.
+    AllOne,
+}
+
+impl fmt::Display for FaultBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultBehavior::Set(v) => write!(f, "Set:{v:#x}"),
+            FaultBehavior::Xor(v) => write!(f, "Xor:{v:#x}"),
+            FaultBehavior::Flip(b) => write!(f, "Flip:{b}"),
+            FaultBehavior::AllZero => write!(f, "AllZero"),
+            FaultBehavior::AllOne => write!(f, "AllOne"),
+        }
+    }
+}
+
+/// When the fault fires, relative to the thread's `fi_activate_inst` call
+/// (Sec. III-A-3): either after a number of instructions served at the
+/// target stage, or after a number of simulation ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTiming {
+    /// Fire at the N-th instruction served at the target stage.
+    Instructions(u64),
+    /// Fire once the thread has run for N ticks.
+    Ticks(u64),
+}
+
+impl fmt::Display for FaultTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTiming::Instructions(n) => write!(f, "Inst:{n}"),
+            FaultTiming::Ticks(n) => write!(f, "Tick:{n}"),
+        }
+    }
+}
+
+/// Marker for permanent faults in the `occ:` attribute.
+pub const OCC_PERMANENT: u64 = u64::MAX;
+
+/// One fault to inject: the unit of the paper's input-file lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Where.
+    pub location: FaultLocation,
+    /// Which thread (the id given to `fi_activate_inst`).
+    pub thread: u32,
+    /// When, relative to activation.
+    pub timing: FaultTiming,
+    /// How the value is corrupted.
+    pub behavior: FaultBehavior,
+    /// For how many events (in the timing unit) the fault stays active:
+    /// 1 = transient, N = intermittent, [`OCC_PERMANENT`] = permanent.
+    pub occurrences: u64,
+}
+
+impl FaultSpec {
+    /// The fault's stage queue.
+    pub fn stage(&self) -> Stage {
+        self.location.stage()
+    }
+
+    /// The activation window `[start, end)` in the timing unit.
+    pub fn window(&self) -> (u64, u64) {
+        let start = match self.timing {
+            FaultTiming::Instructions(n) | FaultTiming::Ticks(n) => n,
+        };
+        (start, start.saturating_add(self.occurrences))
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.location {
+            FaultLocation::IntReg { .. }
+            | FaultLocation::FpReg { .. }
+            | FaultLocation::SpecialReg { .. } => "RegisterInjectedFault",
+            FaultLocation::Fetch { .. } => "FetchedInstructionInjectedFault",
+            FaultLocation::Decode { .. } => "DecodeStageInjectedFault",
+            FaultLocation::Execute { .. } => "ExecutionStageInjectedFault",
+            FaultLocation::Pc { .. } => "PCInjectedFault",
+            FaultLocation::Mem { .. } => "MemoryInjectedFault",
+        };
+        let occ = if self.occurrences == OCC_PERMANENT {
+            "perm".to_string()
+        } else {
+            self.occurrences.to_string()
+        };
+        write!(
+            f,
+            "{kind} {} {} Threadid:{} occ:{occ} {}",
+            self.timing,
+            self.behavior,
+            self.thread,
+            self.location
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_routing_matches_the_five_queues() {
+        assert_eq!(FaultLocation::Fetch { core: 0 }.stage(), Stage::Fetch);
+        assert_eq!(FaultLocation::Decode { core: 0 }.stage(), Stage::Decode);
+        assert_eq!(FaultLocation::Execute { core: 0 }.stage(), Stage::Execute);
+        assert_eq!(
+            FaultLocation::Mem { core: 0, target: MemTarget::Any }.stage(),
+            Stage::Memory
+        );
+        assert_eq!(FaultLocation::IntReg { core: 0, reg: 1 }.stage(), Stage::Register);
+        assert_eq!(FaultLocation::Pc { core: 0 }.stage(), Stage::Register);
+    }
+
+    #[test]
+    fn window_saturates_for_permanent_faults() {
+        let spec = FaultSpec {
+            location: FaultLocation::Execute { core: 0 },
+            thread: 0,
+            timing: FaultTiming::Instructions(100),
+            behavior: FaultBehavior::Flip(3),
+            occurrences: OCC_PERMANENT,
+        };
+        assert_eq!(spec.window(), (100, u64::MAX));
+        let transient = FaultSpec { occurrences: 1, ..spec };
+        assert_eq!(transient.window(), (100, 101));
+    }
+
+    #[test]
+    fn display_round_trips_the_listing1_shape() {
+        let spec = FaultSpec {
+            location: FaultLocation::IntReg { core: 1, reg: 1 },
+            thread: 0,
+            timing: FaultTiming::Instructions(2457),
+            behavior: FaultBehavior::Flip(21),
+            occurrences: 1,
+        };
+        let s = spec.to_string();
+        assert!(s.contains("RegisterInjectedFault"));
+        assert!(s.contains("Inst:2457"));
+        assert!(s.contains("Flip:21"));
+        assert!(s.contains("Threadid:0"));
+        assert!(s.contains("system.cpu1"));
+        assert!(s.contains("occ:1"));
+        assert!(s.contains("int 1"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Thread tracking: `ThreadEnabledFault` objects keyed by PCB address.
+//!
+//! Sec. III-C: "Threads that have enabled fault injection are internally
+//! represented as instances of a class (`ThreadEnabledFault`), containing
+//! all per-thread information necessary for fault injection, such as the
+//! number of instructions the thread has executed on each core. Each
+//! simulated core has a pointer to a ThreadEnabledFault object. […] Threads
+//! are identified at the hardware/simulator level by their unique Process
+//! Control Block (PCB) address. […] Monitoring context switches allows
+//! GemFI to eliminate the overhead of checking the fault injection status
+//! of the executing thread in the hash table on each simulated clock tick."
+//!
+//! The per-core pointer cache is reproduced (as a per-core index into the
+//! thread arena) and can be disabled via
+//! [`crate::EngineConfig::pcb_pointer_cache`] for the ablation benchmark.
+
+use crate::spec::Stage;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-thread fault-injection state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadEnabledFault {
+    /// The identifier passed to `fi_activate_inst(id)` — the `Threadid:` a
+    /// fault spec matches against.
+    pub id: u32,
+    /// PCB base address of the thread (its hardware-level identity).
+    pub pcbb: u64,
+    /// Tick at which injection was activated (origin for `Tick:` timing).
+    pub activated_at: u64,
+    /// Instructions served at each pipeline stage since activation.
+    pub stage_counts: [u64; 5],
+}
+
+impl ThreadEnabledFault {
+    /// Fresh state for a thread activating injection now.
+    pub fn new(id: u32, pcbb: u64, now: u64) -> ThreadEnabledFault {
+        ThreadEnabledFault { id, pcbb, activated_at: now, stage_counts: [0; 5] }
+    }
+
+    /// The stage-served counter for `stage`.
+    pub fn count(&self, stage: Stage) -> u64 {
+        self.stage_counts[stage.index()]
+    }
+
+    /// Increments and returns the new count for `stage`.
+    pub fn bump(&mut self, stage: Stage) -> u64 {
+        self.stage_counts[stage.index()] += 1;
+        self.stage_counts[stage.index()]
+    }
+
+    /// Ticks elapsed since this thread activated injection.
+    pub fn ticks_since_activation(&self, now: u64) -> u64 {
+        now.saturating_sub(self.activated_at)
+    }
+}
+
+/// The thread table: an arena of [`ThreadEnabledFault`] records, a PCB-keyed
+/// hash index, and the per-core pointer cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTable {
+    arena: Vec<ThreadEnabledFault>,
+    by_pcbb: HashMap<u64, usize>,
+    /// Per-core cached index of the running thread's record (`None` when the
+    /// running thread has not activated injection).
+    core_active: Vec<Option<usize>>,
+}
+
+impl ThreadTable {
+    /// A table for `cores` hardware contexts.
+    pub fn new(cores: usize) -> ThreadTable {
+        ThreadTable { arena: Vec::new(), by_pcbb: HashMap::new(), core_active: vec![None; cores] }
+    }
+
+    /// Number of threads currently enabled for injection.
+    pub fn active_threads(&self) -> usize {
+        self.by_pcbb.len()
+    }
+
+    /// Handles `fi_activate_inst(id)`: successive occurrences toggle
+    /// injection for the thread (Sec. III-A). Returns `true` if the thread
+    /// is now active.
+    pub fn toggle(&mut self, core: usize, id: u32, pcbb: u64, now: u64) -> bool {
+        if let Some(&idx) = self.by_pcbb.get(&pcbb) {
+            // Deactivation: drop the record, compact the arena.
+            self.by_pcbb.remove(&pcbb);
+            self.arena.swap_remove(idx);
+            if idx < self.arena.len() {
+                // The swapped-in record moved; re-index it.
+                let moved_pcbb = self.arena[idx].pcbb;
+                self.by_pcbb.insert(moved_pcbb, idx);
+                for slot in &mut self.core_active {
+                    if *slot == Some(self.arena.len()) {
+                        *slot = Some(idx);
+                    }
+                }
+            }
+            self.core_active[core] = None;
+            false
+        } else {
+            let idx = self.arena.len();
+            self.arena.push(ThreadEnabledFault::new(id, pcbb, now));
+            self.by_pcbb.insert(pcbb, idx);
+            self.core_active[core] = Some(idx);
+            true
+        }
+    }
+
+    /// Context-switch notification: re-resolves the per-core cached pointer
+    /// (the Sec. III-C optimization point).
+    pub fn on_context_switch(&mut self, core: usize, new_pcbb: u64) {
+        self.core_active[core] = self.by_pcbb.get(&new_pcbb).copied();
+    }
+
+    /// The running thread's record on `core`, via the cached pointer.
+    pub fn active_mut(&mut self, core: usize) -> Option<&mut ThreadEnabledFault> {
+        let idx = self.core_active.get(core).copied().flatten()?;
+        Some(&mut self.arena[idx])
+    }
+
+    /// The running thread's record, resolved through the hash table instead
+    /// of the cache (the un-optimized path, for the ablation).
+    pub fn active_mut_uncached(
+        &mut self,
+        core: usize,
+        current_pcbb: u64,
+    ) -> Option<&mut ThreadEnabledFault> {
+        let _ = core;
+        let idx = *self.by_pcbb.get(&current_pcbb)?;
+        Some(&mut self.arena[idx])
+    }
+
+    /// Read-only view of the running thread's record.
+    pub fn active(&self, core: usize) -> Option<&ThreadEnabledFault> {
+        let idx = self.core_active.get(core).copied().flatten()?;
+        Some(&self.arena[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_activates_and_deactivates() {
+        let mut t = ThreadTable::new(1);
+        assert!(t.toggle(0, 7, 0x4000, 100));
+        assert_eq!(t.active(0).unwrap().id, 7);
+        assert_eq!(t.active_threads(), 1);
+        // Second occurrence toggles off.
+        assert!(!t.toggle(0, 7, 0x4000, 200));
+        assert!(t.active(0).is_none());
+        assert_eq!(t.active_threads(), 0);
+    }
+
+    #[test]
+    fn context_switch_resolves_pointer() {
+        let mut t = ThreadTable::new(1);
+        t.toggle(0, 0, 0x4000, 0);
+        t.on_context_switch(0, 0x4400); // switched-in thread not activated
+        assert!(t.active(0).is_none());
+        t.on_context_switch(0, 0x4000); // back to the activated thread
+        assert_eq!(t.active(0).unwrap().pcbb, 0x4000);
+    }
+
+    #[test]
+    fn swap_remove_reindexes_moved_record() {
+        let mut t = ThreadTable::new(2);
+        t.toggle(0, 0, 0x4000, 0);
+        t.on_context_switch(1, 0x4400);
+        t.toggle(1, 1, 0x4400, 0);
+        // Deactivate the first; the second's record moves into slot 0.
+        t.toggle(0, 0, 0x4000, 10);
+        assert_eq!(t.active_threads(), 1);
+        assert_eq!(t.active(1).unwrap().pcbb, 0x4400);
+        assert_eq!(t.active_mut_uncached(1, 0x4400).unwrap().id, 1);
+    }
+
+    #[test]
+    fn stage_counters_are_independent(){
+        let mut rec = ThreadEnabledFault::new(0, 0x4000, 50);
+        assert_eq!(rec.bump(Stage::Fetch), 1);
+        assert_eq!(rec.bump(Stage::Fetch), 2);
+        assert_eq!(rec.bump(Stage::Execute), 1);
+        assert_eq!(rec.count(Stage::Fetch), 2);
+        assert_eq!(rec.count(Stage::Memory), 0);
+        assert_eq!(rec.ticks_since_activation(80), 30);
+    }
+
+    #[test]
+    fn cached_and_uncached_paths_agree() {
+        let mut t = ThreadTable::new(1);
+        t.toggle(0, 3, 0x5000, 0);
+        let cached = t.active_mut(0).unwrap().id;
+        let uncached = t.active_mut_uncached(0, 0x5000).unwrap().id;
+        assert_eq!(cached, uncached);
+    }
+}

@@ -1,0 +1,118 @@
+//! Supply-voltage → error-rate model (the paper's future-work direction).
+//!
+//! Sec. VII: "we plan to enhance it with realistic fault models, associating
+//! the supply voltage (Vdd) with the error rate in different system
+//! components. Our goal is to study the limits of aggressively reducing
+//! power consumption at the expense of correctness."
+//!
+//! The model here is the standard exponential low-voltage failure model
+//! used in voltage-scaling studies: per-bit, per-cycle upset probability
+//! grows exponentially as Vdd approaches the transistor threshold:
+//!
+//! ```text
+//! p(vdd) = p_nom · exp(-k · (vdd − v_min) / (v_nom − v_min))
+//! ```
+//!
+//! clamped to 1.0 below `v_min`. Campaign code combines this with a fault
+//! sampler to produce fault configurations whose density follows the
+//! voltage, and with the quadratic dynamic-power model to expose the
+//! power-vs-correctness trade-off.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponential Vdd → bit-upset-rate model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VddModel {
+    /// Nominal supply voltage (error rate is `p_nom` here).
+    pub v_nom: f64,
+    /// Minimum functional voltage (error probability 1 per bit-cycle).
+    pub v_min: f64,
+    /// Per-bit per-cycle upset probability at `v_nom`.
+    pub p_nom: f64,
+    /// Exponential steepness.
+    pub k: f64,
+}
+
+impl VddModel {
+    /// A model calibrated to a 1.0 V nominal / 0.5 V minimum process with a
+    /// vanishing nominal error rate.
+    pub fn new() -> VddModel {
+        VddModel { v_nom: 1.0, v_min: 0.5, p_nom: 1e-12, k: 25.0 }
+    }
+
+    /// Per-bit per-cycle upset probability at `vdd`.
+    ///
+    /// Monotonically non-increasing in `vdd`; clamps to 1.0 at/below
+    /// `v_min`.
+    pub fn upset_probability(&self, vdd: f64) -> f64 {
+        if vdd <= self.v_min {
+            return 1.0;
+        }
+        let x = (vdd - self.v_min) / (self.v_nom - self.v_min);
+        (self.p_nom * (self.k * (1.0 - x)).exp()).min(1.0)
+    }
+
+    /// Expected number of upsets over `bits` state bits and `cycles` cycles.
+    pub fn expected_upsets(&self, vdd: f64, bits: u64, cycles: u64) -> f64 {
+        self.upset_probability(vdd) * bits as f64 * cycles as f64
+    }
+
+    /// Relative dynamic power at `vdd` (P ∝ V²; frequency held constant),
+    /// normalized to `v_nom`.
+    pub fn relative_power(&self, vdd: f64) -> f64 {
+        (vdd / self.v_nom).powi(2)
+    }
+}
+
+impl Default for VddModel {
+    fn default() -> VddModel {
+        VddModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_monotone_decreasing_in_vdd() {
+        let m = VddModel::new();
+        let mut last = f64::INFINITY;
+        for i in 0..=20 {
+            let vdd = 0.5 + i as f64 * 0.025;
+            let p = m.upset_probability(vdd);
+            assert!(p <= last, "p({vdd}) = {p} > {last}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn nominal_voltage_has_nominal_rate() {
+        let m = VddModel::new();
+        let p = m.upset_probability(m.v_nom);
+        assert!((p - m.p_nom).abs() / m.p_nom < 1e-9);
+    }
+
+    #[test]
+    fn below_vmin_everything_breaks() {
+        let m = VddModel::new();
+        assert_eq!(m.upset_probability(0.3), 1.0);
+        assert_eq!(m.upset_probability(m.v_min), 1.0);
+    }
+
+    #[test]
+    fn expected_upsets_scale_linearly() {
+        let m = VddModel::new();
+        let one = m.expected_upsets(0.7, 64, 1_000_000);
+        let two = m.expected_upsets(0.7, 128, 1_000_000);
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_quadratic() {
+        let m = VddModel::new();
+        assert!((m.relative_power(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.relative_power(0.5) - 0.25).abs() < 1e-12);
+    }
+}

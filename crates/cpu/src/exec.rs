@@ -1,0 +1,526 @@
+//! Shared instruction semantics.
+//!
+//! Every CPU model funnels through the helpers here so that architectural
+//! behaviour is identical across models (the paper's methodology switches
+//! models mid-run, which is only sound if they agree functionally). The
+//! in-order models use [`step_instruction`] wholesale; the out-of-order core
+//! reuses the pure [`alu`]/[`fpu`]/[`cmov_cond`] helpers inside its own
+//! machinery.
+
+use crate::hooks::FaultHooks;
+use crate::StepEvent;
+use gemfi_isa::opcode::FpBranchCond;
+use gemfi_isa::{
+    ArchState, FpFunc, Instr, IntFunc, IntReg, Operand, RawInstr, RegRef, Trap,
+};
+use gemfi_kernel::{Kernel, PalOutcome};
+use gemfi_mem::{MemorySystem, Ticks};
+
+/// Evaluates an integer operate (no conditional moves; see [`cmov_cond`]).
+pub fn alu(func: IntFunc, a: u64, b: u64) -> u64 {
+    use IntFunc::*;
+    match func {
+        Addl => (a.wrapping_add(b) as i32) as i64 as u64,
+        Addq => a.wrapping_add(b),
+        Subl => (a.wrapping_sub(b) as i32) as i64 as u64,
+        Subq => a.wrapping_sub(b),
+        Cmpeq => (a == b) as u64,
+        Cmplt => ((a as i64) < (b as i64)) as u64,
+        Cmple => ((a as i64) <= (b as i64)) as u64,
+        Cmpult => (a < b) as u64,
+        Cmpule => (a <= b) as u64,
+        S8addq => a.wrapping_mul(8).wrapping_add(b),
+        And => a & b,
+        Bic => a & !b,
+        Bis => a | b,
+        Ornot => a | !b,
+        Xor => a ^ b,
+        Eqv => !(a ^ b),
+        Sll => a.wrapping_shl((b & 63) as u32),
+        Srl => a.wrapping_shr((b & 63) as u32),
+        Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Mull => (a.wrapping_mul(b) as i32) as i64 as u64,
+        Mulq => a.wrapping_mul(b),
+        Umulh => (((a as u128) * (b as u128)) >> 64) as u64,
+        Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt => {
+            unreachable!("conditional moves are resolved by the caller")
+        }
+    }
+}
+
+/// For conditional moves, evaluates the move condition on `ra`; `None` for
+/// non-cmov operations.
+pub fn cmov_cond(func: IntFunc, ra: u64) -> Option<bool> {
+    let s = ra as i64;
+    Some(match func {
+        IntFunc::Cmoveq => ra == 0,
+        IntFunc::Cmovne => ra != 0,
+        IntFunc::Cmovlt => s < 0,
+        IntFunc::Cmovge => s >= 0,
+        IntFunc::Cmovle => s <= 0,
+        IntFunc::Cmovgt => s > 0,
+        _ => return None,
+    })
+}
+
+/// Evaluates an FP operate on raw IEEE-754 bit patterns (no FP conditional
+/// moves; the caller resolves those like integer cmovs).
+///
+/// Arithmetic goes through host `f64` operations — IEEE-754 semantics are
+/// deterministic and identical on every host, which keeps checkpoints and
+/// golden outputs bit-stable.
+pub fn fpu(func: FpFunc, a_bits: u64, b_bits: u64) -> u64 {
+    use FpFunc::*;
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    match func {
+        Addt => (a + b).to_bits(),
+        Subt => (a - b).to_bits(),
+        Mult => (a * b).to_bits(),
+        Divt => (a / b).to_bits(),
+        Sqrtt => b.sqrt().to_bits(),
+        // Alpha encodes FP compare results as 2.0 / 0.0.
+        Cmpteq => if a == b { 2.0f64.to_bits() } else { 0 },
+        Cmptlt => if a < b { 2.0f64.to_bits() } else { 0 },
+        Cmptle => if a <= b { 2.0f64.to_bits() } else { 0 },
+        Cvtqt => (b_bits as i64 as f64).to_bits(),
+        Cvttq => {
+            // Truncate toward zero; saturate like hardware instead of UB.
+            let t = b.trunc();
+            if t.is_nan() {
+                0
+            } else if t >= i64::MAX as f64 {
+                i64::MAX as u64
+            } else if t <= i64::MIN as f64 {
+                i64::MIN as u64
+            } else {
+                (t as i64) as u64
+            }
+        }
+        Cpys => (a_bits & (1 << 63)) | (b_bits & !(1 << 63)),
+        Cpysn => ((a_bits ^ (1 << 63)) & (1 << 63)) | (b_bits & !(1 << 63)),
+        Fcmoveq | Fcmovne => unreachable!("FP conditional moves resolved by the caller"),
+        Itoft | Ftoit => unreachable!("cross-bank moves have dedicated variants"),
+    }
+}
+
+/// For FP conditional moves, evaluates the condition on `fa` bits.
+pub fn fp_cmov_cond(func: FpFunc, fa_bits: u64) -> Option<bool> {
+    match func {
+        FpFunc::Fcmoveq => Some(FpBranchCond::Eq.eval(fa_bits)),
+        FpFunc::Fcmovne => Some(FpBranchCond::Ne.eval(fa_bits)),
+        _ => None,
+    }
+}
+
+/// Execution latency of an instruction class in ticks (used by the pipelined
+/// models; memory latency comes from the hierarchy instead).
+pub fn exec_latency(instr: &Instr) -> Ticks {
+    match instr {
+        Instr::IntOp { func: IntFunc::Mull | IntFunc::Mulq | IntFunc::Umulh, .. } => 3,
+        Instr::FpOp { func: FpFunc::Divt, .. } => 12,
+        Instr::FpOp { func: FpFunc::Sqrtt, .. } => 20,
+        Instr::FpOp { func: FpFunc::Cpys | FpFunc::Cpysn, .. } => 1,
+        Instr::FpOp { .. } => 4,
+        _ => 1,
+    }
+}
+
+/// The source registers an instruction reads, in operand order. Conditional
+/// moves list their destination as a third source (they need its old value
+/// when the move is not performed — the classic renaming wrinkle).
+pub fn src_regs(instr: &Instr) -> [Option<RegRef>; 3] {
+    use Instr::*;
+    match *instr {
+        CallPal { .. } | FiActivate { .. } | FiReadInit | Br { .. } | Bsr { .. } => {
+            [None, None, None]
+        }
+        Lda { rb, .. } | Ldah { rb, .. } => [Some(RegRef::Int(rb)), None, None],
+        Mem { op, ra, rb, .. } => {
+            if op.is_store() {
+                [Some(RegRef::Int(rb)), Some(RegRef::Int(ra)), None]
+            } else {
+                [Some(RegRef::Int(rb)), None, None]
+            }
+        }
+        Ldt { rb, .. } => [Some(RegRef::Int(rb)), None, None],
+        Stt { fa, rb, .. } => [Some(RegRef::Int(rb)), Some(RegRef::Fp(fa)), None],
+        Jump { rb, .. } => [Some(RegRef::Int(rb)), None, None],
+        CondBr { ra, .. } => [Some(RegRef::Int(ra)), None, None],
+        FpCondBr { fa, .. } => [Some(RegRef::Fp(fa)), None, None],
+        IntOp { func, ra, rb, rc } => {
+            let b = match rb {
+                Operand::Reg(r) => Some(RegRef::Int(r)),
+                Operand::Lit(_) => None,
+            };
+            let c = cmov_cond(func, 0).is_some().then_some(RegRef::Int(rc));
+            [Some(RegRef::Int(ra)), b, c]
+        }
+        FpOp { func, fa, fb, fc } => {
+            let c = fp_cmov_cond(func, 0).is_some().then_some(RegRef::Fp(fc));
+            [Some(RegRef::Fp(fa)), Some(RegRef::Fp(fb)), c]
+        }
+        Itoft { rb, .. } => [Some(RegRef::Int(rb)), None, None],
+        Ftoit { fa, .. } => [Some(RegRef::Fp(fa)), None, None],
+    }
+}
+
+/// The register an instruction writes, if any.
+pub fn dst_reg(instr: &Instr) -> Option<RegRef> {
+    use Instr::*;
+    match *instr {
+        Lda { ra, .. } | Ldah { ra, .. } => Some(RegRef::Int(ra)),
+        Mem { op, ra, .. } => (!op.is_store()).then_some(RegRef::Int(ra)),
+        Ldt { fa, .. } => Some(RegRef::Fp(fa)),
+        Jump { ra, .. } | Br { ra, .. } | Bsr { ra, .. } => Some(RegRef::Int(ra)),
+        IntOp { rc, .. } => Some(RegRef::Int(rc)),
+        FpOp { fc, .. } => Some(RegRef::Fp(fc)),
+        Itoft { fc, .. } => Some(RegRef::Fp(fc)),
+        Ftoit { rc, .. } => Some(RegRef::Int(rc)),
+        _ => None,
+    }
+}
+
+/// Everything a model needs to account for one architecturally executed
+/// instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// PC the instruction was fetched from.
+    pub pc: u64,
+    /// The decoded (post-fault) instruction.
+    pub instr: Instr,
+    /// Instruction-fetch latency (ticks).
+    pub fetch_latency: Ticks,
+    /// Data-access latency (ticks), zero for non-memory instructions.
+    pub mem_latency: Ticks,
+    /// Whether this was a conditional branch.
+    pub is_cond_branch: bool,
+    /// Whether a conditional branch was taken.
+    pub taken: bool,
+    /// The next architectural PC.
+    pub next_pc: u64,
+    /// Destination register of a load (for load-use interlocks).
+    pub load_dest: Option<RegRef>,
+    /// Event raised by the instruction.
+    pub event: StepEvent,
+}
+
+/// Fetches, decodes, executes and retires exactly one instruction on the
+/// given architectural state, invoking every fault hook at its stage.
+///
+/// # Errors
+///
+/// Returns the guest [`Trap`] that terminated execution (illegal
+/// instruction, unmapped/misaligned access, illegal PAL call).
+pub fn step_instruction<H: FaultHooks>(
+    core: usize,
+    arch: &mut ArchState,
+    mem: &mut MemorySystem,
+    kernel: &mut Kernel,
+    hooks: &mut H,
+    now: Ticks,
+) -> Result<ExecRecord, Trap> {
+    hooks.before_instruction(core, now, arch);
+
+    let pc = arch.pc;
+    let (word, fetch_latency) = mem.fetch(pc)?;
+    let word = hooks.on_fetch(core, pc, RawInstr(word));
+    let word = hooks.on_decode(core, word);
+    let instr = gemfi_isa::decode(word).map_err(|_| Trap::IllegalInstruction {
+        word: word.0,
+        pc,
+    })?;
+
+    let mut rec = ExecRecord {
+        pc,
+        instr,
+        fetch_latency,
+        mem_latency: 0,
+        is_cond_branch: false,
+        taken: false,
+        next_pc: pc.wrapping_add(4),
+        load_dest: None,
+        event: StepEvent::None,
+    };
+
+    let read_int = |hooks: &mut H, arch: &ArchState, r: IntReg| -> u64 {
+        hooks.on_reg_read(core, RegRef::Int(r));
+        arch.regs.read_int(r)
+    };
+
+    match instr {
+        Instr::CallPal { func } => {
+            let old_pcbb = arch.pcbb;
+            // The PAL service sees the post-increment PC, so a context switch
+            // saves the correct resume point for this thread.
+            arch.pc = pc.wrapping_add(4);
+            match kernel.pal_call(func, arch, mem, now)? {
+                PalOutcome::Continue => {}
+                PalOutcome::Switched => {
+                    rec.next_pc = arch.pc;
+                    if arch.pcbb != old_pcbb {
+                        hooks.on_context_switch(core, arch.pcbb);
+                    }
+                    // The switched-in thread resumes at its own saved PC.
+                    hooks.on_commit(core, now, pc, &instr);
+                    return Ok(rec);
+                }
+                PalOutcome::AllExited(code) => rec.event = StepEvent::Halted(code),
+                PalOutcome::Halt => rec.event = StepEvent::Halted(0),
+            }
+        }
+        Instr::FiActivate { id } => hooks.on_fi_activate(core, now, id, arch.pcbb),
+        Instr::FiReadInit => rec.event = StepEvent::CheckpointRequest,
+        Instr::Lda { ra, rb, disp } => {
+            let base = read_int(hooks, arch, rb);
+            let v = base.wrapping_add(disp as i64 as u64);
+            let v = hooks.on_execute_result(core, &instr, v);
+            arch.regs.write_int(ra, v);
+            hooks.on_reg_write(core, RegRef::Int(ra));
+        }
+        Instr::Ldah { ra, rb, disp } => {
+            let base = read_int(hooks, arch, rb);
+            let v = base.wrapping_add((disp as i64 as u64).wrapping_shl(16));
+            let v = hooks.on_execute_result(core, &instr, v);
+            arch.regs.write_int(ra, v);
+            hooks.on_reg_write(core, RegRef::Int(ra));
+        }
+        Instr::Mem { op, ra, rb, disp } => {
+            let base = read_int(hooks, arch, rb);
+            let addr = base.wrapping_add(disp as i64 as u64);
+            let addr = hooks.on_execute_result(core, &instr, addr);
+            if op.is_store() {
+                let v = read_int(hooks, arch, ra);
+                let v = hooks.on_mem_store(core, addr, v);
+                rec.mem_latency = match op.width() {
+                    4 => mem.write_u32(addr, v as u32, pc)?,
+                    _ => mem.write_u64(addr, v, pc)?,
+                };
+            } else {
+                let (v, lat) = match op.width() {
+                    4 => {
+                        let (v, lat) = mem.read_u32(addr, pc)?;
+                        (v as i32 as i64 as u64, lat)
+                    }
+                    _ => mem.read_u64(addr, pc)?,
+                };
+                let v = hooks.on_mem_load(core, addr, v);
+                rec.mem_latency = lat;
+                arch.regs.write_int(ra, v);
+                hooks.on_reg_write(core, RegRef::Int(ra));
+                rec.load_dest = Some(RegRef::Int(ra));
+            }
+        }
+        Instr::Ldt { fa, rb, disp } => {
+            let base = read_int(hooks, arch, rb);
+            let addr = base.wrapping_add(disp as i64 as u64);
+            let addr = hooks.on_execute_result(core, &instr, addr);
+            let (v, lat) = mem.read_u64(addr, pc)?;
+            let v = hooks.on_mem_load(core, addr, v);
+            rec.mem_latency = lat;
+            arch.regs.write_fp_bits(fa, v);
+            hooks.on_reg_write(core, RegRef::Fp(fa));
+            rec.load_dest = Some(RegRef::Fp(fa));
+        }
+        Instr::Stt { fa, rb, disp } => {
+            let base = read_int(hooks, arch, rb);
+            let addr = base.wrapping_add(disp as i64 as u64);
+            let addr = hooks.on_execute_result(core, &instr, addr);
+            hooks.on_reg_read(core, RegRef::Fp(fa));
+            let v = arch.regs.read_fp_bits(fa);
+            let v = hooks.on_mem_store(core, addr, v);
+            rec.mem_latency = mem.write_u64(addr, v, pc)?;
+        }
+        Instr::Jump { ra, rb, .. } => {
+            let target = read_int(hooks, arch, rb) & !3;
+            let target = hooks.on_execute_result(core, &instr, target);
+            arch.regs.write_int(ra, pc.wrapping_add(4));
+            hooks.on_reg_write(core, RegRef::Int(ra));
+            rec.next_pc = target;
+        }
+        Instr::Br { ra, disp } | Instr::Bsr { ra, disp } => {
+            let target = pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2);
+            let target = hooks.on_execute_result(core, &instr, target);
+            arch.regs.write_int(ra, pc.wrapping_add(4));
+            hooks.on_reg_write(core, RegRef::Int(ra));
+            rec.next_pc = target;
+        }
+        Instr::CondBr { cond, ra, disp } => {
+            let v = read_int(hooks, arch, ra);
+            rec.is_cond_branch = true;
+            rec.taken = cond.eval(v);
+            let target = if rec.taken {
+                pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2)
+            } else {
+                pc.wrapping_add(4)
+            };
+            rec.next_pc = hooks.on_execute_result(core, &instr, target);
+        }
+        Instr::FpCondBr { cond, fa, disp } => {
+            hooks.on_reg_read(core, RegRef::Fp(fa));
+            let v = arch.regs.read_fp_bits(fa);
+            rec.is_cond_branch = true;
+            rec.taken = cond.eval(v);
+            let target = if rec.taken {
+                pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2)
+            } else {
+                pc.wrapping_add(4)
+            };
+            rec.next_pc = hooks.on_execute_result(core, &instr, target);
+        }
+        Instr::IntOp { func, ra, rb, rc } => {
+            let a = read_int(hooks, arch, ra);
+            let b = match rb {
+                Operand::Reg(r) => read_int(hooks, arch, r),
+                Operand::Lit(v) => v as u64,
+            };
+            match cmov_cond(func, a) {
+                Some(cond) => {
+                    if cond {
+                        let v = hooks.on_execute_result(core, &instr, b);
+                        arch.regs.write_int(rc, v);
+                        hooks.on_reg_write(core, RegRef::Int(rc));
+                    }
+                }
+                None => {
+                    let v = hooks.on_execute_result(core, &instr, alu(func, a, b));
+                    arch.regs.write_int(rc, v);
+                    hooks.on_reg_write(core, RegRef::Int(rc));
+                }
+            }
+        }
+        Instr::FpOp { func, fa, fb, fc } => {
+            hooks.on_reg_read(core, RegRef::Fp(fa));
+            hooks.on_reg_read(core, RegRef::Fp(fb));
+            let a = arch.regs.read_fp_bits(fa);
+            let b = arch.regs.read_fp_bits(fb);
+            match fp_cmov_cond(func, a) {
+                Some(cond) => {
+                    if cond {
+                        let v = hooks.on_execute_result(core, &instr, b);
+                        arch.regs.write_fp_bits(fc, v);
+                        hooks.on_reg_write(core, RegRef::Fp(fc));
+                    }
+                }
+                None => {
+                    let v = hooks.on_execute_result(core, &instr, fpu(func, a, b));
+                    arch.regs.write_fp_bits(fc, v);
+                    hooks.on_reg_write(core, RegRef::Fp(fc));
+                }
+            }
+        }
+        Instr::Itoft { rb, fc } => {
+            let v = read_int(hooks, arch, rb);
+            let v = hooks.on_execute_result(core, &instr, v);
+            arch.regs.write_fp_bits(fc, v);
+            hooks.on_reg_write(core, RegRef::Fp(fc));
+        }
+        Instr::Ftoit { fa, rc } => {
+            hooks.on_reg_read(core, RegRef::Fp(fa));
+            let v = arch.regs.read_fp_bits(fa);
+            let v = hooks.on_execute_result(core, &instr, v);
+            arch.regs.write_int(rc, v);
+            hooks.on_reg_write(core, RegRef::Int(rc));
+        }
+    }
+
+    arch.pc = rec.next_pc;
+    hooks.on_commit(core, now, pc, &instr);
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_arithmetic_matches_two_complement() {
+        assert_eq!(alu(IntFunc::Addq, u64::MAX, 1), 0);
+        assert_eq!(alu(IntFunc::Subq, 0, 1), u64::MAX);
+        assert_eq!(alu(IntFunc::Addl, 0x7fff_ffff, 1), 0xffff_ffff_8000_0000);
+        assert_eq!(alu(IntFunc::Mull, 0x10000, 0x10000), 0); // 2^32 truncates
+        assert_eq!(alu(IntFunc::Umulh, 1 << 63, 4), 2);
+        assert_eq!(alu(IntFunc::S8addq, 3, 10), 34);
+    }
+
+    #[test]
+    fn alu_compares_are_signed_and_unsigned() {
+        let neg1 = -1i64 as u64;
+        assert_eq!(alu(IntFunc::Cmplt, neg1, 0), 1);
+        assert_eq!(alu(IntFunc::Cmpult, neg1, 0), 0);
+        assert_eq!(alu(IntFunc::Cmple, 5, 5), 1);
+        assert_eq!(alu(IntFunc::Cmpule, 6, 5), 0);
+    }
+
+    #[test]
+    fn alu_shifts_mask_to_six_bits() {
+        assert_eq!(alu(IntFunc::Sll, 1, 64), 1); // shift by 64 & 63 == 0
+        assert_eq!(alu(IntFunc::Sra, (-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(alu(IntFunc::Srl, (-8i64) as u64, 1), 0x7fff_ffff_ffff_fffc);
+    }
+
+    #[test]
+    fn fpu_compare_encodes_two_or_zero() {
+        let two = 2.0f64.to_bits();
+        assert_eq!(fpu(FpFunc::Cmpteq, 1.5f64.to_bits(), 1.5f64.to_bits()), two);
+        assert_eq!(fpu(FpFunc::Cmptlt, 2.0f64.to_bits(), 1.0f64.to_bits()), 0);
+    }
+
+    #[test]
+    fn fpu_cvt_roundtrips_integers() {
+        let q = 12345i64 as u64;
+        let t = fpu(FpFunc::Cvtqt, 0, q);
+        assert_eq!(f64::from_bits(t), 12345.0);
+        assert_eq!(fpu(FpFunc::Cvttq, 0, (-3.75f64).to_bits()), (-3i64) as u64);
+    }
+
+    #[test]
+    fn fpu_cvttq_saturates_and_handles_nan() {
+        assert_eq!(fpu(FpFunc::Cvttq, 0, f64::NAN.to_bits()), 0);
+        assert_eq!(fpu(FpFunc::Cvttq, 0, 1e300f64.to_bits()), i64::MAX as u64);
+        assert_eq!(fpu(FpFunc::Cvttq, 0, (-1e300f64).to_bits()), i64::MIN as u64);
+    }
+
+    #[test]
+    fn fpu_copy_sign() {
+        let neg = (-1.0f64).to_bits();
+        let pos = 2.5f64.to_bits();
+        assert_eq!(f64::from_bits(fpu(FpFunc::Cpys, neg, pos)), -2.5);
+        assert_eq!(f64::from_bits(fpu(FpFunc::Cpysn, neg, pos)), 2.5);
+    }
+
+    #[test]
+    fn cmov_conditions() {
+        assert_eq!(cmov_cond(IntFunc::Cmoveq, 0), Some(true));
+        assert_eq!(cmov_cond(IntFunc::Cmovne, 0), Some(false));
+        assert_eq!(cmov_cond(IntFunc::Cmovlt, -1i64 as u64), Some(true));
+        assert_eq!(cmov_cond(IntFunc::Addq, 0), None);
+        assert_eq!(fp_cmov_cond(FpFunc::Fcmoveq, 0), Some(true));
+        assert_eq!(fp_cmov_cond(FpFunc::Addt, 0), None);
+    }
+
+    #[test]
+    fn exec_latency_orders_op_classes() {
+        use gemfi_isa::{FpReg, IntReg, Operand};
+        let add = Instr::IntOp {
+            func: IntFunc::Addq,
+            ra: IntReg::ZERO,
+            rb: Operand::Lit(0),
+            rc: IntReg::ZERO,
+        };
+        let mul = Instr::IntOp {
+            func: IntFunc::Mulq,
+            ra: IntReg::ZERO,
+            rb: Operand::Lit(0),
+            rc: IntReg::ZERO,
+        };
+        let div = Instr::FpOp {
+            func: FpFunc::Divt,
+            fa: FpReg::ZERO,
+            fb: FpReg::ZERO,
+            fc: FpReg::ZERO,
+        };
+        assert!(exec_latency(&add) < exec_latency(&mul));
+        assert!(exec_latency(&mul) < exec_latency(&div));
+    }
+}

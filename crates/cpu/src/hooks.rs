@@ -1,0 +1,126 @@
+//! The fault-injection hook surface (where GemFI attaches to the CPU).
+//!
+//! Fig. 1 of the paper marks the injectable locations in red: registers,
+//! the fetched instruction, register selection at decode, execution-stage
+//! results, the PC, and memory transactions. Each of those corresponds to a
+//! method here, invoked by every CPU model at the architecturally correct
+//! point. The out-of-order model calls the speculative-side hooks
+//! (`on_fetch`, `on_decode`, `on_execute_result`, `on_mem_*`) for wrong-path
+//! instructions too — exactly like gem5, which is why the paper observes
+//! faults that "alter a squashed instruction" ending up harmless.
+//!
+//! Hooks are a generic parameter of the machine, so the [`NoopHooks`]
+//! baseline monomorphizes to nothing: the Fig. 7 overhead experiment
+//! compares a GemFI-hooked machine against this zero-cost baseline.
+
+use gemfi_isa::{ArchState, Instr, RawInstr, RegRef};
+use gemfi_mem::Ticks;
+
+/// Per-stage fault-injection callbacks.
+///
+/// All methods have no-op defaults; an implementation overrides the stages
+/// it cares about. `core` identifies the hardware context (always 0 on the
+/// single-core configuration the paper evaluates, but the surface is
+/// multi-core ready, as GemFI's `system.cpuN` fault syntax requires).
+pub trait FaultHooks {
+    /// Called at each committed-instruction boundary *before* the next
+    /// instruction, with mutable architectural state: the window in which
+    /// scheduled register, special-register and PC faults are applied.
+    #[inline]
+    fn before_instruction(&mut self, core: usize, now: Ticks, arch: &mut ArchState) {
+        let _ = (core, now, arch);
+    }
+
+    /// An instruction word was fetched; may corrupt any of its 32 bits.
+    #[inline]
+    fn on_fetch(&mut self, core: usize, pc: u64, word: RawInstr) -> RawInstr {
+        let _ = (core, pc);
+        word
+    }
+
+    /// Decode is selecting source/destination registers; may corrupt the
+    /// register-selector fields of the word.
+    #[inline]
+    fn on_decode(&mut self, core: usize, word: RawInstr) -> RawInstr {
+        let _ = core;
+        word
+    }
+
+    /// The execution stage produced `value` (an ALU/FPU result, a computed
+    /// effective address, or a control-flow target); may corrupt it.
+    #[inline]
+    fn on_execute_result(&mut self, core: usize, instr: &Instr, value: u64) -> u64 {
+        let _ = (core, instr);
+        value
+    }
+
+    /// A load read `value` from `addr`; may corrupt the loaded value.
+    #[inline]
+    fn on_mem_load(&mut self, core: usize, addr: u64, value: u64) -> u64 {
+        let _ = (core, addr);
+        value
+    }
+
+    /// A store is about to write `value` to `addr`; may corrupt the stored
+    /// value.
+    #[inline]
+    fn on_mem_store(&mut self, core: usize, addr: u64, value: u64) -> u64 {
+        let _ = (core, addr);
+        value
+    }
+
+    /// An architectural register was read as a source operand (consumption
+    /// tracking for the *non-propagated* outcome class).
+    #[inline]
+    fn on_reg_read(&mut self, core: usize, reg: RegRef) {
+        let _ = (core, reg);
+    }
+
+    /// An architectural register was overwritten.
+    #[inline]
+    fn on_reg_write(&mut self, core: usize, reg: RegRef) {
+        let _ = (core, reg);
+    }
+
+    /// An instruction committed (per-thread instruction counting).
+    #[inline]
+    fn on_commit(&mut self, core: usize, now: Ticks, pc: u64, instr: &Instr) {
+        let _ = (core, now, pc, instr);
+    }
+
+    /// `fi_activate_inst(id)` committed on the thread whose PCB base is
+    /// `pcbb` (toggles injection for that thread).
+    #[inline]
+    fn on_fi_activate(&mut self, core: usize, now: Ticks, id: u32, pcbb: u64) {
+        let _ = (core, now, id, pcbb);
+    }
+
+    /// The PCB base register changed (context switch): GemFI re-resolves its
+    /// per-core `ThreadEnabledFault` pointer here instead of hashing on
+    /// every tick (the Sec. III-C optimization).
+    #[inline]
+    fn on_context_switch(&mut self, core: usize, new_pcbb: u64) {
+        let _ = (core, new_pcbb);
+    }
+}
+
+/// The "unmodified gem5" baseline: every hook is a no-op and inlines away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopHooks;
+
+impl FaultHooks for NoopHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hooks_are_identity() {
+        let mut h = NoopHooks;
+        let w = RawInstr(0x1234);
+        assert_eq!(h.on_fetch(0, 0, w), w);
+        assert_eq!(h.on_decode(0, w), w);
+        assert_eq!(h.on_mem_load(0, 0, 9), 9);
+        assert_eq!(h.on_mem_store(0, 0, 9), 9);
+    }
+}

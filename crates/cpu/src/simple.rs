@@ -1,0 +1,234 @@
+//! The two "simple" CPU models: atomic and timing.
+
+use crate::exec::step_instruction;
+use crate::hooks::FaultHooks;
+use crate::StepResult;
+use gemfi_isa::{ArchState, Trap};
+use gemfi_kernel::Kernel;
+use gemfi_mem::{MemorySystem, Ticks};
+use serde::{Deserialize, Serialize};
+
+/// gem5's *Atomic Simple* analogue: one instruction per tick, memory
+/// accesses complete instantaneously (cache statistics are still recorded,
+/// as in gem5's atomic mode).
+///
+/// This is the model campaigns switch to after the injected fault commits or
+/// squashes, to fast-forward the remainder of the application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomicCpu;
+
+impl AtomicCpu {
+    /// Executes one instruction in one tick.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`Trap`] that terminated execution.
+    pub fn step<H: FaultHooks>(
+        &mut self,
+        core: usize,
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        kernel: &mut Kernel,
+        hooks: &mut H,
+        now: Ticks,
+    ) -> Result<StepResult, Trap> {
+        let rec = step_instruction(core, arch, mem, kernel, hooks, now)?;
+        Ok(StepResult { ticks: 1, committed: 1, event: rec.event })
+    }
+}
+
+/// gem5's *Timing Simple* analogue: functional execution, but every step
+/// pays the modeled instruction-fetch and data-access latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingCpu;
+
+impl TimingCpu {
+    /// Executes one instruction, charging memory timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the guest [`Trap`] that terminated execution.
+    pub fn step<H: FaultHooks>(
+        &mut self,
+        core: usize,
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        kernel: &mut Kernel,
+        hooks: &mut H,
+        now: Ticks,
+    ) -> Result<StepResult, Trap> {
+        let rec = step_instruction(core, arch, mem, kernel, hooks, now)?;
+        Ok(StepResult {
+            ticks: rec.fetch_latency + 1 + rec.mem_latency,
+            committed: 1,
+            event: rec.event,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoopHooks;
+    use crate::StepEvent;
+    use gemfi_asm::{Assembler, Reg};
+    use gemfi_mem::MemConfig;
+
+    fn boot(program: &gemfi_asm::Program) -> (ArchState, MemorySystem, Kernel) {
+        let mut mem = MemorySystem::new(MemConfig { phys_size: 8 << 20, ..MemConfig::default() });
+        let mut text = Vec::new();
+        for w in program.text_words() {
+            text.extend_from_slice(&w.to_le_bytes());
+        }
+        mem.write_slice(gemfi_asm::TEXT_BASE, &text).unwrap();
+        mem.write_slice(program.data_base(), program.data_bytes()).unwrap();
+        let mut arch = ArchState::default();
+        let kernel =
+            Kernel::boot(&mut arch, &mut mem, program.entry(), program.image_end(), 0).unwrap();
+        (arch, mem, kernel)
+    }
+
+    fn run_to_halt(
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        kernel: &mut Kernel,
+        max: u64,
+    ) -> u64 {
+        let mut cpu = AtomicCpu;
+        let mut now = 0;
+        for _ in 0..max {
+            let r = cpu.step(0, arch, mem, kernel, &mut NoopHooks, now).unwrap();
+            now += r.ticks;
+            if let StepEvent::Halted(code) = r.event {
+                return code;
+            }
+        }
+        panic!("program did not halt in {max} steps");
+    }
+
+    #[test]
+    fn atomic_runs_a_loop_to_completion() {
+        let mut a = Assembler::new();
+        // sum = 0; for i in 1..=10 { sum += i }; exit(sum)
+        a.li(Reg::R1, 0); // sum
+        a.li(Reg::R2, 1); // i
+        a.li(Reg::R3, 10);
+        a.label("loop");
+        a.addq(Reg::R1, Reg::R2, Reg::R1);
+        a.addq_lit(Reg::R2, 1, Reg::R2);
+        a.cmple(Reg::R2, Reg::R3, Reg::R4);
+        a.bne(Reg::R4, "loop");
+        a.mov(Reg::R1, Reg::A0);
+        a.pal(gemfi_isa::PalFunc::Exit);
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        assert_eq!(run_to_halt(&mut arch, &mut mem, &mut kernel, 10_000), 55);
+    }
+
+    #[test]
+    fn fp_arithmetic_works_end_to_end() {
+        use gemfi_asm::FReg;
+        let mut a = Assembler::new();
+        a.lif(FReg::F1, 1.5, Reg::R9);
+        a.lif(FReg::F2, 2.5, Reg::R9);
+        a.addt(FReg::F1, FReg::F2, FReg::F3); // 4.0
+        a.mult(FReg::F3, FReg::F3, FReg::F3); // 16.0
+        a.cvttq(FReg::F3, FReg::F4);
+        a.ftoit(FReg::F4, Reg::A0);
+        a.pal(gemfi_isa::PalFunc::Exit);
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        assert_eq!(run_to_halt(&mut arch, &mut mem, &mut kernel, 1000), 16);
+    }
+
+    #[test]
+    fn memory_rw_and_console() {
+        let mut a = Assembler::new();
+        a.dsym("buf");
+        a.data_u64(&[0]);
+        a.la(Reg::R1, "buf");
+        a.li(Reg::R2, 0x68); // 'h'
+        a.stq(Reg::R2, 0, Reg::R1);
+        a.ldq(Reg::A0, 0, Reg::R1);
+        a.putc();
+        a.exit(0);
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        run_to_halt(&mut arch, &mut mem, &mut kernel, 1000);
+        assert_eq!(kernel.console(), b"h");
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        let mut a = Assembler::new();
+        a.entry("main");
+        a.label("double");
+        a.addq(Reg::A0, Reg::A0, Reg::V0);
+        a.ret();
+        a.label("main");
+        a.li(Reg::A0, 21);
+        a.call("double");
+        a.mov(Reg::V0, Reg::A0);
+        a.pal(gemfi_isa::PalFunc::Exit);
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        assert_eq!(run_to_halt(&mut arch, &mut mem, &mut kernel, 1000), 42);
+    }
+
+    #[test]
+    fn timing_model_charges_memory_latency() {
+        let mut a = Assembler::new();
+        a.dsym("x");
+        a.data_u64(&[5]);
+        a.la(Reg::R1, "x");
+        a.ldq(Reg::R2, 0, Reg::R1);
+        a.exit(0);
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        let mut cpu = TimingCpu;
+        let mut total = 0;
+        let mut steps = 0;
+        loop {
+            let r = cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, total).unwrap();
+            total += r.ticks;
+            steps += 1;
+            if matches!(r.event, StepEvent::Halted(_)) {
+                break;
+            }
+        }
+        assert!(total > steps, "timing model must charge more than 1 tick/instr on cold caches");
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut a = Assembler::new();
+        a.emit_raw(0x0c00_0000); // opcode 0x03: unimplemented
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        let err = AtomicCpu
+            .step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, 0)
+            .unwrap_err();
+        assert!(matches!(err, Trap::IllegalInstruction { .. }));
+    }
+
+    #[test]
+    fn wild_store_traps_unmapped() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 0x40_0000_0000); // far outside 8 MiB
+        a.stq(Reg::R2, 0, Reg::R1);
+        let p = a.finish().unwrap();
+        let (mut arch, mut mem, mut kernel) = boot(&p);
+        let mut cpu = AtomicCpu;
+        let mut err = None;
+        for now in 0..10 {
+            match cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, now) {
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(err, Some(Trap::UnmappedAccess { .. })), "{err:?}");
+    }
+}

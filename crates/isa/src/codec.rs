@@ -1,0 +1,455 @@
+//! A small self-contained binary codec for checkpoints.
+//!
+//! The paper's GemFI checkpoints the whole simulator process with DMTCP;
+//! this reproduction checkpoints the simulator's own state instead (see
+//! `DESIGN.md`). State structs across the workspace implement [`Codec`] so a
+//! whole-machine snapshot serializes to a deterministic, versioned byte
+//! stream without pulling a serialization-format dependency.
+//!
+//! The format is little-endian, length-prefixed for variable-size data, and
+//! intentionally boring.
+
+use std::fmt;
+
+/// Errors produced while decoding a checkpoint byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// An enum discriminant or magic value was invalid.
+    InvalidTag {
+        /// Description of what was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// A declared length is implausible (corrupt stream).
+    LengthOverflow {
+        /// The declared length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of stream: needed {needed} bytes, {remaining} remain")
+            }
+            CodecError::InvalidTag { what, value } => {
+                write!(f, "invalid tag {value} while decoding {what}")
+            }
+            CodecError::LengthOverflow { len } => write!(f, "implausible length {len}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a `usize` as `u64`.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends raw bytes with a length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// A cursor over an encoded byte stream.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`].
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.get_u64()? as i64)
+    }
+
+    /// Reads a length prefix, sanity-checking it against the remaining
+    /// stream so corrupt lengths fail fast instead of allocating wildly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] / [`CodecError::LengthOverflow`].
+    pub fn get_len(&mut self) -> Result<usize, CodecError> {
+        let len = self.get_u64()?;
+        if len > (1 << 40) {
+            return Err(CodecError::LengthOverflow { len });
+        }
+        Ok(len as usize)
+    }
+
+    /// Reads a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] / [`CodecError::InvalidTag`].
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(CodecError::InvalidTag { what: "bool", value: v as u64 }),
+        }
+    }
+
+    /// Reads length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEof`] / [`CodecError::LengthOverflow`].
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_len()?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Codec errors, or [`CodecError::InvalidTag`] for invalid UTF-8.
+    pub fn get_string(&mut self) -> Result<String, CodecError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CodecError::InvalidTag { what: "utf-8 string", value: 0 })
+    }
+}
+
+/// Binary encode/decode for checkpointable state.
+pub trait Codec: Sized {
+    /// Appends this value to the writer.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Decodes a value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated or corrupt stream.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+
+    /// Convenience: encode to a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Convenience: decode from a byte slice, requiring full consumption.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated, corrupt, or over-long stream.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CodecError::InvalidTag { what: "trailing bytes", value: r.remaining() as u64 });
+        }
+        Ok(v)
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.get_u64()
+    }
+}
+
+impl Codec for u8 {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.get_u8()
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_bool(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.get_bool()
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.get_string()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let len = r.get_len()?;
+        let mut v = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            v => Err(CodecError::InvalidTag { what: "Option", value: v as u64 }),
+        }
+    }
+}
+
+impl crate::regs::RegFile {
+    /// Encodes both register banks.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        for v in self.int_bank() {
+            w.put_u64(*v);
+        }
+        for v in self.fp_bank() {
+            w.put_u64(*v);
+        }
+    }
+
+    /// Decodes both register banks.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on a truncated stream.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut rf = crate::regs::RegFile::new();
+        for i in 0..crate::NUM_INT_REGS {
+            rf.int_bank_mut()[i] = r.get_u64()?;
+        }
+        for i in 0..crate::NUM_FP_REGS {
+            rf.fp_bank_mut()[i] = r.get_u64()?;
+        }
+        Ok(rf)
+    }
+}
+
+impl Codec for crate::arch::ArchState {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.regs.encode_state(w);
+        w.put_u64(self.pc);
+        w.put_u64(self.pcbb);
+        w.put_u64(self.psr);
+        w.put_u64(self.exc_addr);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::arch::ArchState {
+            regs: crate::regs::RegFile::decode_state(r)?,
+            pc: r.get_u64()?,
+            pcbb: r.get_u64()?,
+            psr: r.get_u64()?,
+            exc_addr: r.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchState;
+    use crate::regs::IntReg;
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_i64(-5);
+        w.put_bool(true);
+        w.put_bytes(b"hello");
+        w.put_str("käse");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -5);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_bytes().unwrap(), b"hello");
+        assert_eq!(r.get_string().unwrap(), "käse");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(r.get_u64(), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn invalid_bool_is_rejected() {
+        let mut r = ByteReader::new(&[7]);
+        assert!(matches!(r.get_bool(), Err(CodecError::InvalidTag { .. })));
+    }
+
+    #[test]
+    fn vec_and_option_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_bytes(&v.to_bytes()).unwrap(), v);
+        let o: Option<u64> = Some(9);
+        assert_eq!(Option::<u64>::from_bytes(&o.to_bytes()).unwrap(), o);
+        let n: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_bytes(&n.to_bytes()).unwrap(), n);
+    }
+
+    #[test]
+    fn archstate_roundtrips_bit_exactly() {
+        let mut a = ArchState::new(0x1_0000);
+        a.regs.write_int(IntReg::new(5).unwrap(), 0xabcd);
+        a.regs.write_fp(crate::regs::FpReg::new(3).unwrap(), -0.125);
+        a.pcbb = 0x4400;
+        let b = ArchState::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert!(u64::from_bytes(&bytes).is_err());
+    }
+}

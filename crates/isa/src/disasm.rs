@@ -1,0 +1,53 @@
+//! Disassembler.
+//!
+//! GemFI prints the assembly of the instruction a fault landed on so the
+//! outcome can be correlated *post-mortem* with the affected instruction
+//! (Sec. IV-B "When injecting a fault we print information on the affected
+//! assembly instruction"). [`disassemble`] never fails: undecodable words
+//! render as `.illegal`.
+
+use crate::format::RawInstr;
+use crate::instr::decode;
+
+/// Renders an instruction word as assembly text, or `.illegal <word>` when
+/// the word does not decode.
+///
+/// # Example
+///
+/// ```
+/// use gemfi_isa::{disassemble, encode, Instr, IntReg, Operand};
+/// use gemfi_isa::opcode::IntFunc;
+///
+/// let w = encode(&Instr::IntOp {
+///     func: IntFunc::Addq,
+///     ra: IntReg::new(1).unwrap(),
+///     rb: Operand::Lit(4),
+///     rc: IntReg::new(2).unwrap(),
+/// });
+/// assert_eq!(disassemble(w), "addq r1, #4, r2");
+/// ```
+pub fn disassemble(word: RawInstr) -> String {
+    match decode(word) {
+        Ok(i) => i.to_string(),
+        Err(_) => format!(".illegal {word}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format;
+
+    #[test]
+    fn illegal_words_render_as_directive() {
+        let w = RawInstr(0).with_field(format::OPCODE, 0x07);
+        assert!(disassemble(w).starts_with(".illegal"));
+    }
+
+    #[test]
+    fn decodable_words_render_as_assembly() {
+        use crate::instr::{encode, Instr};
+        let w = encode(&Instr::FiReadInit);
+        assert_eq!(disassemble(w), "fi_read_init_all");
+    }
+}

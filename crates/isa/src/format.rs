@@ -1,0 +1,278 @@
+//! Raw instruction words and the four Alpha instruction formats (Table I).
+//!
+//! The fault engine operates on [`RawInstr`] when injecting into the fetch
+//! and decode stages: a fetched-instruction fault may flip *any* of the 32
+//! bits, while a decode-stage "register selection" fault is restricted to the
+//! `Ra`/`Rb`/`Rc` selector fields. Field extraction and replacement helpers
+//! here keep those manipulations in one place.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four Alpha instruction formats from Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Format {
+    /// `opcode[31:26] | number[25:0]`
+    PalCode,
+    /// `opcode[31:26] | Ra[25:21] | displacement[20:0]`
+    Branch,
+    /// `opcode[31:26] | Ra[25:21] | Rb[20:16] | displacement[15:0]`
+    Memory,
+    /// `opcode[31:26] | Ra[25:21] | Rb[20:16] | lit[15:13] | function[12:5] | Rc[4:0]`
+    Operate,
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Format::PalCode => write!(f, "PALcode"),
+            Format::Branch => write!(f, "Branch"),
+            Format::Memory => write!(f, "Memory"),
+            Format::Operate => write!(f, "Operate"),
+        }
+    }
+}
+
+/// A named bit field within an instruction word, `[hi:lo]` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name as printed in Table I (e.g. `"Ra"`, `"displacement"`).
+    pub name: &'static str,
+    /// Most significant bit, inclusive.
+    pub hi: u8,
+    /// Least significant bit, inclusive.
+    pub lo: u8,
+}
+
+impl Field {
+    /// Width of the field in bits.
+    pub fn width(self) -> u8 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether bit position `bit` (0 = LSB of the word) lies in this field.
+    pub fn contains_bit(self, bit: u8) -> bool {
+        bit >= self.lo && bit <= self.hi
+    }
+}
+
+/// The `opcode` field common to every format.
+pub const OPCODE: Field = Field { name: "opcode", hi: 31, lo: 26 };
+/// PALcode `number` field.
+pub const PAL_NUMBER: Field = Field { name: "number", hi: 25, lo: 0 };
+/// `Ra` register selector.
+pub const RA: Field = Field { name: "Ra", hi: 25, lo: 21 };
+/// `Rb` register selector.
+pub const RB: Field = Field { name: "Rb", hi: 20, lo: 16 };
+/// `Rc` register selector (Operate format).
+pub const RC: Field = Field { name: "Rc", hi: 4, lo: 0 };
+/// Branch-format 21-bit displacement.
+pub const BDISP: Field = Field { name: "displacement", hi: 20, lo: 0 };
+/// Memory-format 16-bit displacement.
+pub const MDISP: Field = Field { name: "displacement", hi: 15, lo: 0 };
+/// Operate-format literal/flag bit: bit 12 selects literal mode, in which
+/// bits 20:13 (overlapping `Rb`) hold an 8-bit literal (Alpha's layout).
+pub const LITFLAG: Field = Field { name: "lit", hi: 12, lo: 12 };
+/// Operate-format 8-bit literal value (an overlay of `Rb`+`SBZ`, valid when
+/// `LITFLAG` is set).
+pub const LITERAL: Field = Field { name: "literal", hi: 20, lo: 13 };
+/// Operate-format should-be-zero bits (register mode).
+pub const SBZ: Field = Field { name: "SBZ", hi: 15, lo: 13 };
+/// Operate-format 7-bit function code.
+pub const FUNCTION: Field = Field { name: "function", hi: 11, lo: 5 };
+
+impl Format {
+    /// The fields of this format in most-significant-first order, exactly as
+    /// Table I lists them.
+    pub fn fields(self) -> &'static [Field] {
+        match self {
+            Format::PalCode => &[OPCODE, PAL_NUMBER],
+            Format::Branch => &[OPCODE, RA, BDISP],
+            Format::Memory => &[OPCODE, RA, RB, MDISP],
+            Format::Operate => &[OPCODE, RA, RB, SBZ, LITFLAG, FUNCTION, RC],
+        }
+    }
+
+    /// The field of this format containing bit `bit`, if any.
+    pub fn field_of_bit(self, bit: u8) -> Option<Field> {
+        self.fields().iter().copied().find(|f| f.contains_bit(bit))
+    }
+
+    /// The register-selector fields of this format (targets for decode-stage
+    /// "selection of read/write registers" faults in the paper's model).
+    pub fn reg_selector_fields(self) -> &'static [Field] {
+        match self {
+            Format::PalCode => &[],
+            Format::Branch => &[RA],
+            Format::Memory => &[RA, RB],
+            Format::Operate => &[RA, RB, RC],
+        }
+    }
+}
+
+/// A raw, undecoded 32-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RawInstr(pub u32);
+
+impl RawInstr {
+    /// Extracts a bit field from the word.
+    pub fn field(self, f: Field) -> u32 {
+        (self.0 >> f.lo) & ((1u32 << f.width()) - 1)
+    }
+
+    /// Returns a copy of the word with field `f` replaced by `value`
+    /// (truncated to the field width).
+    pub fn with_field(self, f: Field, value: u32) -> RawInstr {
+        let mask = ((1u32 << f.width()) - 1) << f.lo;
+        RawInstr((self.0 & !mask) | ((value << f.lo) & mask))
+    }
+
+    /// The 6-bit major opcode.
+    pub fn opcode(self) -> u32 {
+        self.field(OPCODE)
+    }
+
+    /// The `Ra` selector bits.
+    pub fn ra(self) -> u32 {
+        self.field(RA)
+    }
+
+    /// The `Rb` selector bits.
+    pub fn rb(self) -> u32 {
+        self.field(RB)
+    }
+
+    /// The `Rc` selector bits.
+    pub fn rc(self) -> u32 {
+        self.field(RC)
+    }
+
+    /// Sign-extended 16-bit memory displacement.
+    pub fn mdisp(self) -> i64 {
+        self.field(MDISP) as u16 as i16 as i64
+    }
+
+    /// Sign-extended 21-bit branch displacement (in instruction words).
+    pub fn bdisp(self) -> i64 {
+        let v = self.field(BDISP);
+        ((v << 11) as i32 >> 11) as i64
+    }
+
+    /// The 26-bit PALcode number.
+    pub fn palnum(self) -> u32 {
+        self.field(PAL_NUMBER)
+    }
+
+    /// The operate-format 7-bit function code.
+    pub fn function(self) -> u32 {
+        self.field(FUNCTION)
+    }
+
+    /// Whether the operate-format literal flag (bit 12) is set.
+    pub fn lit_flag(self) -> bool {
+        self.field(LITFLAG) != 0
+    }
+
+    /// The operate-format 8-bit literal.
+    pub fn literal(self) -> u32 {
+        self.field(LITERAL)
+    }
+
+    /// Flips bit `bit` (0–31) of the word. Used by fetch-stage fault
+    /// injection.
+    pub fn flip_bit(self, bit: u8) -> RawInstr {
+        RawInstr(self.0 ^ (1u32 << (bit & 31)))
+    }
+}
+
+impl fmt::Display for RawInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for RawInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for RawInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for RawInstr {
+    fn from(w: u32) -> RawInstr {
+        RawInstr(w)
+    }
+}
+
+impl From<RawInstr> for u32 {
+    fn from(r: RawInstr) -> u32 {
+        r.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_all_32_bits_without_overlap() {
+        for format in [Format::PalCode, Format::Branch, Format::Memory, Format::Operate] {
+            let mut seen = [false; 32];
+            for f in format.fields() {
+                for bit in f.lo..=f.hi {
+                    assert!(!seen[bit as usize], "{format}: bit {bit} covered twice");
+                    seen[bit as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "{format}: bits not fully covered");
+        }
+    }
+
+    #[test]
+    fn field_extract_and_replace_roundtrip() {
+        let w = RawInstr(0xffff_ffff);
+        let w2 = w.with_field(RA, 0);
+        assert_eq!(w2.ra(), 0);
+        assert_eq!(w2.with_field(RA, 31).0, w.0);
+    }
+
+    #[test]
+    fn mdisp_sign_extends() {
+        let w = RawInstr(0).with_field(MDISP, 0xffff);
+        assert_eq!(w.mdisp(), -1);
+        let w = RawInstr(0).with_field(MDISP, 0x7fff);
+        assert_eq!(w.mdisp(), 0x7fff);
+    }
+
+    #[test]
+    fn bdisp_sign_extends_21_bits() {
+        let w = RawInstr(0).with_field(BDISP, 0x1f_ffff);
+        assert_eq!(w.bdisp(), -1);
+        let w = RawInstr(0).with_field(BDISP, 0x0f_ffff);
+        assert_eq!(w.bdisp(), 0x0f_ffff);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let w = RawInstr(0x1234_5678);
+        for bit in 0..32 {
+            assert_eq!(w.flip_bit(bit).flip_bit(bit), w);
+            assert_ne!(w.flip_bit(bit), w);
+        }
+    }
+
+    #[test]
+    fn field_of_bit_names_table1_fields() {
+        assert_eq!(Format::Memory.field_of_bit(31).unwrap().name, "opcode");
+        assert_eq!(Format::Memory.field_of_bit(22).unwrap().name, "Ra");
+        assert_eq!(Format::Memory.field_of_bit(17).unwrap().name, "Rb");
+        assert_eq!(Format::Memory.field_of_bit(3).unwrap().name, "displacement");
+        assert_eq!(Format::Operate.field_of_bit(7).unwrap().name, "function");
+        assert_eq!(Format::Operate.field_of_bit(0).unwrap().name, "Rc");
+    }
+}

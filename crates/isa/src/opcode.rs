@@ -1,0 +1,745 @@
+//! Major opcodes, operate-format function codes, and PAL call numbers.
+//!
+//! Opcode assignments follow the real Alpha AXP architecture for every
+//! instruction class the subset implements (LDA = 0x08, LDQ = 0x29,
+//! BEQ = 0x39, integer operates under 0x10–0x13, …). The two GemFI
+//! pseudo-instructions occupy reserved Alpha opcode space (`OPC01`/`OPC02`),
+//! mirroring how GemFI extends the ISA with `m5op`-style pseudo-ops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Major (6-bit) opcodes implemented by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `CALL_PAL` — trap into the PAL/kernel layer.
+    CallPal = 0x00,
+    /// GemFI pseudo-op: `fi_activate_inst(id)`; the id is the PAL-format
+    /// 26-bit number field.
+    FiActivate = 0x01,
+    /// GemFI pseudo-op: `fi_read_init_all()` — checkpoint request.
+    FiReadInit = 0x02,
+    /// Load address: `Ra = Rb + disp`.
+    Lda = 0x08,
+    /// Load address high: `Ra = Rb + (disp << 16)`.
+    Ldah = 0x09,
+    /// Integer arithmetic operate group (ADDQ, SUBQ, CMP…).
+    IntArith = 0x10,
+    /// Integer logical operate group (AND, BIS, XOR, CMOV…).
+    IntLogic = 0x11,
+    /// Integer shift operate group (SLL, SRL, SRA).
+    IntShift = 0x12,
+    /// Integer multiply operate group (MULQ, UMULH).
+    IntMul = 0x13,
+    /// Floating-point operate group (ADDT, MULT, CVT…).
+    FltOp = 0x16,
+    /// Memory-format jump group (JMP/JSR/RET selected by disp bits 15:14).
+    Jmp = 0x1a,
+    /// Load double (IEEE T-float) into an FP register.
+    Ldt = 0x23,
+    /// Store double from an FP register.
+    Stt = 0x27,
+    /// Load sign-extended 32-bit.
+    Ldl = 0x28,
+    /// Load 64-bit.
+    Ldq = 0x29,
+    /// Store low 32 bits.
+    Stl = 0x2c,
+    /// Store 64-bit.
+    Stq = 0x2d,
+    /// Unconditional branch, writes return address to `Ra`.
+    Br = 0x30,
+    /// FP branch if `Ra == 0.0`.
+    Fbeq = 0x31,
+    /// FP branch if `Ra < 0.0`.
+    Fblt = 0x32,
+    /// FP branch if `Ra <= 0.0`.
+    Fble = 0x33,
+    /// Branch to subroutine (same encoding semantics as BR; pushes RAS).
+    Bsr = 0x34,
+    /// FP branch if `Ra != 0.0`.
+    Fbne = 0x35,
+    /// FP branch if `Ra >= 0.0`.
+    Fbge = 0x36,
+    /// FP branch if `Ra > 0.0`.
+    Fbgt = 0x37,
+    /// Branch if low bit of `Ra` is clear.
+    Blbc = 0x38,
+    /// Branch if `Ra == 0`.
+    Beq = 0x39,
+    /// Branch if `Ra < 0` (signed).
+    Blt = 0x3a,
+    /// Branch if `Ra <= 0` (signed).
+    Ble = 0x3b,
+    /// Branch if low bit of `Ra` is set.
+    Blbs = 0x3c,
+    /// Branch if `Ra != 0`.
+    Bne = 0x3d,
+    /// Branch if `Ra >= 0` (signed).
+    Bge = 0x3e,
+    /// Branch if `Ra > 0` (signed).
+    Bgt = 0x3f,
+}
+
+impl Opcode {
+    /// Decodes a 6-bit major opcode, returning `None` for unimplemented
+    /// encodings (which the CPU raises as illegal-instruction traps — the
+    /// paper's observed outcome for opcode-field corruption).
+    pub fn from_bits(bits: u32) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match bits & 0x3f {
+            0x00 => CallPal,
+            0x01 => FiActivate,
+            0x02 => FiReadInit,
+            0x08 => Lda,
+            0x09 => Ldah,
+            0x10 => IntArith,
+            0x11 => IntLogic,
+            0x12 => IntShift,
+            0x13 => IntMul,
+            0x16 => FltOp,
+            0x1a => Jmp,
+            0x23 => Ldt,
+            0x27 => Stt,
+            0x28 => Ldl,
+            0x29 => Ldq,
+            0x2c => Stl,
+            0x2d => Stq,
+            0x30 => Br,
+            0x31 => Fbeq,
+            0x32 => Fblt,
+            0x33 => Fble,
+            0x34 => Bsr,
+            0x35 => Fbne,
+            0x36 => Fbge,
+            0x37 => Fbgt,
+            0x38 => Blbc,
+            0x39 => Beq,
+            0x3a => Blt,
+            0x3b => Ble,
+            0x3c => Blbs,
+            0x3d => Bne,
+            0x3e => Bge,
+            0x3f => Bgt,
+            _ => return None,
+        })
+    }
+
+    /// The instruction format of this opcode.
+    pub fn format(self) -> super::Format {
+        use Opcode::*;
+        match self {
+            CallPal | FiActivate | FiReadInit => super::Format::PalCode,
+            Lda | Ldah | Jmp | Ldt | Stt | Ldl | Ldq | Stl | Stq => super::Format::Memory,
+            IntArith | IntLogic | IntShift | IntMul | FltOp => super::Format::Operate,
+            Br | Bsr | Fbeq | Fblt | Fble | Fbne | Fbge | Fbgt | Blbc | Beq | Blt | Ble
+            | Blbs | Bne | Bge | Bgt => super::Format::Branch,
+        }
+    }
+}
+
+/// Integer operate-group function codes (real Alpha values).
+///
+/// The pair `(major opcode, function)` selects the operation; unknown pairs
+/// decode to illegal instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntFunc {
+    // 0x10 group
+    /// 32-bit add (sign-extended result).
+    Addl,
+    /// 64-bit add.
+    Addq,
+    /// 32-bit subtract (sign-extended result).
+    Subl,
+    /// 64-bit subtract.
+    Subq,
+    /// Compare equal.
+    Cmpeq,
+    /// Compare signed less-than.
+    Cmplt,
+    /// Compare signed less-or-equal.
+    Cmple,
+    /// Compare unsigned less-than.
+    Cmpult,
+    /// Compare unsigned less-or-equal.
+    Cmpule,
+    /// Scaled-by-8 add (`Ra*8 + Rb`), Alpha's S8ADDQ.
+    S8addq,
+    // 0x11 group
+    /// Bitwise AND.
+    And,
+    /// AND with complement.
+    Bic,
+    /// Bitwise OR (Alpha's BIS).
+    Bis,
+    /// OR with complement.
+    Ornot,
+    /// Bitwise XOR.
+    Xor,
+    /// XOR with complement (equivalence).
+    Eqv,
+    /// Conditional move if `Ra == 0`.
+    Cmoveq,
+    /// Conditional move if `Ra != 0`.
+    Cmovne,
+    /// Conditional move if `Ra < 0`.
+    Cmovlt,
+    /// Conditional move if `Ra >= 0`.
+    Cmovge,
+    /// Conditional move if `Ra <= 0`.
+    Cmovle,
+    /// Conditional move if `Ra > 0`.
+    Cmovgt,
+    // 0x12 group
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    // 0x13 group
+    /// 32-bit multiply (sign-extended result).
+    Mull,
+    /// 64-bit multiply (low half).
+    Mulq,
+    /// Unsigned multiply, high 64 bits.
+    Umulh,
+}
+
+impl IntFunc {
+    /// The `(opcode, function)` encoding of this operation.
+    pub fn encoding(self) -> (Opcode, u32) {
+        use IntFunc::*;
+        match self {
+            Addl => (Opcode::IntArith, 0x00),
+            Addq => (Opcode::IntArith, 0x20),
+            Subl => (Opcode::IntArith, 0x09),
+            Subq => (Opcode::IntArith, 0x29),
+            Cmpeq => (Opcode::IntArith, 0x2d),
+            Cmplt => (Opcode::IntArith, 0x4d),
+            Cmple => (Opcode::IntArith, 0x6d),
+            Cmpult => (Opcode::IntArith, 0x1d),
+            Cmpule => (Opcode::IntArith, 0x3d),
+            S8addq => (Opcode::IntArith, 0x32),
+            And => (Opcode::IntLogic, 0x00),
+            Bic => (Opcode::IntLogic, 0x08),
+            Bis => (Opcode::IntLogic, 0x20),
+            Ornot => (Opcode::IntLogic, 0x28),
+            Xor => (Opcode::IntLogic, 0x40),
+            Eqv => (Opcode::IntLogic, 0x48),
+            Cmoveq => (Opcode::IntLogic, 0x24),
+            Cmovne => (Opcode::IntLogic, 0x26),
+            Cmovlt => (Opcode::IntLogic, 0x44),
+            Cmovge => (Opcode::IntLogic, 0x46),
+            Cmovle => (Opcode::IntLogic, 0x64),
+            Cmovgt => (Opcode::IntLogic, 0x66),
+            Sll => (Opcode::IntShift, 0x39),
+            Srl => (Opcode::IntShift, 0x34),
+            Sra => (Opcode::IntShift, 0x3c),
+            Mull => (Opcode::IntMul, 0x00),
+            Mulq => (Opcode::IntMul, 0x20),
+            Umulh => (Opcode::IntMul, 0x30),
+        }
+    }
+
+    /// Decodes `(opcode, function)` back to the operation.
+    pub fn from_encoding(op: Opcode, func: u32) -> Option<IntFunc> {
+        use IntFunc::*;
+        Some(match (op, func & 0x7f) {
+            (Opcode::IntArith, 0x00) => Addl,
+            (Opcode::IntArith, 0x20) => Addq,
+            (Opcode::IntArith, 0x09) => Subl,
+            (Opcode::IntArith, 0x29) => Subq,
+            (Opcode::IntArith, 0x2d) => Cmpeq,
+            (Opcode::IntArith, 0x4d) => Cmplt,
+            (Opcode::IntArith, 0x6d) => Cmple,
+            (Opcode::IntArith, 0x1d) => Cmpult,
+            (Opcode::IntArith, 0x3d) => Cmpule,
+            (Opcode::IntArith, 0x32) => S8addq,
+            (Opcode::IntLogic, 0x00) => And,
+            (Opcode::IntLogic, 0x08) => Bic,
+            (Opcode::IntLogic, 0x20) => Bis,
+            (Opcode::IntLogic, 0x28) => Ornot,
+            (Opcode::IntLogic, 0x40) => Xor,
+            (Opcode::IntLogic, 0x48) => Eqv,
+            (Opcode::IntLogic, 0x24) => Cmoveq,
+            (Opcode::IntLogic, 0x26) => Cmovne,
+            (Opcode::IntLogic, 0x44) => Cmovlt,
+            (Opcode::IntLogic, 0x46) => Cmovge,
+            (Opcode::IntLogic, 0x64) => Cmovle,
+            (Opcode::IntLogic, 0x66) => Cmovgt,
+            (Opcode::IntShift, 0x39) => Sll,
+            (Opcode::IntShift, 0x34) => Srl,
+            (Opcode::IntShift, 0x3c) => Sra,
+            (Opcode::IntMul, 0x00) => Mull,
+            (Opcode::IntMul, 0x20) => Mulq,
+            (Opcode::IntMul, 0x30) => Umulh,
+            _ => return None,
+        })
+    }
+
+    /// All integer operations, for exhaustive encode/decode tests.
+    pub const ALL: [IntFunc; 28] = [
+        IntFunc::Addl,
+        IntFunc::Addq,
+        IntFunc::Subl,
+        IntFunc::Subq,
+        IntFunc::Cmpeq,
+        IntFunc::Cmplt,
+        IntFunc::Cmple,
+        IntFunc::Cmpult,
+        IntFunc::Cmpule,
+        IntFunc::S8addq,
+        IntFunc::And,
+        IntFunc::Bic,
+        IntFunc::Bis,
+        IntFunc::Ornot,
+        IntFunc::Xor,
+        IntFunc::Eqv,
+        IntFunc::Cmoveq,
+        IntFunc::Cmovne,
+        IntFunc::Cmovlt,
+        IntFunc::Cmovge,
+        IntFunc::Cmovle,
+        IntFunc::Cmovgt,
+        IntFunc::Sll,
+        IntFunc::Srl,
+        IntFunc::Sra,
+        IntFunc::Mull,
+        IntFunc::Mulq,
+        IntFunc::Umulh,
+    ];
+
+    /// Lowercase mnemonic, as printed by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        use IntFunc::*;
+        match self {
+            Addl => "addl",
+            Addq => "addq",
+            Subl => "subl",
+            Subq => "subq",
+            Cmpeq => "cmpeq",
+            Cmplt => "cmplt",
+            Cmple => "cmple",
+            Cmpult => "cmpult",
+            Cmpule => "cmpule",
+            S8addq => "s8addq",
+            And => "and",
+            Bic => "bic",
+            Bis => "bis",
+            Ornot => "ornot",
+            Xor => "xor",
+            Eqv => "eqv",
+            Cmoveq => "cmoveq",
+            Cmovne => "cmovne",
+            Cmovlt => "cmovlt",
+            Cmovge => "cmovge",
+            Cmovle => "cmovle",
+            Cmovgt => "cmovgt",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Mull => "mull",
+            Mulq => "mulq",
+            Umulh => "umulh",
+        }
+    }
+}
+
+impl fmt::Display for IntFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point operate-group function codes (opcode 0x16).
+///
+/// Function values are subset-local assignments within the 7-bit function
+/// field; the Alpha IEEE T-float codes do not fit the generic Table I operate
+/// layout the paper depicts, so the subset keeps the layout and renumbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpFunc {
+    /// IEEE double add.
+    Addt,
+    /// IEEE double subtract.
+    Subt,
+    /// IEEE double multiply.
+    Mult,
+    /// IEEE double divide.
+    Divt,
+    /// IEEE double square root.
+    Sqrtt,
+    /// FP compare equal (result 2.0 if true, else 0.0, per Alpha).
+    Cmpteq,
+    /// FP compare less-than.
+    Cmptlt,
+    /// FP compare less-or-equal.
+    Cmptle,
+    /// Convert quadword (from FP reg bits) to double.
+    Cvtqt,
+    /// Convert double to quadword, truncating.
+    Cvttq,
+    /// Copy sign: `Rc = |Rb| with sign of Ra` (CPYS Fa,Fa,Fc is FP move).
+    Cpys,
+    /// Copy negated sign.
+    Cpysn,
+    /// FP conditional move if `Ra == 0.0`.
+    Fcmoveq,
+    /// FP conditional move if `Ra != 0.0`.
+    Fcmovne,
+    /// Move integer register bits into an FP register (`Rb` int → `Rc` fp).
+    Itoft,
+    /// Move FP register bits into an integer register (`Ra` fp → `Rc` int).
+    Ftoit,
+}
+
+impl FpFunc {
+    /// The 7-bit function code of this operation.
+    pub fn function(self) -> u32 {
+        use FpFunc::*;
+        match self {
+            Addt => 0x20,
+            Subt => 0x21,
+            Mult => 0x22,
+            Divt => 0x23,
+            Sqrtt => 0x24,
+            Cmpteq => 0x25,
+            Cmptlt => 0x26,
+            Cmptle => 0x27,
+            Cvtqt => 0x28,
+            Cvttq => 0x29,
+            Cpys => 0x2a,
+            Cpysn => 0x2b,
+            Fcmoveq => 0x2c,
+            Fcmovne => 0x2d,
+            Itoft => 0x2e,
+            Ftoit => 0x2f,
+        }
+    }
+
+    /// Decodes a 7-bit function code.
+    pub fn from_function(func: u32) -> Option<FpFunc> {
+        use FpFunc::*;
+        Some(match func & 0x7f {
+            0x20 => Addt,
+            0x21 => Subt,
+            0x22 => Mult,
+            0x23 => Divt,
+            0x24 => Sqrtt,
+            0x25 => Cmpteq,
+            0x26 => Cmptlt,
+            0x27 => Cmptle,
+            0x28 => Cvtqt,
+            0x29 => Cvttq,
+            0x2a => Cpys,
+            0x2b => Cpysn,
+            0x2c => Fcmoveq,
+            0x2d => Fcmovne,
+            0x2e => Itoft,
+            0x2f => Ftoit,
+            _ => return None,
+        })
+    }
+
+    /// All FP operations, for exhaustive encode/decode tests.
+    pub const ALL: [FpFunc; 16] = [
+        FpFunc::Addt,
+        FpFunc::Subt,
+        FpFunc::Mult,
+        FpFunc::Divt,
+        FpFunc::Sqrtt,
+        FpFunc::Cmpteq,
+        FpFunc::Cmptlt,
+        FpFunc::Cmptle,
+        FpFunc::Cvtqt,
+        FpFunc::Cvttq,
+        FpFunc::Cpys,
+        FpFunc::Cpysn,
+        FpFunc::Fcmoveq,
+        FpFunc::Fcmovne,
+        FpFunc::Itoft,
+        FpFunc::Ftoit,
+    ];
+
+    /// Lowercase mnemonic, as printed by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        use FpFunc::*;
+        match self {
+            Addt => "addt",
+            Subt => "subt",
+            Mult => "mult",
+            Divt => "divt",
+            Sqrtt => "sqrtt",
+            Cmpteq => "cmpteq",
+            Cmptlt => "cmptlt",
+            Cmptle => "cmptle",
+            Cvtqt => "cvtqt",
+            Cvttq => "cvttq",
+            Cpys => "cpys",
+            Cpysn => "cpysn",
+            Fcmoveq => "fcmoveq",
+            Fcmovne => "fcmovne",
+            Itoft => "itoft",
+            Ftoit => "ftoit",
+        }
+    }
+}
+
+impl fmt::Display for FpFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Conditions for integer conditional branches, shared between the decoder
+/// and the branch-predictor update path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchCond {
+    /// `Ra == 0`
+    Eq,
+    /// `Ra != 0`
+    Ne,
+    /// `Ra < 0` (signed)
+    Lt,
+    /// `Ra <= 0` (signed)
+    Le,
+    /// `Ra > 0` (signed)
+    Gt,
+    /// `Ra >= 0` (signed)
+    Ge,
+    /// Low bit of `Ra` clear.
+    Lbc,
+    /// Low bit of `Ra` set.
+    Lbs,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on a register value.
+    pub fn eval(self, ra: u64) -> bool {
+        let s = ra as i64;
+        match self {
+            BranchCond::Eq => ra == 0,
+            BranchCond::Ne => ra != 0,
+            BranchCond::Lt => s < 0,
+            BranchCond::Le => s <= 0,
+            BranchCond::Gt => s > 0,
+            BranchCond::Ge => s >= 0,
+            BranchCond::Lbc => ra & 1 == 0,
+            BranchCond::Lbs => ra & 1 == 1,
+        }
+    }
+
+    /// Mnemonic suffix (`beq`, `bne`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Le => "ble",
+            BranchCond::Gt => "bgt",
+            BranchCond::Ge => "bge",
+            BranchCond::Lbc => "blbc",
+            BranchCond::Lbs => "blbs",
+        }
+    }
+}
+
+/// Conditions for floating-point conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpBranchCond {
+    /// `Ra == 0.0`
+    Eq,
+    /// `Ra != 0.0`
+    Ne,
+    /// `Ra < 0.0`
+    Lt,
+    /// `Ra <= 0.0`
+    Le,
+    /// `Ra > 0.0`
+    Gt,
+    /// `Ra >= 0.0`
+    Ge,
+}
+
+impl FpBranchCond {
+    /// Evaluates the condition on FP register bits. Alpha FP branches test
+    /// the sign bit and zero-ness of the bit pattern, which is what we do:
+    /// NaNs compare like their bit patterns (positive NaN is "> 0").
+    pub fn eval(self, bits: u64) -> bool {
+        let is_zero = bits << 1 == 0; // +0.0 or -0.0
+        let negative = bits >> 63 == 1;
+        match self {
+            FpBranchCond::Eq => is_zero,
+            FpBranchCond::Ne => !is_zero,
+            FpBranchCond::Lt => negative && !is_zero,
+            FpBranchCond::Le => negative || is_zero,
+            FpBranchCond::Gt => !negative && !is_zero,
+            FpBranchCond::Ge => !negative || is_zero,
+        }
+    }
+
+    /// Mnemonic (`fbeq`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpBranchCond::Eq => "fbeq",
+            FpBranchCond::Ne => "fbne",
+            FpBranchCond::Lt => "fblt",
+            FpBranchCond::Le => "fble",
+            FpBranchCond::Gt => "fbgt",
+            FpBranchCond::Ge => "fbge",
+        }
+    }
+}
+
+/// PAL call numbers understood by the kernel substrate.
+///
+/// These play the role gem5 FS mode assigns to PALcode + the guest OS:
+/// console I/O, process control, memory management and threading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PalFunc {
+    /// Halt the machine immediately.
+    Halt,
+    /// Write the low byte of `R16` to the console.
+    Putc,
+    /// Terminate the current thread with exit code `R16`.
+    Exit,
+    /// Grow the heap by `R16` bytes; old break returned in `R0`.
+    Sbrk,
+    /// Spawn a thread: entry `R16`, stack top `R17`, argument `R18`;
+    /// new thread id returned in `R0`.
+    ThreadSpawn,
+    /// Yield the CPU to the scheduler.
+    Yield,
+    /// Join thread `R16` (block until it exits).
+    ThreadJoin,
+    /// Current thread id returned in `R0`.
+    GetTid,
+    /// Append the full `R16` value to the machine's binary output channel.
+    WriteWord,
+    /// Current simulation tick returned in `R0`.
+    ReadCycles,
+}
+
+impl PalFunc {
+    /// Decodes a 26-bit PAL number.
+    pub fn from_number(n: u32) -> Option<PalFunc> {
+        use PalFunc::*;
+        Some(match n {
+            0x00 => Halt,
+            0x01 => Putc,
+            0x02 => Exit,
+            0x03 => Sbrk,
+            0x04 => ThreadSpawn,
+            0x05 => Yield,
+            0x06 => ThreadJoin,
+            0x07 => GetTid,
+            0x08 => WriteWord,
+            0x09 => ReadCycles,
+            _ => return None,
+        })
+    }
+
+    /// The 26-bit PAL number of this call.
+    pub fn number(self) -> u32 {
+        use PalFunc::*;
+        match self {
+            Halt => 0x00,
+            Putc => 0x01,
+            Exit => 0x02,
+            Sbrk => 0x03,
+            ThreadSpawn => 0x04,
+            Yield => 0x05,
+            ThreadJoin => 0x06,
+            GetTid => 0x07,
+            WriteWord => 0x08,
+            ReadCycles => 0x09,
+        }
+    }
+}
+
+impl fmt::Display for PalFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PalFunc::Halt => "halt",
+            PalFunc::Putc => "putc",
+            PalFunc::Exit => "exit",
+            PalFunc::Sbrk => "sbrk",
+            PalFunc::ThreadSpawn => "thread_spawn",
+            PalFunc::Yield => "yield",
+            PalFunc::ThreadJoin => "thread_join",
+            PalFunc::GetTid => "gettid",
+            PalFunc::WriteWord => "write_word",
+            PalFunc::ReadCycles => "read_cycles",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrips() {
+        for bits in 0..64u32 {
+            if let Some(op) = Opcode::from_bits(bits) {
+                assert_eq!(op as u8 as u32, bits, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn int_funcs_roundtrip() {
+        for f in IntFunc::ALL {
+            let (op, code) = f.encoding();
+            assert_eq!(IntFunc::from_encoding(op, code), Some(f));
+        }
+    }
+
+    #[test]
+    fn fp_funcs_roundtrip() {
+        for f in FpFunc::ALL {
+            assert_eq!(FpFunc::from_function(f.function()), Some(f));
+        }
+    }
+
+    #[test]
+    fn pal_funcs_roundtrip() {
+        for n in 0..10 {
+            let f = PalFunc::from_number(n).unwrap();
+            assert_eq!(f.number(), n);
+        }
+        assert!(PalFunc::from_number(0x100).is_none());
+    }
+
+    #[test]
+    fn branch_cond_eval_matches_semantics() {
+        assert!(BranchCond::Eq.eval(0));
+        assert!(!BranchCond::Eq.eval(1));
+        assert!(BranchCond::Lt.eval(-1i64 as u64));
+        assert!(!BranchCond::Lt.eval(0));
+        assert!(BranchCond::Ge.eval(0));
+        assert!(BranchCond::Lbs.eval(3));
+        assert!(BranchCond::Lbc.eval(2));
+    }
+
+    #[test]
+    fn fp_branch_cond_handles_signed_zero() {
+        let neg_zero = (-0.0f64).to_bits();
+        assert!(FpBranchCond::Eq.eval(neg_zero));
+        assert!(!FpBranchCond::Lt.eval(neg_zero));
+        assert!(FpBranchCond::Ge.eval(neg_zero));
+        assert!(FpBranchCond::Lt.eval((-2.5f64).to_bits()));
+        assert!(FpBranchCond::Gt.eval(2.5f64.to_bits()));
+    }
+
+    #[test]
+    fn unknown_opcodes_decode_to_none() {
+        // Holes in the opcode map must be rejected, producing the paper's
+        // illegal-instruction crash outcome for corrupted opcode fields.
+        for bits in [0x03u32, 0x07, 0x0a, 0x14, 0x1b, 0x20, 0x2a] {
+            assert!(Opcode::from_bits(bits).is_none(), "{bits:#x}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Guest-visible traps.
+//!
+//! Traps are the architectural mechanism by which injected faults become the
+//! paper's *Crashed* outcome class: corrupted opcodes decode to illegal
+//! instructions, corrupted addresses land outside mapped memory or lose
+//! their alignment, and runaway control flow is caught by the watchdog.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fatal guest trap. Any trap terminates the affected application run and
+/// the experiment is classified as `Crashed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Trap {
+    /// The fetched word did not decode to an implemented instruction.
+    IllegalInstruction {
+        /// The offending instruction word.
+        word: u32,
+        /// PC of the fetch.
+        pc: u64,
+    },
+    /// A load/store or instruction fetch touched unmapped physical memory.
+    UnmappedAccess {
+        /// The faulting address.
+        addr: u64,
+        /// PC of the access.
+        pc: u64,
+    },
+    /// A naturally-aligned access requirement was violated.
+    MisalignedAccess {
+        /// The faulting address.
+        addr: u64,
+        /// PC of the access.
+        pc: u64,
+    },
+    /// An unknown PAL call number was executed.
+    IllegalPalCall {
+        /// The 26-bit PAL number.
+        number: u32,
+        /// PC of the call.
+        pc: u64,
+    },
+    /// The run exceeded its tick budget (hung or runaway execution).
+    WatchdogTimeout,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { word, pc } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
+            }
+            Trap::UnmappedAccess { addr, pc } => {
+                write!(f, "unmapped access to {addr:#x} at pc {pc:#x}")
+            }
+            Trap::MisalignedAccess { addr, pc } => {
+                write!(f, "misaligned access to {addr:#x} at pc {pc:#x}")
+            }
+            Trap::IllegalPalCall { number, pc } => {
+                write!(f, "illegal PAL call {number:#x} at pc {pc:#x}")
+            }
+            Trap::WatchdogTimeout => write!(f, "watchdog timeout"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traps_display_diagnostics() {
+        let t = Trap::IllegalInstruction { word: 0xdeadbeef, pc: 0x1000 };
+        assert_eq!(t.to_string(), "illegal instruction 0xdeadbeef at pc 0x1000");
+        assert!(Trap::WatchdogTimeout.to_string().contains("watchdog"));
+    }
+}

@@ -1,0 +1,582 @@
+//! The kernel proper: boot, PAL dispatch, scheduling, context switching.
+
+use crate::layout::{
+    pcb_addr, stack_top, PCB_OFF_FP, PCB_OFF_INT, PCB_OFF_PC, PCB_OFF_PSR, MAX_THREADS,
+};
+use crate::thread::{Thread, ThreadId, ThreadState};
+use gemfi_isa::{ArchState, FpReg, IntReg, PalFunc, Trap};
+use gemfi_mem::MemorySystem;
+use serde::{Deserialize, Serialize};
+
+/// What a PAL call (or timer interrupt) did to the machine, as seen by the
+/// CPU model that trapped into it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PalOutcome {
+    /// Service completed; continue with the (possibly updated) context.
+    Continue,
+    /// The running thread changed; `arch` now holds the new context.
+    Switched,
+    /// Every thread has exited; the machine should halt. Carries the exit
+    /// code of the initial thread.
+    AllExited(u64),
+    /// Explicit `halt` PAL call.
+    Halt,
+}
+
+/// The `palos` kernel state.
+///
+/// Owned by the machine alongside the memory system and CPU; serialized in
+/// whole-machine checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    threads: Vec<Thread>,
+    current: ThreadId,
+    brk: u64,
+    console: Vec<u8>,
+    out_words: Vec<u64>,
+    /// Timer quantum in ticks; 0 disables preemption.
+    quantum: u64,
+    /// Number of context switches performed (a paper-facing statistic).
+    switches: u64,
+}
+
+impl Kernel {
+    /// Boots the kernel: creates the initial thread with its PCB and stack
+    /// and points `arch` at the program entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from PCB initialization writes (only possible with a
+    /// pathologically small memory).
+    pub fn boot(
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        entry: u64,
+        heap_base: u64,
+        quantum: u64,
+    ) -> Result<Kernel, Trap> {
+        let mut kernel = Kernel {
+            threads: Vec::new(),
+            current: 0,
+            brk: heap_base,
+            console: Vec::new(),
+            out_words: Vec::new(),
+            quantum,
+            switches: 0,
+        };
+        let tid = kernel.create_thread(mem, entry, stack_top(0, mem.size()), 0)?;
+        debug_assert_eq!(tid, 0);
+        kernel.load_context(tid, arch, mem)?;
+        Ok(kernel)
+    }
+
+    /// The scheduler quantum in ticks (0 = no preemption).
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Console output accumulated so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Binary output channel (`write_word` PAL calls).
+    pub fn out_words(&self) -> &[u64] {
+        &self.out_words
+    }
+
+    /// Number of context switches performed.
+    pub fn context_switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The currently running thread id.
+    pub fn current_tid(&self) -> ThreadId {
+        self.current
+    }
+
+    /// All threads (inspection/tests).
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// Exit code of the initial thread, if it has exited.
+    pub fn main_exit_code(&self) -> Option<u64> {
+        self.threads.first().and_then(Thread::exit_code)
+    }
+
+    fn create_thread(
+        &mut self,
+        mem: &mut MemorySystem,
+        entry: u64,
+        sp: u64,
+        arg: u64,
+    ) -> Result<ThreadId, Trap> {
+        let tid = self.threads.len();
+        assert!(tid < MAX_THREADS, "thread table full");
+        let pcbb = pcb_addr(tid);
+        self.threads.push(Thread { tid, pcbb, state: ThreadState::Runnable });
+        // Materialize the initial context in the guest PCB.
+        let mut ctx = ArchState::new(entry);
+        ctx.pcbb = pcbb;
+        ctx.regs.write_int(IntReg::SP, sp);
+        ctx.regs.write_int(IntReg::A0, arg);
+        // Returning from the thread entry without an explicit exit would be
+        // a wild jump; conventionally threads end in `exit`/`thread_exit`,
+        // and RA is left 0 so a stray `ret` traps on unmapped fetch.
+        self.save_context_of(&ctx, mem)?;
+        Ok(tid)
+    }
+
+    /// Writes `ctx` into the PCB named by `ctx.pcbb` (functional stores —
+    /// PAL routines are microcoded, but the PCB bytes are architecturally
+    /// visible and faults in memory can corrupt them).
+    fn save_context_of(&mut self, ctx: &ArchState, mem: &mut MemorySystem) -> Result<(), Trap> {
+        let base = ctx.pcbb;
+        for i in 0..32u64 {
+            let r = IntReg::new(i as u8).expect("index in range");
+            mem.write_u64_functional(base + PCB_OFF_INT + i * 8, ctx.regs.read_int(r))?;
+            let f = FpReg::new(i as u8).expect("index in range");
+            mem.write_u64_functional(base + PCB_OFF_FP + i * 8, ctx.regs.read_fp_bits(f))?;
+        }
+        mem.write_u64_functional(base + PCB_OFF_PC, ctx.pc)?;
+        mem.write_u64_functional(base + PCB_OFF_PSR, ctx.psr)?;
+        Ok(())
+    }
+
+    /// Loads thread `tid`'s context from its PCB into `arch`.
+    fn load_context(
+        &mut self,
+        tid: ThreadId,
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+    ) -> Result<(), Trap> {
+        let base = pcb_addr(tid);
+        for i in 0..32u64 {
+            let r = IntReg::new(i as u8).expect("index in range");
+            arch.regs.write_int(r, mem.read_u64_functional(base + PCB_OFF_INT + i * 8)?);
+            let f = FpReg::new(i as u8).expect("index in range");
+            arch.regs
+                .write_fp_bits(f, mem.read_u64_functional(base + PCB_OFF_FP + i * 8)?);
+        }
+        arch.pc = mem.read_u64_functional(base + PCB_OFF_PC)?;
+        arch.psr = mem.read_u64_functional(base + PCB_OFF_PSR)?;
+        arch.pcbb = base;
+        self.current = tid;
+        Ok(())
+    }
+
+    /// Round-robin pick of the next runnable thread after `from`.
+    fn next_runnable(&self, from: ThreadId) -> Option<ThreadId> {
+        let n = self.threads.len();
+        (1..=n).map(|d| (from + d) % n).find(|&t| self.threads[t].is_runnable())
+    }
+
+    /// Switches from the current context to `to` (saving the old one).
+    fn switch_to(
+        &mut self,
+        to: ThreadId,
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        save_current: bool,
+    ) -> Result<(), Trap> {
+        if save_current {
+            let ctx = arch.clone();
+            self.save_context_of(&ctx, mem)?;
+        }
+        self.load_context(to, arch, mem)?;
+        self.switches += 1;
+        Ok(())
+    }
+
+    /// Timer interrupt: preempts the current thread if another is runnable.
+    /// Returns `true` when a context switch happened.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from PCB save/restore.
+    pub fn timer_preempt(
+        &mut self,
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+    ) -> Result<bool, Trap> {
+        if !arch.interrupts_enabled() {
+            return Ok(false);
+        }
+        match self.next_runnable(self.current) {
+            Some(t) if t != self.current => {
+                self.switch_to(t, arch, mem, true)?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Wakes any threads joined on `exited`, depositing the exit code into
+    /// the saved `V0` of each joiner's PCB (the join return value).
+    fn wake_joiners(
+        &mut self,
+        exited: ThreadId,
+        code: u64,
+        mem: &mut MemorySystem,
+    ) -> Result<(), Trap> {
+        for i in 0..self.threads.len() {
+            if self.threads[i].state == ThreadState::Joining(exited) {
+                self.threads[i].state = ThreadState::Runnable;
+                let v0_slot =
+                    self.threads[i].pcbb + PCB_OFF_INT + IntReg::V0.index() as u64 * 8;
+                mem.write_u64_functional(v0_slot, code)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches a PAL call. The CPU model calls this when it commits a
+    /// `call_pal` instruction; `arch` is the committing context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traps from guest memory access during the service.
+    pub fn pal_call(
+        &mut self,
+        func: PalFunc,
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        now: u64,
+    ) -> Result<PalOutcome, Trap> {
+        match func {
+            PalFunc::Halt => {
+                // Halting is privileged: a wild jump into zeroed memory
+                // (word 0 decodes to `call_pal halt`) must crash, not stop
+                // the machine cleanly.
+                if arch.in_kernel() {
+                    Ok(PalOutcome::Halt)
+                } else {
+                    Err(Trap::IllegalPalCall { number: PalFunc::Halt.number(), pc: arch.pc })
+                }
+            }
+            PalFunc::Putc => {
+                self.console.push(arch.regs.read_int(IntReg::A0) as u8);
+                Ok(PalOutcome::Continue)
+            }
+            PalFunc::WriteWord => {
+                self.out_words.push(arch.regs.read_int(IntReg::A0));
+                Ok(PalOutcome::Continue)
+            }
+            PalFunc::ReadCycles => {
+                arch.regs.write_int(IntReg::V0, now);
+                Ok(PalOutcome::Continue)
+            }
+            PalFunc::GetTid => {
+                arch.regs.write_int(IntReg::V0, self.current as u64);
+                Ok(PalOutcome::Continue)
+            }
+            PalFunc::Sbrk => {
+                let old = self.brk;
+                let grow = arch.regs.read_int(IntReg::A0);
+                let new = old.saturating_add(grow);
+                // Refuse growth into the lowest stack.
+                let limit = stack_top(self.threads.len().max(1) - 1, mem.size())
+                    .saturating_sub(crate::layout::STACK_SIZE);
+                if new > limit {
+                    arch.regs.write_int(IntReg::V0, u64::MAX); // ENOMEM
+                } else {
+                    self.brk = new;
+                    arch.regs.write_int(IntReg::V0, old);
+                }
+                Ok(PalOutcome::Continue)
+            }
+            PalFunc::ThreadSpawn => {
+                let entry = arch.regs.read_int(IntReg::A0);
+                let sp = arch.regs.read_int(IntReg::A1);
+                let arg = arch.regs.read_int(IntReg::A2);
+                if self.threads.len() >= MAX_THREADS {
+                    arch.regs.write_int(IntReg::V0, u64::MAX);
+                } else {
+                    let sp = if sp == 0 {
+                        stack_top(self.threads.len(), mem.size())
+                    } else {
+                        sp
+                    };
+                    let tid = self.create_thread(mem, entry, sp, arg)?;
+                    arch.regs.write_int(IntReg::V0, tid as u64);
+                }
+                Ok(PalOutcome::Continue)
+            }
+            PalFunc::Yield => match self.next_runnable(self.current) {
+                Some(t) if t != self.current => {
+                    self.switch_to(t, arch, mem, true)?;
+                    Ok(PalOutcome::Switched)
+                }
+                _ => Ok(PalOutcome::Continue),
+            },
+            PalFunc::ThreadJoin => {
+                let target = arch.regs.read_int(IntReg::A0) as usize;
+                if target >= self.threads.len() || target == self.current {
+                    arch.regs.write_int(IntReg::V0, u64::MAX);
+                    return Ok(PalOutcome::Continue);
+                }
+                if let Some(code) = self.threads[target].exit_code() {
+                    arch.regs.write_int(IntReg::V0, code);
+                    return Ok(PalOutcome::Continue);
+                }
+                self.threads[self.current].state = ThreadState::Joining(target);
+                match self.next_runnable(self.current) {
+                    Some(t) => {
+                        self.switch_to(t, arch, mem, true)?;
+                        Ok(PalOutcome::Switched)
+                    }
+                    // Deadlock: everybody blocked. Treat as a hang; the
+                    // machine watchdog will classify it.
+                    None => {
+                        self.threads[self.current].state = ThreadState::Runnable;
+                        arch.regs.write_int(IntReg::V0, u64::MAX);
+                        Ok(PalOutcome::Continue)
+                    }
+                }
+            }
+            PalFunc::Exit => {
+                let code = arch.regs.read_int(IntReg::A0);
+                let me = self.current;
+                self.threads[me].state = ThreadState::Exited(code);
+                self.wake_joiners(me, code, mem)?;
+                match self.next_runnable(me) {
+                    Some(t) => {
+                        // No need to save the exiting context.
+                        self.switch_to(t, arch, mem, false)?;
+                        Ok(PalOutcome::Switched)
+                    }
+                    None => Ok(PalOutcome::AllExited(
+                        self.main_exit_code().unwrap_or(code),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemfi_mem::MemConfig;
+
+    fn setup() -> (ArchState, MemorySystem, Kernel) {
+        let mut mem = MemorySystem::new(MemConfig { phys_size: 8 << 20, ..MemConfig::default() });
+        let mut arch = ArchState::default();
+        let kernel = Kernel::boot(&mut arch, &mut mem, 0x1_0000, 0x2_0000, 1000).unwrap();
+        (arch, mem, kernel)
+    }
+
+    #[test]
+    fn boot_creates_main_thread_with_stack_and_pcbb() {
+        let (arch, mem, kernel) = setup();
+        assert_eq!(arch.pc, 0x1_0000);
+        assert_eq!(arch.pcbb, pcb_addr(0));
+        let sp = arch.regs.read_int(IntReg::SP);
+        assert!(sp > 0 && sp < mem.size());
+        assert_eq!(kernel.current_tid(), 0);
+    }
+
+    #[test]
+    fn putc_and_write_word_accumulate() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, b'h' as u64);
+        kernel.pal_call(PalFunc::Putc, &mut arch, &mut mem, 0).unwrap();
+        arch.regs.write_int(IntReg::A0, 0xfeed);
+        kernel.pal_call(PalFunc::WriteWord, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(kernel.console(), b"h");
+        assert_eq!(kernel.out_words(), &[0xfeed]);
+    }
+
+    #[test]
+    fn exit_of_last_thread_halts_machine() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 3);
+        let out = kernel.pal_call(PalFunc::Exit, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(out, PalOutcome::AllExited(3));
+        assert_eq!(kernel.main_exit_code(), Some(3));
+    }
+
+    #[test]
+    fn spawn_yield_switches_context_and_pcbb_changes() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 0x1_4000); // entry
+        arch.regs.write_int(IntReg::A1, 0); // auto stack
+        arch.regs.write_int(IntReg::A2, 99); // arg
+        kernel.pal_call(PalFunc::ThreadSpawn, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(arch.regs.read_int(IntReg::V0), 1);
+
+        let old_pcbb = arch.pcbb;
+        let out = kernel.pal_call(PalFunc::Yield, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(out, PalOutcome::Switched);
+        assert_ne!(arch.pcbb, old_pcbb, "context switch must change the PCB base");
+        assert_eq!(arch.pc, 0x1_4000);
+        assert_eq!(arch.regs.read_int(IntReg::A0), 99);
+        assert_eq!(kernel.context_switches(), 1);
+    }
+
+    #[test]
+    fn join_blocks_until_child_exits() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 0x1_4000);
+        arch.regs.write_int(IntReg::A1, 0);
+        arch.regs.write_int(IntReg::A2, 0);
+        kernel.pal_call(PalFunc::ThreadSpawn, &mut arch, &mut mem, 0).unwrap();
+
+        // Main joins child 1 → switched into child.
+        arch.regs.write_int(IntReg::A0, 1);
+        let out = kernel.pal_call(PalFunc::ThreadJoin, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(out, PalOutcome::Switched);
+        assert_eq!(kernel.current_tid(), 1);
+
+        // Child exits 7 → main wakes with join result.
+        arch.regs.write_int(IntReg::A0, 7);
+        let out = kernel.pal_call(PalFunc::Exit, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(out, PalOutcome::Switched);
+        assert_eq!(kernel.current_tid(), 0);
+    }
+
+    #[test]
+    fn timer_preempt_round_robins_and_preserves_context() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 0x1_4000);
+        arch.regs.write_int(IntReg::A1, 0);
+        arch.regs.write_int(IntReg::A2, 0);
+        kernel.pal_call(PalFunc::ThreadSpawn, &mut arch, &mut mem, 0).unwrap();
+
+        arch.regs.write_int(IntReg::new(9).unwrap(), 0xabc);
+        let pc0 = arch.pc;
+        assert!(kernel.timer_preempt(&mut arch, &mut mem).unwrap());
+        assert_eq!(kernel.current_tid(), 1);
+        // Come back around.
+        assert!(kernel.timer_preempt(&mut arch, &mut mem).unwrap());
+        assert_eq!(kernel.current_tid(), 0);
+        assert_eq!(arch.regs.read_int(IntReg::new(9).unwrap()), 0xabc);
+        assert_eq!(arch.pc, pc0);
+    }
+
+    #[test]
+    fn preempt_respects_interrupt_disable() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 0x1_4000);
+        arch.regs.write_int(IntReg::A1, 0);
+        arch.regs.write_int(IntReg::A2, 0);
+        kernel.pal_call(PalFunc::ThreadSpawn, &mut arch, &mut mem, 0).unwrap();
+        arch.psr &= !gemfi_isa::PSR_INT_ENABLE;
+        assert!(!kernel.timer_preempt(&mut arch, &mut mem).unwrap());
+    }
+
+    #[test]
+    fn sbrk_bumps_and_refuses_stack_collision() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 4096);
+        kernel.pal_call(PalFunc::Sbrk, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(arch.regs.read_int(IntReg::V0), 0x2_0000);
+        arch.regs.write_int(IntReg::A0, u64::MAX / 2);
+        kernel.pal_call(PalFunc::Sbrk, &mut arch, &mut mem, 0).unwrap();
+        assert_eq!(arch.regs.read_int(IntReg::V0), u64::MAX);
+    }
+
+    #[test]
+    fn pcb_contents_are_guest_visible() {
+        let (mut arch, mut mem, mut kernel) = setup();
+        arch.regs.write_int(IntReg::A0, 0x1_4000);
+        arch.regs.write_int(IntReg::A1, 0);
+        arch.regs.write_int(IntReg::A2, 0);
+        kernel.pal_call(PalFunc::ThreadSpawn, &mut arch, &mut mem, 0).unwrap();
+        arch.regs.write_int(IntReg::new(5).unwrap(), 0x5555);
+        kernel.pal_call(PalFunc::Yield, &mut arch, &mut mem, 0).unwrap();
+        // Thread 0's r5 must now be readable in its PCB in guest memory.
+        let saved = mem.read_u64_functional(pcb_addr(0) + PCB_OFF_INT + 5 * 8).unwrap();
+        assert_eq!(saved, 0x5555);
+    }
+}
+
+mod codec_impl {
+    use super::{Kernel, Thread, ThreadState};
+    use gemfi_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
+
+    impl Codec for ThreadState {
+        fn encode(&self, w: &mut ByteWriter) {
+            match self {
+                ThreadState::Runnable => w.put_u8(0),
+                ThreadState::Joining(t) => {
+                    w.put_u8(1);
+                    w.put_u64(*t as u64);
+                }
+                ThreadState::Exited(c) => {
+                    w.put_u8(2);
+                    w.put_u64(*c);
+                }
+            }
+        }
+
+        fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+            Ok(match r.get_u8()? {
+                0 => ThreadState::Runnable,
+                1 => ThreadState::Joining(r.get_u64()? as usize),
+                2 => ThreadState::Exited(r.get_u64()?),
+                v => return Err(CodecError::InvalidTag { what: "ThreadState", value: v as u64 }),
+            })
+        }
+    }
+
+    impl Codec for Thread {
+        fn encode(&self, w: &mut ByteWriter) {
+            w.put_u64(self.tid as u64);
+            w.put_u64(self.pcbb);
+            self.state.encode(w);
+        }
+
+        fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+            Ok(Thread {
+                tid: r.get_u64()? as usize,
+                pcbb: r.get_u64()?,
+                state: ThreadState::decode(r)?,
+            })
+        }
+    }
+
+    impl Codec for Kernel {
+        fn encode(&self, w: &mut ByteWriter) {
+            self.threads.encode(w);
+            w.put_u64(self.current as u64);
+            w.put_u64(self.brk);
+            w.put_bytes(&self.console);
+            self.out_words.encode(w);
+            w.put_u64(self.quantum);
+            w.put_u64(self.switches);
+        }
+
+        fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+            Ok(Kernel {
+                threads: Vec::<Thread>::decode(r)?,
+                current: r.get_u64()? as usize,
+                brk: r.get_u64()?,
+                console: r.get_bytes()?.to_vec(),
+                out_words: Vec::<u64>::decode(r)?,
+                quantum: r.get_u64()?,
+                switches: r.get_u64()?,
+            })
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use gemfi_isa::ArchState;
+        use gemfi_mem::{MemConfig, MemorySystem};
+
+        #[test]
+        fn kernel_checkpoint_roundtrips() {
+            let mut mem =
+                MemorySystem::new(MemConfig { phys_size: 8 << 20, ..MemConfig::default() });
+            let mut arch = ArchState::default();
+            let mut k = Kernel::boot(&mut arch, &mut mem, 0x1_0000, 0x2_0000, 500).unwrap();
+            arch.regs.write_int(gemfi_isa::IntReg::A0, b'x' as u64);
+            k.pal_call(gemfi_isa::PalFunc::Putc, &mut arch, &mut mem, 0).unwrap();
+            let restored = Kernel::from_bytes(&k.to_bytes()).unwrap();
+            assert_eq!(restored, k);
+        }
+    }
+}

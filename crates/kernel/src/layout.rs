@@ -1,0 +1,64 @@
+//! Guest memory layout owned by the kernel.
+//!
+//! ```text
+//! 0x0000_0000 .. 0x0000_4000   kernel scratch (exception vectors, reserved)
+//! 0x0000_4000 .. 0x0000_8000   PCB array (MAX_THREADS × PCB_SIZE)
+//! 0x0001_0000 .. text_end      program text (gemfi_asm::TEXT_BASE)
+//! data_base   .. image_end     program data
+//! image_end   .. heap_brk      heap (grows up via sbrk)
+//! top-of-mem  ↓ per-thread     stacks (STACK_SIZE each, grow down)
+//! ```
+
+/// Maximum number of guest threads.
+pub const MAX_THREADS: usize = 8;
+
+/// Base address of the PCB array.
+pub const PCB_BASE: u64 = 0x4000;
+
+/// Bytes reserved per PCB: 32 int regs, 32 fp regs, pc, psr.
+pub const PCB_SIZE: u64 = 0x400;
+
+/// Per-thread stack size in bytes.
+pub const STACK_SIZE: u64 = 1 << 20;
+
+/// PCB offset of the saved PC.
+pub(crate) const PCB_OFF_PC: u64 = 0x200;
+/// PCB offset of the saved PSR.
+pub(crate) const PCB_OFF_PSR: u64 = 0x208;
+/// PCB offset of the integer register save area.
+pub(crate) const PCB_OFF_INT: u64 = 0x000;
+/// PCB offset of the FP register save area.
+pub(crate) const PCB_OFF_FP: u64 = 0x100;
+
+/// The PCB address of thread `tid`. This value is what GemFI observes in the
+/// `pcbb` special register and keys its `ThreadEnabledFault` map on.
+pub fn pcb_addr(tid: usize) -> u64 {
+    debug_assert!(tid < MAX_THREADS);
+    PCB_BASE + tid as u64 * PCB_SIZE
+}
+
+/// Stack top for thread `tid` in a machine with `mem_size` bytes of memory
+/// (16-byte aligned, one guard gap below the previous stack).
+pub fn stack_top(tid: usize, mem_size: u64) -> u64 {
+    (mem_size - tid as u64 * STACK_SIZE - 64) & !15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcbs_do_not_overlap_text() {
+        assert!(pcb_addr(MAX_THREADS - 1) + PCB_SIZE <= 0x1_0000);
+    }
+
+    #[test]
+    fn stack_tops_are_aligned_and_distinct() {
+        let mem = 64 << 20;
+        let tops: Vec<u64> = (0..MAX_THREADS).map(|t| stack_top(t, mem)).collect();
+        for w in tops.windows(2) {
+            assert!(w[0] - w[1] >= STACK_SIZE - 64);
+        }
+        assert!(tops.iter().all(|t| t % 16 == 0));
+    }
+}

@@ -1,0 +1,30 @@
+//! `palos` — the minimal full-system kernel substrate.
+//!
+//! The paper runs its benchmarks in gem5's *full-system* mode: applications
+//! execute under an operating system, faults hit user- and kernel-level
+//! activity alike, and GemFI identifies threads "at the hardware/simulator
+//! level by their unique Process Control Block (PCB) address", detecting
+//! context switches "by the change of the PCB address" (Sec. III-C).
+//!
+//! This crate provides exactly those mechanisms without porting Linux:
+//!
+//! * per-thread **PCBs living in guest memory** (register save areas that are
+//!   really written/read on context switches, so PCB addresses are
+//!   architecturally meaningful),
+//! * a **round-robin scheduler** driven by a timer interrupt,
+//! * **PAL-call services** (console, exit, sbrk, spawn/join/yield),
+//! * a **boot** procedure that loads a program image and creates the initial
+//!   thread.
+//!
+//! PAL routines execute atomically on the host side (akin to microcoded
+//! PALcode), but all context state transits through guest memory, so the
+//! thread-identity surface GemFI hooks is real. The substitution is recorded
+//! in `DESIGN.md`.
+
+mod kernel;
+mod layout;
+mod thread;
+
+pub use kernel::{Kernel, PalOutcome};
+pub use layout::{pcb_addr, stack_top, MAX_THREADS, PCB_BASE, PCB_SIZE, STACK_SIZE};
+pub use thread::{Thread, ThreadId, ThreadState};

@@ -1,0 +1,44 @@
+//! Kernel thread bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+/// A guest thread identifier (index into the PCB array).
+pub type ThreadId = usize;
+
+/// Scheduler state of one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Blocked in `thread_join` waiting for another thread.
+    Joining(ThreadId),
+    /// Terminated with an exit code.
+    Exited(u64),
+}
+
+/// Host-side metadata for one guest thread. The register context itself
+/// lives in the guest PCB, not here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Thread {
+    /// Thread id.
+    pub tid: ThreadId,
+    /// Guest address of this thread's PCB.
+    pub pcbb: u64,
+    /// Scheduler state.
+    pub state: ThreadState,
+}
+
+impl Thread {
+    /// Whether the thread can be picked by the scheduler.
+    pub fn is_runnable(&self) -> bool {
+        self.state == ThreadState::Runnable
+    }
+
+    /// The exit code, if the thread has exited.
+    pub fn exit_code(&self) -> Option<u64> {
+        match self.state {
+            ThreadState::Exited(c) => Some(c),
+            _ => None,
+        }
+    }
+}

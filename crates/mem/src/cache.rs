@@ -1,0 +1,196 @@
+//! Set-associative tag cache with LRU replacement.
+
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Hit latency in ticks.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.size / (self.ways * self.line)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic use stamp for LRU.
+    lru: u64,
+}
+
+/// The result of a cache lookup-and-fill operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether a dirty victim had to be written back.
+    pub writeback: bool,
+}
+
+/// One level of a write-back, write-allocate set-associative cache.
+///
+/// The cache tracks tags only; data is always read from / written to the
+/// physical memory. That keeps functional state in one place (important for
+/// fault injection on memory transactions) while the cache contributes
+/// timing and the hit/miss statistics the paper's validation compares.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size or
+    /// a capacity not divisible by `ways * line`).
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line.is_power_of_two(), "line size must be a power of two");
+        assert!(config.sets() > 0, "capacity must hold at least one set");
+        assert_eq!(
+            config.sets() * config.ways * config.line,
+            config.size,
+            "geometry must tile the capacity exactly"
+        );
+        Cache {
+            config,
+            lines: vec![Line::default(); config.sets() * config.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.config.line as u64) % self.config.sets() as u64) as usize
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.config.line as u64 / self.config.sets() as u64
+    }
+
+    /// Performs an access: on a miss the line is allocated, evicting the LRU
+    /// way (reporting whether the victim was dirty). `write` marks the line
+    /// dirty (write-back policy).
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
+        self.clock += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.clock;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return CacheAccess { hit: true, writeback: false };
+        }
+
+        self.stats.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways > 0");
+        let writeback = victim.valid && victim.dirty;
+        if writeback {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line { tag, valid: true, dirty: write, lru: self.clock };
+        CacheAccess { hit: false, writeback }
+    }
+
+    /// Invalidates everything (used when restoring checkpoints taken with a
+    /// different CPU model, mirroring gem5's cache-cold switch).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16-byte lines.
+        Cache::new(CacheConfig { size: 64, ways: 2, line: 16, hit_latency: 1 })
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x10f, false).hit, "same line");
+        assert!(!c.access(0x110, false).hit, "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line=16, sets=2 → set = (addr/16) % 2).
+        let a = 0x000;
+        let b = 0x020;
+        let d = 0x040;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a most recent
+        assert!(!c.access(d, false).hit); // evicts b
+        assert!(c.access(a, false).hit);
+        assert!(!c.access(b, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x020, false);
+        let acc = c.access(0x040, false); // evicts dirty 0x000
+        assert!(acc.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_all_forgets_lines() {
+        let mut c = tiny();
+        c.access(0x0, false);
+        c.invalidate_all();
+        assert!(!c.access(0x0, false).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry")]
+    fn bad_geometry_panics() {
+        Cache::new(CacheConfig { size: 100, ways: 2, line: 16, hit_latency: 1 });
+    }
+}

@@ -1,0 +1,266 @@
+//! The memory hierarchy: L1I/L1D → unified L2 → DRAM over [`PhysMem`].
+
+use crate::cache::Cache;
+use crate::config::MemConfig;
+use crate::phys::PhysMem;
+use crate::stats::MemStats;
+use crate::Ticks;
+use gemfi_isa::Trap;
+use serde::{Deserialize, Serialize};
+
+/// Which port an access uses (instruction or data side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I).
+    Fetch,
+    /// Data read (L1D).
+    Read,
+    /// Data write (L1D).
+    Write,
+}
+
+/// The complete memory system of one simulated machine.
+///
+/// *Timed* accessors (`fetch`, `read_*`, `write_*`) walk the cache hierarchy
+/// and return the data together with the access latency in ticks. The
+/// `*_functional` accessors bypass timing entirely — they are used by the
+/// program loader, the kernel substrate's bookkeeping, checkpoint capture,
+/// and host-side output extraction, none of which exist on the simulated
+/// timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystem {
+    config: MemConfig,
+    phys: PhysMem,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    dram_accesses: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: MemConfig) -> MemorySystem {
+        MemorySystem {
+            phys: PhysMem::new(config.phys_size),
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            dram_accesses: 0,
+            config,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Walks the hierarchy for timing and returns the access latency.
+    fn latency(&mut self, addr: u64, kind: AccessKind) -> Ticks {
+        let write = matches!(kind, AccessKind::Write);
+        let (l1, l1_lat) = match kind {
+            AccessKind::Fetch => (&mut self.l1i, self.config.l1i.hit_latency),
+            AccessKind::Read | AccessKind::Write => (&mut self.l1d, self.config.l1d.hit_latency),
+        };
+        let a1 = l1.access(addr, write);
+        let mut lat = l1_lat;
+        if a1.hit {
+            return lat;
+        }
+        // L1 miss: consult L2 (the fill, not the CPU write, owns the line).
+        let a2 = self.l2.access(addr, a1.writeback);
+        lat += self.config.l2.hit_latency;
+        if !a2.hit {
+            self.dram_accesses += 1;
+            lat += self.config.dram_latency;
+            if a2.writeback {
+                // Dirty L2 victim drains to DRAM; modelled as an extra DRAM
+                // occupancy but off the critical path of this access.
+                self.dram_accesses += 1;
+            }
+        }
+        lat
+    }
+
+    /// Timed instruction fetch.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn fetch(&mut self, pc: u64) -> Result<(u32, Ticks), Trap> {
+        let word = self.phys.read_u32(pc, pc)?;
+        let lat = self.latency(pc, AccessKind::Fetch);
+        Ok((word, lat))
+    }
+
+    /// Timed 64-bit data read.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn read_u64(&mut self, addr: u64, pc: u64) -> Result<(u64, Ticks), Trap> {
+        let v = self.phys.read_u64(addr, pc)?;
+        let lat = self.latency(addr, AccessKind::Read);
+        Ok((v, lat))
+    }
+
+    /// Timed 32-bit data read.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn read_u32(&mut self, addr: u64, pc: u64) -> Result<(u32, Ticks), Trap> {
+        let v = self.phys.read_u32(addr, pc)?;
+        let lat = self.latency(addr, AccessKind::Read);
+        Ok((v, lat))
+    }
+
+    /// Timed 64-bit data write.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn write_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<Ticks, Trap> {
+        self.phys.write_u64(addr, value, pc)?;
+        Ok(self.latency(addr, AccessKind::Write))
+    }
+
+    /// Timed 32-bit data write.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn write_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<Ticks, Trap> {
+        self.phys.write_u32(addr, value, pc)?;
+        Ok(self.latency(addr, AccessKind::Write))
+    }
+
+    /// Untimed 64-bit read (loader/extraction side).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn read_u64_functional(&self, addr: u64) -> Result<u64, Trap> {
+        self.phys.read_u64(addr, 0)
+    }
+
+    /// Untimed 64-bit write (loader side).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn write_u64_functional(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
+        self.phys.write_u64(addr, value, 0)
+    }
+
+    /// Untimed 32-bit read.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn read_u32_functional(&self, addr: u64) -> Result<u32, Trap> {
+        self.phys.read_u32(addr, 0)
+    }
+
+    /// Untimed 32-bit write.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn write_u32_functional(&mut self, addr: u64, value: u32) -> Result<(), Trap> {
+        self.phys.write_u32(addr, value, 0)
+    }
+
+    /// Untimed bulk write (program loader).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when the range does not fit.
+    pub fn write_slice(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
+        self.phys.write_slice(addr, data)
+    }
+
+    /// Untimed bulk read (output extraction).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when the range does not fit.
+    pub fn read_slice(&self, addr: u64, len: usize) -> Result<&[u8], Trap> {
+        self.phys.read_slice(addr, len)
+    }
+
+    /// Physical memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.phys.size()
+    }
+
+    /// Aggregate statistics of every level.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+            dram_accesses: self.dram_accesses,
+        }
+    }
+
+    /// Invalidates all cache levels (checkpoint restore starts cache-cold).
+    pub fn invalidate_caches(&mut self) {
+        self.l1i.invalidate_all();
+        self.l1d.invalidate_all();
+        self.l2.invalidate_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_access_pays_dram_then_hits_l1() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.write_u64_functional(0x2000, 7).unwrap();
+        let (_, cold) = m.read_u64(0x2000, 0).unwrap();
+        let (_, warm) = m.read_u64(0x2000, 0).unwrap();
+        assert!(cold > warm);
+        assert_eq!(warm, m.config().l1d.hit_latency);
+        assert_eq!(m.stats().dram_accesses, 1);
+    }
+
+    #[test]
+    fn fetch_uses_instruction_port() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.fetch(0x1000).unwrap();
+        assert_eq!(m.stats().l1i.accesses(), 1);
+        assert_eq!(m.stats().l1d.accesses(), 0);
+    }
+
+    #[test]
+    fn functional_accesses_do_not_touch_stats() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.write_u64_functional(0x40, 1).unwrap();
+        m.read_u64_functional(0x40).unwrap();
+        let s = m.stats();
+        assert_eq!(s.l1d.accesses() + s.l1i.accesses() + s.l2.accesses(), 0);
+    }
+
+    #[test]
+    fn l2_absorbs_l1_misses() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        // Touch, then invalidate L1s only by touching lots of conflicting
+        // lines; simpler: invalidate everything and touch again — then L2
+        // also misses. Instead verify the first miss registers in L2.
+        m.read_u64(0x3000, 0).unwrap();
+        assert_eq!(m.stats().l2.misses, 1);
+        m.read_u64(0x3000, 0).unwrap();
+        assert_eq!(m.stats().l2.accesses(), 1, "L1 hit must not reach L2");
+    }
+
+    #[test]
+    fn unmapped_timed_access_traps_without_stats() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        let size = m.size();
+        assert!(m.read_u64(size, 0x77).is_err());
+        assert_eq!(m.stats().l1d.accesses(), 0);
+    }
+}

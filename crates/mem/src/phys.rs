@@ -1,0 +1,176 @@
+//! Physical memory backing store.
+
+use gemfi_isa::Trap;
+use serde::{Deserialize, Serialize};
+
+/// Byte-addressable guest physical memory.
+///
+/// All accesses are bounds-checked: touching an address outside the
+/// configured size raises [`Trap::UnmappedAccess`], which is how corrupted
+/// base registers and displacements become the paper's segmentation-fault
+/// crashes. Multi-byte accesses additionally require natural alignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+}
+
+impl PhysMem {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> PhysMem {
+        PhysMem { bytes: vec![0; size] }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: u64, width: u64, pc: u64) -> Result<usize, Trap> {
+        if !addr.is_multiple_of(width) {
+            return Err(Trap::MisalignedAccess { addr, pc });
+        }
+        if addr.checked_add(width).is_none_or(|end| end > self.size()) {
+            return Err(Trap::UnmappedAccess { addr, pc });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when out of bounds.
+    pub fn read_u8(&self, addr: u64, pc: u64) -> Result<u8, Trap> {
+        let i = self.check(addr, 1, pc)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when out of bounds.
+    pub fn write_u8(&mut self, addr: u64, value: u8, pc: u64) -> Result<(), Trap> {
+        let i = self.check(addr, 1, pc)?;
+        self.bytes[i] = value;
+        Ok(())
+    }
+
+    /// Reads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn read_u32(&self, addr: u64, pc: u64) -> Result<u32, Trap> {
+        let i = self.check(addr, 4, pc)?;
+        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()))
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn write_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<(), Trap> {
+        let i = self.check(addr, 4, pc)?;
+        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a little-endian 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn read_u64(&self, addr: u64, pc: u64) -> Result<u64, Trap> {
+        let i = self.check(addr, 8, pc)?;
+        Ok(u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap()))
+    }
+
+    /// Writes a little-endian 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn write_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<(), Trap> {
+        let i = self.check(addr, 8, pc)?;
+        self.bytes[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory (host-side loader use).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when the range does not fit.
+    pub fn write_slice(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
+        let end = addr
+            .checked_add(data.len() as u64)
+            .filter(|&e| e <= self.size())
+            .ok_or(Trap::UnmappedAccess { addr, pc: 0 })?;
+        self.bytes[addr as usize..end as usize].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a byte range out of memory (host-side extraction use).
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when the range does not fit.
+    pub fn read_slice(&self, addr: u64, len: usize) -> Result<&[u8], Trap> {
+        let end = addr
+            .checked_add(len as u64)
+            .filter(|&e| e <= self.size())
+            .ok_or(Trap::UnmappedAccess { addr, pc: 0 })?;
+        Ok(&self.bytes[addr as usize..end as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_roundtrip_all_widths() {
+        let mut m = PhysMem::new(4096);
+        m.write_u8(1, 0xab, 0).unwrap();
+        assert_eq!(m.read_u8(1, 0).unwrap(), 0xab);
+        m.write_u32(4, 0xdead_beef, 0).unwrap();
+        assert_eq!(m.read_u32(4, 0).unwrap(), 0xdead_beef);
+        m.write_u64(8, u64::MAX - 1, 0).unwrap();
+        assert_eq!(m.read_u64(8, 0).unwrap(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = PhysMem::new(64);
+        m.write_u64(0, 0x0102_0304_0506_0708, 0).unwrap();
+        assert_eq!(m.read_u8(0, 0).unwrap(), 0x08);
+        assert_eq!(m.read_u8(7, 0).unwrap(), 0x01);
+        assert_eq!(m.read_u32(0, 0).unwrap(), 0x0506_0708);
+    }
+
+    #[test]
+    fn out_of_bounds_traps_unmapped() {
+        let mut m = PhysMem::new(16);
+        assert!(matches!(m.read_u64(16, 5), Err(Trap::UnmappedAccess { addr: 16, pc: 5 })));
+        assert!(matches!(m.write_u32(16, 0, 0), Err(Trap::UnmappedAccess { .. })));
+        assert!(matches!(m.read_u8(u64::MAX, 0), Err(Trap::UnmappedAccess { .. })));
+    }
+
+    #[test]
+    fn misalignment_traps() {
+        let m = PhysMem::new(64);
+        assert!(matches!(m.read_u64(4, 0), Err(Trap::MisalignedAccess { addr: 4, .. })));
+        assert!(matches!(m.read_u32(2, 0), Err(Trap::MisalignedAccess { .. })));
+    }
+
+    #[test]
+    fn slice_io() {
+        let mut m = PhysMem::new(64);
+        m.write_slice(10, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_slice(10, 3).unwrap(), &[1, 2, 3]);
+        assert!(m.write_slice(62, &[0; 4]).is_err());
+        assert!(m.read_slice(62, 4).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Whole-machine checkpoints (the DMTCP substitution).
+//!
+//! A [`Checkpoint`] captures everything a resumed simulation can observe:
+//! architectural state, guest memory, kernel state, and simulation time.
+//! Caches and predictors restore cold (gem5's semantics when restoring into
+//! a different CPU model). Checkpoints serialize with the workspace's
+//! [`Codec`] into a versioned binary file — the "network share" objects of
+//! the paper's NoW protocol (Sec. III-E step 2).
+
+use crate::config::MachineConfig;
+use gemfi_cpu::CpuKind;
+use gemfi_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
+use gemfi_isa::ArchState;
+use gemfi_kernel::Kernel;
+use gemfi_mem::{MemConfig, MemorySystem};
+
+const MAGIC: u32 = 0x47_46_49_43; // "GFIC"
+const VERSION: u32 = 1;
+
+/// A point-in-time snapshot of a [`crate::Machine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The machine configuration at capture time.
+    pub config: MachineConfig,
+    /// Architectural state of the (single) hardware context.
+    pub arch: ArchState,
+    /// Guest memory and hierarchy configuration.
+    pub mem: MemorySystem,
+    /// Kernel state (threads, console, heap break, …).
+    pub kernel: Kernel,
+    /// Simulated time at capture.
+    pub tick: u64,
+    /// Instructions committed at capture.
+    pub instret: u64,
+}
+
+fn encode_cpu_kind(k: CpuKind, w: &mut ByteWriter) {
+    w.put_u8(match k {
+        CpuKind::Atomic => 0,
+        CpuKind::Timing => 1,
+        CpuKind::InOrder => 2,
+        CpuKind::O3 => 3,
+    });
+}
+
+fn decode_cpu_kind(r: &mut ByteReader<'_>) -> Result<CpuKind, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => CpuKind::Atomic,
+        1 => CpuKind::Timing,
+        2 => CpuKind::InOrder,
+        3 => CpuKind::O3,
+        v => return Err(CodecError::InvalidTag { what: "CpuKind", value: v as u64 }),
+    })
+}
+
+impl Codec for Checkpoint {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION);
+        encode_cpu_kind(self.config.cpu, w);
+        w.put_u64(self.config.quantum);
+        w.put_u64(self.config.max_ticks);
+        w.put_u64(self.config.boot_spin);
+        self.arch.encode(w);
+        self.mem.encode(w);
+        self.kernel.encode(w);
+        w.put_u64(self.tick);
+        w.put_u64(self.instret);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(CodecError::InvalidTag { what: "checkpoint magic", value: magic as u64 });
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(CodecError::InvalidTag {
+                what: "checkpoint version",
+                value: version as u64,
+            });
+        }
+        let cpu = decode_cpu_kind(r)?;
+        let quantum = r.get_u64()?;
+        let max_ticks = r.get_u64()?;
+        let boot_spin = r.get_u64()?;
+        let arch = ArchState::decode(r)?;
+        let mem = MemorySystem::decode(r)?;
+        let kernel = Kernel::decode(r)?;
+        let tick = r.get_u64()?;
+        let instret = r.get_u64()?;
+        let mem_config: MemConfig = *mem.config();
+        Ok(Checkpoint {
+            config: MachineConfig { cpu, mem: mem_config, quantum, max_ticks, boot_spin },
+            arch,
+            mem,
+            kernel,
+            tick,
+            instret,
+        })
+    }
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint to a file (the paper's network-share objects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a [`CodecError`] wrapped as `InvalidData` for corrupt
+    /// files.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Checkpoint> {
+        let bytes = std::fs::read(path)?;
+        Checkpoint::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, RunExit};
+    use gemfi_asm::{Assembler, Reg};
+    use gemfi_cpu::NoopHooks;
+
+    fn checkpointing_machine() -> (Machine<NoopHooks>, Checkpoint) {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 7);
+        a.fi_read_init();
+        a.li(Reg::A0, 3);
+        a.pal(gemfi_isa::PalFunc::Exit);
+        let p = a.finish().unwrap();
+        let cfg = MachineConfig {
+            mem: gemfi_mem::MemConfig { phys_size: 4 << 20, ..gemfi_mem::MemConfig::default() },
+            ..MachineConfig::default()
+        };
+        let mut m = Machine::boot(cfg, &p, NoopHooks).unwrap();
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        let c = m.checkpoint();
+        (m, c)
+    }
+
+    fn assert_equivalent(a: &Checkpoint, b: &Checkpoint) {
+        // Cache/stat state restores cold by design, so compare the
+        // architecturally observable parts.
+        assert_eq!(a.arch, b.arch);
+        assert_eq!(a.kernel, b.kernel);
+        assert_eq!(a.tick, b.tick);
+        assert_eq!(a.instret, b.instret);
+        assert_eq!(a.config, b.config);
+        let size = a.mem.config().phys_size;
+        assert_eq!(
+            a.mem.read_slice(0, size).unwrap(),
+            b.mem.read_slice(0, size).unwrap(),
+            "memory images differ"
+        );
+    }
+
+    #[test]
+    fn checkpoint_bytes_roundtrip() {
+        let (_, c) = checkpointing_machine();
+        let restored = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_equivalent(&restored, &c);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip() {
+        let (_, c) = checkpointing_machine();
+        let dir = std::env::temp_dir().join("gemfi-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ckpt");
+        c.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_equivalent(&loaded, &c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let (_, c) = checkpointing_machine();
+        let mut bytes = c.to_bytes();
+        bytes[0] ^= 0xff;
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn restored_machine_finishes_like_the_original() {
+        let (mut orig, c) = checkpointing_machine();
+        let mut rest = Machine::restore(&c, None, NoopHooks);
+        assert_eq!(orig.run(), rest.run());
+        assert_eq!(orig.instret(), rest.instret());
+    }
+}

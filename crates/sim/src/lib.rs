@@ -1,0 +1,44 @@
+//! `ghost5` — the full-system simulator the GemFI reproduction runs on.
+//!
+//! This crate binds the substrates together into a [`Machine`]: one CPU (of
+//! any of the four models), the classic memory hierarchy, and the `palos`
+//! kernel, advanced by a tick loop with timer interrupts and a watchdog.
+//! A machine is generic over its [`gemfi_cpu::FaultHooks`]; instantiating it with
+//! [`gemfi_cpu::NoopHooks`] yields the "unmodified gem5" baseline while the
+//! GemFI engine (the `gemfi` crate) plugs in the fault-injection behaviour.
+//!
+//! The machine also provides the two workflow features the paper's Sec. V
+//! performance evaluation measures:
+//!
+//! * **checkpoint/restore** ([`Machine::checkpoint`], [`Machine::restore`]) —
+//!   the fast-forward mechanism of Fig. 3/Fig. 8 (our substitution for
+//!   DMTCP; see `DESIGN.md`);
+//! * **CPU-model switching** ([`Machine::switch_cpu`]) — O3 until the fault
+//!   commits or squashes, atomic afterwards (Sec. IV-B methodology).
+//!
+//! # Example
+//!
+//! ```
+//! use gemfi_asm::{Assembler, Reg};
+//! use gemfi_cpu::NoopHooks;
+//! use gemfi_sim::{Machine, MachineConfig, RunExit};
+//!
+//! let mut a = Assembler::new();
+//! a.li(Reg::A0, 7);
+//! a.pal(gemfi_isa::PalFunc::Exit);
+//! let program = a.finish().expect("assembles");
+//!
+//! let mut m = Machine::boot(MachineConfig::default(), &program, NoopHooks).expect("boots");
+//! assert_eq!(m.run(), RunExit::Halted(7));
+//! ```
+
+mod checkpoint;
+mod config;
+mod loader;
+mod machine;
+mod stats;
+
+pub use checkpoint::Checkpoint;
+pub use config::MachineConfig;
+pub use machine::{Machine, RunExit};
+pub use stats::SimStats;

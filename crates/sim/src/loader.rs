@@ -1,0 +1,56 @@
+//! Program loading.
+
+use gemfi_asm::{Program, TEXT_BASE};
+use gemfi_isa::Trap;
+use gemfi_mem::MemorySystem;
+
+/// Writes a linked program image into guest memory.
+///
+/// # Errors
+///
+/// [`Trap::UnmappedAccess`] when the image does not fit the configured
+/// physical memory.
+pub fn load_program(mem: &mut MemorySystem, program: &Program) -> Result<(), Trap> {
+    let mut text = Vec::with_capacity(program.text_words().len() * 4);
+    for w in program.text_words() {
+        text.extend_from_slice(&w.to_le_bytes());
+    }
+    mem.write_slice(TEXT_BASE, &text)?;
+    mem.write_slice(program.data_base(), program.data_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemfi_asm::{Assembler, Reg};
+    use gemfi_mem::MemConfig;
+
+    #[test]
+    fn loads_text_and_data() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 1);
+        a.dsym("blob");
+        a.data_u64(&[0xfeed]);
+        let p = a.finish().unwrap();
+        let mut mem = MemorySystem::new(MemConfig { phys_size: 1 << 20, ..MemConfig::default() });
+        load_program(&mut mem, &p).unwrap();
+        assert_eq!(
+            mem.read_u32_functional(TEXT_BASE).unwrap(),
+            p.text_words()[0]
+        );
+        assert_eq!(mem.read_u64_functional(p.symbol("blob").unwrap()).unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn too_small_memory_is_rejected() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 1);
+        let p = a.finish().unwrap();
+        let mut mem = MemorySystem::new(MemConfig {
+            phys_size: 0x8000, // smaller than TEXT_BASE
+            ..MemConfig::default()
+        });
+        assert!(load_program(&mut mem, &p).is_err());
+    }
+}

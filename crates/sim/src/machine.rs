@@ -1,0 +1,498 @@
+//! The [`Machine`]: one simulated computer.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::MachineConfig;
+use crate::loader::load_program;
+use crate::stats::SimStats;
+use gemfi_asm::Program;
+use gemfi_cpu::{Cpu, CpuKind, FaultHooks, StepEvent};
+use gemfi_isa::{ArchState, Trap};
+use gemfi_kernel::Kernel;
+use gemfi_mem::{MemorySystem, Ticks};
+use std::fmt;
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// All guest threads exited (or an explicit halt); carries the main
+    /// thread's exit code.
+    Halted(u64),
+    /// A fatal guest trap — the paper's *Crashed* outcome.
+    Trapped(Trap),
+    /// The watchdog tick budget was exhausted (hung execution; also
+    /// classified as *Crashed*).
+    Watchdog,
+    /// A `fi_read_init_all()` committed: the caller should take a
+    /// checkpoint (the machine is quiesced) and resume with `run`.
+    CheckpointRequest,
+}
+
+impl fmt::Display for RunExit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunExit::Halted(c) => write!(f, "halted (exit code {c})"),
+            RunExit::Trapped(t) => write!(f, "trapped: {t}"),
+            RunExit::Watchdog => write!(f, "watchdog timeout"),
+            RunExit::CheckpointRequest => write!(f, "checkpoint requested"),
+        }
+    }
+}
+
+/// Address of the synthetic boot stub in the kernel scratch region.
+const BOOT_STUB_BASE: u64 = 0x3000;
+
+/// Writes a spin-then-jump stub into the kernel region and points the boot
+/// context at it: `r1 = n; while (--r1 > 0); jmp entry`.
+fn install_boot_stub(
+    mem: &mut MemorySystem,
+    arch: &mut ArchState,
+    spins: u64,
+    entry: u64,
+) -> Result<(), Trap> {
+    use gemfi_isa::opcode::{BranchCond, IntFunc};
+    use gemfi_isa::{encode, Instr, IntReg, JumpKind, Operand};
+    let r1 = IntReg::new(1).expect("r1");
+    let r2 = IntReg::new(2).expect("r2");
+    let split = |value: u64| {
+        let lo = value as i16;
+        let hi = ((value as i64).wrapping_sub(lo as i64) >> 16) as i16;
+        (hi, lo)
+    };
+    let (nhi, nlo) = split(spins.min(1 << 30));
+    let (ehi, elo) = split(entry);
+    let stub = [
+        Instr::Ldah { ra: r1, rb: IntReg::ZERO, disp: nhi },
+        Instr::Lda { ra: r1, rb: r1, disp: nlo },
+        Instr::IntOp { func: IntFunc::Subq, ra: r1, rb: Operand::Lit(1), rc: r1 },
+        Instr::CondBr { cond: BranchCond::Gt, ra: r1, disp: -2 },
+        Instr::Ldah { ra: r2, rb: IntReg::ZERO, disp: ehi },
+        Instr::Lda { ra: r2, rb: r2, disp: elo },
+        Instr::Jump { kind: JumpKind::Jmp, ra: IntReg::ZERO, rb: r2 },
+    ];
+    for (i, instr) in stub.iter().enumerate() {
+        mem.write_u32_functional(BOOT_STUB_BASE + i as u64 * 4, encode(instr).0)?;
+    }
+    arch.pc = BOOT_STUB_BASE;
+    Ok(())
+}
+
+/// One simulated computer: CPU + memory + kernel + fault hooks.
+#[derive(Debug)]
+pub struct Machine<H> {
+    config: MachineConfig,
+    arch: ArchState,
+    mem: MemorySystem,
+    kernel: Kernel,
+    cpu: Cpu,
+    hooks: H,
+    tick: Ticks,
+    instret: u64,
+    next_preempt: Ticks,
+    finished: Option<RunExit>,
+}
+
+impl<H: FaultHooks> Machine<H> {
+    /// Boots a machine: loads the program, initializes the kernel and the
+    /// first thread, and positions the CPU at the entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] when the image does not fit guest memory.
+    pub fn boot(config: MachineConfig, program: &Program, hooks: H) -> Result<Machine<H>, Trap> {
+        let mut mem = MemorySystem::new(config.mem);
+        load_program(&mut mem, program)?;
+        let mut arch = ArchState::default();
+        let mut kernel =
+            Kernel::boot(&mut arch, &mut mem, program.entry(), program.image_end(), config.quantum)?;
+        if config.boot_spin > 0 {
+            install_boot_stub(&mut mem, &mut arch, config.boot_spin, program.entry())?;
+            // Re-save the boot thread's context so its PCB records the stub
+            // as the resume point (it has not run yet).
+            let _ = &mut kernel;
+        }
+        let cpu = Cpu::new(config.cpu, arch.pc);
+        Ok(Machine {
+            config,
+            arch,
+            mem,
+            kernel,
+            cpu,
+            hooks,
+            tick: 0,
+            instret: 0,
+            next_preempt: if config.quantum > 0 { config.quantum } else { u64::MAX },
+            finished: None,
+        })
+    }
+
+    /// Reconstructs a machine from a checkpoint. The CPU model starts fresh
+    /// (cold caches and predictor — gem5's restore semantics) in
+    /// `checkpoint.cpu` mode unless `cpu_override` says otherwise.
+    pub fn restore(checkpoint: &Checkpoint, cpu_override: Option<CpuKind>, hooks: H) -> Machine<H> {
+        let mut config = checkpoint.config;
+        if let Some(kind) = cpu_override {
+            config.cpu = kind;
+        }
+        let arch = checkpoint.arch.clone();
+        let cpu = Cpu::new(config.cpu, arch.pc);
+        Machine {
+            config,
+            arch,
+            mem: checkpoint.mem.clone(),
+            kernel: checkpoint.kernel.clone(),
+            cpu,
+            hooks,
+            tick: checkpoint.tick,
+            instret: checkpoint.instret,
+            next_preempt: if config.quantum > 0 {
+                checkpoint.tick + config.quantum
+            } else {
+                u64::MAX
+            },
+            finished: None,
+        }
+    }
+
+    /// Captures a checkpoint of the architectural machine state. Only valid
+    /// at a quiesced point (no speculative work in flight) — [`Machine::run`]
+    /// returns [`RunExit::CheckpointRequest`] exactly at such points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU still has speculative work in flight.
+    pub fn checkpoint(&self) -> Checkpoint {
+        assert!(!self.cpu.has_in_flight(), "checkpoint requires a quiesced CPU");
+        Checkpoint {
+            config: self.config,
+            arch: self.arch.clone(),
+            mem: self.mem.clone(),
+            kernel: self.kernel.clone(),
+            tick: self.tick,
+            instret: self.instret,
+        }
+    }
+
+    /// Switches the CPU model at an instruction boundary, discarding
+    /// speculative state (the Sec. IV-B methodology: O3 until the injected
+    /// fault commits or squashes, atomic afterwards).
+    pub fn switch_cpu(&mut self, kind: CpuKind) {
+        self.cpu.flush(&self.arch);
+        if self.cpu.kind() != kind {
+            self.cpu = Cpu::new(kind, self.arch.pc);
+        }
+    }
+
+    /// Advances the machine by one CPU step (one instruction on the simple
+    /// models, one cycle on O3).
+    pub fn step(&mut self) -> Option<RunExit> {
+        if let Some(exit) = self.finished {
+            return Some(exit);
+        }
+        if self.tick >= self.config.max_ticks {
+            self.finished = Some(RunExit::Watchdog);
+            return self.finished;
+        }
+        // Timer interrupt at quantum boundaries.
+        if self.tick >= self.next_preempt {
+            self.next_preempt = self.tick + self.config.quantum;
+            self.cpu.flush(&self.arch);
+            let old_pcbb = self.arch.pcbb;
+            match self.kernel.timer_preempt(&mut self.arch, &mut self.mem) {
+                Ok(switched) => {
+                    if switched {
+                        self.hooks.on_context_switch(0, self.arch.pcbb);
+                        debug_assert_ne!(old_pcbb, self.arch.pcbb);
+                        self.cpu.flush(&self.arch); // re-aim fetch at new thread
+                    }
+                }
+                Err(t) => {
+                    self.finished = Some(RunExit::Trapped(t));
+                    return self.finished;
+                }
+            }
+        }
+
+        match self.cpu.step(
+            0,
+            &mut self.arch,
+            &mut self.mem,
+            &mut self.kernel,
+            &mut self.hooks,
+            self.tick,
+        ) {
+            Ok(r) => {
+                self.tick += r.ticks;
+                self.instret += r.committed;
+                match r.event {
+                    StepEvent::None => None,
+                    StepEvent::CheckpointRequest => {
+                        self.cpu.flush(&self.arch);
+                        Some(RunExit::CheckpointRequest)
+                    }
+                    StepEvent::Halted(code) => {
+                        self.finished = Some(RunExit::Halted(code));
+                        self.finished
+                    }
+                }
+            }
+            Err(t) => {
+                self.finished = Some(RunExit::Trapped(t));
+                self.finished
+            }
+        }
+    }
+
+    /// Runs until the machine halts, traps, exhausts the watchdog, or
+    /// requests a checkpoint.
+    pub fn run(&mut self) -> RunExit {
+        loop {
+            if let Some(exit) = self.step() {
+                return exit;
+            }
+        }
+    }
+
+    /// Runs for at most `budget` additional ticks; `None` means the budget
+    /// expired with the machine still running.
+    pub fn run_for(&mut self, budget: Ticks) -> Option<RunExit> {
+        let deadline = self.tick.saturating_add(budget);
+        while self.tick < deadline {
+            if let Some(exit) = self.step() {
+                return Some(exit);
+            }
+        }
+        None
+    }
+
+    /// Current simulation time in ticks.
+    pub fn tick(&self) -> Ticks {
+        self.tick
+    }
+
+    /// Instructions committed so far.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// The active CPU model.
+    pub fn cpu_kind(&self) -> CpuKind {
+        self.cpu.kind()
+    }
+
+    /// Guest console output.
+    pub fn console(&self) -> &[u8] {
+        self.kernel.console()
+    }
+
+    /// Guest binary output channel.
+    pub fn out_words(&self) -> &[u64] {
+        self.kernel.out_words()
+    }
+
+    /// The architectural state (inspection).
+    pub fn arch(&self) -> &ArchState {
+        &self.arch
+    }
+
+    /// The memory system (host-side input placement / output extraction).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable memory access (host-side input placement).
+    pub fn mem_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// The fault hooks.
+    pub fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    /// Mutable access to the fault hooks (installing fault configurations).
+    pub fn hooks_mut(&mut self) -> &mut H {
+        &mut self.hooks
+    }
+
+    /// Whole-machine statistics.
+    pub fn stats(&self) -> SimStats {
+        let (mut lookups, mut mispredicts, mut squashed) = (0, 0, 0);
+        match &self.cpu {
+            Cpu::InOrder(c) => {
+                lookups = c.predictor().stats().lookups;
+                mispredicts = c.predictor().stats().mispredicts;
+            }
+            Cpu::O3(c) => {
+                lookups = c.predictor().stats().lookups;
+                mispredicts = c.predictor().stats().mispredicts;
+                squashed = c.stats().squashed;
+            }
+            _ => {}
+        }
+        SimStats {
+            ticks: self.tick,
+            instructions: self.instret,
+            context_switches: self.kernel.context_switches(),
+            mem: self.mem.stats(),
+            branch_lookups: lookups,
+            branch_mispredicts: mispredicts,
+            squashed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemfi_asm::{Assembler, Reg};
+    use gemfi_cpu::NoopHooks;
+    use gemfi_isa::PalFunc;
+
+    fn small_config(cpu: CpuKind) -> MachineConfig {
+        MachineConfig {
+            cpu,
+            mem: gemfi_mem::MemConfig { phys_size: 8 << 20, ..gemfi_mem::MemConfig::default() },
+            quantum: 5_000,
+            max_ticks: 50_000_000,
+            ..MachineConfig::default()
+        }
+    }
+
+    fn counting_program(n: i64) -> Program {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 0);
+        a.li(Reg::R2, n);
+        a.label("loop");
+        a.addq_lit(Reg::R1, 1, Reg::R1);
+        a.subq(Reg::R2, Reg::R1, Reg::R3);
+        a.bgt(Reg::R3, "loop");
+        a.mov(Reg::R1, Reg::A0);
+        a.pal(PalFunc::Exit);
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn all_four_models_agree_on_the_result() {
+        let p = counting_program(500);
+        let mut exits = Vec::new();
+        for kind in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
+            let mut m = Machine::boot(small_config(kind), &p, NoopHooks).unwrap();
+            exits.push(m.run());
+        }
+        assert!(exits.iter().all(|e| *e == RunExit::Halted(500)), "{exits:?}");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 1111);
+        a.fi_read_init();
+        a.addq_lit(Reg::R1, 5, Reg::R1);
+        a.mov(Reg::R1, Reg::A0);
+        a.pal(PalFunc::Exit);
+        let p = a.finish().unwrap();
+
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        let ckpt = m.checkpoint();
+        assert_eq!(m.run(), RunExit::Halted(1116));
+
+        // Restore twice; both resumes see the same world.
+        for kind in [None, Some(CpuKind::O3)] {
+            let mut r = Machine::restore(&ckpt, kind, NoopHooks);
+            assert_eq!(r.run(), RunExit::Halted(1116), "cpu override {kind:?}");
+        }
+    }
+
+    #[test]
+    fn switch_cpu_mid_run_preserves_semantics() {
+        let p = counting_program(1000);
+        let mut m = Machine::boot(small_config(CpuKind::O3), &p, NoopHooks).unwrap();
+        // Run a while in O3, then switch to atomic (the campaign pattern).
+        assert!(m.run_for(200).is_none());
+        m.switch_cpu(CpuKind::Atomic);
+        assert_eq!(m.run(), RunExit::Halted(1000));
+    }
+
+    #[test]
+    fn watchdog_catches_infinite_loops() {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.br("spin");
+        let p = a.finish().unwrap();
+        let mut cfg = small_config(CpuKind::Atomic);
+        cfg.max_ticks = 10_000;
+        let mut m = Machine::boot(cfg, &p, NoopHooks).unwrap();
+        assert_eq!(m.run(), RunExit::Watchdog);
+    }
+
+    #[test]
+    fn trap_is_reported_as_crash() {
+        let mut a = Assembler::new();
+        a.li(Reg::R1, 0x7f_ffff_fff8);
+        a.ldq(Reg::R2, 0, Reg::R1);
+        let p = a.finish().unwrap();
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        assert!(matches!(m.run(), RunExit::Trapped(Trap::UnmappedAccess { .. })));
+    }
+
+    #[test]
+    fn multithreaded_guest_round_robins_under_timer() {
+        // Main spawns a child that writes a word, then joins it.
+        let mut a = Assembler::new();
+        a.entry("main");
+        a.label("child");
+        a.li(Reg::A0, 0xc0de);
+        a.pal(PalFunc::WriteWord);
+        a.li(Reg::A0, 5);
+        a.pal(PalFunc::Exit);
+        a.label("main");
+        a.la(Reg::A0, "child");
+        a.li(Reg::A1, 0);
+        a.li(Reg::A2, 0);
+        a.pal(PalFunc::ThreadSpawn);
+        a.mov(Reg::V0, Reg::A0);
+        a.pal(PalFunc::ThreadJoin);
+        a.mov(Reg::V0, Reg::A0); // join result = 5
+        a.pal(PalFunc::Exit);
+        let p = a.finish().unwrap();
+
+        for kind in [CpuKind::Atomic, CpuKind::O3] {
+            let mut m = Machine::boot(small_config(kind), &p, NoopHooks).unwrap();
+            assert_eq!(m.run(), RunExit::Halted(5), "{kind}");
+            assert_eq!(m.out_words(), &[0xc0de]);
+        }
+    }
+
+    #[test]
+    fn boot_spin_adds_work_but_not_semantics() {
+        let p = counting_program(50);
+        let mut plain = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        let plain_exit = plain.run();
+        let mut cfg = small_config(CpuKind::Atomic);
+        cfg.boot_spin = 100_000;
+        let mut spun = Machine::boot(cfg, &p, NoopHooks).unwrap();
+        let spun_exit = spun.run();
+        assert_eq!(plain_exit, spun_exit);
+        assert_eq!(plain_exit, RunExit::Halted(50));
+        assert!(
+            spun.instret() > plain.instret() + 100_000,
+            "boot spin must execute ~2 instructions per count: {} vs {}",
+            spun.instret(),
+            plain.instret()
+        );
+    }
+
+    #[test]
+    fn stats_surface_is_consistent() {
+        let p = counting_program(300);
+        let mut m = Machine::boot(small_config(CpuKind::InOrder), &p, NoopHooks).unwrap();
+        m.run();
+        let s = m.stats();
+        assert!(s.instructions > 900);
+        assert!(s.ticks >= s.instructions);
+        assert!(s.branch_lookups >= 300);
+        assert!(s.mem.l1i.accesses() > 0);
+        assert!(s.ipc() > 0.0);
+    }
+}

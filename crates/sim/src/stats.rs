@@ -1,0 +1,64 @@
+//! Whole-machine statistics.
+
+use gemfi_mem::MemStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The simulator statistics surface the paper's no-fault validation compares
+/// ("as well as the statistical results provided by the simulator. For all
+/// benchmarks the results were identical").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Simulated ticks elapsed.
+    pub ticks: u64,
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Context switches performed by the kernel.
+    pub context_switches: u64,
+    /// Memory hierarchy counters.
+    pub mem: MemStats,
+    /// Conditional-branch predictor lookups (pipelined models only).
+    pub branch_lookups: u64,
+    /// Branch mispredictions (pipelined models only).
+    pub branch_mispredicts: u64,
+    /// Speculative instructions squashed (O3 only).
+    pub squashed: u64,
+}
+
+impl SimStats {
+    /// Instructions per tick.
+    pub fn ipc(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.ticks as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ticks: {}", self.ticks)?;
+        writeln!(f, "instructions: {} (ipc {:.3})", self.instructions, self.ipc())?;
+        writeln!(f, "context switches: {}", self.context_switches)?;
+        writeln!(
+            f,
+            "branches: {} lookups, {} mispredicts",
+            self.branch_lookups, self.branch_mispredicts
+        )?;
+        writeln!(f, "squashed: {}", self.squashed)?;
+        write!(f, "{}", self.mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_ticks() {
+        assert_eq!(SimStats::default().ipc(), 0.0);
+        let s = SimStats { ticks: 10, instructions: 5, ..SimStats::default() };
+        assert_eq!(s.ipc(), 0.5);
+    }
+}

@@ -1,0 +1,379 @@
+//! Canneal: simulated-annealing netlist placement (Sec. IV: "a benchmark of
+//! the PARSEC Benchmark Suite … employs an annealing (SA) algorithm to
+//! minimize the routing cost of a chip design by randomly swapping netlist
+//! elements").
+//!
+//! The paper's acceptance gate: "Correct Canneal executions are those that
+//! reduce the total cost of routing and produce a correct chip" — here:
+//! the final placement must be a valid permutation, its recomputed wirelength
+//! must match the claimed cost, and the cost must beat the initial
+//! placement's.
+
+use crate::harness::{GuestWorkload, Workload, OUTPUT_SYMBOL};
+use gemfi_asm::{Assembler, Reg};
+
+const LCG_MUL: u64 = 6364136223846793005;
+const LCG_INC: u64 = 1442695040888963407;
+/// Elements (and grid cells): 64 elements on an 8×8 grid.
+const N: usize = 64;
+/// Annealing steps; the temperature threshold decays linearly over these.
+const STEPS: u64 = 512;
+
+fn lcg(s: u64) -> u64 {
+    s.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC)
+}
+
+/// Manhattan distance between two cells of the 8×8 grid.
+fn dist(a: u64, b: u64) -> u64 {
+    let dx = (a & 7).abs_diff(b & 7);
+    let dy = (a >> 3).abs_diff(b >> 3);
+    dx + dy
+}
+
+/// The two nets of element `e` (a ring plus a stride-7 shuffle net).
+fn nets(e: usize) -> (usize, usize) {
+    ((e + 1) & (N - 1), (e * 7 + 3) & (N - 1))
+}
+
+/// Total wirelength of a placement.
+fn wirelength(pos: &[u64]) -> u64 {
+    let mut cost = 0;
+    for e in 0..N {
+        let (n1, n2) = nets(e);
+        cost += dist(pos[e], pos[n1]) + dist(pos[e], pos[n2]);
+    }
+    cost
+}
+
+/// The canneal workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Canneal {
+    /// RNG seed for the initial shuffle and the annealing schedule.
+    pub seed: u64,
+    /// Annealing steps (≤ 2^16; the default matches the schedule constant).
+    pub steps: u64,
+}
+
+impl Canneal {
+    /// A deeper anneal approximating the paper's 100-net configuration.
+    pub fn paper() -> Canneal {
+        Canneal { steps: 512, ..Canneal::default() }
+    }
+
+    /// The deterministic initial placement (identity shuffled by the seed).
+    fn initial_placement(&self) -> (Vec<u64>, u64) {
+        let mut pos: Vec<u64> = (0..N as u64).collect();
+        let mut s = self.seed;
+        for e in 0..N {
+            s = lcg(s);
+            let k = ((s >> 25) & (N as u64 - 1)) as usize;
+            pos.swap(e, k);
+        }
+        (pos, s)
+    }
+}
+
+impl Default for Canneal {
+    fn default() -> Canneal {
+        Canneal { seed: 0x13198a2e03707344, steps: STEPS }
+    }
+}
+
+impl Workload for Canneal {
+    fn name(&self) -> &'static str {
+        "canneal"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build(&self) -> GuestWorkload {
+        assert!(self.steps <= 1 << 16);
+        let mut a = Assembler::new();
+        a.dsym(OUTPUT_SYMBOL);
+        a.zeros(16 + N * 8); // initial cost, final cost, placement
+        a.dsym("pos");
+        a.zeros(N * 8);
+        a.dsym("rng_cell");
+        a.data_u64(&[0]);
+
+        a.entry("main");
+
+        // dist(r9 = cell a, r11 = cell b) -> r12. Clobbers r12, r13, r24.
+        a.label("dist");
+        a.and_lit(Reg::R9, 7, Reg::R12);
+        a.and_lit(Reg::R11, 7, Reg::R13);
+        a.subq(Reg::R12, Reg::R13, Reg::R12);
+        a.subq(Reg::ZERO, Reg::R12, Reg::R13);
+        a.cmovlt(Reg::R12, Reg::R13, Reg::R12);
+        a.srl_lit(Reg::R9, 3, Reg::R13);
+        a.srl_lit(Reg::R11, 3, Reg::R24);
+        a.subq(Reg::R13, Reg::R24, Reg::R13);
+        a.subq(Reg::ZERO, Reg::R13, Reg::R24);
+        a.cmovlt(Reg::R13, Reg::R24, Reg::R13);
+        a.addq(Reg::R12, Reg::R13, Reg::R12);
+        a.ret();
+
+        // cost_fn() -> r0 = total wirelength over `pos` (base in r21).
+        // Clobbers r0, r8–r13, r24, r25; saves/restores RA.
+        a.label("cost_fn");
+        a.subq_lit(Reg::SP, 16, Reg::SP);
+        a.stq(Reg::RA, 0, Reg::SP);
+        a.li(Reg::R8, 0); // e
+        a.li(Reg::R0, 0); // cost
+        a.label("cost_loop");
+        a.s8addq(Reg::R8, Reg::R21, Reg::R9);
+        a.ldq(Reg::R9, 0, Reg::R9); // pos[e]
+        a.mov(Reg::R9, Reg::R25); // keep pos[e]
+        // net 1: (e+1) & 63
+        a.addq_lit(Reg::R8, 1, Reg::R10);
+        a.and_lit(Reg::R10, (N - 1) as u8, Reg::R10);
+        a.s8addq(Reg::R10, Reg::R21, Reg::R11);
+        a.ldq(Reg::R11, 0, Reg::R11);
+        a.call("dist");
+        a.addq(Reg::R0, Reg::R12, Reg::R0);
+        // net 2: (e*7 + 3) & 63
+        a.mov(Reg::R25, Reg::R9);
+        a.mulq_lit(Reg::R8, 7, Reg::R10);
+        a.addq_lit(Reg::R10, 3, Reg::R10);
+        a.and_lit(Reg::R10, (N - 1) as u8, Reg::R10);
+        a.s8addq(Reg::R10, Reg::R21, Reg::R11);
+        a.ldq(Reg::R11, 0, Reg::R11);
+        a.call("dist");
+        a.addq(Reg::R0, Reg::R12, Reg::R0);
+        a.addq_lit(Reg::R8, 1, Reg::R8);
+        a.cmplt_lit(Reg::R8, N as u8, Reg::R9);
+        a.bne(Reg::R9, "cost_loop");
+        a.ldq(Reg::RA, 0, Reg::SP);
+        a.addq_lit(Reg::SP, 16, Reg::SP);
+        a.ret();
+
+        // --- main: initialization — identity placement, shuffle, initial
+        // cost into output[0].
+        a.label("main");
+        a.la(Reg::R21, "pos");
+        a.li(Reg::R22, self.seed as i64);
+        a.li(Reg::R20, LCG_MUL as i64);
+        a.li(Reg::R23, LCG_INC as i64);
+        a.li(Reg::R1, 0);
+        a.label("ident");
+        a.s8addq(Reg::R1, Reg::R21, Reg::R2);
+        a.stq(Reg::R1, 0, Reg::R2);
+        a.addq_lit(Reg::R1, 1, Reg::R1);
+        a.cmplt_lit(Reg::R1, N as u8, Reg::R2);
+        a.bne(Reg::R2, "ident");
+        a.li(Reg::R1, 0);
+        a.label("shuffle");
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R23, Reg::R22);
+        a.srl_lit(Reg::R22, 25, Reg::R2);
+        a.and_lit(Reg::R2, (N - 1) as u8, Reg::R2);
+        a.s8addq(Reg::R1, Reg::R21, Reg::R3);
+        a.ldq(Reg::R4, 0, Reg::R3);
+        a.s8addq(Reg::R2, Reg::R21, Reg::R5);
+        a.ldq(Reg::R6, 0, Reg::R5);
+        a.stq(Reg::R6, 0, Reg::R3);
+        a.stq(Reg::R4, 0, Reg::R5);
+        a.addq_lit(Reg::R1, 1, Reg::R1);
+        a.cmplt_lit(Reg::R1, N as u8, Reg::R2);
+        a.bne(Reg::R2, "shuffle");
+        a.la(Reg::R1, "rng_cell");
+        a.stq(Reg::R22, 0, Reg::R1);
+        a.call("cost_fn");
+        a.la(Reg::R1, OUTPUT_SYMBOL);
+        a.stq(Reg::R0, 0, Reg::R1); // initial cost
+
+        // --- checkpoint + activation markers.
+        a.fi_read_init();
+        a.fi_activate(0);
+
+        // --- kernel: the anneal.
+        a.la(Reg::R21, "pos");
+        a.la(Reg::R1, "rng_cell");
+        a.ldq(Reg::R22, 0, Reg::R1);
+        a.li(Reg::R20, LCG_MUL as i64);
+        a.li(Reg::R23, LCG_INC as i64);
+        a.call("cost_fn");
+        a.mov(Reg::R0, Reg::R27); // current cost (r27: calls clobber ra/r26)
+        a.li(Reg::R14, 0); // step
+        a.li(Reg::R15, self.steps as i64);
+        a.label("sa_loop");
+        // pick i (r1), j (r2)
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R23, Reg::R22);
+        a.srl_lit(Reg::R22, 25, Reg::R1);
+        a.and_lit(Reg::R1, (N - 1) as u8, Reg::R1);
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R23, Reg::R22);
+        a.srl_lit(Reg::R22, 25, Reg::R2);
+        a.and_lit(Reg::R2, (N - 1) as u8, Reg::R2);
+        // swap pos[i], pos[j]
+        a.s8addq(Reg::R1, Reg::R21, Reg::R3);
+        a.ldq(Reg::R4, 0, Reg::R3);
+        a.s8addq(Reg::R2, Reg::R21, Reg::R5);
+        a.ldq(Reg::R6, 0, Reg::R5);
+        a.stq(Reg::R6, 0, Reg::R3);
+        a.stq(Reg::R4, 0, Reg::R5);
+        a.call("cost_fn"); // r0 = new cost
+        a.cmple(Reg::R0, Reg::R27, Reg::R7);
+        a.bne(Reg::R7, "sa_accept");
+        // uphill: accept if ((rng>>20) & 1023) < T, T = steps - step
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R23, Reg::R22);
+        a.srl_lit(Reg::R22, 20, Reg::R7);
+        a.li(Reg::R18, 1023);
+        a.and(Reg::R7, Reg::R18, Reg::R7);
+        a.subq(Reg::R15, Reg::R14, Reg::R18); // T
+        a.cmplt(Reg::R7, Reg::R18, Reg::R7);
+        a.bne(Reg::R7, "sa_accept");
+        // reject: swap back
+        a.stq(Reg::R4, 0, Reg::R3);
+        a.stq(Reg::R6, 0, Reg::R5);
+        a.br("sa_next");
+        a.label("sa_accept");
+        a.mov(Reg::R0, Reg::R27);
+        a.label("sa_next");
+        a.addq_lit(Reg::R14, 1, Reg::R14);
+        a.cmplt(Reg::R14, Reg::R15, Reg::R7);
+        a.bne(Reg::R7, "sa_loop");
+
+        // --- deactivate, write final cost + placement, exit.
+        a.fi_activate(0);
+        a.la(Reg::R1, OUTPUT_SYMBOL);
+        a.stq(Reg::R27, 8, Reg::R1);
+        a.li(Reg::R2, 0);
+        a.label("emit");
+        a.s8addq(Reg::R2, Reg::R21, Reg::R3);
+        a.ldq(Reg::R4, 0, Reg::R3);
+        a.addq_lit(Reg::R2, 2, Reg::R5);
+        a.s8addq(Reg::R5, Reg::R1, Reg::R5);
+        a.stq(Reg::R4, 0, Reg::R5);
+        a.addq_lit(Reg::R2, 1, Reg::R2);
+        a.cmplt_lit(Reg::R2, N as u8, Reg::R3);
+        a.bne(Reg::R3, "emit");
+        a.exit(0);
+
+        GuestWorkload {
+            program: a.finish().expect("canneal assembles"),
+            output_len: 16 + N * 8,
+        }
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        let (mut pos, mut s) = self.initial_placement();
+        let initial = wirelength(&pos);
+        let mut cost = wirelength(&pos);
+        for step in 0..self.steps {
+            s = lcg(s);
+            let i = ((s >> 25) & (N as u64 - 1)) as usize;
+            s = lcg(s);
+            let j = ((s >> 25) & (N as u64 - 1)) as usize;
+            pos.swap(i, j);
+            let new = wirelength(&pos);
+            if new <= cost {
+                cost = new;
+            } else {
+                s = lcg(s);
+                let r = (s >> 20) & 1023;
+                let t = self.steps - step;
+                if r < t {
+                    cost = new;
+                } else {
+                    pos.swap(i, j);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(16 + N * 8);
+        out.extend_from_slice(&initial.to_le_bytes());
+        out.extend_from_slice(&cost.to_le_bytes());
+        for p in &pos {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
+        let _ = golden;
+        let Some((declared_final, pos)) = read_out(faulty) else { return false };
+        // Valid chip: the placement must be a permutation of the cells.
+        let mut seen = [false; N];
+        for &p in &pos {
+            let Ok(idx) = usize::try_from(p) else { return false };
+            if idx >= N || seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+        // The claimed cost must be real, and routing must have improved.
+        let real = wirelength(&pos);
+        let (initial_pos, _) = self.initial_placement();
+        real == declared_final && real < wirelength(&initial_pos)
+    }
+}
+
+fn read_out(bytes: &[u8]) -> Option<(u64, Vec<u64>)> {
+    if bytes.len() < 16 + N * 8 {
+        return None;
+    }
+    let final_cost = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let pos = bytes[16..16 + N * 8]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Some((final_cost, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::reference_run;
+    use gemfi_cpu::CpuKind;
+
+    #[test]
+    fn annealing_reduces_cost() {
+        let w = Canneal::default();
+        let out = w.reference();
+        let initial = u64::from_le_bytes(out[..8].try_into().unwrap());
+        let (final_cost, pos) = read_out(&out).unwrap();
+        assert!(final_cost < initial, "SA must improve: {final_cost} vs {initial}");
+        assert_eq!(wirelength(&pos), final_cost);
+        assert!(w.accept(&out, &out));
+    }
+
+    #[test]
+    fn guest_matches_host_bit_exactly() {
+        let w = Canneal { steps: 60, ..Canneal::default() };
+        let run = reference_run(&w, CpuKind::Atomic).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn guest_matches_on_o3() {
+        let w = Canneal { steps: 25, ..Canneal::default() };
+        let run = reference_run(&w, CpuKind::O3).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn invalid_permutations_are_rejected() {
+        let w = Canneal::default();
+        let golden = w.reference();
+        // Duplicate a cell.
+        let mut dup = golden.clone();
+        let cell = dup[16..24].to_vec();
+        dup[24..32].copy_from_slice(&cell);
+        assert!(!w.accept(&dup, &golden));
+        // Lie about the cost.
+        let mut lie = golden.clone();
+        lie[8..16].copy_from_slice(&0u64.to_le_bytes());
+        assert!(!w.accept(&lie, &golden));
+        assert!(!w.accept(&[], &golden));
+    }
+
+    #[test]
+    fn nets_are_symmetric_free_but_deterministic() {
+        for e in 0..N {
+            let (a, b) = nets(e);
+            assert!(a < N && b < N);
+        }
+        assert_eq!(nets(63).0, 0, "ring wraps");
+    }
+}

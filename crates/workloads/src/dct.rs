@@ -1,0 +1,440 @@
+//! JPEG DCT compression kernel (Sec. IV: "a kernel of JPEG image
+//! compression and decompression. We applied each kernel on a gray-scale
+//! 512X512 image").
+//!
+//! The full compress→decompress cycle per 8×8 block: level shift, forward
+//! 2-D DCT (as two 8×8 matrix products with the cosine basis), quantization
+//! by the standard JPEG luminance table, dequantization, inverse DCT, and
+//! clamped reconstruction. The paper's acceptance gate: reconstructed
+//! "images with PSNR higher than 30" (vs. the uncompressed input) "are
+//! regarded as correct, since typical PSNR values in lossy image and video
+//! compression range between 30 and 50 dB".
+//!
+//! FP-heavy with multi-level loop nests and dense memory traffic — the
+//! paper observes DCT (with Jacobi) crashing at roughly twice the rate of
+//! the other benchmarks under integer-register faults.
+
+use crate::harness::{GuestWorkload, Workload, OUTPUT_SYMBOL};
+use crate::psnr::psnr_u8;
+use gemfi_asm::{Assembler, FReg, Reg};
+
+/// The standard JPEG luminance quantization table.
+const QTABLE: [u64; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The 8×8 DCT basis: `C[i][j] = c(i)/2 · cos((2j+1)iπ/16)`.
+fn dct_basis() -> [f64; 64] {
+    let mut c = [0.0; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            let ci = if i == 0 { 1.0 / std::f64::consts::SQRT_2 } else { 1.0 };
+            c[i * 8 + j] =
+                0.5 * ci * ((2 * j + 1) as f64 * i as f64 * std::f64::consts::PI / 16.0).cos();
+        }
+    }
+    c
+}
+
+/// The synthetic grayscale input (shared by guest and host): smooth
+/// gradients plus texture, integer-generated so the guest can synthesize it
+/// exactly.
+pub fn input_pixel(x: usize, y: usize) -> u64 {
+    ((x * 3 + y * 5 + ((x * x + y * y) >> 4)) & 0xff) as u64
+}
+
+/// Round half away from zero via truncation — the exact guest formula
+/// (`cvttq(v + copysign(0.5, v))`), mirrored here for bit-exactness.
+fn round_away(v: f64) -> i64 {
+    let t = v + 0.5f64.copysign(v);
+    if t >= i64::MAX as f64 {
+        i64::MAX
+    } else if t <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        t.trunc() as i64
+    }
+}
+
+/// The DCT workload. Pixels are one per 64-bit word.
+#[derive(Debug, Clone, Copy)]
+pub struct Dct {
+    /// Image width (multiple of 8).
+    pub width: usize,
+    /// Image height (multiple of 8).
+    pub height: usize,
+}
+
+impl Dct {
+    /// The paper's 512×512 image.
+    pub fn paper() -> Dct {
+        Dct { width: 512, height: 512 }
+    }
+}
+
+impl Default for Dct {
+    fn default() -> Dct {
+        Dct { width: 32, height: 32 }
+    }
+}
+
+impl Workload for Dct {
+    fn name(&self) -> &'static str {
+        "dct"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build(&self) -> GuestWorkload {
+        assert!(self.width.is_multiple_of(8) && self.height.is_multiple_of(8));
+        let w = self.width as i64;
+        let basis = dct_basis();
+
+        let mut a = Assembler::new();
+        a.dsym(OUTPUT_SYMBOL);
+        a.zeros(self.width * self.height * 8); // reconstructed image (u64/px)
+        a.dsym("image");
+        a.zeros(self.width * self.height * 8); // input image as f64/px
+        a.dsym("cmat");
+        a.data_f64(&basis);
+        a.dsym("qmat");
+        a.data_f64(&QTABLE.map(|q| q as f64));
+        a.dsym("tmp");
+        a.zeros(64 * 8);
+        a.dsym("coef");
+        a.zeros(64 * 8);
+        a.dsym("zbuf");
+        a.zeros(64 * 8);
+
+        a.entry("main");
+
+        // matmul8: D[i][j] = Σk A[i,k]·B[k,j] over 8×8 views.
+        //   a0 = A base, a1 = B base, a2 = D base (contiguous row-major),
+        //   r19 = A row stride, r20 = A col stride,
+        //   r21 = B row stride, r22 = B col stride  (all in bytes).
+        // Clobbers r8–r13, f1–f3.
+        a.label("matmul8");
+        a.li(Reg::R8, 0); // i
+        a.label("mm_i");
+        a.li(Reg::R9, 0); // j
+        a.label("mm_j");
+        a.fmov(FReg::FZERO, FReg::F1); // acc
+        a.li(Reg::R10, 0); // k
+        a.label("mm_k");
+        // A[i,k]
+        a.mulq(Reg::R8, Reg::R19, Reg::R11);
+        a.mulq(Reg::R10, Reg::R20, Reg::R12);
+        a.addq(Reg::R11, Reg::R12, Reg::R11);
+        a.addq(Reg::R11, Reg::A0, Reg::R11);
+        a.ldt(FReg::F2, 0, Reg::R11);
+        // B[k,j]
+        a.mulq(Reg::R10, Reg::R21, Reg::R11);
+        a.mulq(Reg::R9, Reg::R22, Reg::R12);
+        a.addq(Reg::R11, Reg::R12, Reg::R11);
+        a.addq(Reg::R11, Reg::A1, Reg::R11);
+        a.ldt(FReg::F3, 0, Reg::R11);
+        a.mult(FReg::F2, FReg::F3, FReg::F2);
+        a.addt(FReg::F1, FReg::F2, FReg::F1);
+        a.addq_lit(Reg::R10, 1, Reg::R10);
+        a.cmplt_lit(Reg::R10, 8, Reg::R11);
+        a.bne(Reg::R11, "mm_k");
+        // D[i*8+j] = acc
+        a.sll_lit(Reg::R8, 3, Reg::R11);
+        a.addq(Reg::R11, Reg::R9, Reg::R11);
+        a.s8addq(Reg::R11, Reg::A2, Reg::R11);
+        a.stt(FReg::F1, 0, Reg::R11);
+        a.addq_lit(Reg::R9, 1, Reg::R9);
+        a.cmplt_lit(Reg::R9, 8, Reg::R11);
+        a.bne(Reg::R11, "mm_j");
+        a.addq_lit(Reg::R8, 1, Reg::R8);
+        a.cmplt_lit(Reg::R8, 8, Reg::R11);
+        a.bne(Reg::R11, "mm_i");
+        a.ret();
+
+        // --- main: initialization — synthesize the level-shifted image
+        // (pixel − 128) as doubles.
+        a.label("main");
+        a.la(Reg::R1, "image");
+        a.li(Reg::R27, w);
+        a.li(Reg::R2, 0); // y
+        a.label("gen_y");
+        a.li(Reg::R3, 0); // x
+        a.label("gen_x");
+        // v = (x*3 + y*5 + ((x*x + y*y)>>4)) & 255
+        a.mulq_lit(Reg::R3, 3, Reg::R4);
+        a.mulq_lit(Reg::R2, 5, Reg::R5);
+        a.addq(Reg::R4, Reg::R5, Reg::R4);
+        a.mulq(Reg::R3, Reg::R3, Reg::R5);
+        a.mulq(Reg::R2, Reg::R2, Reg::R6);
+        a.addq(Reg::R5, Reg::R6, Reg::R5);
+        a.srl_lit(Reg::R5, 4, Reg::R5);
+        a.addq(Reg::R4, Reg::R5, Reg::R4);
+        a.and_lit(Reg::R4, 0xff, Reg::R4);
+        a.subq_lit(Reg::R4, 128, Reg::R4); // level shift
+        a.itoft(Reg::R4, FReg::F1);
+        a.cvtqt(FReg::F1, FReg::F1);
+        a.mulq(Reg::R2, Reg::R27, Reg::R5);
+        a.addq(Reg::R5, Reg::R3, Reg::R5);
+        a.s8addq(Reg::R5, Reg::R1, Reg::R5);
+        a.stt(FReg::F1, 0, Reg::R5);
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt(Reg::R3, Reg::R27, Reg::R4);
+        a.bne(Reg::R4, "gen_x");
+        a.addq_lit(Reg::R2, 1, Reg::R2);
+        a.li(Reg::R4, self.height as i64);
+        a.cmplt(Reg::R2, Reg::R4, Reg::R4);
+        a.bne(Reg::R4, "gen_y");
+
+        // --- checkpoint + activation markers.
+        a.fi_read_init();
+        a.fi_activate(0);
+
+        // --- kernel: per-block compress/decompress.
+        // r25 = by, r23 = bx (r26 is the link register), r27 = W, r28 = block base.
+        a.li(Reg::R25, 0); // by (in blocks)
+        a.label("blk_y");
+        a.li(Reg::R23, 0); // bx
+        a.label("blk_x");
+        // block base offset = ((by*8)*W + bx*8) * 8 bytes
+        a.sll_lit(Reg::R25, 3, Reg::R1);
+        a.mulq(Reg::R1, Reg::R27, Reg::R1);
+        a.sll_lit(Reg::R23, 3, Reg::R2);
+        a.addq(Reg::R1, Reg::R2, Reg::R1);
+        a.sll_lit(Reg::R1, 3, Reg::R28);
+
+        // tmp = C · X   (X = image block, row stride W*8, col stride 8)
+        a.la(Reg::A0, "cmat");
+        a.la(Reg::A1, "image");
+        a.addq(Reg::A1, Reg::R28, Reg::A1);
+        a.la(Reg::A2, "tmp");
+        a.li(Reg::R19, 64);
+        a.li(Reg::R20, 8);
+        a.sll_lit(Reg::R27, 3, Reg::R21); // W*8
+        a.li(Reg::R22, 8);
+        a.call("matmul8");
+        // coef = tmp · Cᵀ  (Cᵀ: row stride 8, col stride 64)
+        a.la(Reg::A0, "tmp");
+        a.la(Reg::A1, "cmat");
+        a.la(Reg::A2, "coef");
+        a.li(Reg::R19, 64);
+        a.li(Reg::R20, 8);
+        a.li(Reg::R21, 8);
+        a.li(Reg::R22, 64);
+        a.call("matmul8");
+        // quantize/dequantize coef in place:
+        //   coef[k] = round(coef[k]/q[k]) * q[k]
+        a.la(Reg::R1, "coef");
+        a.la(Reg::R2, "qmat");
+        a.lif(FReg::F5, 0.5, Reg::R8);
+        a.li(Reg::R3, 0);
+        a.label("quant");
+        a.s8addq(Reg::R3, Reg::R1, Reg::R4);
+        a.ldt(FReg::F1, 0, Reg::R4);
+        a.s8addq(Reg::R3, Reg::R2, Reg::R5);
+        a.ldt(FReg::F2, 0, Reg::R5);
+        a.divt(FReg::F1, FReg::F2, FReg::F1);
+        // round half away from zero: trunc(v + copysign(0.5, v))
+        a.cpys(FReg::F1, FReg::F5, FReg::F3);
+        a.addt(FReg::F1, FReg::F3, FReg::F1);
+        a.cvttq(FReg::F1, FReg::F1);
+        a.cvtqt(FReg::F1, FReg::F1);
+        a.mult(FReg::F1, FReg::F2, FReg::F1);
+        a.stt(FReg::F1, 0, Reg::R4);
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt_lit(Reg::R3, 64, Reg::R4);
+        a.bne(Reg::R4, "quant");
+        // tmp = Cᵀ · coef
+        a.la(Reg::A0, "cmat");
+        a.la(Reg::A1, "coef");
+        a.la(Reg::A2, "tmp");
+        a.li(Reg::R19, 8);
+        a.li(Reg::R20, 64);
+        a.li(Reg::R21, 64);
+        a.li(Reg::R22, 8);
+        a.call("matmul8");
+        // zbuf = tmp · C
+        a.la(Reg::A0, "tmp");
+        a.la(Reg::A1, "cmat");
+        a.la(Reg::A2, "zbuf");
+        a.li(Reg::R19, 64);
+        a.li(Reg::R20, 8);
+        a.li(Reg::R21, 64);
+        a.li(Reg::R22, 8);
+        a.call("matmul8");
+        // store block: out = clamp(round(z + 128), 0, 255)
+        a.la(Reg::R1, "zbuf");
+        a.la(Reg::R2, OUTPUT_SYMBOL);
+        a.addq(Reg::R2, Reg::R28, Reg::R2);
+        a.lif(FReg::F5, 0.5, Reg::R8);
+        a.lif(FReg::F6, 128.0, Reg::R8);
+        a.li(Reg::R3, 0); // r (row in block)
+        a.label("out_r");
+        a.li(Reg::R4, 0); // c
+        a.label("out_c");
+        a.sll_lit(Reg::R3, 3, Reg::R5);
+        a.addq(Reg::R5, Reg::R4, Reg::R5);
+        a.s8addq(Reg::R5, Reg::R1, Reg::R5);
+        a.ldt(FReg::F1, 0, Reg::R5);
+        a.addt(FReg::F1, FReg::F6, FReg::F1); // + 128
+        a.cpys(FReg::F1, FReg::F5, FReg::F3);
+        a.addt(FReg::F1, FReg::F3, FReg::F1);
+        a.cvttq(FReg::F1, FReg::F1);
+        a.ftoit(FReg::F1, Reg::R5);
+        // clamp to [0, 255]
+        a.cmovlt(Reg::R5, Reg::ZERO, Reg::R5);
+        a.li(Reg::R6, 255);
+        a.cmple(Reg::R6, Reg::R5, Reg::R7);
+        a.cmovne(Reg::R7, Reg::R6, Reg::R5);
+        // out[(r*W + c)*8 + blockbase]
+        a.mulq(Reg::R3, Reg::R27, Reg::R6);
+        a.addq(Reg::R6, Reg::R4, Reg::R6);
+        a.s8addq(Reg::R6, Reg::R2, Reg::R6);
+        a.stq(Reg::R5, 0, Reg::R6);
+        a.addq_lit(Reg::R4, 1, Reg::R4);
+        a.cmplt_lit(Reg::R4, 8, Reg::R5);
+        a.bne(Reg::R5, "out_c");
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt_lit(Reg::R3, 8, Reg::R5);
+        a.bne(Reg::R5, "out_r");
+
+        a.addq_lit(Reg::R23, 1, Reg::R23);
+        a.li(Reg::R1, (self.width / 8) as i64);
+        a.cmplt(Reg::R23, Reg::R1, Reg::R1);
+        a.bne(Reg::R1, "blk_x");
+        a.addq_lit(Reg::R25, 1, Reg::R25);
+        a.li(Reg::R1, (self.height / 8) as i64);
+        a.cmplt(Reg::R25, Reg::R1, Reg::R1);
+        a.bne(Reg::R1, "blk_y");
+
+        // --- deactivate, exit.
+        a.fi_activate(0);
+        a.exit(0);
+
+        GuestWorkload {
+            program: a.finish().expect("dct assembles"),
+            output_len: self.width * self.height * 8,
+        }
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        let (w, h) = (self.width, self.height);
+        let c = dct_basis();
+        let q: Vec<f64> = QTABLE.iter().map(|&v| v as i64 as f64).collect();
+        // Level-shifted input.
+        let img: Vec<f64> = (0..h)
+            .flat_map(|y| {
+                (0..w).map(move |x| (input_pixel(x, y) as i64 as f64) - 128.0)
+            })
+            .collect();
+        let mut out = vec![0u64; w * h];
+        let mm = |a: &dyn Fn(usize, usize) -> f64, b: &dyn Fn(usize, usize) -> f64| {
+            let mut d = [0.0f64; 64];
+            for i in 0..8 {
+                for j in 0..8 {
+                    let mut acc = 0.0;
+                    for k in 0..8 {
+                        acc += a(i, k) * b(k, j);
+                    }
+                    d[i * 8 + j] = acc;
+                }
+            }
+            d
+        };
+        for by in 0..h / 8 {
+            for bx in 0..w / 8 {
+                let base = by * 8 * w + bx * 8;
+                let tmp = mm(&|i, k| c[i * 8 + k], &|k, j| img[base + k * w + j]);
+                let mut coef = mm(&|i, k| tmp[i * 8 + k], &|k, j| c[j * 8 + k]);
+                for k in 0..64 {
+                    let r = round_away(coef[k] / q[k]) as f64;
+                    coef[k] = r * q[k];
+                }
+                let tmp = mm(&|i, k| c[k * 8 + i], &|k, j| coef[k * 8 + j]);
+                let z = mm(&|i, k| tmp[i * 8 + k], &|k, j| c[k * 8 + j]);
+                for r in 0..8 {
+                    for col in 0..8 {
+                        let v = round_away(z[r * 8 + col] + 128.0).clamp(0, 255);
+                        out[base + r * w + col] = v as u64;
+                    }
+                }
+            }
+        }
+        out.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
+        if faulty.len() != golden.len() {
+            return false;
+        }
+        // The paper compares the reconstructed image against the
+        // *uncompressed input*: PSNR > 30 dB is correct.
+        let input: Vec<u8> = (0..self.height)
+            .flat_map(|y| (0..self.width).map(move |x| input_pixel(x, y) as u8))
+            .collect();
+        let pixels: Vec<u8> = faulty.chunks_exact(8).map(|c| c[0]).collect();
+        // Out-of-range words mean corrupted output, not pixels.
+        if faulty
+            .chunks_exact(8)
+            .any(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) > 255)
+        {
+            return false;
+        }
+        psnr_u8(&pixels, &input) > 30.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::reference_run;
+    use gemfi_cpu::CpuKind;
+
+    #[test]
+    fn reference_reconstruction_is_lossy_but_faithful() {
+        let w = Dct::default();
+        let golden = w.reference();
+        let input: Vec<u8> = (0..w.height)
+            .flat_map(|y| (0..w.width).map(move |x| input_pixel(x, y) as u8))
+            .collect();
+        let recon: Vec<u8> = golden.chunks_exact(8).map(|c| c[0]).collect();
+        let p = psnr_u8(&recon, &input);
+        assert!(p > 30.0, "golden PSNR {p} must pass the paper's gate");
+        assert!(p < f64::INFINITY, "quantization must lose something");
+        assert!(w.accept(&golden, &golden));
+    }
+
+    #[test]
+    fn guest_matches_host_bit_exactly() {
+        let w = Dct { width: 16, height: 16 };
+        let run = reference_run(&w, CpuKind::Atomic).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn guest_matches_on_o3() {
+        let w = Dct { width: 8, height: 8 };
+        let run = reference_run(&w, CpuKind::O3).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn corrupted_image_fails_the_gate() {
+        let w = Dct::default();
+        let golden = w.reference();
+        let mut wrecked = golden.clone();
+        for px in wrecked.chunks_exact_mut(8) {
+            px[0] = px[0].wrapping_add(97);
+        }
+        assert!(!w.accept(&wrecked, &golden));
+        // A word outside 0..=255 (impossible for a healthy run) fails too.
+        let mut bad_word = golden.clone();
+        bad_word[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(!w.accept(&bad_word, &golden));
+    }
+}

@@ -1,0 +1,284 @@
+//! AVS deblocking filter kernel (Sec. IV: "a kernel of the AVS video
+//! decoding process. We apply it on a 720X240 pixel image").
+//!
+//! Integer-only — the paper highlights that "Deblocking, a benchmark with no
+//! floating point operations, behaves exactly as expected, demonstrating
+//! 100% strict correctness" under FP-register injection. The paper's
+//! acceptance gate: outputs "with PSNR higher than 80 dB, when compared with
+//! the error-free execution".
+
+use crate::harness::{GuestWorkload, Workload, OUTPUT_SYMBOL};
+use crate::psnr::psnr_u8;
+use gemfi_asm::{Assembler, Reg};
+
+/// Edge-filter activation thresholds (AVS-style alpha/beta).
+const ALPHA: i64 = 40;
+const BETA: i64 = 20;
+
+/// The deblocking-filter workload. Pixels are stored one per 64-bit word
+/// (the Alpha subset, like early Alpha, has no byte loads).
+#[derive(Debug, Clone, Copy)]
+pub struct Deblock {
+    /// Image width (multiple of 8).
+    pub width: usize,
+    /// Image height (multiple of 8).
+    pub height: usize,
+}
+
+impl Deblock {
+    /// The paper's frame size.
+    pub fn paper() -> Deblock {
+        Deblock { width: 720, height: 240 }
+    }
+}
+
+impl Default for Deblock {
+    fn default() -> Deblock {
+        Deblock { width: 96, height: 32 }
+    }
+}
+
+/// The synthetic input frame: smooth gradients *plus per-8×8-block DC
+/// offsets*, so block boundaries show the mild discontinuities the filter
+/// exists to smooth (a pure gradient is a fixpoint of the filter).
+pub fn input_pixel(x: usize, y: usize) -> u64 {
+    ((x * 2 + y * 3 + (x >> 3) * 37 + (y >> 3) * 29) & 0xff) as u64
+}
+
+fn host_filter(img: &mut [i64], w: usize, h: usize) {
+    let filt = |img: &mut [i64], q0_idx: usize, d: usize| {
+        let p0 = img[q0_idx - d];
+        let p1 = img[q0_idx - 2 * d];
+        let q0 = img[q0_idx];
+        let q1 = img[q0_idx + d];
+        if (p0 - q0).abs() < ALPHA && (p1 - p0).abs() < BETA && (q1 - q0).abs() < BETA {
+            img[q0_idx - d] = (p1 + 2 * p0 + q0 + 2) >> 2;
+            img[q0_idx] = (q1 + 2 * q0 + p0 + 2) >> 2;
+        }
+    };
+    // Vertical block edges.
+    for xe in (8..w).step_by(8) {
+        for y in 0..h {
+            filt(img, y * w + xe, 1);
+        }
+    }
+    // Horizontal block edges.
+    for ye in (8..h).step_by(8) {
+        for x in 0..w {
+            filt(img, ye * w + x, w);
+        }
+    }
+}
+
+/// Extracts the low byte of each output word (the pixel values).
+pub fn pixels_of(bytes: &[u8]) -> Vec<u8> {
+    bytes.chunks_exact(8).map(|c| c[0]).collect()
+}
+
+impl Workload for Deblock {
+    fn name(&self) -> &'static str {
+        "deblock"
+    }
+
+    fn build(&self) -> GuestWorkload {
+        assert!(self.width.is_multiple_of(8) && self.height.is_multiple_of(8));
+        let w = self.width as i64;
+        let h = self.height as i64;
+
+        let mut a = Assembler::new();
+        a.dsym(OUTPUT_SYMBOL);
+        a.zeros(self.width * self.height * 8);
+
+        a.entry("main");
+
+        // filter_at(a0 = address of q0, a1 = byte distance to p0).
+        // Clobbers r8–r13, r24, r25.
+        a.label("filter_at");
+        a.subq(Reg::A0, Reg::A1, Reg::R8); // &p0
+        a.subq(Reg::R8, Reg::A1, Reg::R9); // &p1
+        a.addq(Reg::A0, Reg::A1, Reg::R10); // &q1
+        a.ldq(Reg::R11, 0, Reg::R8); // p0
+        a.ldq(Reg::R12, 0, Reg::R9); // p1
+        a.ldq(Reg::R13, 0, Reg::A0); // q0
+        a.ldq(Reg::R10, 0, Reg::R10); // q1
+        // |p0-q0| < ALPHA
+        a.subq(Reg::R11, Reg::R13, Reg::R24);
+        a.subq(Reg::ZERO, Reg::R24, Reg::R25);
+        a.cmovlt(Reg::R24, Reg::R25, Reg::R24);
+        a.cmplt_lit(Reg::R24, ALPHA as u8, Reg::R24);
+        a.beq(Reg::R24, "filter_done");
+        // |p1-p0| < BETA
+        a.subq(Reg::R12, Reg::R11, Reg::R24);
+        a.subq(Reg::ZERO, Reg::R24, Reg::R25);
+        a.cmovlt(Reg::R24, Reg::R25, Reg::R24);
+        a.cmplt_lit(Reg::R24, BETA as u8, Reg::R24);
+        a.beq(Reg::R24, "filter_done");
+        // |q1-q0| < BETA
+        a.subq(Reg::R10, Reg::R13, Reg::R24);
+        a.subq(Reg::ZERO, Reg::R24, Reg::R25);
+        a.cmovlt(Reg::R24, Reg::R25, Reg::R24);
+        a.cmplt_lit(Reg::R24, BETA as u8, Reg::R24);
+        a.beq(Reg::R24, "filter_done");
+        // p0' = (p1 + 2p0 + q0 + 2) >> 2
+        a.addq(Reg::R11, Reg::R11, Reg::R24); // 2p0
+        a.addq(Reg::R24, Reg::R12, Reg::R24); // + p1
+        a.addq(Reg::R24, Reg::R13, Reg::R24); // + q0
+        a.addq_lit(Reg::R24, 2, Reg::R24);
+        a.sra_lit(Reg::R24, 2, Reg::R24);
+        a.stq(Reg::R24, 0, Reg::R8);
+        // q0' = (q1 + 2q0 + p0 + 2) >> 2
+        a.addq(Reg::R13, Reg::R13, Reg::R24); // 2q0
+        a.addq(Reg::R24, Reg::R10, Reg::R24); // + q1
+        a.addq(Reg::R24, Reg::R11, Reg::R24); // + p0
+        a.addq_lit(Reg::R24, 2, Reg::R24);
+        a.sra_lit(Reg::R24, 2, Reg::R24);
+        a.stq(Reg::R24, 0, Reg::A0);
+        a.label("filter_done");
+        a.ret();
+
+        // --- main: initialization phase — synthesize the frame in place.
+        a.label("main");
+        a.la(Reg::R1, OUTPUT_SYMBOL);
+        a.li(Reg::R2, 0); // y
+        a.li(Reg::R20, w); // W
+        a.li(Reg::R21, h); // H
+        a.label("gen_y");
+        a.li(Reg::R3, 0); // x
+        a.label("gen_x");
+        // v = (x*2 + y*3 + (x>>3)*37 + (y>>3)*29) & 255
+        a.addq(Reg::R3, Reg::R3, Reg::R4);
+        a.mulq_lit(Reg::R2, 3, Reg::R5);
+        a.addq(Reg::R4, Reg::R5, Reg::R4);
+        a.srl_lit(Reg::R3, 3, Reg::R5);
+        a.mulq_lit(Reg::R5, 37, Reg::R5);
+        a.addq(Reg::R4, Reg::R5, Reg::R4);
+        a.srl_lit(Reg::R2, 3, Reg::R5);
+        a.mulq_lit(Reg::R5, 29, Reg::R5);
+        a.addq(Reg::R4, Reg::R5, Reg::R4);
+        a.and_lit(Reg::R4, 0xff, Reg::R4);
+        // addr = base + (y*W + x)*8
+        a.mulq(Reg::R2, Reg::R20, Reg::R5);
+        a.addq(Reg::R5, Reg::R3, Reg::R5);
+        a.s8addq(Reg::R5, Reg::R1, Reg::R5);
+        a.stq(Reg::R4, 0, Reg::R5);
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt(Reg::R3, Reg::R20, Reg::R4);
+        a.bne(Reg::R4, "gen_x");
+        a.addq_lit(Reg::R2, 1, Reg::R2);
+        a.cmplt(Reg::R2, Reg::R21, Reg::R4);
+        a.bne(Reg::R4, "gen_y");
+
+        // --- checkpoint + activation markers.
+        a.fi_read_init();
+        a.fi_activate(0);
+
+        // --- kernel: vertical edges.
+        a.la(Reg::R1, OUTPUT_SYMBOL);
+        a.li(Reg::R2, 8); // xe
+        a.label("v_edge");
+        a.li(Reg::R3, 0); // y
+        a.label("v_row");
+        a.mulq(Reg::R3, Reg::R20, Reg::R4);
+        a.addq(Reg::R4, Reg::R2, Reg::R4);
+        a.s8addq(Reg::R4, Reg::R1, Reg::A0);
+        a.li(Reg::A1, 8);
+        a.call("filter_at");
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt(Reg::R3, Reg::R21, Reg::R4);
+        a.bne(Reg::R4, "v_row");
+        a.addq_lit(Reg::R2, 8, Reg::R2);
+        a.cmplt(Reg::R2, Reg::R20, Reg::R4);
+        a.bne(Reg::R4, "v_edge");
+        // horizontal edges.
+        a.li(Reg::R2, 8); // ye
+        a.label("h_edge");
+        a.li(Reg::R3, 0); // x
+        a.label("h_col");
+        a.mulq(Reg::R2, Reg::R20, Reg::R4);
+        a.addq(Reg::R4, Reg::R3, Reg::R4);
+        a.s8addq(Reg::R4, Reg::R1, Reg::A0);
+        a.sll_lit(Reg::R20, 3, Reg::A1); // d = W*8 bytes
+        a.call("filter_at");
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt(Reg::R3, Reg::R20, Reg::R4);
+        a.bne(Reg::R4, "h_col");
+        a.addq_lit(Reg::R2, 8, Reg::R2);
+        a.cmplt(Reg::R2, Reg::R21, Reg::R4);
+        a.bne(Reg::R4, "h_edge");
+
+        // --- deactivate and exit (the image was filtered in place).
+        a.fi_activate(0);
+        a.exit(0);
+
+        GuestWorkload {
+            program: a.finish().expect("deblock assembles"),
+            output_len: self.width * self.height * 8,
+        }
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        let mut img: Vec<i64> = (0..self.height)
+            .flat_map(|y| (0..self.width).map(move |x| input_pixel(x, y) as i64))
+            .collect();
+        host_filter(&mut img, self.width, self.height);
+        img.iter().flat_map(|p| (*p as u64).to_le_bytes()).collect()
+    }
+
+    fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
+        if faulty.len() != golden.len() {
+            return false;
+        }
+        psnr_u8(&pixels_of(faulty), &pixels_of(golden)) > 80.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::reference_run;
+    use gemfi_cpu::CpuKind;
+
+    #[test]
+    fn reference_actually_filters_edges() {
+        let w = Deblock::default();
+        let out = pixels_of(&w.reference());
+        let unfiltered: Vec<u8> = (0..w.height)
+            .flat_map(|y| (0..w.width).map(move |x| input_pixel(x, y) as u8))
+            .collect();
+        assert_ne!(out, unfiltered, "the filter must modify boundary pixels");
+        // But the change is mild smoothing, not destruction.
+        assert!(psnr_u8(&out, &unfiltered) > 30.0);
+    }
+
+    #[test]
+    fn guest_matches_host_bit_exactly() {
+        let w = Deblock { width: 24, height: 16 };
+        let run = reference_run(&w, CpuKind::Atomic).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn guest_matches_on_o3() {
+        let w = Deblock { width: 16, height: 16 };
+        let run = reference_run(&w, CpuKind::O3).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn acceptance_is_80db_vs_golden() {
+        let w = Deblock::default();
+        let golden = w.reference();
+        assert!(w.accept(&golden, &golden));
+        // One LSB error in a big image: above 80 dB → acceptable.
+        let mut tiny = golden.clone();
+        tiny[0] ^= 1;
+        assert!(w.accept(&tiny, &golden));
+        // Gross corruption: rejected.
+        let mut gross = golden.clone();
+        for px in gross.chunks_exact_mut(8) {
+            px[0] ^= 0x80;
+        }
+        assert!(!w.accept(&gross, &golden));
+        assert!(!w.accept(&[], &golden));
+    }
+}

@@ -1,0 +1,154 @@
+//! The workload abstraction and fault-free reference runs.
+
+use gemfi_asm::Program;
+use gemfi_cpu::{CpuKind, NoopHooks};
+use gemfi_sim::{Machine, MachineConfig, RunExit, SimStats};
+
+/// Name of the data symbol where every workload leaves its result.
+pub const OUTPUT_SYMBOL: &str = "output";
+
+/// A built guest workload: the program plus its output-region size.
+#[derive(Debug, Clone)]
+pub struct GuestWorkload {
+    /// The linked guest program.
+    pub program: Program,
+    /// Size in bytes of the `output` region.
+    pub output_len: usize,
+}
+
+impl GuestWorkload {
+    /// Address of the output region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program lacks an `output` symbol (workload bug).
+    pub fn output_addr(&self) -> u64 {
+        self.program.symbol(OUTPUT_SYMBOL).expect("workloads define an `output` symbol")
+    }
+}
+
+/// The result of one complete simulated run of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// How the run ended.
+    pub exit: RunExit,
+    /// The output region bytes (empty if the run crashed before producing
+    /// a result region — the region is still extracted for partial output).
+    pub bytes: Vec<u8>,
+    /// Console text produced by the guest.
+    pub console: Vec<u8>,
+    /// Simulator statistics.
+    pub stats: SimStats,
+}
+
+impl RunOutput {
+    /// Whether the run terminated normally with exit code 0.
+    pub fn finished_ok(&self) -> bool {
+        self.exit == RunExit::Halted(0)
+    }
+}
+
+/// Output quality relative to the fault-free (golden) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Bit-wise identical to the golden output.
+    BitExact,
+    /// Within the workload's acceptable margin.
+    Acceptable,
+    /// Outside the margin: silent data corruption.
+    Unacceptable,
+}
+
+/// One of the paper's benchmarks.
+pub trait Workload: Send + Sync {
+    /// Short name as used in the paper's figures (`"dct"`, `"jacobi"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Builds the guest program (Listing 2 structure: in-guest input
+    /// initialization, `fi_read_init_all`, `fi_activate_inst(0)`, kernel,
+    /// `fi_activate_inst(0)`, output, exit).
+    fn build(&self) -> GuestWorkload;
+
+    /// The host golden model's output, mirroring the guest computation
+    /// operation-for-operation (bit-exact for correct guest execution).
+    fn reference(&self) -> Vec<u8>;
+
+    /// The paper's per-application *correct* gate: is `faulty` within the
+    /// acceptable quality margin relative to the fault-free `golden` output?
+    fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool;
+
+    /// Classifies an output against the golden output.
+    fn classify(&self, faulty: &[u8], golden: &[u8]) -> Quality {
+        if faulty == golden {
+            Quality::BitExact
+        } else if self.accept(faulty, golden) {
+            Quality::Acceptable
+        } else {
+            Quality::Unacceptable
+        }
+    }
+}
+
+/// Machine configuration used by workload runs (16 MiB guest, the default
+/// cache hierarchy, watchdog scaled for the scaled-down workload sizes).
+pub fn workload_machine_config(cpu: CpuKind) -> MachineConfig {
+    MachineConfig { cpu, max_ticks: 600_000_000, ..MachineConfig::default() }
+}
+
+/// Runs a workload on a fresh machine with no fault injection and returns
+/// its output; used for golden runs and guest-vs-host validation.
+///
+/// # Errors
+///
+/// Returns the [`RunExit`] when the run does not halt cleanly.
+pub fn reference_run(workload: &dyn Workload, cpu: CpuKind) -> Result<RunOutput, RunExit> {
+    let guest = workload.build();
+    let mut machine = Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks)
+        .expect("workload image fits the default machine");
+    let mut exit = machine.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = machine.run();
+    }
+    if exit != RunExit::Halted(0) {
+        return Err(exit);
+    }
+    let bytes = machine
+        .mem()
+        .read_slice(guest.output_addr(), guest.output_len)
+        .expect("output region mapped")
+        .to_vec();
+    Ok(RunOutput {
+        exit,
+        bytes,
+        console: machine.console().to_vec(),
+        stats: machine.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_classification_order() {
+        struct Fake;
+        impl Workload for Fake {
+            fn name(&self) -> &'static str {
+                "fake"
+            }
+            fn build(&self) -> GuestWorkload {
+                unimplemented!("not needed")
+            }
+            fn reference(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn accept(&self, faulty: &[u8], _golden: &[u8]) -> bool {
+                faulty[0] < 10
+            }
+        }
+        let w = Fake;
+        assert_eq!(w.classify(&[0], &[0]), Quality::BitExact);
+        assert_eq!(w.classify(&[5], &[0]), Quality::Acceptable);
+        assert_eq!(w.classify(&[50], &[0]), Quality::Unacceptable);
+    }
+}

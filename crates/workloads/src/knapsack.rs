@@ -1,0 +1,451 @@
+//! 0/1 Knapsack via a genetic algorithm (Sec. IV: "a solution of the zero
+//! one knapsack combinational problem using a genetic algorithm. We use an
+//! input of 24 items and a weight limit of 500").
+//!
+//! Heavy array/pointer traffic (the paper observes 42% of execute-stage
+//! faults crash it) and self-correcting dynamics: "faults corrupting data in
+//! a manner that does not ... converge towards the solution will be discarded
+//! on the following iteration, after applying the fitness function" — the
+//! later a fault lands, the likelier the outcome is acceptable (Fig. 6).
+
+use crate::harness::{GuestWorkload, Workload, OUTPUT_SYMBOL};
+use gemfi_asm::{Assembler, Reg};
+
+const LCG_MUL: u64 = 6364136223846793005;
+const LCG_INC: u64 = 1442695040888963407;
+
+fn lcg(s: u64) -> u64 {
+    s.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC)
+}
+
+/// The knapsack GA workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Knapsack {
+    /// Number of items (genome bits). The paper uses 24.
+    pub items: u64,
+    /// Weight limit. The paper uses 500.
+    pub limit: u64,
+    /// Population size (power of two).
+    pub population: u64,
+    /// Generations to evolve.
+    pub generations: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Knapsack {
+    /// The paper's configuration (24 items, limit 500) with a deeper GA.
+    pub fn paper() -> Knapsack {
+        Knapsack { generations: 100, population: 32, ..Knapsack::default() }
+    }
+}
+
+impl Default for Knapsack {
+    fn default() -> Knapsack {
+        Knapsack {
+            items: 24,
+            limit: 500,
+            population: 16,
+            generations: 30,
+            seed: 0x243f6a8885a308d3,
+        }
+    }
+}
+
+/// Host-side item tables (identical to the guest's in-guest generation).
+fn gen_items(seed: u64, items: u64) -> (Vec<u64>, Vec<u64>, u64) {
+    let mut s = seed;
+    let mut weights = Vec::new();
+    let mut values = Vec::new();
+    for _ in 0..items {
+        s = lcg(s);
+        weights.push(((s >> 33) & 63) + 10);
+        s = lcg(s);
+        values.push(((s >> 33) & 63) + 10);
+    }
+    (weights, values, s)
+}
+
+fn fitness(genome: u64, weights: &[u64], values: &[u64], limit: u64) -> (u64, u64) {
+    let mut tw = 0u64;
+    let mut tv = 0u64;
+    for i in 0..weights.len() {
+        if (genome >> i) & 1 == 1 {
+            tw = tw.wrapping_add(weights[i]);
+            tv = tv.wrapping_add(values[i]);
+        }
+    }
+    let fit = if tw <= limit { tv } else { 0 };
+    (fit, tw)
+}
+
+impl Workload for Knapsack {
+    fn name(&self) -> &'static str {
+        "knapsack"
+    }
+
+    fn build(&self) -> GuestWorkload {
+        assert!(self.items <= 24, "genome bits limited to 24 (paper size)");
+        assert!(self.population.is_power_of_two() && self.population <= 128);
+        assert!(self.generations <= 255);
+        let pop = self.population as u8;
+        let gens = self.generations as u8;
+        let items = self.items as u8;
+
+        let mut a = Assembler::new();
+        a.dsym(OUTPUT_SYMBOL);
+        a.data_u64(&[0, 0, 0]); // best genome, best fitness, best weight
+        a.dsym("weights");
+        a.zeros(self.items as usize * 8);
+        a.dsym("values");
+        a.zeros(self.items as usize * 8);
+        a.dsym("pop");
+        a.zeros(self.population as usize * 8);
+        a.dsym("newpop");
+        a.zeros(self.population as usize * 8);
+        a.dsym("rng_cell");
+        a.data_u64(&[0]);
+
+        a.entry("main");
+
+        // fitness(a0=r16 genome) -> v0=r0 fitness, r24 weight.
+        // Clobbers r0, r8-r13, r24 only.
+        a.label("fitness");
+        a.li(Reg::R8, 0); // i
+        a.li(Reg::R9, 0); // total value
+        a.li(Reg::R10, 0); // total weight
+        a.la(Reg::R11, "weights");
+        a.la(Reg::R12, "values");
+        a.label("floop");
+        a.srl(Reg::A0, Reg::R8, Reg::R13);
+        a.blbc(Reg::R13, "fskip");
+        a.s8addq(Reg::R8, Reg::R11, Reg::R13);
+        a.ldq(Reg::R13, 0, Reg::R13);
+        a.addq(Reg::R10, Reg::R13, Reg::R10);
+        a.s8addq(Reg::R8, Reg::R12, Reg::R13);
+        a.ldq(Reg::R13, 0, Reg::R13);
+        a.addq(Reg::R9, Reg::R13, Reg::R9);
+        a.label("fskip");
+        a.addq_lit(Reg::R8, 1, Reg::R8);
+        a.cmplt_lit(Reg::R8, items, Reg::R13);
+        a.bne(Reg::R13, "floop");
+        a.mov(Reg::R10, Reg::R24);
+        a.li(Reg::R13, self.limit as i64);
+        a.cmple(Reg::R10, Reg::R13, Reg::R13);
+        a.li(Reg::R0, 0);
+        a.cmovne(Reg::R13, Reg::R9, Reg::R0);
+        a.ret();
+
+        // eval_pop: scans `pop`, updating best (r25 fit, r27 genome, r28
+        // weight). Uses r1, r15; calls fitness.
+        a.label("eval_pop");
+        a.subq_lit(Reg::SP, 16, Reg::SP);
+        a.stq(Reg::RA, 0, Reg::SP);
+        a.li(Reg::R15, 0);
+        a.label("eval_loop");
+        a.s8addq(Reg::R15, Reg::R21, Reg::R1);
+        a.ldq(Reg::A0, 0, Reg::R1);
+        a.call("fitness");
+        a.cmplt(Reg::R25, Reg::R0, Reg::R1);
+        a.beq(Reg::R1, "eval_skip");
+        a.mov(Reg::R0, Reg::R25);
+        a.mov(Reg::A0, Reg::R27);
+        a.mov(Reg::R24, Reg::R28);
+        a.label("eval_skip");
+        a.addq_lit(Reg::R15, 1, Reg::R15);
+        a.cmplt_lit(Reg::R15, pop, Reg::R1);
+        a.bne(Reg::R1, "eval_loop");
+        a.ldq(Reg::RA, 0, Reg::SP);
+        a.addq_lit(Reg::SP, 16, Reg::SP);
+        a.ret();
+
+        // --- main: initialization phase (item tables + initial population).
+        a.label("main");
+        a.li(Reg::R22, self.seed as i64); // rng
+        a.li(Reg::R20, LCG_MUL as i64);
+        a.li(Reg::R18, LCG_INC as i64);
+        a.la(Reg::R1, "weights");
+        a.la(Reg::R2, "values");
+        a.li(Reg::R3, 0); // i
+        a.label("init_items");
+        // weight = ((lcg >> 33) & 63) + 10
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R18, Reg::R22);
+        a.srl_lit(Reg::R22, 33, Reg::R4);
+        a.and_lit(Reg::R4, 63, Reg::R4);
+        a.addq_lit(Reg::R4, 10, Reg::R4);
+        a.s8addq(Reg::R3, Reg::R1, Reg::R5);
+        a.stq(Reg::R4, 0, Reg::R5);
+        // value likewise
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R18, Reg::R22);
+        a.srl_lit(Reg::R22, 33, Reg::R4);
+        a.and_lit(Reg::R4, 63, Reg::R4);
+        a.addq_lit(Reg::R4, 10, Reg::R4);
+        a.s8addq(Reg::R3, Reg::R2, Reg::R5);
+        a.stq(Reg::R4, 0, Reg::R5);
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt_lit(Reg::R3, items, Reg::R4);
+        a.bne(Reg::R4, "init_items");
+        // initial population: 24-bit random genomes
+        a.la(Reg::R1, "pop");
+        a.li(Reg::R2, 0xff_ffff);
+        a.li(Reg::R3, 0);
+        a.label("init_pop");
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R18, Reg::R22);
+        a.srl_lit(Reg::R22, 11, Reg::R4);
+        a.and(Reg::R4, Reg::R2, Reg::R4);
+        a.s8addq(Reg::R3, Reg::R1, Reg::R5);
+        a.stq(Reg::R4, 0, Reg::R5);
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt_lit(Reg::R3, pop, Reg::R4);
+        a.bne(Reg::R4, "init_pop");
+        a.la(Reg::R1, "rng_cell");
+        a.stq(Reg::R22, 0, Reg::R1);
+
+        // --- checkpoint + activation markers.
+        a.fi_read_init();
+        a.fi_activate(0);
+
+        // --- kernel: the GA.
+        a.la(Reg::R21, "pop");
+        a.la(Reg::R23, "newpop");
+        a.la(Reg::R1, "rng_cell");
+        a.ldq(Reg::R22, 0, Reg::R1);
+        a.li(Reg::R20, LCG_MUL as i64);
+        a.li(Reg::R18, LCG_INC as i64);
+        a.li(Reg::R25, 0); // best fitness
+        a.li(Reg::R27, 0); // best genome
+        a.li(Reg::R28, 0); // best weight
+        a.li(Reg::R14, 0); // generation
+
+        a.label("gen_loop");
+        a.call("eval_pop");
+
+        // breed newpop
+        a.li(Reg::R15, 0);
+        a.label("breed_loop");
+        // tournament parents -> r7, r19
+        for target in [Reg::R7, Reg::R19] {
+            a.mulq(Reg::R22, Reg::R20, Reg::R22);
+            a.addq(Reg::R22, Reg::R18, Reg::R22);
+            a.srl_lit(Reg::R22, 29, Reg::R1);
+            a.and_lit(Reg::R1, pop - 1, Reg::R1);
+            a.mulq(Reg::R22, Reg::R20, Reg::R22);
+            a.addq(Reg::R22, Reg::R18, Reg::R22);
+            a.srl_lit(Reg::R22, 29, Reg::R2);
+            a.and_lit(Reg::R2, pop - 1, Reg::R2);
+            a.s8addq(Reg::R1, Reg::R21, Reg::R3);
+            a.ldq(Reg::R3, 0, Reg::R3); // genome a
+            a.s8addq(Reg::R2, Reg::R21, Reg::R4);
+            a.ldq(Reg::R4, 0, Reg::R4); // genome b
+            a.mov(Reg::R3, Reg::A0);
+            a.call("fitness");
+            a.mov(Reg::R0, Reg::R5); // fit a
+            a.mov(Reg::R4, Reg::A0);
+            a.call("fitness"); // r0 = fit b
+            a.cmplt(Reg::R5, Reg::R0, Reg::R6); // fa < fb ?
+            a.mov(Reg::R3, target);
+            a.cmovne(Reg::R6, Reg::R4, target);
+        }
+        // crossover point p in 0..22
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R18, Reg::R22);
+        a.srl_lit(Reg::R22, 30, Reg::R1);
+        a.and_lit(Reg::R1, 15, Reg::R1);
+        a.srl_lit(Reg::R22, 34, Reg::R2);
+        a.and_lit(Reg::R2, 7, Reg::R2);
+        a.addq(Reg::R1, Reg::R2, Reg::R1);
+        a.li(Reg::R2, 1);
+        a.sll(Reg::R2, Reg::R1, Reg::R2);
+        a.subq_lit(Reg::R2, 1, Reg::R2); // mask
+        a.and(Reg::R7, Reg::R2, Reg::R3); // p1 low bits
+        a.bic(Reg::R19, Reg::R2, Reg::R4); // p2 high bits
+        a.bis(Reg::R3, Reg::R4, Reg::R3); // child
+        // mutation with probability 1/8
+        a.mulq(Reg::R22, Reg::R20, Reg::R22);
+        a.addq(Reg::R22, Reg::R18, Reg::R22);
+        a.srl_lit(Reg::R22, 40, Reg::R1);
+        a.and_lit(Reg::R1, 7, Reg::R1);
+        a.bne(Reg::R1, "no_mut");
+        a.srl_lit(Reg::R22, 43, Reg::R1);
+        a.and_lit(Reg::R1, 15, Reg::R1);
+        a.srl_lit(Reg::R22, 47, Reg::R2);
+        a.and_lit(Reg::R2, 7, Reg::R2);
+        a.addq(Reg::R1, Reg::R2, Reg::R1);
+        a.li(Reg::R2, 1);
+        a.sll(Reg::R2, Reg::R1, Reg::R2);
+        a.xor(Reg::R3, Reg::R2, Reg::R3);
+        a.label("no_mut");
+        a.s8addq(Reg::R15, Reg::R23, Reg::R1);
+        a.stq(Reg::R3, 0, Reg::R1);
+        a.addq_lit(Reg::R15, 1, Reg::R15);
+        a.cmplt_lit(Reg::R15, pop, Reg::R1);
+        a.bne(Reg::R1, "breed_loop");
+        // copy newpop -> pop
+        a.li(Reg::R15, 0);
+        a.label("copy_loop");
+        a.s8addq(Reg::R15, Reg::R23, Reg::R1);
+        a.ldq(Reg::R2, 0, Reg::R1);
+        a.s8addq(Reg::R15, Reg::R21, Reg::R1);
+        a.stq(Reg::R2, 0, Reg::R1);
+        a.addq_lit(Reg::R15, 1, Reg::R15);
+        a.cmplt_lit(Reg::R15, pop, Reg::R1);
+        a.bne(Reg::R1, "copy_loop");
+        a.addq_lit(Reg::R14, 1, Reg::R14);
+        a.cmplt_lit(Reg::R14, gens, Reg::R1);
+        a.bne(Reg::R1, "gen_loop");
+        // final evaluation
+        a.call("eval_pop");
+
+        // --- deactivate, write output, exit.
+        a.fi_activate(0);
+        a.la(Reg::R1, OUTPUT_SYMBOL);
+        a.stq(Reg::R27, 0, Reg::R1);
+        a.stq(Reg::R25, 8, Reg::R1);
+        a.stq(Reg::R28, 16, Reg::R1);
+        a.exit(0);
+
+        GuestWorkload { program: a.finish().expect("knapsack assembles"), output_len: 24 }
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        let (weights, values, mut s) = gen_items(self.seed, self.items);
+        let pop_n = self.population as usize;
+        let mut pop = Vec::with_capacity(pop_n);
+        for _ in 0..pop_n {
+            s = lcg(s);
+            pop.push((s >> 11) & 0xff_ffff);
+        }
+        let mut best = (0u64, 0u64, 0u64); // fitness, genome, weight
+
+        fn eval(
+            pop: &[u64],
+            weights: &[u64],
+            values: &[u64],
+            limit: u64,
+            best: &mut (u64, u64, u64),
+        ) {
+            for &g in pop {
+                let (fit, w) = fitness(g, weights, values, limit);
+                if best.0 < fit {
+                    *best = (fit, g, w);
+                }
+            }
+        }
+
+        for _ in 0..self.generations {
+            eval(&pop, &weights, &values, self.limit, &mut best);
+            let mut newpop = Vec::with_capacity(pop_n);
+            for _ in 0..pop_n {
+                let mut parents = [0u64; 2];
+                for p in &mut parents {
+                    s = lcg(s);
+                    let ia = ((s >> 29) & (self.population - 1)) as usize;
+                    s = lcg(s);
+                    let ib = ((s >> 29) & (self.population - 1)) as usize;
+                    let (fa, _) = fitness(pop[ia], &weights, &values, self.limit);
+                    let (fb, _) = fitness(pop[ib], &weights, &values, self.limit);
+                    *p = if fa < fb { pop[ib] } else { pop[ia] };
+                }
+                s = lcg(s);
+                let point = ((s >> 30) & 15) + ((s >> 34) & 7);
+                let mask = (1u64 << point) - 1;
+                let mut child = (parents[0] & mask) | (parents[1] & !mask);
+                s = lcg(s);
+                if (s >> 40) & 7 == 0 {
+                    let bit = ((s >> 43) & 15) + ((s >> 47) & 7);
+                    child ^= 1 << bit;
+                }
+                newpop.push(child);
+            }
+            pop = newpop;
+        }
+        eval(&pop, &weights, &values, self.limit, &mut best);
+
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&best.1.to_le_bytes());
+        out.extend_from_slice(&best.0.to_le_bytes());
+        out.extend_from_slice(&best.2.to_le_bytes());
+        out
+    }
+
+    fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
+        let (Some((fg, ff, _fw)), Some((_, gf, _))) = (read_out(faulty), read_out(golden))
+        else {
+            return false;
+        };
+        // The solution must be *verifiably* valid: recompute value and
+        // weight from the item tables (a corrupted run cannot lie about its
+        // fitness) and beat-or-match the fault-free run's quality.
+        let (weights, values, _) = gen_items(self.seed, self.items);
+        let (real_fit, real_w) = fitness(fg, &weights, &values, self.limit);
+        real_w <= self.limit && real_fit == ff && ff >= gf
+    }
+}
+
+fn read_out(bytes: &[u8]) -> Option<(u64, u64, u64)> {
+    Some((
+        u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?),
+        u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?),
+        u64::from_le_bytes(bytes.get(16..24)?.try_into().ok()?),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::reference_run;
+    use gemfi_cpu::CpuKind;
+
+    #[test]
+    fn reference_finds_a_valid_solution() {
+        let w = Knapsack::default();
+        let out = w.reference();
+        let (genome, fit, weight) = read_out(&out).unwrap();
+        assert!(fit > 0);
+        assert!(weight <= w.limit);
+        let (ws, vs, _) = gen_items(w.seed, w.items);
+        let (f2, w2) = fitness(genome, &ws, &vs, w.limit);
+        assert_eq!(f2, fit);
+        assert_eq!(w2, weight);
+    }
+
+    #[test]
+    fn ga_improves_over_random_population() {
+        let short = Knapsack { generations: 1, ..Knapsack::default() };
+        let long = Knapsack { generations: 30, ..Knapsack::default() };
+        let f_short = read_out(&short.reference()).unwrap().1;
+        let f_long = read_out(&long.reference()).unwrap().1;
+        assert!(f_long >= f_short, "GA must not regress: {f_long} vs {f_short}");
+    }
+
+    #[test]
+    fn guest_matches_host_bit_exactly() {
+        let w = Knapsack { generations: 5, ..Knapsack::default() };
+        let run = reference_run(&w, CpuKind::Atomic).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn guest_matches_on_o3() {
+        let w = Knapsack { generations: 3, ..Knapsack::default() };
+        let run = reference_run(&w, CpuKind::O3).expect("runs");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn acceptance_requires_verifiable_fitness() {
+        let w = Knapsack::default();
+        let golden = w.reference();
+        assert!(w.accept(&golden, &golden));
+        // A lying output (fitness inflated without the genome to back it)
+        // must be rejected.
+        let mut lie = golden.clone();
+        let inflated = read_out(&golden).unwrap().1 + 100;
+        lie[8..16].copy_from_slice(&inflated.to_le_bytes());
+        assert!(!w.accept(&lie, &golden));
+        assert!(!w.accept(&[], &golden));
+    }
+}

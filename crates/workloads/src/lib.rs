@@ -1,0 +1,50 @@
+//! The paper's six benchmarks as guest programs, with host-side golden
+//! models and quality metrics.
+//!
+//! Sec. IV of the paper validates GemFI on: *DCT* (a JPEG
+//! compress/decompress kernel), *Jacobi* (diagonally dominant solve),
+//! *Monte Carlo PI*, *Knapsack* (a genetic algorithm for 0/1 knapsack), the
+//! AVS *Deblocking* filter, and *Canneal* (simulated-annealing netlist
+//! routing from PARSEC). Every workload here is:
+//!
+//! * a **guest program** built with the macro-assembler, following the
+//!   paper's Listing 2 structure: initialize input data in-guest, then
+//!   `fi_read_init_all()` (checkpoint point), then `fi_activate_inst(0)`,
+//!   the kernel under test, `fi_activate_inst(0)` again, and exit — so
+//!   campaigns can checkpoint past initialization and fast-forward
+//!   (Fig. 3);
+//! * a **host golden model** mirroring the guest algorithm operation-for-
+//!   operation (IEEE doubles make this bit-exact), used to validate the
+//!   guest implementation and for analysis;
+//! * an **acceptability gate** implementing the paper's per-application
+//!   "correct" definitions (PSNR thresholds for DCT/deblocking, two correct
+//!   decimals for PI, convergence for Jacobi, solution quality for
+//!   Knapsack/Canneal).
+//!
+//! Default parameter sets are scaled down from the paper's (which targeted
+//! a cluster with thousands of CPU-hours); `Params::paper()` variants
+//! reproduce the original sizes.
+
+pub mod canneal;
+pub mod dct;
+pub mod deblock;
+pub mod harness;
+pub mod jacobi;
+pub mod knapsack;
+pub mod pi;
+pub mod psnr;
+
+pub use harness::{reference_run, workload_machine_config, GuestWorkload, Quality, RunOutput, Workload};
+
+/// All six paper workloads with default (scaled) parameters, in the order
+/// the paper's figures list them.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(dct::Dct::default()),
+        Box::new(jacobi::Jacobi::default()),
+        Box::new(pi::MonteCarloPi::default()),
+        Box::new(knapsack::Knapsack::default()),
+        Box::new(deblock::Deblock::default()),
+        Box::new(canneal::Canneal::default()),
+    ]
+}

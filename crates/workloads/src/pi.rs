@@ -1,0 +1,215 @@
+//! Monte Carlo PI estimation (Sec. IV: "estimates the value of PI by
+//! randomly selecting 10^5 points within a unit square and evaluating
+//! whether they fall into the inscribed circle with radius one").
+//!
+//! The paper's acceptance gate: "we accept experiments that have computed
+//! the first two decimal points correctly". The benchmark is almost pure
+//! computation with essentially no data memory traffic, which is why the
+//! paper finds it nearly immune to execute-stage address faults and why
+//! injection timing does not correlate with outcome (Fig. 6).
+
+use crate::harness::{GuestWorkload, Workload, OUTPUT_SYMBOL};
+use gemfi_asm::{Assembler, FReg, Reg};
+
+const LCG_MUL: u64 = 6364136223846793005;
+const LCG_INC: u64 = 1442695040888963407;
+/// 2^-53: maps a 53-bit integer into [0, 1).
+const INV_2_53: f64 = 1.0 / 9007199254740992.0;
+
+/// The Monte Carlo PI workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloPi {
+    /// Number of sample points.
+    pub points: u64,
+    /// LCG warm-up iterations performed in the initialization phase (before
+    /// the checkpoint marker).
+    pub init_spins: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MonteCarloPi {
+    /// The paper's configuration: 10^5 points.
+    pub fn paper() -> MonteCarloPi {
+        MonteCarloPi { points: 100_000, ..MonteCarloPi::default() }
+    }
+}
+
+impl Default for MonteCarloPi {
+    /// Scaled-down default used in tests and CI-sized campaigns.
+    fn default() -> MonteCarloPi {
+        MonteCarloPi { points: 2_000, init_spins: 20_000, seed: 0x9e3779b97f4a7c15 }
+    }
+}
+
+fn lcg(s: u64) -> u64 {
+    s.wrapping_mul(LCG_MUL).wrapping_add(LCG_INC)
+}
+
+impl Workload for MonteCarloPi {
+    fn name(&self) -> &'static str {
+        "pi"
+    }
+
+    fn build(&self) -> GuestWorkload {
+        let mut a = Assembler::new();
+        a.dsym(OUTPUT_SYMBOL);
+        a.data_f64(&[0.0]); // estimated pi
+        a.data_u64(&[0]); // inside-circle count
+
+        // --- initialization phase: spin the RNG (Listing 2's
+        // initialize_input_data), leaving the seed in memory.
+        a.dsym("seed_cell");
+        a.data_u64(&[0]);
+        a.li(Reg::R1, self.seed as i64);
+        a.li(Reg::R9, LCG_MUL as i64);
+        a.li(Reg::R10, LCG_INC as i64);
+        a.li(Reg::R3, self.init_spins as i64);
+        a.label("init_loop");
+        a.mulq(Reg::R1, Reg::R9, Reg::R1);
+        a.addq(Reg::R1, Reg::R10, Reg::R1);
+        a.subq_lit(Reg::R3, 1, Reg::R3);
+        a.bgt(Reg::R3, "init_loop");
+        a.la(Reg::R4, "seed_cell");
+        a.stq(Reg::R1, 0, Reg::R4);
+
+        // --- checkpoint + activation markers.
+        a.fi_read_init();
+        a.fi_activate(0);
+
+        // --- kernel.
+        a.la(Reg::R4, "seed_cell");
+        a.ldq(Reg::R1, 0, Reg::R4); // s
+        a.li(Reg::R2, 0); // count
+        a.li(Reg::R3, 0); // i
+        a.li(Reg::R4, self.points as i64); // n
+        a.lif(FReg::F4, 1.0, Reg::R8);
+        a.lif(FReg::F5, INV_2_53, Reg::R8);
+        a.label("loop");
+        // x
+        a.mulq(Reg::R1, Reg::R9, Reg::R1);
+        a.addq(Reg::R1, Reg::R10, Reg::R1);
+        a.srl_lit(Reg::R1, 11, Reg::R6);
+        a.itoft(Reg::R6, FReg::F1);
+        a.cvtqt(FReg::F1, FReg::F1);
+        a.mult(FReg::F1, FReg::F5, FReg::F1);
+        // y
+        a.mulq(Reg::R1, Reg::R9, Reg::R1);
+        a.addq(Reg::R1, Reg::R10, Reg::R1);
+        a.srl_lit(Reg::R1, 11, Reg::R6);
+        a.itoft(Reg::R6, FReg::F2);
+        a.cvtqt(FReg::F2, FReg::F2);
+        a.mult(FReg::F2, FReg::F5, FReg::F2);
+        // x^2 + y^2 <= 1.0 ?
+        a.mult(FReg::F1, FReg::F1, FReg::F3);
+        a.mult(FReg::F2, FReg::F2, FReg::F6);
+        a.addt(FReg::F3, FReg::F6, FReg::F3);
+        a.cmptle(FReg::F3, FReg::F4, FReg::F7);
+        a.fbeq(FReg::F7, "outside");
+        a.addq_lit(Reg::R2, 1, Reg::R2);
+        a.label("outside");
+        a.addq_lit(Reg::R3, 1, Reg::R3);
+        a.cmplt(Reg::R3, Reg::R4, Reg::R7);
+        a.bne(Reg::R7, "loop");
+
+        // pi = 4 * count / n
+        a.itoft(Reg::R2, FReg::F1);
+        a.cvtqt(FReg::F1, FReg::F1);
+        a.lif(FReg::F2, 4.0, Reg::R8);
+        a.mult(FReg::F1, FReg::F2, FReg::F1);
+        a.itoft(Reg::R4, FReg::F2);
+        a.cvtqt(FReg::F2, FReg::F2);
+        a.divt(FReg::F1, FReg::F2, FReg::F1);
+
+        // --- deactivate, store results, exit.
+        a.fi_activate(0);
+        a.la(Reg::R5, OUTPUT_SYMBOL);
+        a.stt(FReg::F1, 0, Reg::R5);
+        a.stq(Reg::R2, 8, Reg::R5);
+        a.exit(0);
+
+        GuestWorkload { program: a.finish().expect("pi assembles"), output_len: 16 }
+    }
+
+    fn reference(&self) -> Vec<u8> {
+        let mut s = self.seed;
+        for _ in 0..self.init_spins {
+            s = lcg(s);
+        }
+        let mut count: u64 = 0;
+        for _ in 0..self.points {
+            s = lcg(s);
+            let x = ((s >> 11) as i64 as f64) * INV_2_53;
+            s = lcg(s);
+            let y = ((s >> 11) as i64 as f64) * INV_2_53;
+            if x * x + y * y <= 1.0 {
+                count += 1;
+            }
+        }
+        let pi = (count as i64 as f64) * 4.0 / (self.points as i64 as f64);
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&pi.to_bits().to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+        out
+    }
+
+    fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
+        let (Some(f), Some(g)) = (read_pi(faulty), read_pi(golden)) else {
+            return false;
+        };
+        // "the first two decimal points correct" — within half a unit in
+        // the second decimal place.
+        f.is_finite() && (f - g).abs() < 0.005
+    }
+}
+
+fn read_pi(bytes: &[u8]) -> Option<f64> {
+    let bits = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+    Some(f64::from_bits(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::reference_run;
+    use gemfi_cpu::CpuKind;
+
+    #[test]
+    fn reference_estimate_is_close_to_pi() {
+        let w = MonteCarloPi::default();
+        let out = w.reference();
+        let pi = read_pi(&out).unwrap();
+        assert!((pi - std::f64::consts::PI).abs() < 0.1, "estimate {pi}");
+    }
+
+    #[test]
+    fn guest_matches_host_bit_exactly() {
+        let w = MonteCarloPi { points: 300, init_spins: 100, ..MonteCarloPi::default() };
+        let run = reference_run(&w, CpuKind::Atomic).expect("runs to completion");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn guest_matches_on_o3_too() {
+        let w = MonteCarloPi { points: 150, init_spins: 50, ..MonteCarloPi::default() };
+        let run = reference_run(&w, CpuKind::O3).expect("runs to completion");
+        assert_eq!(run.bytes, w.reference());
+    }
+
+    #[test]
+    fn acceptance_gate_is_two_decimals() {
+        let w = MonteCarloPi::default();
+        let golden = w.reference();
+        let mut close = golden.clone();
+        close[..8].copy_from_slice(&(read_pi(&golden).unwrap() + 0.004).to_bits().to_le_bytes());
+        assert!(w.accept(&close, &golden));
+        let mut far = golden.clone();
+        far[..8].copy_from_slice(&(read_pi(&golden).unwrap() + 0.02).to_bits().to_le_bytes());
+        assert!(!w.accept(&far, &golden));
+        // NaN / truncated outputs are rejected.
+        let mut nan = golden.clone();
+        nan[..8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(!w.accept(&nan, &golden));
+        assert!(!w.accept(&[], &golden));
+    }
+}

@@ -1,0 +1,66 @@
+//! Peak signal-to-noise ratio, the paper's image-quality gate.
+//!
+//! DCT outputs "with PSNR higher than 30" (vs. the uncompressed input) and
+//! deblocking outputs "with PSNR higher than 80 dB" (vs. the fault-free
+//! output) count as *correct* (Sec. IV-B-1).
+
+/// PSNR in dB between two 8-bit images of equal length. Returns
+/// `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if lengths differ (caller bug, not data error).
+pub fn psnr_u8(a: &[u8], b: &[u8]) -> f64 {
+    assert_eq!(a.len(), b.len(), "PSNR requires equal-size images");
+    if a.is_empty() {
+        return f64::INFINITY;
+    }
+    let mse: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * ((255.0 * 255.0) / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = vec![7u8; 64];
+        assert_eq!(psnr_u8(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_lsb_error_is_far_above_80db() {
+        let a = vec![100u8; 10_000];
+        let mut b = a.clone();
+        b[0] ^= 1;
+        let p = psnr_u8(&a, &b);
+        assert!(p > 80.0, "psnr {p}");
+    }
+
+    #[test]
+    fn gross_corruption_is_below_30db() {
+        let a = vec![0u8; 256];
+        let b = vec![255u8; 256];
+        assert!(psnr_u8(&a, &b) < 30.0);
+    }
+
+    #[test]
+    fn psnr_is_symmetric() {
+        let a: Vec<u8> = (0..=255).collect();
+        let b: Vec<u8> = (0..=255).rev().collect();
+        assert!((psnr_u8(&a, &b) - psnr_u8(&b, &a)).abs() < 1e-12);
+    }
+}

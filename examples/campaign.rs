@@ -1,0 +1,48 @@
+//! A miniature fault-injection campaign (the Sec. IV-B methodology) on the
+//! Monte Carlo PI workload: checkpoint, golden run, uniform fault sampling,
+//! O3 injection with the atomic fast-forward, and outcome classification.
+//!
+//! ```text
+//! cargo run --release --example campaign
+//! ```
+
+use gemfi_campaign::{
+    leveugle_sample_size, prepare_workload, run_experiment, FaultSampler, LocationClass,
+    OutcomeTable, RunnerConfig,
+};
+use gemfi_workloads::pi::MonteCarloPi;
+use gemfi_workloads::Workload;
+
+fn main() {
+    let workload = MonteCarloPi { points: 400, init_spins: 2_000, ..MonteCarloPi::default() };
+    println!("preparing {} (checkpoint + golden run)…", workload.name());
+    let prepared = prepare_workload(&workload).expect("prepares");
+    println!(
+        "  fault space: {:?} events/stage, kernel {} ticks",
+        prepared.stage_events, prepared.kernel_ticks
+    );
+
+    let mut sampler = FaultSampler::new(0xca3_9a19, prepared.stage_events, 0, 0);
+    let population = sampler.total_population();
+    let full = leveugle_sample_size(population, 0.01, gemfi_campaign::stats::Z_99, 0.5);
+    println!(
+        "  population {population}; a paper-grade campaign (99%/1%) would need {full} runs"
+    );
+
+    let per_class = 12;
+    println!("\nrunning {per_class} experiments per location class…\n");
+    let runner = RunnerConfig::default();
+    println!(
+        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "class", "crash", "nonprop", "strict", "correct", "sdc"
+    );
+    for class in LocationClass::ALL {
+        let mut table = OutcomeTable::new();
+        for _ in 0..per_class {
+            let spec = sampler.sample(class);
+            let result = run_experiment(&prepared, &workload, spec, &runner);
+            table.add(result.outcome);
+        }
+        println!("{:<9} {}", class.to_string(), table);
+    }
+}

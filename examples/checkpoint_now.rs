@@ -1,0 +1,62 @@
+//! Checkpoint fast-forwarding and the network-of-workstations campaign
+//! protocol (Sec. III-D/III-E): runs the same experiment set serially from
+//! the checkpoint and over a spool-directory worker pool, then compares.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_now
+//! ```
+
+use gemfi_campaign::{
+    now::{run_campaign_now, NowConfig},
+    prepare_workload, run_experiment, FaultSampler, RunnerConfig,
+};
+use gemfi_workloads::knapsack::Knapsack;
+use gemfi_workloads::Workload;
+use std::time::Instant;
+
+fn main() {
+    let workload = Knapsack { generations: 10, ..Knapsack::default() };
+    let prepared = prepare_workload(&workload).expect("prepares");
+    println!(
+        "{}: initialization {} ticks, kernel {} ticks (checkpointing skips the former)",
+        workload.name(),
+        prepared.boot_ticks,
+        prepared.kernel_ticks
+    );
+
+    let mut sampler = FaultSampler::new(7, prepared.stage_events, 0, 0);
+    let specs: Vec<_> = (0..16).map(|_| sampler.sample_any()).collect();
+    let runner = RunnerConfig::default();
+
+    // Serial, checkpoint-fast-forwarded.
+    let t = Instant::now();
+    let serial: Vec<_> = specs
+        .iter()
+        .map(|s| run_experiment(&prepared, &workload, *s, &runner).outcome)
+        .collect();
+    println!("\nserial (checkpointed): {:?} in {:.2?}", count(&serial), t.elapsed());
+
+    // The NoW protocol over a spool directory.
+    let share = std::env::temp_dir().join(format!("gemfi-example-now-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&share);
+    let cfg = NowConfig { workstations: 3, slots_per_workstation: 2, share_dir: share.clone() };
+    let t = Instant::now();
+    let (table, results, report) =
+        run_campaign_now(&prepared, &workload, &specs, &runner, &cfg).expect("share usable");
+    println!(
+        "NoW ({} ws x {} slots): {table} in {:.2?}",
+        cfg.workstations,
+        cfg.slots_per_workstation,
+        t.elapsed()
+    );
+    println!("  per-workstation load: {:?}", report.per_workstation);
+
+    let parallel: Vec<_> = results.iter().map(|r| r.outcome).collect();
+    assert_eq!(serial, parallel, "the two execution modes must agree");
+    println!("  serial and NoW outcomes agree on all {} experiments", specs.len());
+    std::fs::remove_dir_all(&share).ok();
+}
+
+fn count(outcomes: &[gemfi::Outcome]) -> gemfi_campaign::OutcomeTable {
+    outcomes.iter().copied().collect()
+}

@@ -1,0 +1,25 @@
+//! Workspace umbrella crate for the GemFI reproduction.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual functionality
+//! lives in the member crates:
+//!
+//! * [`gemfi_isa`] — the Alpha-subset guest ISA (Table I formats).
+//! * [`gemfi_asm`] — macro-assembler for building guest programs.
+//! * [`gemfi_mem`] — classic memory hierarchy (L1I/L1D/L2/DRAM).
+//! * [`gemfi_cpu`] — the four CPU models and the tournament predictor.
+//! * [`gemfi_kernel`] — the minimal full-system kernel substrate.
+//! * [`gemfi_sim`] — the full-system machine, checkpointing, stats.
+//! * [`gemfi`] — the fault-injection engine (the paper's contribution).
+//! * [`gemfi_workloads`] — the six guest benchmarks plus golden models.
+//! * [`gemfi_campaign`] — statistical campaigns and the NoW executor.
+
+pub use gemfi;
+pub use gemfi_asm;
+pub use gemfi_campaign;
+pub use gemfi_cpu;
+pub use gemfi_isa;
+pub use gemfi_kernel;
+pub use gemfi_mem;
+pub use gemfi_sim;
+pub use gemfi_workloads;

@@ -1,0 +1,84 @@
+//! Checkpoint/fast-forward correctness (Sec. III-D): restoring from the
+//! `fi_read_init_all` snapshot and continuing must be indistinguishable
+//! from simulating straight through, across CPU models and serialization
+//! round-trips.
+
+use gemfi_cpu::{CpuKind, NoopHooks};
+use gemfi_isa::codec::Codec;
+use gemfi_sim::{Checkpoint, Machine, RunExit};
+use gemfi_workloads::knapsack::Knapsack;
+use gemfi_workloads::{workload_machine_config, GuestWorkload, Workload};
+
+fn straight_through(guest: &GuestWorkload, cpu: CpuKind) -> (Vec<u8>, u64) {
+    let mut m = Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks)
+        .expect("boots");
+    let mut exit = m.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = m.run();
+    }
+    assert_eq!(exit, RunExit::Halted(0));
+    let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap().to_vec();
+    (out, m.instret())
+}
+
+fn checkpoint_of(guest: &GuestWorkload) -> Checkpoint {
+    let mut m = Machine::boot(workload_machine_config(CpuKind::Atomic), &guest.program, NoopHooks)
+        .expect("boots");
+    assert_eq!(m.run(), RunExit::CheckpointRequest);
+    m.checkpoint()
+}
+
+#[test]
+fn restore_resumes_identically_across_models() {
+    let w = Knapsack { generations: 6, ..Knapsack::default() };
+    let guest = w.build();
+    let (golden, _) = straight_through(&guest, CpuKind::Atomic);
+    let ckpt = checkpoint_of(&guest);
+
+    for cpu in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
+        let mut m = Machine::restore(&ckpt, Some(cpu), NoopHooks);
+        let mut exit = m.run();
+        while exit == RunExit::CheckpointRequest {
+            exit = m.run();
+        }
+        assert_eq!(exit, RunExit::Halted(0), "{cpu}");
+        let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap();
+        assert_eq!(out, golden.as_slice(), "{cpu}: restored run must match straight-through");
+    }
+}
+
+#[test]
+fn serialized_checkpoint_behaves_like_the_original() {
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let ckpt = checkpoint_of(&guest);
+    let round_tripped = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("decodes");
+
+    let run = |c: &Checkpoint| {
+        let mut m = Machine::restore(c, None, NoopHooks);
+        let exit = m.run();
+        (exit, m.instret(), m.stats().ticks)
+    };
+    assert_eq!(run(&ckpt), run(&round_tripped));
+}
+
+#[test]
+fn one_checkpoint_spawns_many_identical_experiments() {
+    // The Fig. 3 pattern: one checkpoint, many restores; every restore sees
+    // the same world (the engine re-reads its own fault config per restore,
+    // here the no-fault case).
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let ckpt = checkpoint_of(&guest);
+    let mut outputs = Vec::new();
+    for _ in 0..3 {
+        let mut m = Machine::restore(&ckpt, Some(CpuKind::O3), NoopHooks);
+        let mut exit = m.run();
+        while exit == RunExit::CheckpointRequest {
+            exit = m.run();
+        }
+        assert_eq!(exit, RunExit::Halted(0));
+        outputs.push(m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap().to_vec());
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+}

@@ -1,0 +1,72 @@
+//! Executable property test for the assembler's constant-materialization
+//! pseudo-ops: for arbitrary 64-bit constants, `li` must leave exactly that
+//! value in the register when the program runs (covering the one-, two-,
+//! and pool-instruction expansion paths), and `lif` the exact IEEE bits.
+
+use gemfi_asm::{Assembler, FReg, Reg};
+use gemfi_cpu::NoopHooks;
+use gemfi_sim::{Machine, MachineConfig, RunExit};
+use proptest::prelude::*;
+
+fn machine_value_of(build: impl Fn(&mut Assembler)) -> u64 {
+    let mut a = Assembler::new();
+    build(&mut a);
+    // Report r1 through the binary output channel.
+    a.mov(Reg::R1, Reg::A0);
+    a.pal(gemfi_isa::PalFunc::WriteWord);
+    a.exit(0);
+    let program = a.finish().expect("assembles");
+    let mut m = Machine::boot(MachineConfig::default(), &program, NoopHooks).expect("boots");
+    assert_eq!(m.run(), RunExit::Halted(0));
+    m.out_words()[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn li_materializes_arbitrary_constants(value in any::<i64>()) {
+        let got = machine_value_of(|a| {
+            a.li(Reg::R1, value);
+        });
+        prop_assert_eq!(got, value as u64);
+    }
+
+    #[test]
+    fn lif_materializes_exact_ieee_bits(bits in any::<u64>()) {
+        let got = machine_value_of(|a| {
+            a.lif(FReg::F1, f64::from_bits(bits), Reg::R9);
+            a.ftoit(FReg::F1, Reg::R1);
+        });
+        // +0.0 is the only value lif encodes without the pool (via F31).
+        prop_assert_eq!(got, bits);
+    }
+}
+
+#[test]
+fn li_boundary_values() {
+    for value in [
+        0i64,
+        1,
+        -1,
+        i16::MAX as i64,
+        i16::MIN as i64,
+        i16::MAX as i64 + 1,
+        i16::MIN as i64 - 1,
+        0x7fff_ffff,
+        -0x8000_0000,
+        0x8000_0000,
+        i32::MAX as i64,
+        i32::MIN as i64,
+        i32::MAX as i64 + 1,
+        i32::MIN as i64 - 1,
+        i64::MAX,
+        i64::MIN,
+        0x0123_4567_89ab_cdef,
+    ] {
+        let got = machine_value_of(|a| {
+            a.li(Reg::R1, value);
+        });
+        assert_eq!(got, value as u64, "li({value:#x})");
+    }
+}

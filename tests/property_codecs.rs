@@ -1,0 +1,125 @@
+//! Property-based tests over the workspace's codecs and core invariants.
+
+use gemfi::{FaultConfig, FaultSpec};
+use gemfi_isa::codec::Codec;
+use gemfi_isa::{decode, encode, disassemble, ArchState, IntReg, RawInstr};
+use proptest::prelude::*;
+
+proptest! {
+    /// Decode∘encode is the identity on every decodable instruction word —
+    /// i.e., re-encoding a decoded word reproduces a word that decodes to
+    /// the same instruction (the fetch-fault analysis depends on decoding
+    /// being a function of the word's fields alone).
+    #[test]
+    fn decode_encode_is_stable(word in any::<u32>()) {
+        if let Ok(instr) = decode(RawInstr(word)) {
+            let reencoded = encode(&instr);
+            let instr2 = decode(reencoded).expect("re-encoded instruction decodes");
+            prop_assert_eq!(instr, instr2);
+        }
+    }
+
+    /// The disassembler never panics, on any word.
+    #[test]
+    fn disassembler_is_total(word in any::<u32>()) {
+        let text = disassemble(RawInstr(word));
+        prop_assert!(!text.is_empty());
+    }
+
+    /// Architectural state serialization is bit-exact.
+    #[test]
+    fn archstate_codec_roundtrips(
+        pc in any::<u64>(),
+        pcbb in any::<u64>(),
+        regs in proptest::collection::vec(any::<u64>(), 31),
+    ) {
+        let mut a = ArchState::new(pc);
+        a.pcbb = pcbb;
+        for (i, v) in regs.iter().enumerate() {
+            a.regs.write_int(IntReg::new(i as u8).unwrap(), *v);
+        }
+        let b = ArchState::from_bytes(&a.to_bytes()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The zero-run image compression round-trips arbitrary images.
+    #[test]
+    fn image_rle_roundtrips(mut img in proptest::collection::vec(any::<u8>(), 0..4096),
+                            zero_runs in proptest::collection::vec((0usize..4096, 0usize..128), 0..8)) {
+        // Inject zero runs to exercise both record kinds.
+        for (start, len) in zero_runs {
+            let s = start.min(img.len());
+            let e = (s + len).min(img.len());
+            for b in &mut img[s..e] {
+                *b = 0;
+            }
+        }
+        let mut w = gemfi_isa::codec::ByteWriter::new();
+        gemfi_mem::encode_image(&img, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = gemfi_isa::codec::ByteReader::new(&bytes);
+        prop_assert_eq!(gemfi_mem::decode_image(&mut r).unwrap(), img);
+    }
+
+    /// Fault behaviours confined to a width never disturb higher bits, and
+    /// `Flip` is an involution.
+    #[test]
+    fn corruption_respects_width(value in any::<u64>(), bit in 0u8..64, width in prop::sample::select(vec![15u8, 32, 64])) {
+        use gemfi::FaultBehavior;
+        let mask: u64 = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let flipped = gemfi::corrupt::apply(FaultBehavior::Flip(bit), value, width);
+        prop_assert_eq!(flipped & !mask, value & !mask, "high bits preserved");
+        let back = gemfi::corrupt::apply(FaultBehavior::Flip(bit), flipped, width);
+        prop_assert_eq!(back, value, "flip is involutive");
+    }
+}
+
+/// Strategy for arbitrary fault specs (exercising the config text format).
+fn arb_spec() -> impl Strategy<Value = FaultSpec> {
+    use gemfi::{FaultBehavior, FaultLocation, FaultTiming, MemTarget};
+    let location = prop_oneof![
+        (0u8..31).prop_map(|reg| FaultLocation::IntReg { core: 0, reg }),
+        (0u8..31).prop_map(|reg| FaultLocation::FpReg { core: 0, reg }),
+        Just(FaultLocation::Fetch { core: 0 }),
+        Just(FaultLocation::Decode { core: 0 }),
+        Just(FaultLocation::Execute { core: 0 }),
+        Just(FaultLocation::Pc { core: 0 }),
+        prop_oneof![Just(MemTarget::Load), Just(MemTarget::Store), Just(MemTarget::Any)]
+            .prop_map(|target| FaultLocation::Mem { core: 0, target }),
+    ];
+    let timing = prop_oneof![
+        (1u64..1_000_000).prop_map(FaultTiming::Instructions),
+        (1u64..1_000_000).prop_map(FaultTiming::Ticks),
+    ];
+    let behavior = prop_oneof![
+        (0u8..64).prop_map(FaultBehavior::Flip),
+        any::<u64>().prop_map(FaultBehavior::Xor),
+        any::<u64>().prop_map(FaultBehavior::Set),
+        Just(FaultBehavior::AllZero),
+        Just(FaultBehavior::AllOne),
+    ];
+    (location, timing, behavior, 0u32..8, 1u64..100).prop_map(
+        |(location, timing, behavior, thread, occurrences)| FaultSpec {
+            location,
+            thread,
+            timing,
+            behavior,
+            occurrences,
+        },
+    )
+}
+
+proptest! {
+    /// The Listing-1 text format round-trips every representable fault.
+    #[test]
+    fn fault_config_text_roundtrips(specs in proptest::collection::vec(arb_spec(), 0..10)) {
+        let config = FaultConfig::from_specs(specs);
+        let mut text = String::new();
+        for f in config.faults() {
+            text.push_str(&f.to_string());
+            text.push('\n');
+        }
+        let reparsed: FaultConfig = text.parse().expect("printed configs reparse");
+        prop_assert_eq!(reparsed, config);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests comparing the simulator's micro-architectural models
+//! against independent reference models.
+
+use gemfi_cpu::exec::{alu, cmov_cond};
+use gemfi_isa::opcode::IntFunc;
+use gemfi_mem::{Cache, CacheConfig};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A naive, obviously-correct LRU set-associative cache model.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>, // most-recent at the back
+    ways: usize,
+    line: u64,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize, line: u64) -> RefCache {
+        RefCache { sets: (0..sets).map(|_| VecDeque::new()).collect(), ways, line }
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let line_addr = addr / self.line;
+        let set = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        let q = &mut self.sets[set];
+        if let Some(pos) = q.iter().position(|&t| t == tag) {
+            q.remove(pos);
+            q.push_back(tag);
+            true
+        } else {
+            if q.len() == self.ways {
+                q.pop_front();
+            }
+            q.push_back(tag);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The production cache's hit/miss sequence matches the reference LRU
+    /// model on arbitrary access streams.
+    #[test]
+    fn cache_hits_match_reference_lru(
+        addrs in proptest::collection::vec(0u64..8192, 1..400),
+    ) {
+        let config = CacheConfig { size: 1024, ways: 4, line: 32, hit_latency: 1 };
+        let mut dut = Cache::new(config);
+        let mut reference = RefCache::new(config.sets(), config.ways, config.line as u64);
+        for addr in addrs {
+            let hit = dut.access(addr, false).hit;
+            let ref_hit = reference.access(addr);
+            prop_assert_eq!(hit, ref_hit, "divergence at {:#x}", addr);
+        }
+    }
+
+    /// ALU operations agree with host arithmetic (two's complement,
+    /// wrapping, shift masking).
+    #[test]
+    fn alu_matches_host_semantics(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(alu(IntFunc::Addq, a, b), a.wrapping_add(b));
+        prop_assert_eq!(alu(IntFunc::Subq, a, b), a.wrapping_sub(b));
+        prop_assert_eq!(alu(IntFunc::Mulq, a, b), a.wrapping_mul(b));
+        prop_assert_eq!(alu(IntFunc::And, a, b), a & b);
+        prop_assert_eq!(alu(IntFunc::Bis, a, b), a | b);
+        prop_assert_eq!(alu(IntFunc::Xor, a, b), a ^ b);
+        prop_assert_eq!(alu(IntFunc::Sll, a, b), a.wrapping_shl((b & 63) as u32));
+        prop_assert_eq!(alu(IntFunc::Srl, a, b), a.wrapping_shr((b & 63) as u32));
+        prop_assert_eq!(alu(IntFunc::Cmpeq, a, b), (a == b) as u64);
+        prop_assert_eq!(alu(IntFunc::Cmpult, a, b), (a < b) as u64);
+        prop_assert_eq!(alu(IntFunc::Cmplt, a, b), ((a as i64) < (b as i64)) as u64);
+        prop_assert_eq!(
+            alu(IntFunc::Umulh, a, b),
+            ((a as u128 * b as u128) >> 64) as u64
+        );
+    }
+
+    /// Conditional-move conditions agree with signed comparisons on zero.
+    #[test]
+    fn cmov_conditions_match_sign_tests(v in any::<u64>()) {
+        let s = v as i64;
+        prop_assert_eq!(cmov_cond(IntFunc::Cmoveq, v), Some(v == 0));
+        prop_assert_eq!(cmov_cond(IntFunc::Cmovne, v), Some(v != 0));
+        prop_assert_eq!(cmov_cond(IntFunc::Cmovlt, v), Some(s < 0));
+        prop_assert_eq!(cmov_cond(IntFunc::Cmovge, v), Some(s >= 0));
+        prop_assert_eq!(cmov_cond(IntFunc::Cmovle, v), Some(s <= 0));
+        prop_assert_eq!(cmov_cond(IntFunc::Cmovgt, v), Some(s > 0));
+    }
+}
+
+/// A randomized program runs to the same architectural result on all four
+/// CPU models (the model-switching methodology is only sound if they agree).
+#[test]
+fn random_programs_agree_across_cpu_models() {
+    use gemfi_asm::{Assembler, Reg};
+    use gemfi_cpu::{CpuKind, NoopHooks};
+    use gemfi_sim::{Machine, MachineConfig, RunExit};
+
+    let mut lcg: u64 = 0x5eed;
+    let mut next = move || {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg
+    };
+
+    for round in 0..8 {
+        let mut a = Assembler::new();
+        a.dsym("buf");
+        a.data_u64(&[0; 32]);
+        a.la(Reg::R20, "buf");
+        // Seed some registers.
+        for i in 1..8u8 {
+            a.li(gemfi_isa::IntReg::new(i).unwrap(), (next() as u32) as i64);
+        }
+        // A random mix of arithmetic, memory and control flow.
+        a.li(Reg::R10, 0);
+        a.li(Reg::R11, 40); // loop bound
+        a.label("loop");
+        for _ in 0..12 {
+            let r = |v: u64| gemfi_isa::IntReg::new(1 + (v % 7) as u8).unwrap();
+            let (x, y, z) = (r(next()), r(next()), r(next()));
+            match next() % 6 {
+                0 => {
+                    a.addq(x, y, z);
+                }
+                1 => {
+                    a.subq(x, y, z);
+                }
+                2 => {
+                    a.xor(x, y, z);
+                }
+                3 => {
+                    a.mulq(x, y, z);
+                }
+                4 => {
+                    // Bounded store+load through the buffer.
+                    let off = ((next() % 32) * 8) as i16;
+                    a.stq(x, off, Reg::R20);
+                    a.ldq(z, off, Reg::R20);
+                }
+                _ => {
+                    a.cmovlt(x, y, z);
+                }
+            }
+        }
+        a.addq_lit(Reg::R10, 1, Reg::R10);
+        a.cmplt(Reg::R10, Reg::R11, Reg::R12);
+        a.bne(Reg::R12, "loop");
+        // Fold the register state into the exit code (mod 256 keeps it
+        // within the exit-code convention).
+        a.li(Reg::R13, 0);
+        for i in 1..8u8 {
+            a.addq(Reg::R13, gemfi_isa::IntReg::new(i).unwrap(), Reg::R13);
+        }
+        a.and_lit(Reg::R13, 0xff, Reg::R13);
+        a.mov(Reg::R13, Reg::A0);
+        a.pal(gemfi_isa::PalFunc::Exit);
+        let program = a.finish().expect("assembles");
+
+        let mut exits = Vec::new();
+        for cpu in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
+            let config = MachineConfig {
+                cpu,
+                max_ticks: 50_000_000,
+                ..MachineConfig::default()
+            };
+            let mut m = Machine::boot(config, &program, NoopHooks).expect("boots");
+            exits.push(m.run());
+        }
+        assert!(
+            exits.windows(2).all(|w| w[0] == w[1]),
+            "round {round}: models disagree: {exits:?}"
+        );
+        assert!(matches!(exits[0], RunExit::Halted(_)), "round {round}: {exits:?}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Experimental validation in the absence of faults (Sec. IV-A).
+//!
+//! "The execution of each application was simulated both with our tool and
+//! the original Gem5 simulator. When simulating using GemFI we did not
+//! inject any faults. We then compared the application output from the two
+//! experiments, as well as the statistical results provided by the
+//! simulator. For all benchmarks the results were identical. This indicates
+//! that GemFI does not corrupt the simulation process."
+
+use gemfi::{FaultConfig, GemFiEngine};
+use gemfi_cpu::{CpuKind, NoopHooks};
+use gemfi_sim::{Machine, RunExit, SimStats};
+use gemfi_workloads::{all_workloads, workload_machine_config, Workload};
+
+fn run_to_completion<H: gemfi_cpu::FaultHooks>(
+    workload: &dyn Workload,
+    cpu: CpuKind,
+    hooks: H,
+) -> (Vec<u8>, Vec<u8>, SimStats) {
+    let guest = workload.build();
+    let mut machine = Machine::boot(workload_machine_config(cpu), &guest.program, hooks)
+        .unwrap_or_else(|t| panic!("{}: boot failed: {t}", workload.name()));
+    let mut exit = machine.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = machine.run();
+    }
+    assert_eq!(exit, RunExit::Halted(0), "{} must terminate cleanly", workload.name());
+    let output = machine
+        .mem()
+        .read_slice(guest.output_addr(), guest.output_len)
+        .expect("output mapped")
+        .to_vec();
+    (output, machine.console().to_vec(), machine.stats())
+}
+
+/// Small-size variants so the full six-benchmark sweep stays test-sized.
+fn small_workloads() -> Vec<Box<dyn Workload>> {
+    use gemfi_workloads::*;
+    vec![
+        Box::new(dct::Dct { width: 16, height: 16 }),
+        Box::new(jacobi::Jacobi { n: 8, max_iters: 100 }),
+        Box::new(pi::MonteCarloPi { points: 200, init_spins: 100, ..Default::default() }),
+        Box::new(knapsack::Knapsack { generations: 5, ..Default::default() }),
+        Box::new(deblock::Deblock { width: 24, height: 16 }),
+        Box::new(canneal::Canneal { steps: 60, ..Default::default() }),
+    ]
+}
+
+#[test]
+fn gemfi_with_no_faults_is_invisible_on_every_benchmark() {
+    for workload in small_workloads() {
+        let (out_base, con_base, stats_base) =
+            run_to_completion(workload.as_ref(), CpuKind::Atomic, NoopHooks);
+        let (out_fi, con_fi, stats_fi) = run_to_completion(
+            workload.as_ref(),
+            CpuKind::Atomic,
+            GemFiEngine::new(FaultConfig::empty()),
+        );
+        assert_eq!(out_base, out_fi, "{}: output must be identical", workload.name());
+        assert_eq!(con_base, con_fi, "{}: console must be identical", workload.name());
+        // "as well as the statistical results provided by the simulator".
+        assert_eq!(stats_base, stats_fi, "{}: statistics must be identical", workload.name());
+    }
+}
+
+#[test]
+fn gemfi_with_no_faults_is_invisible_under_o3_too() {
+    for workload in small_workloads().into_iter().take(3) {
+        let (out_base, _, stats_base) =
+            run_to_completion(workload.as_ref(), CpuKind::O3, NoopHooks);
+        let (out_fi, _, stats_fi) = run_to_completion(
+            workload.as_ref(),
+            CpuKind::O3,
+            GemFiEngine::new(FaultConfig::empty()),
+        );
+        assert_eq!(out_base, out_fi, "{}", workload.name());
+        assert_eq!(stats_base.instructions, stats_fi.instructions, "{}", workload.name());
+        assert_eq!(stats_base.ticks, stats_fi.ticks, "{}", workload.name());
+    }
+}
+
+#[test]
+fn default_workload_set_matches_host_references() {
+    // The library-level default set must agree with the host golden models
+    // (the guest implementations are bit-exact mirrors).
+    for workload in all_workloads().into_iter().filter(|w| w.name() == "pi") {
+        let (out, _, _) = run_to_completion(workload.as_ref(), CpuKind::Atomic, NoopHooks);
+        assert_eq!(out, workload.reference(), "{}", workload.name());
+    }
+}
