@@ -578,8 +578,7 @@ impl Assembler {
     pub fn finish(mut self) -> Result<Program, AsmError> {
         // Flush the literal pool into the data section.
         self.align(8);
-        let pool: Vec<(u64, String)> =
-            self.lit_pool.iter().map(|(b, s)| (*b, s.clone())).collect();
+        let pool: Vec<(u64, String)> = self.lit_pool.iter().map(|(b, s)| (*b, s.clone())).collect();
         for (bits, sym) in pool {
             self.data_symbols.insert(sym, self.data.len() as u64);
             self.data.extend_from_slice(&bits.to_le_bytes());

@@ -1,6 +1,5 @@
 //! Linked guest programs.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Base address where program text is loaded. Addresses below this are
@@ -13,7 +12,7 @@ pub const TEXT_BASE: u64 = 0x1_0000;
 /// [`Program::data_base`], then starts the boot thread at
 /// [`Program::entry`]. Host-side code (workload drivers, the campaign
 /// classifier) uses [`Program::symbol`] to find input/output regions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     text: Vec<u32>,
     data: Vec<u8>,

@@ -231,8 +231,13 @@ pub fn assemble(source: &str) -> Result<Program, TextAsmError> {
         // Instructions: mnemonic, then comma-separated operands.
         let mut parts = rest.splitn(2, char::is_whitespace);
         let mnem = parts.next().unwrap_or("");
-        let ops: Vec<&str> =
-            parts.next().unwrap_or("").split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let ops: Vec<&str> = parts
+            .next()
+            .unwrap_or("")
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
         emit_instruction(&mut a, mnem, &ops).map_err(err)?;
     }
 
@@ -258,7 +263,8 @@ fn emit_instruction(a: &mut Assembler, mnem: &str, ops: &[&str]) -> Result<(), S
             let rc = int_reg(ops[2])?;
             if let Some(lit) = ops[1].strip_prefix('#') {
                 let v = imm64(lit)?;
-                let v = u8::try_from(v).map_err(|_| format!("literal out of range `{}`", ops[1]))?;
+                let v =
+                    u8::try_from(v).map_err(|_| format!("literal out of range `{}`", ops[1]))?;
                 a.$ml(ra, v, rc);
             } else {
                 a.$m(ra, int_reg(ops[1])?, rc);
@@ -519,9 +525,8 @@ start:
             if text.starts_with('b') || text.starts_with("fb") {
                 continue;
             }
-            let rt = assemble(&format!("{text}\n")).unwrap_or_else(|e| {
-                panic!("`{text}` failed to re-assemble: {e}")
-            });
+            let rt = assemble(&format!("{text}\n"))
+                .unwrap_or_else(|e| panic!("`{text}` failed to re-assemble: {e}"));
             assert_eq!(
                 decode(RawInstr(rt.text_words()[0])).unwrap(),
                 decode(RawInstr(word)).unwrap(),

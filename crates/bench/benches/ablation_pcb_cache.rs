@@ -4,13 +4,13 @@
 //! event. The paper credits this cache with keeping GemFI's per-tick cost
 //! negligible; this benchmark quantifies the claim on our engine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gemfi::engine::EngineConfig;
 use gemfi::{FaultConfig, GemFiEngine};
+use gemfi_bench::time_it;
+use gemfi_cpu::CpuKind;
 use gemfi_sim::{Machine, RunExit};
 use gemfi_workloads::pi::MonteCarloPi;
 use gemfi_workloads::{workload_machine_config, Workload};
-use gemfi_cpu::CpuKind;
 
 fn run_with_cache(pcb_pointer_cache: bool) {
     let w = MonteCarloPi { points: 400, init_spins: 100, ..MonteCarloPi::default() };
@@ -28,13 +28,8 @@ fn run_with_cache(pcb_pointer_cache: bool) {
     assert_eq!(exit, RunExit::Halted(0));
 }
 
-fn bench_pcb_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_pcb_cache");
-    group.sample_size(20);
-    group.bench_function("pointer_cache", |b| b.iter(|| run_with_cache(true)));
-    group.bench_function("hash_every_event", |b| b.iter(|| run_with_cache(false)));
-    group.finish();
+fn main() {
+    println!("ablation_pcb_cache");
+    time_it("pointer_cache", 20, || run_with_cache(true));
+    time_it("hash_every_event", 20, || run_with_cache(false));
 }
-
-criterion_group!(benches, bench_pcb_cache);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! binary encode/decode (the network-share objects), and restore-and-resume
 //! versus re-simulating initialization from scratch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gemfi_bench::time_it;
 use gemfi_cpu::{CpuKind, NoopHooks};
 use gemfi_isa::codec::Codec;
 use gemfi_sim::{Checkpoint, Machine, RunExit};
@@ -19,41 +19,32 @@ fn machine_at_checkpoint() -> (Machine<NoopHooks>, Checkpoint) {
     (m, c)
 }
 
-fn bench_checkpoint(c: &mut Criterion) {
-    let (_, ckpt) = machine_at_checkpoint();
+fn main() {
+    let (m, ckpt) = machine_at_checkpoint();
     let bytes = ckpt.to_bytes();
 
-    let mut group = c.benchmark_group("checkpoint");
-    group.sample_size(20);
-    group.bench_function("capture", |b| {
-        let (m, _) = machine_at_checkpoint();
-        b.iter(|| m.checkpoint())
+    println!("checkpoint");
+    time_it("capture", 20, || {
+        let _ = m.checkpoint();
     });
-    group.bench_function("encode", |b| b.iter(|| ckpt.to_bytes()));
-    group.bench_function("decode", |b| b.iter(|| Checkpoint::from_bytes(&bytes).unwrap()));
-    group.bench_function("restore_and_finish", |b| {
-        b.iter(|| {
-            let mut m = Machine::restore(&ckpt, None, NoopHooks);
-            assert_eq!(m.run(), RunExit::Halted(0));
-        })
+    time_it("encode", 20, || {
+        let _ = ckpt.to_bytes();
     });
-    group.bench_function("reboot_and_finish", |b| {
-        // The Fig. 8 baseline: pay initialization every time.
-        let w = MonteCarloPi { points: 200, init_spins: 20_000, ..MonteCarloPi::default() };
-        let guest = w.build();
-        b.iter(|| {
-            let mut m = Machine::boot(
-                workload_machine_config(CpuKind::Atomic),
-                &guest.program,
-                NoopHooks,
-            )
-            .expect("boots");
-            assert_eq!(m.run(), RunExit::CheckpointRequest);
-            assert_eq!(m.run(), RunExit::Halted(0));
-        })
+    time_it("decode", 20, || {
+        let _ = Checkpoint::from_bytes(&bytes).unwrap();
     });
-    group.finish();
+    time_it("restore_and_finish", 20, || {
+        let mut m = Machine::restore(&ckpt, None, NoopHooks);
+        assert_eq!(m.run(), RunExit::Halted(0));
+    });
+    // The Fig. 8 baseline: pay initialization every time.
+    let w = MonteCarloPi { points: 200, init_spins: 20_000, ..MonteCarloPi::default() };
+    let guest = w.build();
+    time_it("reboot_and_finish", 20, || {
+        let mut m =
+            Machine::boot(workload_machine_config(CpuKind::Atomic), &guest.program, NoopHooks)
+                .expect("boots");
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        assert_eq!(m.run(), RunExit::Halted(0));
+    });
 }
-
-criterion_group!(benches, bench_checkpoint);
-criterion_main!(benches);

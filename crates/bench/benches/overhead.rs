@@ -1,10 +1,10 @@
-//! Criterion benchmark behind Fig. 7: simulation throughput with the
-//! fault-injection machinery compiled out (`NoopHooks`) versus attached and
-//! active (activated thread, empty fault queue — the paper's worst-case
-//! overhead configuration).
+//! Benchmark behind Fig. 7: simulation throughput with the fault-injection
+//! machinery compiled out (`NoopHooks`) versus attached and active
+//! (activated thread, empty fault queue — the paper's worst-case overhead
+//! configuration).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gemfi::{FaultConfig, GemFiEngine};
+use gemfi_bench::time_it;
 use gemfi_cpu::{CpuKind, NoopHooks};
 use gemfi_sim::{Machine, RunExit};
 use gemfi_workloads::pi::MonteCarloPi;
@@ -17,8 +17,8 @@ fn pi() -> MonteCarloPi {
 fn run_noop(cpu: CpuKind) {
     let w = pi();
     let guest = w.build();
-    let mut m = Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks)
-        .expect("boots");
+    let mut m =
+        Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks).expect("boots");
     let mut exit = m.run();
     while exit == RunExit::CheckpointRequest {
         exit = m.run();
@@ -30,8 +30,7 @@ fn run_gemfi(cpu: CpuKind) {
     let w = pi();
     let guest = w.build();
     let engine = GemFiEngine::new(FaultConfig::empty());
-    let mut m =
-        Machine::boot(workload_machine_config(cpu), &guest.program, engine).expect("boots");
+    let mut m = Machine::boot(workload_machine_config(cpu), &guest.program, engine).expect("boots");
     let mut exit = m.run();
     while exit == RunExit::CheckpointRequest {
         exit = m.run();
@@ -39,15 +38,10 @@ fn run_gemfi(cpu: CpuKind) {
     assert_eq!(exit, RunExit::Halted(0));
 }
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_overhead");
-    group.sample_size(20);
+fn main() {
+    println!("fig7_overhead");
     for cpu in [CpuKind::Atomic, CpuKind::O3] {
-        group.bench_function(format!("baseline_noop_{cpu}"), |b| b.iter(|| run_noop(cpu)));
-        group.bench_function(format!("gemfi_active_{cpu}"), |b| b.iter(|| run_gemfi(cpu)));
+        time_it(&format!("baseline_noop_{cpu}"), 20, || run_noop(cpu));
+        time_it(&format!("gemfi_active_{cpu}"), 20, || run_gemfi(cpu));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

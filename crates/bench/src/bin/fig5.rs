@@ -27,10 +27,8 @@ fn main() {
     let args = Args::from_env();
     let scale = args.scale();
     let per_cell: usize = args.number("experiments", 25);
-    let threads: usize = args.number(
-        "threads",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-    );
+    let threads: usize =
+        args.number("threads", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
     let seed: u64 = args.number("seed", 0xf15_f15);
     let runner = if args.has("atomic") {
         RunnerConfig {
@@ -88,8 +86,7 @@ fn main() {
                         if i >= specs.len() {
                             break;
                         }
-                        let r =
-                            run_experiment(&prepared, workload.as_ref(), specs[i], &runner);
+                        let r = run_experiment(&prepared, workload.as_ref(), specs[i], &runner);
                         table.lock().expect("no poisoned threads").add(r.outcome);
                     });
                 }

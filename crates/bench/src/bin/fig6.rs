@@ -37,16 +37,10 @@ fn main() {
     let trio = gemfi_bench::select_workloads(args.scale(), Some("pi,knapsack,jacobi"));
     // Register + execute faults drive the timing story; PC faults are flat
     // (always fatal) and dilute the signal.
-    let classes = [
-        LocationClass::IntReg,
-        LocationClass::FpReg,
-        LocationClass::Execute,
-        LocationClass::Mem,
-    ];
+    let classes =
+        [LocationClass::IntReg, LocationClass::FpReg, LocationClass::Execute, LocationClass::Mem];
 
-    println!(
-        "Fig. 6: outcome vs normalized injection time ({bands} bands x {per_band} runs)\n"
-    );
+    println!("Fig. 6: outcome vs normalized injection time ({bands} bands x {per_band} runs)\n");
     for workload in &trio {
         let prepared = match prepare_workload(workload.as_ref()) {
             Ok(p) => p,
@@ -63,15 +57,8 @@ fn main() {
             "strict%",
             "sdc%"
         );
-        let tables = timing_campaign(
-            &prepared,
-            workload.as_ref(),
-            &classes,
-            bands,
-            per_band,
-            seed,
-            &runner,
-        );
+        let tables =
+            timing_campaign(&prepared, workload.as_ref(), &classes, bands, per_band, seed, &runner);
         for (band, t) in tables.iter().enumerate() {
             println!(
                 "  {:>3.0}-{:<3.0} {:>8.1} {:>12.1} {:>9.1} {:>9.1}",

@@ -26,8 +26,8 @@ use std::time::Instant;
 /// post-checkpoint run; the pre-kernel prefix is identical in both builds).
 fn timed_run<H: FaultHooks>(workload: &dyn Workload, cpu: CpuKind, hooks: H) -> f64 {
     let guest = workload.build();
-    let mut machine = Machine::boot(workload_machine_config(cpu), &guest.program, hooks)
-        .expect("workload boots");
+    let mut machine =
+        Machine::boot(workload_machine_config(cpu), &guest.program, hooks).expect("workload boots");
     // Run up to the checkpoint marker (initialization — untimed).
     let exit = machine.run();
     assert_eq!(exit, RunExit::CheckpointRequest, "workloads checkpoint once");
@@ -67,17 +67,12 @@ fn main() {
         let mut fi = Vec::with_capacity(trials);
         for _ in 0..trials {
             base.push(timed_run(workload.as_ref(), cpu, NoopHooks));
-            fi.push(timed_run(
-                workload.as_ref(),
-                cpu,
-                GemFiEngine::new(FaultConfig::empty()),
-            ));
+            fi.push(timed_run(workload.as_ref(), cpu, GemFiEngine::new(FaultConfig::empty())));
         }
         let (mb, _) = mean_ci(&base, Z_95);
         let (mf, _) = mean_ci(&fi, Z_95);
         // CI of the per-trial overhead ratios.
-        let ratios: Vec<f64> =
-            base.iter().zip(&fi).map(|(b, f)| (f - b) / b * 100.0).collect();
+        let ratios: Vec<f64> = base.iter().zip(&fi).map(|(b, f)| (f - b) / b * 100.0).collect();
         let (overhead, ci) = mean_ci(&ratios, Z_95);
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>9.2}% {:>10.2}pp",

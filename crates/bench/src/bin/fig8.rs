@@ -74,21 +74,14 @@ fn main() {
         let t0 = Instant::now();
         for spec in &specs {
             let guest = workload.build();
-            let mut config =
-                gemfi_workloads::workload_machine_config(gemfi_cpu::CpuKind::Atomic);
+            let mut config = gemfi_workloads::workload_machine_config(gemfi_cpu::CpuKind::Atomic);
             config.boot_spin = boot_spin;
             let mut machine =
                 gemfi_sim::Machine::boot(config, &guest.program, gemfi_cpu::NoopHooks)
                     .expect("boots");
             assert_eq!(machine.run(), gemfi_sim::RunExit::CheckpointRequest);
             let fresh_ckpt = machine.checkpoint();
-            let _ = run_experiment_from(
-                &fresh_ckpt,
-                &prepared,
-                workload.as_ref(),
-                *spec,
-                &runner,
-            );
+            let _ = run_experiment_from(&fresh_ckpt, &prepared, workload.as_ref(), *spec, &runner);
         }
         let baseline = t0.elapsed().as_secs_f64();
 
@@ -123,15 +116,10 @@ fn main() {
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&share);
-        let cfg = NowConfig {
-            workstations,
-            slots_per_workstation: slots,
-            share_dir: share.clone(),
-        };
+        let cfg = NowConfig::new(workstations, slots, &share);
         let t2 = Instant::now();
-        let (_, _, report) =
-            run_campaign_now(&prepared, workload.as_ref(), &specs, &runner, &cfg)
-                .expect("share dir usable");
+        let (_, _, report) = run_campaign_now(&prepared, workload.as_ref(), &specs, &runner, &cfg)
+            .expect("share dir usable");
         let now_time = t2.elapsed().as_secs_f64();
         std::fs::remove_dir_all(&share).ok();
         let _ = report;

@@ -13,12 +13,25 @@
 //! # example faults.txt line (the paper's Listing 1):
 //! # RegisterInjectedFault Inst:2457 Flip:21 Threadid:0 system.cpu0 occ:1 int 1
 //! ```
+//!
+//! Campaign mode runs a whole sampled experiment set over the simulated
+//! network of workstations, with the durable journal and lease protocol —
+//! and picks up where an interrupted campaign left off:
+//!
+//! ```text
+//! gemfi_run --workload pi --campaign 200 --share /mnt/spool/pi \
+//!     [--seed N] [--workstations N] [--slots N] \
+//!     [--lease-secs N] [--max-retries N] [--resume]
+//! ```
 
-use gemfi::{FaultConfig, GemFiEngine};
+use gemfi::{FaultConfig, GemFiEngine, Outcome};
 use gemfi_bench::Args;
-use gemfi_campaign::{prepare_workload, run_experiment_multi, RunnerConfig};
+use gemfi_campaign::{
+    prepare_workload, run_campaign_now, run_experiment_multi, FaultSampler, NowConfig, RunnerConfig,
+};
 use gemfi_cpu::CpuKind;
 use gemfi_sim::{Machine, MachineConfig};
+use std::time::Duration;
 
 /// Runs a user-supplied `.s` assembly file under GemFI (no outcome
 /// classification — there is no golden model for arbitrary programs).
@@ -32,8 +45,8 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind) -> ! {
         std::process::exit(1);
     });
     let config = MachineConfig { cpu, ..MachineConfig::default() };
-    let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults))
-        .unwrap_or_else(|t| {
+    let mut machine =
+        Machine::boot(config, &program, GemFiEngine::new(faults)).unwrap_or_else(|t| {
             eprintln!("boot failed: {t}");
             std::process::exit(1);
         });
@@ -53,6 +66,79 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind) -> ! {
         println!("  {r}");
     }
     std::process::exit(0);
+}
+
+/// Campaign mode: sample `n` faults and execute them on the simulated NoW
+/// with the journal/lease protocol. With `--resume`, replays the journal on
+/// the share and finishes only the unfinished remainder. The fault set is
+/// resampled deterministically from `--seed`, so the original and resumed
+/// invocations describe the same campaign.
+fn run_campaign_mode(
+    args: &Args,
+    workload: &dyn gemfi_workloads::Workload,
+    n: &str,
+    cpu: CpuKind,
+) -> ! {
+    let experiments: usize = n.parse().unwrap_or_else(|_| {
+        eprintln!("--campaign expects an experiment count, got `{n}`");
+        std::process::exit(2);
+    });
+    let Some(share) = args.value_of("share") else {
+        eprintln!("campaign mode needs --share <dir> (the spool directory)");
+        std::process::exit(2);
+    };
+
+    let prepared = prepare_workload(workload).unwrap_or_else(|e| {
+        eprintln!("prepare failed: {e}");
+        std::process::exit(1);
+    });
+    let seed = args.number("seed", 1u64);
+    let mut sampler = FaultSampler::new(seed, prepared.stage_events, 0, 0);
+    let specs: Vec<_> = (0..experiments).map(|_| sampler.sample_any()).collect();
+
+    let config = NowConfig {
+        lease: Duration::from_secs(args.number("lease-secs", 30u64)),
+        max_retries: args.number("max-retries", 2u64),
+        resume: args.has("resume"),
+        ..NowConfig::new(args.number("workstations", 3usize), args.number("slots", 2usize), share)
+    };
+    let runner = RunnerConfig { inject_cpu: cpu, ..RunnerConfig::default() };
+    println!(
+        "campaign: {} x {} on {} ws x {} slots | share {share} | seed {seed} | resume: {}",
+        experiments,
+        workload.name(),
+        config.workstations,
+        config.slots_per_workstation,
+        config.resume,
+    );
+
+    match run_campaign_now(&prepared, workload, &specs, &runner, &config) {
+        Ok((table, _, report)) => {
+            println!("\n{table}");
+            println!("acceptable: {:.1}%", table.acceptable_fraction() * 100.0);
+            println!(
+                "wall {:.2?} | resumed {} | retries {} | reclaimed leases {} | infra failures {}",
+                report.wall,
+                report.resumed,
+                report.retries,
+                report.reclaimed_leases,
+                report.infrastructure_failures,
+            );
+            if table.count(Outcome::Infrastructure) > 0 {
+                std::process::exit(3);
+            }
+            std::process::exit(0);
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            eprintln!("campaign interrupted: {e}");
+            eprintln!("re-run with --resume to finish");
+            std::process::exit(4);
+        }
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -78,6 +164,10 @@ fn main() {
             "usage: gemfi_run (--workload <name> | --program <file.s>) \
        [--faults <file>] [--cpu o3|atomic|inorder|timing]"
         );
+        eprintln!(
+            "       gemfi_run --workload <name> --campaign <experiments> --share <dir> \
+       [--seed N] [--workstations N] [--slots N] [--lease-secs N] [--max-retries N] [--resume]"
+        );
         eprintln!("workloads: dct jacobi pi knapsack deblock canneal");
         std::process::exit(2);
     };
@@ -86,6 +176,10 @@ fn main() {
         eprintln!("unknown workload `{name}`");
         std::process::exit(2);
     };
+
+    if let Some(n) = args.value_of("campaign") {
+        run_campaign_mode(&args, workload.as_ref(), n, cpu_of(&args));
+    }
 
     let faults = match args.value_of("faults") {
         Some(path) => match FaultConfig::load(std::path::Path::new(path)) {
@@ -121,8 +215,7 @@ fn main() {
     }
 
     let runner = RunnerConfig { inject_cpu: cpu, ..RunnerConfig::default() };
-    let result =
-        run_experiment_multi(&prepared, workload.as_ref(), faults.faults(), &runner);
+    let result = run_experiment_multi(&prepared, workload.as_ref(), faults.faults(), &runner);
 
     println!("\ninjections:");
     if result.injections.is_empty() {

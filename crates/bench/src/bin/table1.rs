@@ -12,17 +12,12 @@ fn main() {
     println!("{:<10} fields [hi:lo]", "format");
     gemfi_bench::rule(72);
     for format in [Format::PalCode, Format::Branch, Format::Memory, Format::Operate] {
-        let fields: Vec<String> = format
-            .fields()
-            .iter()
-            .map(|f| format!("{}[{}:{}]", f.name, f.hi, f.lo))
-            .collect();
+        let fields: Vec<String> =
+            format.fields().iter().map(|f| format!("{}[{}:{}]", f.name, f.hi, f.lo)).collect();
         println!("{:<10} {}", format.to_string(), fields.join(" | "));
     }
     gemfi_bench::rule(72);
-    println!(
-        "\nRegister-selector fields targeted by decode-stage faults:"
-    );
+    println!("\nRegister-selector fields targeted by decode-stage faults:");
     for format in [Format::Branch, Format::Memory, Format::Operate] {
         let sel: Vec<String> = format
             .reg_selector_fields()

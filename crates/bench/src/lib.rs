@@ -127,6 +127,28 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// A minimal timing harness for the `harness = false` benchmark binaries:
+/// one warmup call, `samples` timed calls, median/min report. The workspace
+/// builds fully offline, so the benches cannot depend on an external
+/// benchmarking framework.
+pub fn time_it(name: &str, samples: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    println!(
+        "{name:<32} median {:>9.3} ms   min {:>9.3} ms   (n={})",
+        times[times.len() / 2] * 1e3,
+        times[0] * 1e3,
+        times.len()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,645 @@
+//! The durable campaign journal: an append-only JSONL lifecycle log on the
+//! network share.
+//!
+//! The paper's NoW protocol (Sec. III-E) tolerates workstation failure by
+//! construction — experiments live on a shared spool until *somebody*
+//! finishes them. The journal is the bookkeeping that makes that durable:
+//! every lifecycle transition of every experiment
+//! (`pending → leased(worker, deadline) → done(outcome) | failed(attempts)`)
+//! is one JSON object on one line of `campaign.journal`, appended and
+//! flushed before the transition is acted on. A campaign process that dies
+//! mid-flight leaves a journal whose replay reconstructs exactly which
+//! experiments are finished, which were in flight (their leases now
+//! orphaned), and which were never started — the resume path schedules only
+//! the unfinished remainder.
+//!
+//! The format is deliberately hand-rolled, flat JSON (string and integer
+//! fields only): the workspace builds fully offline, and a lifecycle log
+//! should be greppable from a shell on the share without tooling.
+
+use gemfi::Outcome;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal on the share.
+pub const JOURNAL_FILE: &str = "campaign.journal";
+
+/// Journal format version (bumped on incompatible event-schema changes).
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One lifecycle event. Serialized as one JSON object per line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// Campaign header: written once at the start, replayed on resume to
+    /// verify the journal belongs to the same campaign (same experiment
+    /// count, same fault specs, same checkpoint).
+    Campaign {
+        /// Journal format version.
+        version: u64,
+        /// Total number of experiments.
+        experiments: u64,
+        /// Digest of the spooled checkpoint file (see
+        /// `gemfi_sim::Checkpoint::digest`); resume rejects a share whose
+        /// checkpoint no longer matches.
+        checkpoint_digest: u64,
+        /// FNV-1a digest over the rendered fault specs; resume rejects a
+        /// journal recorded for different faults.
+        spec_digest: u64,
+    },
+    /// A worker claimed the experiment under an expiring lease.
+    Leased {
+        /// Experiment index.
+        exp: u64,
+        /// Claiming worker id (`ws<W>.slot<S>` for the simulated NoW).
+        worker: String,
+        /// 1-based attempt number.
+        attempt: u64,
+        /// Lease expiry, milliseconds since the Unix epoch.
+        deadline_ms: u64,
+    },
+    /// The experiment finished and its outcome is final.
+    Done {
+        /// Experiment index.
+        exp: u64,
+        /// Attempt that completed it.
+        attempt: u64,
+        /// Classified outcome.
+        outcome: Outcome,
+        /// Human-readable termination (`RunExit` display; audit only).
+        exit: String,
+        /// Total simulated ticks of the run.
+        ticks: u64,
+    },
+    /// One attempt failed (worker panic, expired lease, abort); the
+    /// experiment goes back to pending unless retries are exhausted.
+    AttemptFailed {
+        /// Experiment index.
+        exp: u64,
+        /// The failed attempt number.
+        attempt: u64,
+        /// Worker that held the lease.
+        worker: String,
+        /// Failure description.
+        reason: String,
+    },
+    /// Terminal infrastructure failure: retries exhausted.
+    Failed {
+        /// Experiment index.
+        exp: u64,
+        /// Attempts consumed.
+        attempts: u64,
+        /// Last failure description.
+        reason: String,
+    },
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JournalEvent {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            JournalEvent::Campaign { version, experiments, checkpoint_digest, spec_digest } => {
+                format!(
+                    "{{\"event\":\"campaign\",\"version\":{version},\"experiments\":{experiments},\
+                     \"checkpoint_digest\":{checkpoint_digest},\"spec_digest\":{spec_digest}}}"
+                )
+            }
+            JournalEvent::Leased { exp, worker, attempt, deadline_ms } => format!(
+                "{{\"event\":\"leased\",\"exp\":{exp},\"worker\":\"{}\",\"attempt\":{attempt},\
+                 \"deadline_ms\":{deadline_ms}}}",
+                json_escape(worker)
+            ),
+            JournalEvent::Done { exp, attempt, outcome, exit, ticks } => format!(
+                "{{\"event\":\"done\",\"exp\":{exp},\"attempt\":{attempt},\"outcome\":\"{}\",\
+                 \"exit\":\"{}\",\"ticks\":{ticks}}}",
+                outcome.name(),
+                json_escape(exit)
+            ),
+            JournalEvent::AttemptFailed { exp, attempt, worker, reason } => format!(
+                "{{\"event\":\"attempt-failed\",\"exp\":{exp},\"attempt\":{attempt},\
+                 \"worker\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(worker),
+                json_escape(reason)
+            ),
+            JournalEvent::Failed { exp, attempts, reason } => format!(
+                "{{\"event\":\"failed\",\"exp\":{exp},\"attempts\":{attempts},\"reason\":\"{}\"}}",
+                json_escape(reason)
+            ),
+        }
+    }
+
+    /// Parses one JSON line back into an event.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformed line.
+    pub fn parse(line: &str) -> Result<JournalEvent, String> {
+        let fields = parse_flat_object(line)?;
+        let kind = fields.str_field("event")?;
+        match kind.as_str() {
+            "campaign" => Ok(JournalEvent::Campaign {
+                version: fields.num_field("version")?,
+                experiments: fields.num_field("experiments")?,
+                checkpoint_digest: fields.num_field("checkpoint_digest")?,
+                spec_digest: fields.num_field("spec_digest")?,
+            }),
+            "leased" => Ok(JournalEvent::Leased {
+                exp: fields.num_field("exp")?,
+                worker: fields.str_field("worker")?,
+                attempt: fields.num_field("attempt")?,
+                deadline_ms: fields.num_field("deadline_ms")?,
+            }),
+            "done" => Ok(JournalEvent::Done {
+                exp: fields.num_field("exp")?,
+                attempt: fields.num_field("attempt")?,
+                outcome: fields.str_field("outcome")?.parse()?,
+                exit: fields.str_field("exit")?,
+                ticks: fields.num_field("ticks")?,
+            }),
+            "attempt-failed" => Ok(JournalEvent::AttemptFailed {
+                exp: fields.num_field("exp")?,
+                attempt: fields.num_field("attempt")?,
+                worker: fields.str_field("worker")?,
+                reason: fields.str_field("reason")?,
+            }),
+            "failed" => Ok(JournalEvent::Failed {
+                exp: fields.num_field("exp")?,
+                attempts: fields.num_field("attempts")?,
+                reason: fields.str_field("reason")?,
+            }),
+            other => Err(format!("unknown journal event `{other}`")),
+        }
+    }
+}
+
+/// A parsed flat JSON object: string and unsigned-integer values only.
+#[derive(Debug, Default)]
+struct FlatObject {
+    strings: BTreeMap<String, String>,
+    numbers: BTreeMap<String, u64>,
+}
+
+impl FlatObject {
+    fn str_field(&self, key: &str) -> Result<String, String> {
+        self.strings.get(key).cloned().ok_or_else(|| format!("missing string field `{key}`"))
+    }
+
+    fn num_field(&self, key: &str) -> Result<u64, String> {
+        self.numbers.get(key).copied().ok_or_else(|| format!("missing numeric field `{key}`"))
+    }
+}
+
+/// Parses `{"k":"v","n":42,...}` — exactly the shape [`JournalEvent`]
+/// emits. Not a general JSON parser: no nesting, no arrays, no floats.
+fn parse_flat_object(line: &str) -> Result<FlatObject, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut obj = FlatObject::default();
+    if chars.next() != Some('{') {
+        return Err("expected `{`".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => break,
+            Some('"') => {}
+            Some(',') => {
+                chars.next();
+                continue;
+            }
+            Some(c) if c.is_whitespace() => {
+                chars.next();
+                continue;
+            }
+            other => return Err(format!("expected key, found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("missing `:` after key `{key}`"));
+        }
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('"') => {
+                let value = parse_string(&mut chars)?;
+                obj.strings.insert(key, value);
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(c) = chars.peek() {
+                    let Some(d) = c.to_digit(10) else { break };
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64))
+                        .ok_or_else(|| format!("numeric overflow in `{key}`"))?;
+                    chars.next();
+                }
+                obj.numbers.insert(key, n);
+            }
+            other => return Err(format!("unsupported value for `{key}`: {other:?}")),
+        }
+    }
+    Ok(obj)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected `\"`".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+/// An open, append-only journal.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// The journal path under a share directory.
+    pub fn path_in(share: &Path) -> PathBuf {
+        share.join(JOURNAL_FILE)
+    }
+
+    /// Opens the journal for appending, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open(share: &Path) -> std::io::Result<Journal> {
+        let path = Journal::path_in(share);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { writer: BufWriter::new(file), path })
+    }
+
+    /// The journal file's location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event and flushes it to the file before returning, so a
+    /// crash immediately after a transition never loses the record of it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(&mut self, event: &JournalEvent) -> std::io::Result<()> {
+        self.writer.write_all(event.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Replays a journal file into its event sequence. A torn final line
+    /// (the writer died mid-append) is tolerated and dropped; corruption
+    /// anywhere else is an error.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for corrupt interior lines.
+    pub fn replay(path: &Path) -> std::io::Result<Vec<JournalEvent>> {
+        let text = std::fs::read_to_string(path)?;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut events = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match JournalEvent::parse(line) {
+                Ok(e) => events.push(e),
+                // A torn tail is expected after a crash; anything earlier
+                // means the journal itself is damaged.
+                Err(_) if i + 1 == lines.len() && !text.ends_with('\n') => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{}:{}: {e}", path.display(), i + 1),
+                    ));
+                }
+            }
+        }
+        Ok(events)
+    }
+}
+
+/// Replayed per-experiment terminal state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpState {
+    /// Never claimed, or claimed but not finished (the orphaned-lease case
+    /// carries the attempts already burned).
+    Unfinished {
+        /// Attempts already consumed by dead workers.
+        attempts: u64,
+    },
+    /// Finished with a classified outcome.
+    Done {
+        /// The outcome recorded in the journal.
+        outcome: Outcome,
+        /// The attempt that completed it.
+        attempt: u64,
+        /// Simulated ticks of the completing run.
+        ticks: u64,
+    },
+    /// Terminally failed in the harness (tabulated as
+    /// [`Outcome::Infrastructure`]).
+    Failed {
+        /// Attempts consumed before giving up.
+        attempts: u64,
+    },
+}
+
+/// The reconstruction of a campaign from its journal.
+#[derive(Debug, Clone)]
+pub struct CampaignState {
+    /// The campaign header, if the journal got far enough to record one.
+    pub header: Option<JournalEvent>,
+    /// Per-experiment state, indexed by experiment number.
+    pub experiments: Vec<ExpState>,
+}
+
+impl CampaignState {
+    /// Folds an event sequence into per-experiment terminal state.
+    /// `experiments` is the campaign size (journaled events beyond it are
+    /// rejected).
+    ///
+    /// # Errors
+    ///
+    /// A message when the journal references out-of-range experiments or
+    /// double-finishes one.
+    pub fn from_events(
+        events: &[JournalEvent],
+        experiments: usize,
+    ) -> Result<CampaignState, String> {
+        let mut state = CampaignState {
+            header: None,
+            experiments: vec![ExpState::Unfinished { attempts: 0 }; experiments],
+        };
+        for event in events {
+            match event {
+                JournalEvent::Campaign { .. } => {
+                    if state.header.is_none() {
+                        state.header = Some(event.clone());
+                    }
+                }
+                JournalEvent::Leased { exp, .. } => {
+                    // Liveness is tracked by the lease files; the journal
+                    // entry is the audit record. Claiming a finished
+                    // experiment is a protocol violation.
+                    let s = state.slot(*exp)?;
+                    if !matches!(s, ExpState::Unfinished { .. }) {
+                        return Err(format!("experiment {exp} leased after finishing"));
+                    }
+                }
+                JournalEvent::Done { exp, attempt, outcome, ticks, .. } => {
+                    let s = state.slot(*exp)?;
+                    // First terminal event wins: a zombie worker completing
+                    // after its lease was reaped and the experiment re-ran
+                    // must not double-count.
+                    if matches!(s, ExpState::Unfinished { .. }) {
+                        *s = ExpState::Done { outcome: *outcome, attempt: *attempt, ticks: *ticks };
+                    }
+                }
+                JournalEvent::AttemptFailed { exp, attempt, .. } => {
+                    let s = state.slot(*exp)?;
+                    if let ExpState::Unfinished { attempts } = s {
+                        *attempts = (*attempts).max(*attempt);
+                    }
+                }
+                JournalEvent::Failed { exp, attempts, .. } => {
+                    let s = state.slot(*exp)?;
+                    if matches!(s, ExpState::Unfinished { .. }) {
+                        *s = ExpState::Failed { attempts: *attempts };
+                    }
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    fn slot(&mut self, exp: u64) -> Result<&mut ExpState, String> {
+        self.experiments
+            .get_mut(exp as usize)
+            .ok_or_else(|| format!("experiment {exp} out of range"))
+    }
+
+    /// Indices of experiments still needing execution, with the attempts
+    /// already burned on each.
+    pub fn unfinished(&self) -> Vec<(usize, u64)> {
+        self.experiments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ExpState::Unfinished { attempts } => Some((i, *attempts)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of experiments already finished (done or terminally failed).
+    pub fn finished(&self) -> usize {
+        self.experiments.len() - self.unfinished().len()
+    }
+}
+
+/// FNV-1a digest of the rendered fault specs — the campaign identity the
+/// journal header pins (resume refuses to mix journals across spec sets).
+pub fn spec_digest(specs: &[gemfi::FaultSpec]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for spec in specs {
+        for b in spec.to_string().bytes().chain([b'\n']) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::Campaign {
+                version: JOURNAL_VERSION,
+                experiments: 3,
+                checkpoint_digest: 0xdead_beef,
+                spec_digest: 42,
+            },
+            JournalEvent::Leased {
+                exp: 0,
+                worker: "ws0.slot1".into(),
+                attempt: 1,
+                deadline_ms: 1_700_000_000_000,
+            },
+            JournalEvent::Done {
+                exp: 0,
+                attempt: 1,
+                outcome: Outcome::Sdc,
+                exit: "halted (exit code 0)".into(),
+                ticks: 12_345,
+            },
+            JournalEvent::AttemptFailed {
+                exp: 1,
+                attempt: 1,
+                worker: "ws1.slot0".into(),
+                reason: "worker panic: \"chaos\"\nbacktrace".into(),
+            },
+            JournalEvent::Failed { exp: 2, attempts: 3, reason: "lease expired".into() },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        for event in sample_events() {
+            let line = event.to_json();
+            assert_eq!(JournalEvent::parse(&line).unwrap(), event, "{line}");
+        }
+    }
+
+    #[test]
+    fn escaping_survives_hostile_reasons() {
+        let event = JournalEvent::AttemptFailed {
+            exp: 0,
+            attempt: 1,
+            worker: "w".into(),
+            reason: "quote \" backslash \\ newline \n tab \t nul \u{0} end".into(),
+        };
+        let line = event.to_json();
+        assert!(!line.contains('\n'), "one event, one line: {line}");
+        assert_eq!(JournalEvent::parse(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn journal_appends_and_replays() {
+        let dir = std::env::temp_dir().join(format!("gemfi-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut j = Journal::open(&dir).unwrap();
+        let events = sample_events();
+        for e in &events {
+            j.append(e).unwrap();
+        }
+        drop(j);
+        assert_eq!(Journal::replay(&Journal::path_in(&dir)).unwrap(), events);
+        // Re-opening appends rather than truncating.
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(&events[1]).unwrap();
+        drop(j);
+        assert_eq!(Journal::replay(&Journal::path_in(&dir)).unwrap().len(), events.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_is_fatal() {
+        let dir = std::env::temp_dir().join(format!("gemfi-journal-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = Journal::path_in(&dir);
+        let good = sample_events()[0].to_json();
+        std::fs::write(&path, format!("{good}\n{{\"event\":\"leas")).unwrap();
+        assert_eq!(Journal::replay(&path).unwrap().len(), 1, "torn tail dropped");
+        std::fs::write(&path, format!("{{\"event\":\"leas\n{good}\n")).unwrap();
+        assert!(Journal::replay(&path).is_err(), "interior corruption detected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn state_folding_tracks_lifecycles() {
+        let state = CampaignState::from_events(&sample_events(), 3).unwrap();
+        assert!(state.header.is_some());
+        assert_eq!(
+            state.experiments[0],
+            ExpState::Done { outcome: Outcome::Sdc, attempt: 1, ticks: 12_345 }
+        );
+        assert_eq!(state.experiments[1], ExpState::Unfinished { attempts: 1 });
+        assert_eq!(state.experiments[2], ExpState::Failed { attempts: 3 });
+        assert_eq!(state.unfinished(), vec![(1, 1)]);
+        assert_eq!(state.finished(), 2);
+    }
+
+    #[test]
+    fn duplicate_done_keeps_the_first_record() {
+        let mut events = sample_events();
+        events.push(JournalEvent::Done {
+            exp: 0,
+            attempt: 2,
+            outcome: Outcome::Crashed,
+            exit: "zombie".into(),
+            ticks: 1,
+        });
+        let state = CampaignState::from_events(&events, 3).unwrap();
+        assert_eq!(
+            state.experiments[0],
+            ExpState::Done { outcome: Outcome::Sdc, attempt: 1, ticks: 12_345 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_experiments_are_rejected() {
+        let events = vec![JournalEvent::Failed { exp: 9, attempts: 1, reason: "x".into() }];
+        assert!(CampaignState::from_events(&events, 3).is_err());
+    }
+
+    #[test]
+    fn spec_digest_distinguishes_spec_sets() {
+        use gemfi::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming};
+        let a = FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 1 },
+            thread: 0,
+            timing: FaultTiming::Instructions(10),
+            behavior: FaultBehavior::Flip(3),
+            occurrences: 1,
+        };
+        let mut b = a;
+        b.behavior = FaultBehavior::Flip(4);
+        assert_ne!(spec_digest(&[a]), spec_digest(&[b]));
+        assert_ne!(spec_digest(&[a, b]), spec_digest(&[b, a]));
+        assert_eq!(spec_digest(&[a, b]), spec_digest(&[a, b]));
+    }
+}

@@ -21,19 +21,25 @@
 //!    (Sec. III-E).
 
 pub mod classify;
+pub mod journal;
+pub mod lease;
 pub mod now;
 pub mod report;
+pub mod rng;
 pub mod runner;
 pub mod sampler;
 pub mod stats;
 pub mod timing;
 
 pub use classify::classify;
-pub use now::{run_campaign_now, NowConfig, NowReport};
+pub use journal::{CampaignState, ExpState, Journal, JournalEvent};
+pub use lease::{Lease, LeaseDir};
+pub use now::{run_campaign_now, ChaosConfig, CompletedExperiment, NowConfig, NowReport};
 pub use report::OutcomeTable;
+pub use rng::SplitMix64;
 pub use runner::{
-    prepare_workload, run_experiment, run_experiment_from, run_experiment_multi,
-    ExperimentResult, PreparedWorkload, RunnerConfig,
+    prepare_workload, run_experiment, run_experiment_from, run_experiment_from_with_abort,
+    run_experiment_multi, ExperimentResult, PreparedWorkload, RunnerConfig,
 };
 pub use sampler::{FaultSampler, LocationClass};
 pub use stats::{leveugle_sample_size, proportion_ci};

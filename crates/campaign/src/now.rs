@@ -1,32 +1,68 @@
 //! Campaign execution on a (simulated) network of workstations — the
-//! Sec. III-E protocol:
+//! Sec. III-E protocol, hardened for real clusters:
 //!
 //! 1. fault-configuration files for all experiments go to a network share;
 //! 2. one simulation runs to the activation point and the checkpoint is
 //!    stored on the share;
 //! 3. each workstation takes a local copy of the checkpoint;
 //! 4. each workstation repeatedly claims a remaining experiment from the
-//!    share and executes it locally from the checkpointed state;
-//! 5. results move back to the share;
+//!    share by writing an **expiring lease** ([`crate::lease`]);
+//! 5. results move back to the share, and every lifecycle transition is
+//!    appended to a durable **journal** ([`crate::journal`]);
 //! 6. until no experiments remain.
 //!
 //! "Workstations" are thread groups sharing one local checkpoint copy; the
 //! share is a real spool directory, so the artifacts (fault files, the
-//! checkpoint blob, result files) are the same ones a physical cluster
-//! would exchange over NFS.
+//! checkpoint blob, lease files, result files, the journal) are the same
+//! ones a physical cluster would exchange over NFS.
+//!
+//! Fault tolerance, on top of the paper's protocol:
+//!
+//! - A worker that panics releases its lease and journals the failed
+//!   attempt; the experiment returns to the pending pool with capped
+//!   exponential backoff.
+//! - A worker that hangs past its lease deadline is reaped: any other
+//!   worker's claim loop breaks the expired lease, raises the runaway
+//!   run's [`AbortToken`], and requeues the experiment.
+//! - An experiment that exhausts its retries is terminally classified
+//!   [`Outcome::Infrastructure`] — counted, never silently dropped.
+//! - A killed campaign resumes: [`run_campaign_now`] with
+//!   [`NowConfig::resume`] replays the journal, verifies it belongs to this
+//!   campaign (experiment count, fault-spec digest, checkpoint digest),
+//!   reaps orphaned leases, and schedules only the unfinished remainder.
+//!   The merged [`OutcomeTable`] is identical to an uninterrupted run.
 
+use crate::journal::{
+    spec_digest, CampaignState, ExpState, Journal, JournalEvent, JOURNAL_VERSION,
+};
+use crate::lease::{now_ms, LeaseDir};
 use crate::report::OutcomeTable;
-use crate::runner::{run_experiment_from, ExperimentResult, PreparedWorkload, RunnerConfig};
-use gemfi::{FaultConfig, FaultSpec};
+use crate::runner::{
+    run_experiment_from_with_abort, ExperimentResult, PreparedWorkload, RunnerConfig,
+};
+use gemfi::{AbortToken, FaultConfig, FaultSpec, Outcome};
 use gemfi_sim::Checkpoint;
 use gemfi_workloads::Workload;
-use parking_lot::Mutex;
+use std::io::{Error, ErrorKind};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Cluster shape.
+/// Deterministic failure injection for testing the campaign harness itself.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosConfig {
+    /// `(experiment, attempt)` pairs whose execution panics (a simulated
+    /// workstation crash). Attempts are 1-based.
+    pub panic_on: Vec<(usize, u64)>,
+    /// Stop claiming after this many experiments finish *in this process*
+    /// and return [`ErrorKind::Interrupted`] — a controlled stand-in for
+    /// `kill -9` on the campaign driver. The journal survives; resume
+    /// finishes the rest.
+    pub halt_after: Option<usize>,
+}
+
+/// Cluster shape and fault-tolerance policy.
 #[derive(Debug, Clone)]
 pub struct NowConfig {
     /// Number of workstations (the paper uses 27).
@@ -35,6 +71,63 @@ pub struct NowConfig {
     pub slots_per_workstation: usize,
     /// The shared spool directory ("network share").
     pub share_dir: PathBuf,
+    /// Lease duration: a worker silent for longer than this is presumed
+    /// dead and its experiment is reaped.
+    pub lease: Duration,
+    /// Retries after the first attempt before an experiment is terminally
+    /// classified [`Outcome::Infrastructure`].
+    pub max_retries: u64,
+    /// Base retry backoff; doubles per failed attempt, capped at 64×.
+    pub retry_backoff: Duration,
+    /// Replay an existing journal and run only the unfinished remainder.
+    /// Without a journal on the share this is an ordinary fresh start.
+    pub resume: bool,
+    /// Failure injection for harness tests.
+    pub chaos: ChaosConfig,
+}
+
+impl NowConfig {
+    /// A config with the given cluster shape and default fault-tolerance
+    /// policy (30 s leases, 2 retries, 50 ms base backoff, fresh start).
+    pub fn new(
+        workstations: usize,
+        slots_per_workstation: usize,
+        share_dir: impl Into<PathBuf>,
+    ) -> NowConfig {
+        NowConfig {
+            workstations,
+            slots_per_workstation,
+            share_dir: share_dir.into(),
+            lease: Duration::from_secs(30),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(50),
+            resume: false,
+            chaos: ChaosConfig::default(),
+        }
+    }
+
+    fn max_attempts(&self) -> u64 {
+        self.max_retries + 1
+    }
+}
+
+/// The terminal record of one experiment, from this run or replayed from
+/// the journal on resume.
+#[derive(Debug, Clone)]
+pub struct CompletedExperiment {
+    /// Experiment index.
+    pub exp: usize,
+    /// The classified outcome ([`Outcome::Infrastructure`] when the harness
+    /// exhausted its retries).
+    pub outcome: Outcome,
+    /// Attempts consumed.
+    pub attempts: u64,
+    /// Simulated ticks of the completing run (0 for infrastructure
+    /// failures).
+    pub ticks: u64,
+    /// Whether this record was replayed from the journal rather than
+    /// executed by this process.
+    pub resumed: bool,
 }
 
 /// What the cluster did.
@@ -42,95 +135,508 @@ pub struct NowConfig {
 pub struct NowReport {
     /// Wall-clock duration of the parallel phase.
     pub wall: Duration,
-    /// Experiments executed per workstation (load balance check).
+    /// Experiments completed per workstation in this process (load balance
+    /// check).
     pub per_workstation: Vec<usize>,
     /// Total experiments.
     pub experiments: usize,
+    /// Experiments whose terminal record was replayed from the journal.
+    pub resumed: usize,
+    /// Failed attempts that were retried (panics and reaped leases).
+    pub retries: u64,
+    /// Expired leases broken by the reaper (subset of `retries` plus any
+    /// orphans reaped at resume).
+    pub reclaimed_leases: u64,
+    /// Experiments terminally classified [`Outcome::Infrastructure`].
+    pub infrastructure_failures: u64,
+}
+
+/// Per-experiment scheduler state (the in-process mirror of the on-share
+/// lease/journal truth).
+#[derive(Debug)]
+enum Slot {
+    /// Waiting to run; `attempts` already burned, claimable at
+    /// `not_before_ms`.
+    Pending { attempts: u64, not_before_ms: u64 },
+    /// In flight under a lease.
+    Leased { attempt: u64, deadline_ms: u64, abort: AbortToken },
+    /// Finished (outcome journaled).
+    Done,
+    /// Terminally failed in the harness.
+    Failed,
+}
+
+struct Shared {
+    slots: Vec<Slot>,
+    journal: Journal,
+    completed: Vec<Option<CompletedExperiment>>,
+    per_ws: Vec<usize>,
+    retries: u64,
+    reclaimed: u64,
+    terminal: usize,
+    finished_here: usize,
+    halted: bool,
+}
+
+impl Shared {
+    /// Transitions a failed attempt: back to pending with backoff, or
+    /// terminally failed once retries are exhausted.
+    fn attempt_failed(
+        &mut self,
+        exp: usize,
+        attempt: u64,
+        worker: &str,
+        reason: &str,
+        config: &NowConfig,
+        leases: &LeaseDir,
+    ) -> std::io::Result<()> {
+        self.journal.append(&JournalEvent::AttemptFailed {
+            exp: exp as u64,
+            attempt,
+            worker: worker.to_string(),
+            reason: reason.to_string(),
+        })?;
+        leases.release(exp)?;
+        if attempt >= config.max_attempts() {
+            self.journal.append(&JournalEvent::Failed {
+                exp: exp as u64,
+                attempts: attempt,
+                reason: reason.to_string(),
+            })?;
+            std::fs::write(
+                result_path(&config.share_dir, exp),
+                format!("outcome={} attempts={attempt} reason={reason}\n", Outcome::Infrastructure),
+            )?;
+            self.slots[exp] = Slot::Failed;
+            self.completed[exp] = Some(CompletedExperiment {
+                exp,
+                outcome: Outcome::Infrastructure,
+                attempts: attempt,
+                ticks: 0,
+                resumed: false,
+            });
+            self.terminal += 1;
+            self.finished_here += 1;
+        } else {
+            self.retries += 1;
+            // Capped exponential backoff: base × 2^(attempt-1), at most 64×.
+            let factor = 1u64 << (attempt - 1).min(6);
+            let backoff = config.retry_backoff.as_millis() as u64 * factor;
+            self.slots[exp] =
+                Slot::Pending { attempts: attempt, not_before_ms: now_ms() + backoff };
+        }
+        Ok(())
+    }
+
+    /// Breaks expired leases (raising the runaway runs' abort tokens) and
+    /// requeues or terminally fails their experiments.
+    fn reap_expired(&mut self, config: &NowConfig, leases: &LeaseDir) -> std::io::Result<()> {
+        let now = now_ms();
+        for exp in 0..self.slots.len() {
+            let Slot::Leased { attempt, deadline_ms, ref abort } = self.slots[exp] else {
+                continue;
+            };
+            if now <= deadline_ms {
+                continue;
+            }
+            abort.abort();
+            let held = leases.reap(exp, now)?;
+            let worker = held.map(|l| l.worker).unwrap_or_else(|| "unknown".into());
+            self.reclaimed += 1;
+            self.attempt_failed(exp, attempt, &worker, "lease expired", config, leases)?;
+        }
+        Ok(())
+    }
 }
 
 /// Runs a whole campaign on the simulated NoW. Returns the merged outcome
-/// table, per-experiment results (in experiment order), and the report.
+/// table, per-experiment terminal records (in experiment order), and the
+/// report.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the share directory.
+/// I/O errors from the share; [`ErrorKind::InvalidData`] when resume finds
+/// a journal from a different campaign (count, specs, or checkpoint
+/// mismatch); [`ErrorKind::Interrupted`] when
+/// [`ChaosConfig::halt_after`] stops the campaign early (the journal
+/// remains resumable).
 pub fn run_campaign_now(
     prepared: &PreparedWorkload,
     workload: &dyn Workload,
     specs: &[FaultSpec],
     runner: &RunnerConfig,
     config: &NowConfig,
-) -> std::io::Result<(OutcomeTable, Vec<ExperimentResult>, NowReport)> {
+) -> std::io::Result<(OutcomeTable, Vec<CompletedExperiment>, NowReport)> {
     std::fs::create_dir_all(&config.share_dir)?;
+    let leases = LeaseDir::new(&config.share_dir);
+    let ckpt_path = config.share_dir.join("campaign.ckpt");
+    let resuming = config.resume && Journal::path_in(&config.share_dir).exists();
 
-    // Step 1: experiment configurations onto the share.
+    // Step 1: experiment configurations onto the share (idempotent).
     for (i, spec) in specs.iter().enumerate() {
         FaultConfig::from_specs(vec![*spec]).save(&fault_path(&config.share_dir, i))?;
     }
-    // Step 2: the checkpoint onto the share.
-    let ckpt_path = config.share_dir.join("campaign.ckpt");
-    prepared.checkpoint.save(&ckpt_path)?;
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<ExperimentResult>>> = Mutex::new(vec![None; specs.len()]);
-    let per_ws: Mutex<Vec<usize>> = Mutex::new(vec![0; config.workstations]);
+    let mut resumed_count = 0;
+    let mut reclaimed_at_start = 0;
+    let mut orphans: Vec<(usize, u64, String)> = Vec::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(specs.len());
+    let mut completed: Vec<Option<CompletedExperiment>> = vec![None; specs.len()];
+
+    if resuming {
+        // The checkpoint must be the very one the journal was recorded
+        // against; compare digests before trusting any replayed outcome.
+        let header = Checkpoint::load_header(&ckpt_path)?;
+        let state = replay_state(&config.share_dir, specs, header.digest)?;
+        for (exp, exp_state) in state.experiments.iter().enumerate() {
+            match exp_state {
+                ExpState::Unfinished { attempts } => {
+                    // Break any orphaned lease left by the dead campaign
+                    // process, whatever its deadline says.
+                    let mut attempts = *attempts;
+                    if let Some(orphan) = leases.read(exp)? {
+                        leases.release(exp)?;
+                        reclaimed_at_start += 1;
+                        attempts = attempts.max(orphan.attempt);
+                        orphans.push((exp, orphan.attempt, orphan.worker));
+                    }
+                    slots.push(Slot::Pending { attempts, not_before_ms: 0 });
+                }
+                ExpState::Done { outcome, attempt, ticks } => {
+                    slots.push(Slot::Done);
+                    completed[exp] = Some(CompletedExperiment {
+                        exp,
+                        outcome: *outcome,
+                        attempts: *attempt,
+                        ticks: *ticks,
+                        resumed: true,
+                    });
+                    resumed_count += 1;
+                }
+                ExpState::Failed { attempts } => {
+                    slots.push(Slot::Failed);
+                    completed[exp] = Some(CompletedExperiment {
+                        exp,
+                        outcome: Outcome::Infrastructure,
+                        attempts: *attempts,
+                        ticks: 0,
+                        resumed: true,
+                    });
+                    resumed_count += 1;
+                }
+            }
+        }
+    } else {
+        // Fresh start: clear any stale run artifacts, then spool the
+        // checkpoint (step 2) and open a new journal with the campaign
+        // identity header.
+        clear_run_artifacts(&config.share_dir)?;
+        prepared.checkpoint.save(&ckpt_path)?;
+        slots.extend((0..specs.len()).map(|_| Slot::Pending { attempts: 0, not_before_ms: 0 }));
+    }
+
+    let mut journal = Journal::open(&config.share_dir)?;
+    if resuming {
+        // Journal the attempts burned by orphaned leases, so a *second*
+        // resume still counts them toward the retry cap.
+        for (exp, attempt, worker) in orphans {
+            journal.append(&JournalEvent::AttemptFailed {
+                exp: exp as u64,
+                attempt,
+                worker,
+                reason: "orphaned lease (campaign restart)".to_string(),
+            })?;
+        }
+    } else {
+        journal.append(&JournalEvent::Campaign {
+            version: JOURNAL_VERSION,
+            experiments: specs.len() as u64,
+            checkpoint_digest: prepared.checkpoint.digest(),
+            spec_digest: spec_digest(specs),
+        })?;
+    }
+
+    let shared = Mutex::new(Shared {
+        terminal: slots.iter().filter(|s| matches!(s, Slot::Done | Slot::Failed)).count(),
+        slots,
+        journal,
+        completed,
+        per_ws: vec![0; config.workstations],
+        retries: 0,
+        reclaimed: reclaimed_at_start,
+        finished_here: 0,
+        halted: false,
+    });
 
     let started = Instant::now();
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut handles = Vec::new();
         for ws in 0..config.workstations {
             // Step 3: one local checkpoint copy per workstation.
-            let local = Arc::new(Checkpoint::load(&ckpt_path)?);
-            for _slot in 0..config.slots_per_workstation {
-                let local = Arc::clone(&local);
-                let next = &next;
-                let results = &results;
-                let per_ws = &per_ws;
-                let share = config.share_dir.clone();
+            let local = std::sync::Arc::new(Checkpoint::load(&ckpt_path)?);
+            for slot in 0..config.slots_per_workstation {
+                let local = std::sync::Arc::clone(&local);
+                let shared = &shared;
+                let leases = &leases;
                 handles.push(scope.spawn(move || {
-                    loop {
-                        // Step 4: claim the next remaining experiment.
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= specs.len() {
-                            break;
-                        }
-                        let cfg = FaultConfig::load(&fault_path(&share, i))
-                            .expect("spooled fault file readable");
-                        let spec = cfg.faults()[0];
-                        let result =
-                            run_experiment_from(&local, prepared, workload, spec, runner);
-                        // Step 5: the result back to the share.
-                        let line = format!(
-                            "{} outcome={} exit={}\n",
-                            spec, result.outcome, result.exit
-                        );
-                        std::fs::write(result_path(&share, i), line)
-                            .expect("share writable");
-                        results.lock()[i] = Some(result);
-                        per_ws.lock()[ws] += 1;
-                    }
+                    worker_loop(
+                        &format!("ws{ws}.slot{slot}"),
+                        ws,
+                        &local,
+                        prepared,
+                        workload,
+                        specs,
+                        runner,
+                        config,
+                        shared,
+                        leases,
+                    )
                 }));
             }
         }
         for h in handles {
-            h.join().expect("worker panicked");
+            h.join().expect("worker thread panicked outside catch_unwind")?;
         }
         Ok(())
     })?;
     let wall = started.elapsed();
 
-    let results: Vec<ExperimentResult> = results
-        .into_inner()
+    let shared = shared.into_inner().expect("no worker holds the schedule");
+    if shared.halted {
+        return Err(Error::new(
+            ErrorKind::Interrupted,
+            format!(
+                "campaign halted by chaos after {} experiments ({} of {} terminal); resume to finish",
+                shared.finished_here,
+                shared.terminal,
+                specs.len()
+            ),
+        ));
+    }
+
+    let results: Vec<CompletedExperiment> = shared
+        .completed
         .into_iter()
-        .map(|r| r.expect("all experiments executed"))
+        .map(|r| r.expect("all experiments reached a terminal state"))
         .collect();
     let table: OutcomeTable = results.iter().map(|r| r.outcome).collect();
-    let per_workstation = per_ws.into_inner();
-    Ok((
-        table,
-        results,
-        NowReport { wall, per_workstation, experiments: specs.len() },
-    ))
+    let report = NowReport {
+        wall,
+        per_workstation: shared.per_ws,
+        experiments: specs.len(),
+        resumed: resumed_count,
+        retries: shared.retries,
+        reclaimed_leases: shared.reclaimed,
+        infrastructure_failures: table.count(Outcome::Infrastructure),
+    };
+    Ok((table, results, report))
+}
+
+/// One worker slot: claim → lease → execute (under `catch_unwind`) →
+/// journal, until the campaign has no claimable work left.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    worker: &str,
+    ws: usize,
+    local: &Checkpoint,
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    specs: &[FaultSpec],
+    runner: &RunnerConfig,
+    config: &NowConfig,
+    shared: &Mutex<Shared>,
+    leases: &LeaseDir,
+) -> std::io::Result<()> {
+    loop {
+        // Step 4: claim the next remaining experiment under a lease.
+        let claimed = {
+            let mut s = shared.lock().expect("schedule mutex");
+            if s.halted || s.terminal == specs.len() {
+                return Ok(());
+            }
+            s.reap_expired(config, leases)?;
+            let now = now_ms();
+            let pick = s.slots.iter().position(
+                |slot| matches!(slot, Slot::Pending { not_before_ms, .. } if now >= *not_before_ms),
+            );
+            match pick {
+                None => None,
+                Some(exp) => {
+                    let Slot::Pending { attempts, .. } = s.slots[exp] else { unreachable!() };
+                    let attempt = attempts + 1;
+                    let deadline_ms = now + config.lease.as_millis() as u64;
+                    let lease = leases
+                        .claim(exp, worker, attempt, deadline_ms)?
+                        .expect("in-process schedule guarantees the lease is free");
+                    let abort = AbortToken::new();
+                    s.journal.append(&JournalEvent::Leased {
+                        exp: exp as u64,
+                        worker: worker.to_string(),
+                        attempt,
+                        deadline_ms: lease.deadline_ms,
+                    })?;
+                    s.slots[exp] = Slot::Leased { attempt, deadline_ms, abort: abort.clone() };
+                    Some((exp, attempt, abort))
+                }
+            }
+        };
+
+        let Some((exp, attempt, abort)) = claimed else {
+            // Everything is leased or backing off; wait for the world to
+            // change rather than busy-spinning on the lock.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+
+        let cfg = FaultConfig::load(&fault_path(&config.share_dir, exp))
+            .expect("spooled fault file readable");
+        let spec = cfg.faults()[0];
+        let chaos_panic = config.chaos.panic_on.contains(&(exp, attempt));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!chaos_panic, "chaos: injected panic for experiment {exp} attempt {attempt}");
+            run_experiment_from_with_abort(local, prepared, workload, spec, runner, &abort)
+        }));
+
+        let mut s = shared.lock().expect("schedule mutex");
+        // A reaped worker's slot has moved on; its late result is a zombie
+        // and must not double-count (the journal keeps first-terminal-wins
+        // semantics too).
+        let still_mine = matches!(s.slots[exp], Slot::Leased { attempt: a, .. } if a == attempt);
+        if !still_mine {
+            continue;
+        }
+        match run {
+            Ok(result) if result.outcome != Outcome::Infrastructure => {
+                finish_experiment(&mut s, exp, attempt, ws, &result, config)?;
+                leases.release(exp)?;
+                if config.chaos.halt_after.is_some_and(|n| s.finished_here >= n) {
+                    s.halted = true;
+                }
+            }
+            Ok(result) => {
+                // The runner aborted (reaper raced us) — treat like any
+                // other failed attempt.
+                let reason = format!("runner aborted ({})", result.exit);
+                s.attempt_failed(exp, attempt, worker, &reason, config, leases)?;
+            }
+            Err(panic) => {
+                let reason = format!("worker panic: {}", panic_message(&panic));
+                s.attempt_failed(exp, attempt, worker, &reason, config, leases)?;
+                if config.chaos.halt_after.is_some_and(|n| s.finished_here >= n) {
+                    s.halted = true;
+                }
+            }
+        }
+    }
+}
+
+/// Records a successful terminal outcome: journal, result file, schedule.
+fn finish_experiment(
+    s: &mut Shared,
+    exp: usize,
+    attempt: u64,
+    ws: usize,
+    result: &ExperimentResult,
+    config: &NowConfig,
+) -> std::io::Result<()> {
+    s.journal.append(&JournalEvent::Done {
+        exp: exp as u64,
+        attempt,
+        outcome: result.outcome,
+        exit: result.exit.to_string(),
+        ticks: result.ticks,
+    })?;
+    // Step 5: the result back to the share.
+    std::fs::write(
+        result_path(&config.share_dir, exp),
+        format!("{} outcome={} exit={}\n", result.spec, result.outcome, result.exit),
+    )?;
+    s.slots[exp] = Slot::Done;
+    s.completed[exp] = Some(CompletedExperiment {
+        exp,
+        outcome: result.outcome,
+        attempts: attempt,
+        ticks: result.ticks,
+        resumed: false,
+    });
+    s.per_ws[ws] += 1;
+    s.terminal += 1;
+    s.finished_here += 1;
+    Ok(())
+}
+
+/// Replays and validates the journal against this campaign's identity.
+fn replay_state(
+    share: &Path,
+    specs: &[FaultSpec],
+    checkpoint_digest: u64,
+) -> std::io::Result<CampaignState> {
+    let events = Journal::replay(&Journal::path_in(share))?;
+    // Identity checks come before state folding so a journal from a
+    // different campaign reports the mismatch, not a confusing
+    // out-of-range experiment.
+    let Some(JournalEvent::Campaign {
+        version,
+        experiments,
+        checkpoint_digest: journal_ckpt,
+        spec_digest: journal_specs,
+    }) = events.iter().find(|e| matches!(e, JournalEvent::Campaign { .. })).cloned()
+    else {
+        return Err(Error::new(ErrorKind::InvalidData, "journal has no campaign header"));
+    };
+    if version != JOURNAL_VERSION {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("journal version {version}, expected {JOURNAL_VERSION}"),
+        ));
+    }
+    if experiments != specs.len() as u64 {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("journal covers {experiments} experiments, campaign has {}", specs.len()),
+        ));
+    }
+    if journal_specs != spec_digest(specs) {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            "journal was recorded for a different fault-spec set",
+        ));
+    }
+    if journal_ckpt != checkpoint_digest {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            "spooled checkpoint does not match the journaled campaign (stale or swapped)",
+        ));
+    }
+    CampaignState::from_events(&events, specs.len())
+        .map_err(|e| Error::new(ErrorKind::InvalidData, e))
+}
+
+/// Removes journal/lease/result leftovers so a fresh (non-resume) start
+/// cannot mix state from an earlier campaign in the same directory.
+fn clear_run_artifacts(share: &Path) -> std::io::Result<()> {
+    let journal = Journal::path_in(share);
+    if journal.exists() {
+        std::fs::remove_file(&journal)?;
+    }
+    for entry in std::fs::read_dir(share)? {
+        let path = entry?.path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("lease") | Some("result") => std::fs::remove_file(&path)?,
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn fault_path(share: &Path, i: usize) -> PathBuf {
@@ -149,53 +655,213 @@ mod tests {
     use gemfi_cpu::CpuKind;
     use gemfi_workloads::pi::MonteCarloPi;
 
-    #[test]
-    fn now_executes_every_experiment_and_spools_artifacts() {
-        let w = MonteCarloPi { points: 60, init_spins: 30, ..MonteCarloPi::default() };
+    fn small_campaign(
+        points: u64,
+        seed: u64,
+        experiments: usize,
+    ) -> (MonteCarloPi, PreparedWorkload, Vec<FaultSpec>, RunnerConfig) {
+        let w = MonteCarloPi { points, init_spins: 30, ..MonteCarloPi::default() };
         let p = prepare_workload(&w).unwrap();
-        let mut sampler = FaultSampler::new(3, p.stage_events, 0, 0);
-        let specs: Vec<_> = (0..12).map(|_| sampler.sample_any()).collect();
-        let share = std::env::temp_dir().join(format!("gemfi-now-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&share);
+        let mut sampler = FaultSampler::new(seed, p.stage_events, 0, 0);
+        let specs: Vec<_> = (0..experiments).map(|_| sampler.sample_any()).collect();
         let runner = RunnerConfig {
             inject_cpu: CpuKind::Atomic,
             finish_cpu: CpuKind::Atomic,
             ..RunnerConfig::default()
         };
-        let cfg = NowConfig { workstations: 3, slots_per_workstation: 2, share_dir: share.clone() };
+        (w, p, specs, runner)
+    }
+
+    fn share(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gemfi-now-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn fast_config(workstations: usize, slots: usize, dir: &Path) -> NowConfig {
+        NowConfig {
+            retry_backoff: Duration::from_millis(1),
+            ..NowConfig::new(workstations, slots, dir)
+        }
+    }
+
+    #[test]
+    fn now_executes_every_experiment_and_spools_artifacts() {
+        let (w, p, specs, runner) = small_campaign(60, 3, 12);
+        let dir = share("basic");
+        let cfg = fast_config(3, 2, &dir);
         let (table, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
         assert_eq!(table.total(), 12);
         assert_eq!(results.len(), 12);
         assert_eq!(report.experiments, 12);
         assert_eq!(report.per_workstation.iter().sum::<usize>(), 12);
-        // Spool artifacts exist.
-        assert!(share.join("campaign.ckpt").exists());
-        assert!(share.join("exp00000.fault").exists());
-        assert!(share.join("exp00011.result").exists());
-        std::fs::remove_dir_all(&share).ok();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.infrastructure_failures, 0);
+        // Spool artifacts exist, including the journal and no leaked leases.
+        assert!(dir.join("campaign.ckpt").exists());
+        assert!(dir.join("exp00000.fault").exists());
+        assert!(dir.join("exp00011.result").exists());
+        assert!(Journal::path_in(&dir).exists());
+        assert!(!dir.join("exp00000.lease").exists(), "leases released");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn now_results_match_serial_execution() {
-        let w = MonteCarloPi { points: 50, init_spins: 20, ..MonteCarloPi::default() };
-        let p = prepare_workload(&w).unwrap();
-        let mut sampler = FaultSampler::new(11, p.stage_events, 0, 0);
-        let specs: Vec<_> = (0..6).map(|_| sampler.sample_any()).collect();
-        let runner = RunnerConfig {
-            inject_cpu: CpuKind::Atomic,
-            finish_cpu: CpuKind::Atomic,
-            ..RunnerConfig::default()
-        };
+        let (w, p, specs, runner) = small_campaign(50, 11, 6);
         let serial: Vec<_> = specs
             .iter()
             .map(|s| crate::runner::run_experiment(&p, &w, *s, &runner).outcome)
             .collect();
-        let share = std::env::temp_dir().join(format!("gemfi-now2-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&share);
-        let cfg = NowConfig { workstations: 2, slots_per_workstation: 2, share_dir: share.clone() };
+        let dir = share("serial");
+        let cfg = fast_config(2, 2, &dir);
         let (_, results, _) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
         let parallel: Vec<_> = results.iter().map(|r| r.outcome).collect();
         assert_eq!(serial, parallel, "determinism across execution modes");
-        std::fs::remove_dir_all(&share).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_worker_attempt_is_retried() {
+        let (w, p, specs, runner) = small_campaign(50, 5, 6);
+        let dir = share("panic");
+        let mut cfg = fast_config(2, 2, &dir);
+        cfg.chaos.panic_on = vec![(2, 1)]; // first attempt of experiment 2 dies
+        let (table, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        assert_eq!(table.total(), 6);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.infrastructure_failures, 0);
+        assert_eq!(results[2].attempts, 2, "retry consumed a second attempt");
+        assert!(results[2].outcome.is_experiment_outcome());
+        // The journal recorded the failed attempt.
+        let events = Journal::replay(&Journal::path_in(&dir)).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, JournalEvent::AttemptFailed { exp: 2, attempt: 1, .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_retries_land_in_the_infrastructure_bucket() {
+        let (w, p, specs, runner) = small_campaign(50, 7, 4);
+        let dir = share("exhaust");
+        let mut cfg = fast_config(1, 2, &dir);
+        cfg.max_retries = 2;
+        // Every attempt of experiment 1 panics.
+        cfg.chaos.panic_on = (1..=3).map(|a| (1, a)).collect();
+        let (table, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        assert_eq!(table.total(), 4, "no experiment goes missing");
+        assert_eq!(table.count(Outcome::Infrastructure), 1);
+        assert_eq!(report.infrastructure_failures, 1);
+        assert_eq!(results[1].outcome, Outcome::Infrastructure);
+        assert_eq!(results[1].attempts, 3);
+        assert!(dir.join("exp00001.result").exists(), "infra failure still writes a result");
+        let events = Journal::replay(&Journal::path_in(&dir)).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, JournalEvent::Failed { exp: 1, attempts: 3, .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn halted_campaign_resumes_to_the_identical_table() {
+        let (w, p, specs, runner) = small_campaign(50, 13, 8);
+        let serial: Vec<_> = specs
+            .iter()
+            .map(|s| crate::runner::run_experiment(&p, &w, *s, &runner).outcome)
+            .collect();
+        let serial_table: OutcomeTable = serial.iter().copied().collect();
+
+        let dir = share("halt");
+        let mut cfg = fast_config(2, 1, &dir);
+        cfg.chaos.halt_after = Some(3); // ≥ 25% of 8, then "kill -9"
+        let err = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Interrupted, "{err}");
+
+        let mut cfg = fast_config(2, 1, &dir);
+        cfg.resume = true;
+        let (table, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        assert!(report.resumed >= 3, "journal replay skipped finished work: {}", report.resumed);
+        assert!(report.resumed < 8, "something was left to execute");
+        assert_eq!(results.iter().filter(|r| r.resumed).count(), report.resumed);
+        let resumed_outcomes: Vec<_> = results.iter().map(|r| r.outcome).collect();
+        assert_eq!(resumed_outcomes, serial, "resume reproduces the serial outcomes");
+        for o in Outcome::ALL {
+            assert_eq!(table.count(o), serial_table.count(o), "{o}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_expired_lease_is_reclaimed_on_resume() {
+        let (w, p, specs, runner) = small_campaign(50, 17, 3);
+        let dir = share("orphan");
+        // Interrupt immediately: journal exists, nothing finished.
+        let mut cfg = fast_config(1, 1, &dir);
+        cfg.chaos.halt_after = Some(1);
+        let _ = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap_err();
+        // Fake a worker that died holding experiment 2: an expired lease
+        // plus its journaled claim.
+        let leases = LeaseDir::new(&dir);
+        leases.release(2).unwrap();
+        leases.claim(2, "ws9.slot9", 1, now_ms().saturating_sub(10_000)).unwrap().unwrap();
+        let mut journal = Journal::open(&dir).unwrap();
+        journal
+            .append(&JournalEvent::Leased {
+                exp: 2,
+                worker: "ws9.slot9".into(),
+                attempt: 1,
+                deadline_ms: now_ms().saturating_sub(10_000),
+            })
+            .unwrap();
+        drop(journal);
+
+        let mut cfg = fast_config(1, 1, &dir);
+        cfg.resume = true;
+        let (table, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        assert_eq!(table.total(), 3, "reclaimed experiment was re-run");
+        assert!(report.reclaimed_leases >= 1, "orphaned lease broken: {report:?}");
+        assert!(results[2].outcome.is_experiment_outcome());
+        assert!(results[2].attempts >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_journal_from_a_different_campaign() {
+        let (w, p, specs, runner) = small_campaign(50, 19, 4);
+        let dir = share("mismatch");
+        let cfg = fast_config(1, 2, &dir);
+        run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        // Same share, different fault set.
+        let mut sampler = FaultSampler::new(999, p.stage_events, 0, 0);
+        let other: Vec<_> = (0..4).map(|_| sampler.sample_any()).collect();
+        let mut cfg = fast_config(1, 2, &dir);
+        cfg.resume = true;
+        let err = run_campaign_now(&p, &w, &other, &runner, &cfg).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+        // And a different experiment count.
+        let mut cfg = fast_config(1, 2, &dir);
+        cfg.resume = true;
+        let err = run_campaign_now(&p, &w, &specs[..3], &runner, &cfg).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_of_a_finished_campaign_executes_nothing() {
+        let (w, p, specs, runner) = small_campaign(50, 23, 5);
+        let dir = share("noop");
+        let cfg = fast_config(2, 1, &dir);
+        let (first, ..) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        let mut cfg = fast_config(2, 1, &dir);
+        cfg.resume = true;
+        let (again, results, report) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        assert_eq!(report.resumed, 5);
+        assert_eq!(report.per_workstation.iter().sum::<usize>(), 0, "nothing re-executed");
+        assert!(results.iter().all(|r| r.resumed));
+        for o in Outcome::ALL {
+            assert_eq!(first.count(o), again.count(o), "{o}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

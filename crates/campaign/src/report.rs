@@ -1,13 +1,13 @@
 //! Outcome tabulation (the Fig. 5/6 data structure).
 
 use gemfi::Outcome;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Counts of experiment outcomes, one bar of the paper's stacked charts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Counts of experiment outcomes, one bar of the paper's stacked charts
+/// (plus the harness-side infrastructure-failure bucket).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeTable {
-    counts: [u64; 5],
+    counts: [u64; Outcome::ALL.len()],
 }
 
 impl OutcomeTable {
@@ -43,11 +43,7 @@ impl OutcomeTable {
     /// The paper's Fig. 6 *Acceptable* series: correct ∪ strictly-correct ∪
     /// non-propagated.
     pub fn acceptable_fraction(&self) -> f64 {
-        Outcome::ALL
-            .iter()
-            .filter(|o| o.is_acceptable())
-            .map(|o| self.fraction(*o))
-            .sum()
+        Outcome::ALL.iter().filter(|o| o.is_acceptable()).map(|o| self.fraction(*o)).sum()
     }
 
     /// Merges another table into this one.
@@ -57,7 +53,13 @@ impl OutcomeTable {
         }
     }
 
-    /// A fixed-width percentage row: `crash non-prop strict correct sdc`.
+    /// Count of experiments whose harness failed (retries exhausted).
+    pub fn infrastructure_failures(&self) -> u64 {
+        self.count(Outcome::Infrastructure)
+    }
+
+    /// A fixed-width percentage row: `crash non-prop strict correct sdc
+    /// infra`.
     pub fn percent_row(&self) -> String {
         Outcome::ALL
             .iter()

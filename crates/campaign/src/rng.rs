@@ -1,0 +1,107 @@
+//! A small, dependency-free deterministic PRNG for fault sampling.
+//!
+//! Campaigns must be reproducible from a seed alone — the resume path
+//! re-derives the exact fault specs of an interrupted run — so the
+//! generator is a fixed, well-known algorithm (SplitMix64, Steele et al.,
+//! OOPSLA'14) whose sequence is stable across platforms and releases.
+
+/// SplitMix64: a 64-bit generator with a single u64 of state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded deterministically.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, bound)` (Lemire's debiased multiply-shift).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Rejection-sample the biased tail of the 128-bit multiply.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform draw from the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+
+    /// A fair coin.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_deterministic_and_matches_reference() {
+        // Reference values for seed 0 from the published SplitMix64
+        // algorithm (used to seed the xoshiro family).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range_and_cover() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all residues reachable");
+        for _ in 0..1_000 {
+            let v = r.range_inclusive(5, 8);
+            assert!((5..=8).contains(&v));
+        }
+        assert_eq!(r.range_inclusive(3, 3), 3);
+    }
+
+    #[test]
+    fn full_width_range_does_not_overflow() {
+        let mut r = SplitMix64::new(1);
+        let _ = r.range_inclusive(0, u64::MAX);
+        let _ = r.below(u64::MAX);
+    }
+}

@@ -2,11 +2,10 @@
 //! execution (Sec. IV-B methodology).
 
 use crate::classify::classify;
-use gemfi::{FaultConfig, FaultSpec, GemFiEngine, InjectionRecord, Outcome};
+use gemfi::{AbortToken, FaultConfig, FaultSpec, GemFiEngine, InjectionRecord, Outcome};
 use gemfi_cpu::CpuKind;
 use gemfi_sim::{Checkpoint, Machine, RunExit};
 use gemfi_workloads::{workload_machine_config, GuestWorkload, RunOutput, Workload};
-use serde::{Deserialize, Serialize};
 
 /// Everything a campaign needs about one workload, produced once and shared
 /// by all experiments.
@@ -30,7 +29,7 @@ pub struct PreparedWorkload {
 }
 
 /// How experiments are executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunnerConfig {
     /// CPU model used around the injection point (the paper uses O3).
     pub inject_cpu: CpuKind,
@@ -117,12 +116,8 @@ pub fn prepare_workload(workload: &dyn Workload) -> Result<PreparedWorkload, Str
         .read_slice(guest.output_addr(), guest.output_len)
         .expect("output region mapped")
         .to_vec();
-    let golden = RunOutput {
-        exit,
-        bytes,
-        console: machine.console().to_vec(),
-        stats: machine.stats(),
-    };
+    let golden =
+        RunOutput { exit, bytes, console: machine.console().to_vec(), stats: machine.stats() };
     let stage_events = machine.hooks().stage_events();
     let kernel_ticks = machine.tick() - boot_ticks;
     Ok(PreparedWorkload { guest, checkpoint, golden, stage_events, boot_ticks, kernel_ticks })
@@ -137,6 +132,22 @@ pub fn run_experiment_from(
     spec: FaultSpec,
     config: &RunnerConfig,
 ) -> ExperimentResult {
+    run_experiment_from_with_abort(checkpoint, prepared, workload, spec, config, &AbortToken::new())
+}
+
+/// [`run_experiment_from`] with an external abort token checked between
+/// scheduling chunks. The campaign's lease reaper raises the token when
+/// this experiment's lease expires; the run then stops at the next chunk
+/// boundary and classifies as [`Outcome::Infrastructure`] (the harness gave
+/// up — the guest's own behavior is unknown).
+pub fn run_experiment_from_with_abort(
+    checkpoint: &Checkpoint,
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    spec: FaultSpec,
+    config: &RunnerConfig,
+    abort: &AbortToken,
+) -> ExperimentResult {
     let mut ckpt = checkpoint.clone();
     // Corrupted control flow loops forever; bound the run relative to the
     // fault-free kernel time instead of the generous global default.
@@ -147,11 +158,17 @@ pub fn run_experiment_from(
 
     // `fi_read_init_all` restore semantics: a fresh engine re-reads the
     // fault configuration for this experiment.
-    let engine = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
+    let mut engine = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
+    engine.set_abort_token(abort.clone());
     let mut machine = Machine::restore(&ckpt, Some(config.inject_cpu), engine);
 
+    let mut aborted = false;
     let mut switched = config.inject_cpu == config.finish_cpu;
     let exit = loop {
+        if abort.is_aborted() {
+            aborted = true;
+            break RunExit::Watchdog;
+        }
         if !switched && machine.hooks_mut().pending_faults() == 0 {
             // The fault fired (or expired): give the affected instruction
             // time to commit or squash, then fast-forward in the cheap model.
@@ -176,7 +193,11 @@ pub fn run_experiment_from(
         .map(<[u8]>::to_vec)
         .unwrap_or_default();
     let injections = machine.hooks().records().to_vec();
-    let outcome = classify(workload, &prepared.golden.bytes, exit, &output, &injections);
+    let outcome = if aborted {
+        Outcome::Infrastructure
+    } else {
+        classify(workload, &prepared.golden.bytes, exit, &output, &injections)
+    };
 
     let injection_fraction = injections.first().map(|r| {
         let rel = r.tick.saturating_sub(checkpoint.tick) as f64;
@@ -337,10 +358,7 @@ mod tests {
         assert!(
             matches!(
                 r.outcome,
-                Outcome::Sdc
-                    | Outcome::StrictlyCorrect
-                    | Outcome::Correct
-                    | Outcome::NonPropagated
+                Outcome::Sdc | Outcome::StrictlyCorrect | Outcome::Correct | Outcome::NonPropagated
             ),
             "unexpected outcome {:?} ({:?})",
             r.outcome,
@@ -376,6 +394,31 @@ mod tests {
         let r = run_experiment(&p, &w, spec, &RunnerConfig::default());
         let f = r.injection_fraction.expect("fault fired");
         assert!((0.2..0.9).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn raised_abort_token_surfaces_as_infrastructure() {
+        let w = small_pi();
+        let p = prepare_workload(&w).unwrap();
+        let spec = FaultSpec {
+            location: FaultLocation::FpReg { core: 0, reg: 20 },
+            thread: 0,
+            timing: FaultTiming::Instructions(10),
+            behavior: FaultBehavior::Flip(40),
+            occurrences: 1,
+        };
+        let abort = AbortToken::new();
+        abort.abort();
+        let r = run_experiment_from_with_abort(
+            &p.checkpoint,
+            &p,
+            &w,
+            spec,
+            &RunnerConfig::default(),
+            &abort,
+        );
+        assert_eq!(r.outcome, Outcome::Infrastructure, "{:?}", r.exit);
+        assert_eq!(r.exit, RunExit::Watchdog);
     }
 
     #[test]

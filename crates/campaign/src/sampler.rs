@@ -2,14 +2,12 @@
 //! "Each experiment injects a flip-bit fault, using a uniform distribution
 //! for the Location, Time and Behavior" (a single-event-upset model).
 
+use crate::rng::SplitMix64;
 use gemfi::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, Stage};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The location classes of the paper's Fig. 5 columns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LocationClass {
     /// Integer register file.
     IntReg,
@@ -82,7 +80,7 @@ impl fmt::Display for LocationClass {
 /// the `Inst:` times so every sampled fault lands inside the kernel.
 #[derive(Debug, Clone)]
 pub struct FaultSampler {
-    rng: StdRng,
+    rng: SplitMix64,
     stage_events: [u64; 5],
     thread: u32,
     core: usize,
@@ -92,7 +90,7 @@ impl FaultSampler {
     /// A sampler for thread `thread` on core `core`, over the given
     /// per-stage event counts, seeded deterministically.
     pub fn new(seed: u64, stage_events: [u64; 5], thread: u32, core: usize) -> FaultSampler {
-        FaultSampler { rng: StdRng::seed_from_u64(seed), stage_events, thread, core }
+        FaultSampler { rng: SplitMix64::new(seed), stage_events, thread, core }
     }
 
     /// The population size of class `class` (events × bits), the `N` of the
@@ -112,26 +110,20 @@ impl FaultSampler {
         let core = self.core;
         let location = match class {
             // R31/F31 are architectural zeroes; the samplable file is 0–30.
-            LocationClass::IntReg => FaultLocation::IntReg {
-                core,
-                reg: self.rng.gen_range(0..31),
-            },
-            LocationClass::FpReg => FaultLocation::FpReg {
-                core,
-                reg: self.rng.gen_range(0..31),
-            },
+            LocationClass::IntReg => FaultLocation::IntReg { core, reg: self.rng.below(31) as u8 },
+            LocationClass::FpReg => FaultLocation::FpReg { core, reg: self.rng.below(31) as u8 },
             LocationClass::Fetch => FaultLocation::Fetch { core },
             LocationClass::Decode => FaultLocation::Decode { core },
             LocationClass::Execute => FaultLocation::Execute { core },
             LocationClass::Mem => FaultLocation::Mem {
                 core,
-                target: if self.rng.gen_bool(0.5) { MemTarget::Load } else { MemTarget::Store },
+                target: if self.rng.coin() { MemTarget::Load } else { MemTarget::Store },
             },
             LocationClass::Pc => FaultLocation::Pc { core },
         };
         let events = self.stage_events[class.stage().index()].max(1);
-        let time = self.rng.gen_range(1..=events);
-        let bit = self.rng.gen_range(0..class.bit_width());
+        let time = self.rng.range_inclusive(1, events);
+        let bit = self.rng.below(class.bit_width() as u64) as u8;
         FaultSpec {
             location,
             thread: self.thread,
@@ -148,13 +140,13 @@ impl FaultSampler {
         let start = ((events as f64 * lo) as u64).max(1);
         let end = ((events as f64 * hi) as u64).max(start + 1);
         let mut spec = self.sample(class);
-        spec.timing = FaultTiming::Instructions(self.rng.gen_range(start..end));
+        spec.timing = FaultTiming::Instructions(self.rng.range_inclusive(start, end - 1));
         spec
     }
 
     /// Draws a fault from a uniformly chosen class (the whole-space model).
     pub fn sample_any(&mut self) -> FaultSpec {
-        let class = LocationClass::ALL[self.rng.gen_range(0..LocationClass::ALL.len())];
+        let class = LocationClass::ALL[self.rng.below(LocationClass::ALL.len() as u64) as usize];
         self.sample(class)
     }
 }
@@ -176,7 +168,7 @@ mod tests {
                 assert_eq!(f.thread, 0);
                 assert_eq!(f.occurrences, 1);
                 let FaultTiming::Instructions(t) = f.timing else { panic!("inst timing") };
-                assert!(t >= 1 && t <= 1000, "{class}: t={t}");
+                assert!((1..=1000).contains(&t), "{class}: t={t}");
                 let FaultBehavior::Flip(bit) = f.behavior else { panic!("flip") };
                 assert!(bit < class.bit_width());
                 assert_eq!(f.location.stage(), class.stage());

@@ -5,11 +5,8 @@
 //! Each line of the input file describes the attributes of a single fault."
 //! (Sec. III-A.) Blank lines and `#` comments are ignored.
 
-use crate::spec::{
-    FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, OCC_PERMANENT,
-};
+use crate::spec::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, OCC_PERMANENT};
 use gemfi_isa::SpecialReg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -31,7 +28,7 @@ impl fmt::Display for ParseFaultError {
 impl std::error::Error for ParseFaultError {}
 
 /// A parsed fault-injection configuration: the contents of one input file.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultConfig {
     faults: Vec<FaultSpec>,
 }
@@ -54,8 +51,7 @@ impl FaultConfig {
     /// I/O errors, or [`ParseFaultError`] wrapped as `InvalidData`.
     pub fn load(path: &std::path::Path) -> std::io::Result<FaultConfig> {
         let text = std::fs::read_to_string(path)?;
-        text.parse()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        text.parse().map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
     /// Writes the configuration in the line format.
@@ -110,10 +106,9 @@ impl FromStr for FaultConfig {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            faults.push(parse_line(line).map_err(|message| ParseFaultError {
-                line: i + 1,
-                message,
-            })?);
+            faults.push(
+                parse_line(line).map_err(|message| ParseFaultError { line: i + 1, message })?,
+            );
         }
         Ok(FaultConfig { faults })
     }
@@ -268,9 +263,10 @@ MemoryInjectedFault Inst:8 AllOne Threadid:0 system.cpu0 occ:1 store
 
     #[test]
     fn error_carries_line_number() {
-        let err = "RegisterInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1 int 1\nbogus line"
-            .parse::<FaultConfig>()
-            .unwrap_err();
+        let err =
+            "RegisterInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1 int 1\nbogus line"
+                .parse::<FaultConfig>()
+                .unwrap_err();
         assert_eq!(err.line, 2);
     }
 

@@ -17,10 +17,38 @@ use crate::thread::ThreadTable;
 use gemfi_cpu::FaultHooks;
 use gemfi_isa::{disassemble, ArchState, FpReg, Instr, IntReg, RawInstr, RegRef};
 use gemfi_mem::Ticks;
-use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable abort flag — the campaign-side watchdog plumbing.
+///
+/// Campaign coordinators (lease reapers, wall-clock watchdogs, shutdown
+/// paths) hold one end; the engine driving an experiment holds the other.
+/// Raising the flag asks the experiment's chunked run loop to stop at the
+/// next scheduling boundary, so a hung or orphaned simulation is abandoned
+/// promptly instead of burning its whole simulated-tick budget.
+#[derive(Debug, Clone, Default)]
+pub struct AbortToken(Arc<AtomicBool>);
+
+impl AbortToken {
+    /// A fresh, unraised token.
+    pub fn new() -> AbortToken {
+        AbortToken::default()
+    }
+
+    /// Raises the flag. Idempotent; visible to every clone.
+    pub fn abort(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether any holder has raised the flag.
+    pub fn is_aborted(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Engine tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Use the per-core cached pointer to the running thread's
     /// `ThreadEnabledFault` (refreshed on context switches) instead of a
@@ -99,6 +127,8 @@ pub struct GemFiEngine {
     /// Events processed per stage while a thread was enabled (engine-side
     /// statistics; used by overhead analyses).
     stage_events: [u64; 5],
+    /// External abort flag (campaign watchdog plumbing).
+    abort: AbortToken,
 }
 
 impl GemFiEngine {
@@ -118,7 +148,24 @@ impl GemFiEngine {
             current_pcbb: vec![0; config.cores],
             last_tick: 0,
             stage_events: [0; 5],
+            abort: AbortToken::new(),
         }
+    }
+
+    /// Installs a shared abort token; the campaign raises it to stop this
+    /// engine's experiment at the next run-loop boundary.
+    pub fn set_abort_token(&mut self, token: AbortToken) {
+        self.abort = token;
+    }
+
+    /// The engine's abort token (clone to hand to a watchdog).
+    pub fn abort_token(&self) -> AbortToken {
+        self.abort.clone()
+    }
+
+    /// Whether an external abort was requested.
+    pub fn abort_requested(&self) -> bool {
+        self.abort.is_aborted()
     }
 
     /// Resets all internal state and installs a new fault configuration —
@@ -127,7 +174,9 @@ impl GemFiEngine {
     /// the same checkpoint to be used … with potentially different fault
     /// injection configurations").
     pub fn reset(&mut self, faults: FaultConfig) {
+        let abort = self.abort.clone();
         *self = GemFiEngine::with_config(faults, self.config);
+        self.abort = abort;
     }
 
     /// The faults injected so far.
@@ -246,12 +295,9 @@ impl FaultHooks for GemFiEngine {
         }
         // Register-stage timing counts *committed* instructions (bumped in
         // `on_commit`); read without bumping here.
-        let Some(key) = Self::resolve_thread(
-            &mut self.threads,
-            &self.config,
-            &self.current_pcbb,
-            core,
-        ) else {
+        let Some(key) =
+            Self::resolve_thread(&mut self.threads, &self.config, &self.current_pcbb, core)
+        else {
             return;
         };
         let (count, ticks_since) = {
@@ -265,10 +311,17 @@ impl FaultHooks for GemFiEngine {
             (rec.count(Stage::Register), rec.ticks_since_activation(now))
         };
         let mut fired = Vec::new();
-        self.queues
-            .scan(Stage::Register, core, key.id, count, ticks_since, |_| true, |spec| {
+        self.queues.scan(
+            Stage::Register,
+            core,
+            key.id,
+            count,
+            ticks_since,
+            |_| true,
+            |spec| {
                 fired.push(*spec);
-            });
+            },
+        );
         for spec in fired {
             let (before, after, watch_reg) = match spec.location {
                 FaultLocation::IntReg { reg, .. } => {
@@ -315,14 +368,7 @@ impl FaultHooks for GemFiEngine {
             let before = w.0 as u64;
             let after = apply(spec.behavior, before, 32);
             w = RawInstr(after as u32);
-            self.push_record(
-                Stage::Fetch,
-                &spec,
-                pc,
-                Some(disassemble(word)),
-                before,
-                after,
-            );
+            self.push_record(Stage::Fetch, &spec, pc, Some(disassemble(word)), before, after);
         }
         w
     }
@@ -334,14 +380,7 @@ impl FaultHooks for GemFiEngine {
             let before = selectors_of(w);
             let after = apply(spec.behavior, before, DECODE_SELECTOR_BITS);
             w = with_selectors(w, after);
-            self.push_record(
-                Stage::Decode,
-                &spec,
-                0,
-                Some(disassemble(word)),
-                before,
-                after,
-            );
+            self.push_record(Stage::Decode, &spec, 0, Some(disassemble(word)), before, after);
         }
         w
     }
@@ -462,9 +501,8 @@ mod tests {
 
     #[test]
     fn inactive_thread_sees_no_injection() {
-        let mut e = engine_with(
-            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1");
         // No fi_activate yet: value passes through untouched.
         let nop = Instr::FiReadInit;
         assert_eq!(e.on_execute_result(0, &nop, 42), 42);
@@ -473,9 +511,8 @@ mod tests {
 
     #[test]
     fn execute_fault_fires_at_the_right_event() {
-        let mut e = engine_with(
-            "ExecutionStageInjectedFault Inst:3 Flip:0 Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:3 Flip:0 Threadid:0 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let nop = Instr::FiReadInit;
         assert_eq!(e.on_execute_result(0, &nop, 10), 10); // event 1
@@ -502,9 +539,8 @@ mod tests {
 
     #[test]
     fn decode_fault_only_touches_selector_fields() {
-        let mut e = engine_with(
-            "DecodeStageInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("DecodeStageInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let w = RawInstr(0);
         let out = e.on_decode(0, w);
@@ -518,9 +554,8 @@ mod tests {
 
     #[test]
     fn register_fault_applies_at_boundary_and_tracks_consumption() {
-        let mut e = engine_with(
-            "RegisterInjectedFault Inst:0 Flip:21 Threadid:0 system.cpu0 occ:1 int 1",
-        );
+        let mut e =
+            engine_with("RegisterInjectedFault Inst:0 Flip:21 Threadid:0 system.cpu0 occ:1 int 1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let mut arch = ArchState::new(0x1_0000);
         arch.pcbb = 0x4000;
@@ -538,9 +573,8 @@ mod tests {
 
     #[test]
     fn overwrite_before_read_is_non_propagated() {
-        let mut e = engine_with(
-            "RegisterInjectedFault Inst:0 Flip:0 Threadid:0 system.cpu0 occ:1 int 2",
-        );
+        let mut e =
+            engine_with("RegisterInjectedFault Inst:0 Flip:0 Threadid:0 system.cpu0 occ:1 int 2");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let mut arch = ArchState::new(0);
         arch.pcbb = 0x4000;
@@ -553,9 +587,7 @@ mod tests {
 
     #[test]
     fn pc_fault_redirects_control() {
-        let mut e = engine_with(
-            "PCInjectedFault Inst:0 Set:0x2_0000 Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e = engine_with("PCInjectedFault Inst:0 Set:0x2_0000 Threadid:0 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let mut arch = ArchState::new(0x1_0000);
         arch.pcbb = 0x4000;
@@ -565,9 +597,8 @@ mod tests {
 
     #[test]
     fn toggling_twice_deactivates() {
-        let mut e = engine_with(
-            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         e.on_fi_activate(0, 10, 0, 0x4000);
         assert_eq!(e.active_threads(), 0);
@@ -578,9 +609,8 @@ mod tests {
 
     #[test]
     fn thread_id_must_match_the_spec() {
-        let mut e = engine_with(
-            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:5 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:5 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 3, 0x4000); // activates thread id 3
         let nop = Instr::FiReadInit;
         assert_eq!(e.on_execute_result(0, &nop, 8), 8);
@@ -589,14 +619,13 @@ mod tests {
 
     #[test]
     fn context_switch_gates_injection() {
-        let mut e = engine_with(
-            "ExecutionStageInjectedFault Inst:2 Flip:0 Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:2 Flip:0 Threadid:0 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let nop = Instr::FiReadInit;
         assert_eq!(e.on_execute_result(0, &nop, 3), 3); // event 1: too early
-        // Switch to a thread that never activated injection: its events do
-        // not advance the target thread's counters.
+                                                        // Switch to a thread that never activated injection: its events do
+                                                        // not advance the target thread's counters.
         e.on_context_switch(0, 0x4400);
         assert_eq!(e.on_execute_result(0, &nop, 3), 3);
         // Switch back: the counter resumes and the fault fires at event 2.
@@ -622,17 +651,14 @@ mod tests {
 
     #[test]
     fn reset_reinstalls_configuration() {
-        let mut e = engine_with(
-            "ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1",
-        );
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1");
         e.on_fi_activate(0, 0, 0, 0x4000);
         let nop = Instr::FiReadInit;
         e.on_execute_result(0, &nop, 0);
         assert_eq!(e.records().len(), 1);
         e.reset(
-            "MemoryInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 load"
-                .parse()
-                .unwrap(),
+            "MemoryInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 load".parse().unwrap(),
         );
         assert!(e.records().is_empty());
         assert_eq!(e.active_threads(), 0);
@@ -641,9 +667,8 @@ mod tests {
 
     #[test]
     fn mem_target_filter_distinguishes_loads_and_stores() {
-        let mut e = engine_with(
-            "MemoryInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 store",
-        );
+        let mut e =
+            engine_with("MemoryInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 store");
         e.on_fi_activate(0, 0, 0, 0x4000);
         // A load is a memory event but must not trigger the store-targeted
         // fault; the armed fault fires on the next *store*.

@@ -1,14 +1,20 @@
 //! Experiment outcome classes (Sec. IV-B-1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::str::FromStr;
 
 /// The classification of one fault-injection experiment.
 ///
 /// "The outcome of each experiment can be classified in the following
 /// categories: crashed, non propagated, strictly correct result, correct
 /// result and SDC (Silent Data Corruption)."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// One class is ours, not the paper's: [`Outcome::Infrastructure`] marks an
+/// experiment whose *harness* failed — the worker crashed, hung past its
+/// lease, or was aborted by the campaign watchdog — after exhausting its
+/// retries. It says nothing about the guest's resilience, so it is
+/// tabulated separately instead of polluting the Crashed bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// The experiment failed to terminate successfully (trap or hang).
     Crashed,
@@ -22,16 +28,22 @@ pub enum Outcome {
     Correct,
     /// Terminated normally but with an unacceptable result.
     Sdc,
+    /// The experiment infrastructure failed (worker panic, expired lease, or
+    /// watchdog abort) and retries were exhausted; the guest's behavior is
+    /// unknown.
+    Infrastructure,
 }
 
 impl Outcome {
-    /// All outcomes, chart order (matches the Fig. 5 stacking).
-    pub const ALL: [Outcome; 5] = [
+    /// All outcomes, chart order (the paper's five Fig. 5 classes, then the
+    /// infrastructure-failure bucket).
+    pub const ALL: [Outcome; 6] = [
         Outcome::Crashed,
         Outcome::NonPropagated,
         Outcome::StrictlyCorrect,
         Outcome::Correct,
         Outcome::Sdc,
+        Outcome::Infrastructure,
     ];
 
     /// Dense index for tabulation.
@@ -42,6 +54,7 @@ impl Outcome {
             Outcome::StrictlyCorrect => 2,
             Outcome::Correct => 3,
             Outcome::Sdc => 4,
+            Outcome::Infrastructure => 5,
         }
     }
 
@@ -49,22 +62,43 @@ impl Outcome {
     /// *Acceptable* series in Fig. 6: correct ∪ strictly correct; runs where
     /// the fault never propagated are bit-identical and count as well).
     pub fn is_acceptable(self) -> bool {
-        matches!(
-            self,
-            Outcome::StrictlyCorrect | Outcome::Correct | Outcome::NonPropagated
-        )
+        matches!(self, Outcome::StrictlyCorrect | Outcome::Correct | Outcome::NonPropagated)
+    }
+
+    /// Whether the class describes the guest's behavior at all (false only
+    /// for [`Outcome::Infrastructure`]).
+    pub fn is_experiment_outcome(self) -> bool {
+        self != Outcome::Infrastructure
+    }
+
+    /// The canonical name, stable across releases — the campaign journal
+    /// stores outcomes by this name and replays them on resume.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Crashed => "crashed",
+            Outcome::NonPropagated => "non-propagated",
+            Outcome::StrictlyCorrect => "strictly-correct",
+            Outcome::Correct => "correct",
+            Outcome::Sdc => "sdc",
+            Outcome::Infrastructure => "infrastructure",
+        }
     }
 }
 
 impl fmt::Display for Outcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Outcome::Crashed => write!(f, "crashed"),
-            Outcome::NonPropagated => write!(f, "non-propagated"),
-            Outcome::StrictlyCorrect => write!(f, "strictly-correct"),
-            Outcome::Correct => write!(f, "correct"),
-            Outcome::Sdc => write!(f, "sdc"),
-        }
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Outcome {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Outcome, String> {
+        Outcome::ALL
+            .into_iter()
+            .find(|o| o.name() == s)
+            .ok_or_else(|| format!("unknown outcome `{s}`"))
     }
 }
 
@@ -86,5 +120,21 @@ mod tests {
         assert!(Outcome::NonPropagated.is_acceptable());
         assert!(!Outcome::Crashed.is_acceptable());
         assert!(!Outcome::Sdc.is_acceptable());
+        assert!(!Outcome::Infrastructure.is_acceptable());
+    }
+
+    #[test]
+    fn infrastructure_is_not_a_guest_outcome() {
+        assert!(!Outcome::Infrastructure.is_experiment_outcome());
+        assert_eq!(Outcome::ALL.iter().filter(|o| o.is_experiment_outcome()).count(), 5);
+    }
+
+    #[test]
+    fn names_roundtrip_through_fromstr() {
+        for o in Outcome::ALL {
+            assert_eq!(o.name().parse::<Outcome>().unwrap(), o);
+            assert_eq!(o.to_string(), o.name());
+        }
+        assert!("bogus".parse::<Outcome>().is_err());
     }
 }

@@ -5,10 +5,9 @@
 //! […] Queue entries are sorted according to the timing of each fault."
 
 use crate::spec::{FaultSpec, FaultTiming, Stage};
-use serde::{Deserialize, Serialize};
 
 /// A queued fault plus its firing bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueuedFault {
     /// The spec as parsed.
     pub spec: FaultSpec,
@@ -56,7 +55,7 @@ fn classify(spec: &FaultSpec, fired: u64, stage_count: u64, ticks_since: u64) ->
 }
 
 /// The five stage queues.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageQueues {
     queues: [Vec<QueuedFault>; 5],
 }
@@ -219,10 +218,7 @@ mod tests {
 
     #[test]
     fn tick_based_faults_use_activation_age() {
-        let spec = FaultSpec {
-            timing: FaultTiming::Ticks(100),
-            ..exec_fault(0, 1)
-        };
+        let spec = FaultSpec { timing: FaultTiming::Ticks(100), ..exec_fault(0, 1) };
         let mut q = StageQueues::from_faults(&[spec]);
         let mut n = 0;
         q.scan(Stage::Execute, 0, 0, 999, 99, |_| true, |_| n += 1);
@@ -241,10 +237,8 @@ mod tests {
 
     #[test]
     fn queues_route_by_stage() {
-        let reg = FaultSpec {
-            location: FaultLocation::IntReg { core: 0, reg: 1 },
-            ..exec_fault(1, 1)
-        };
+        let reg =
+            FaultSpec { location: FaultLocation::IntReg { core: 0, reg: 1 }, ..exec_fault(1, 1) };
         let q = StageQueues::from_faults(&[exec_fault(1, 1), reg]);
         assert_eq!(q.pending_in(Stage::Execute), 1);
         assert_eq!(q.pending_in(Stage::Register), 1);

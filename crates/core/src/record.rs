@@ -7,11 +7,10 @@
 
 use crate::spec::{FaultLocation, Stage};
 use gemfi_isa::RegRef;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One fault actually injected during a run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectionRecord {
     /// Simulation tick of the injection.
     pub tick: u64,

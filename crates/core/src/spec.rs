@@ -1,11 +1,10 @@
 //! Fault specifications: Location × Thread × Time × Behavior (Sec. III-A).
 
 use gemfi_isa::SpecialReg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which memory transactions a memory-stage fault targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemTarget {
     /// Loaded values only.
     Load,
@@ -32,7 +31,7 @@ impl fmt::Display for MemTarget {
 /// special purpose), the fetched instruction, the selection of read/write
 /// registers during decoding, the result of an instruction at the execution
 /// stage, the PC address, and memory transactions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultLocation {
     /// An integer register of a core.
     IntReg {
@@ -134,7 +133,7 @@ impl fmt::Display for FaultLocation {
 }
 
 /// The five per-stage fault queues of Sec. III-C.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Fetched-instruction faults.
     Fetch,
@@ -178,7 +177,7 @@ impl fmt::Display for Stage {
 }
 
 /// How the value at the fault location is corrupted (Sec. III-A-4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultBehavior {
     /// Assign an immediate value.
     Set(u64),
@@ -208,7 +207,7 @@ impl fmt::Display for FaultBehavior {
 /// When the fault fires, relative to the thread's `fi_activate_inst` call
 /// (Sec. III-A-3): either after a number of instructions served at the
 /// target stage, or after a number of simulation ticks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultTiming {
     /// Fire at the N-th instruction served at the target stage.
     Instructions(u64),
@@ -229,7 +228,7 @@ impl fmt::Display for FaultTiming {
 pub const OCC_PERMANENT: u64 = u64::MAX;
 
 /// One fault to inject: the unit of the paper's input-file lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FaultSpec {
     /// Where.
     pub location: FaultLocation,
@@ -279,10 +278,7 @@ impl fmt::Display for FaultSpec {
         write!(
             f,
             "{kind} {} {} Threadid:{} occ:{occ} {}",
-            self.timing,
-            self.behavior,
-            self.thread,
-            self.location
+            self.timing, self.behavior, self.thread, self.location
         )
     }
 }
@@ -296,10 +292,7 @@ mod tests {
         assert_eq!(FaultLocation::Fetch { core: 0 }.stage(), Stage::Fetch);
         assert_eq!(FaultLocation::Decode { core: 0 }.stage(), Stage::Decode);
         assert_eq!(FaultLocation::Execute { core: 0 }.stage(), Stage::Execute);
-        assert_eq!(
-            FaultLocation::Mem { core: 0, target: MemTarget::Any }.stage(),
-            Stage::Memory
-        );
+        assert_eq!(FaultLocation::Mem { core: 0, target: MemTarget::Any }.stage(), Stage::Memory);
         assert_eq!(FaultLocation::IntReg { core: 0, reg: 1 }.stage(), Stage::Register);
         assert_eq!(FaultLocation::Pc { core: 0 }.stage(), Stage::Register);
     }

@@ -15,11 +15,10 @@
 //! [`crate::EngineConfig::pcb_pointer_cache`] for the ablation benchmark.
 
 use crate::spec::Stage;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-thread fault-injection state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadEnabledFault {
     /// The identifier passed to `fi_activate_inst(id)` — the `Threadid:` a
     /// fault spec matches against.
@@ -57,7 +56,7 @@ impl ThreadEnabledFault {
 
 /// The thread table: an arena of [`ThreadEnabledFault`] records, a PCB-keyed
 /// hash index, and the per-core pointer cache.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ThreadTable {
     arena: Vec<ThreadEnabledFault>,
     by_pcbb: HashMap<u64, usize>,
@@ -177,7 +176,7 @@ mod tests {
     }
 
     #[test]
-    fn stage_counters_are_independent(){
+    fn stage_counters_are_independent() {
         let mut rec = ThreadEnabledFault::new(0, 0x4000, 50);
         assert_eq!(rec.bump(Stage::Fetch), 1);
         assert_eq!(rec.bump(Stage::Fetch), 2);

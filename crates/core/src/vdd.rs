@@ -18,10 +18,8 @@
 //! voltage, and with the quadratic dynamic-power model to expose the
 //! power-vs-correctness trade-off.
 
-use serde::{Deserialize, Serialize};
-
 /// Exponential Vdd → bit-upset-rate model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VddModel {
     /// Nominal supply voltage (error rate is `p_nom` here).
     pub v_nom: f64,

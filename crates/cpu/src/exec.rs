@@ -10,9 +10,7 @@
 use crate::hooks::FaultHooks;
 use crate::StepEvent;
 use gemfi_isa::opcode::FpBranchCond;
-use gemfi_isa::{
-    ArchState, FpFunc, Instr, IntFunc, IntReg, Operand, RawInstr, RegRef, Trap,
-};
+use gemfi_isa::{ArchState, FpFunc, Instr, IntFunc, IntReg, Operand, RawInstr, RegRef, Trap};
 use gemfi_kernel::{Kernel, PalOutcome};
 use gemfi_mem::{MemorySystem, Ticks};
 
@@ -80,9 +78,27 @@ pub fn fpu(func: FpFunc, a_bits: u64, b_bits: u64) -> u64 {
         Divt => (a / b).to_bits(),
         Sqrtt => b.sqrt().to_bits(),
         // Alpha encodes FP compare results as 2.0 / 0.0.
-        Cmpteq => if a == b { 2.0f64.to_bits() } else { 0 },
-        Cmptlt => if a < b { 2.0f64.to_bits() } else { 0 },
-        Cmptle => if a <= b { 2.0f64.to_bits() } else { 0 },
+        Cmpteq => {
+            if a == b {
+                2.0f64.to_bits()
+            } else {
+                0
+            }
+        }
+        Cmptlt => {
+            if a < b {
+                2.0f64.to_bits()
+            } else {
+                0
+            }
+        }
+        Cmptle => {
+            if a <= b {
+                2.0f64.to_bits()
+            } else {
+                0
+            }
+        }
         Cvtqt => (b_bits as i64 as f64).to_bits(),
         Cvttq => {
             // Truncate toward zero; saturate like hardware instead of UB.
@@ -226,10 +242,8 @@ pub fn step_instruction<H: FaultHooks>(
     let (word, fetch_latency) = mem.fetch(pc)?;
     let word = hooks.on_fetch(core, pc, RawInstr(word));
     let word = hooks.on_decode(core, word);
-    let instr = gemfi_isa::decode(word).map_err(|_| Trap::IllegalInstruction {
-        word: word.0,
-        pc,
-    })?;
+    let instr =
+        gemfi_isa::decode(word).map_err(|_| Trap::IllegalInstruction { word: word.0, pc })?;
 
     let mut rec = ExecRecord {
         pc,
@@ -514,12 +528,8 @@ mod tests {
             rb: Operand::Lit(0),
             rc: IntReg::ZERO,
         };
-        let div = Instr::FpOp {
-            func: FpFunc::Divt,
-            fa: FpReg::ZERO,
-            fb: FpReg::ZERO,
-            fc: FpReg::ZERO,
-        };
+        let div =
+            Instr::FpOp { func: FpFunc::Divt, fa: FpReg::ZERO, fb: FpReg::ZERO, fc: FpReg::ZERO };
         assert!(exec_latency(&add) < exec_latency(&mul));
         assert!(exec_latency(&mul) < exec_latency(&div));
     }

@@ -9,17 +9,16 @@
 use crate::exec::{exec_latency, src_regs, step_instruction};
 use crate::hooks::FaultHooks;
 use crate::predictor::TournamentPredictor;
-use crate::{StepResult};
+use crate::StepResult;
 use gemfi_isa::{ArchState, Instr, JumpKind, RegRef, Trap};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
-use serde::{Deserialize, Serialize};
 
 /// Fetch-redirect penalty on a branch misprediction (pipeline refill).
 const MISPREDICT_PENALTY: Ticks = 3;
 
 /// Pipelined in-order core with a tournament predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InOrderCpu {
     predictor: TournamentPredictor,
     last_load_dest: Option<RegRef>,
@@ -59,9 +58,7 @@ impl InOrderCpu {
             // the timed fetch below is the architectural one.
             let word = mem.read_u32_functional(arch.pc).unwrap_or(0);
             match gemfi_isa::decode(gemfi_isa::RawInstr(word)) {
-                Ok(i) if i.is_cond_branch() => {
-                    Some(self.predictor.predict_direction(arch.pc))
-                }
+                Ok(i) if i.is_cond_branch() => Some(self.predictor.predict_direction(arch.pc)),
                 _ => None,
             }
         };

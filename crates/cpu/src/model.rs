@@ -8,11 +8,10 @@ use crate::StepResult;
 use gemfi_isa::{ArchState, Trap};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which CPU model to simulate with (gem5's four-model spectrum).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuKind {
     /// One instruction per tick, untimed memory.
     Atomic,

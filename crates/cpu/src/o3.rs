@@ -22,16 +22,13 @@ use crate::exec::{alu, cmov_cond, exec_latency, fp_cmov_cond, fpu, src_regs};
 use crate::hooks::FaultHooks;
 use crate::predictor::TournamentPredictor;
 use crate::{StepEvent, StepResult};
-use gemfi_isa::{
-    ArchState, Instr, JumpKind, Operand, RawInstr, RegRef, Trap,
-};
+use gemfi_isa::{ArchState, Instr, JumpKind, Operand, RawInstr, RegRef, Trap};
 use gemfi_kernel::{Kernel, PalOutcome};
 use gemfi_mem::{MemorySystem, Ticks};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Width/size parameters of the out-of-order engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct O3Config {
     /// Instructions fetched/dispatched per cycle.
     pub fetch_width: usize,
@@ -58,7 +55,7 @@ impl Default for O3Config {
 }
 
 /// Aggregate statistics of the out-of-order engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct O3Stats {
     /// Instructions committed.
     pub committed: u64,
@@ -184,7 +181,6 @@ impl O3Cpu {
         self.fetch_pc = arch.pc;
         self.fetch_parked = false;
     }
-
 
     fn rename_lookup(&self, reg: RegRef) -> Option<u64> {
         match reg {
@@ -476,11 +472,8 @@ impl O3Cpu {
 
         match instr {
             Instr::Lda { disp, .. } => {
-                result = hooks.on_execute_result(
-                    core,
-                    &instr,
-                    src(0).wrapping_add(disp as i64 as u64),
-                );
+                result =
+                    hooks.on_execute_result(core, &instr, src(0).wrapping_add(disp as i64 as u64));
             }
             Instr::Ldah { disp, .. } => {
                 result = hooks.on_execute_result(
@@ -574,18 +567,14 @@ impl O3Cpu {
                     match self.load_check(idx, addr, m.width) {
                         Err(()) => return false, // retry next cycle
                         Ok(Some(fwd)) => {
-                            let v = if m.width == 4 {
-                                (fwd as u32) as i32 as i64 as u64
-                            } else {
-                                fwd
-                            };
+                            let v =
+                                if m.width == 4 { (fwd as u32) as i32 as i64 as u64 } else { fwd };
                             result = hooks.on_mem_load(core, addr, v);
                             lat = 1; // store-buffer forward
                         }
                         Ok(None) => {
                             let r = if m.width == 4 {
-                                mem.read_u32(addr, e.pc)
-                                    .map(|(v, l)| (v as i32 as i64 as u64, l))
+                                mem.read_u32(addr, e.pc).map(|(v, l)| (v as i32 as i64 as u64, l))
                             } else {
                                 mem.read_u64(addr, e.pc)
                             };
@@ -601,11 +590,8 @@ impl O3Cpu {
                 }
             }
             Instr::Ldt { disp, .. } => {
-                let addr = hooks.on_execute_result(
-                    core,
-                    &instr,
-                    src(0).wrapping_add(disp as i64 as u64),
-                );
+                let addr =
+                    hooks.on_execute_result(core, &instr, src(0).wrapping_add(disp as i64 as u64));
                 let m = mem_state.as_mut().expect("memory entry");
                 m.addr = Some(addr);
                 match self.load_check(idx, addr, 8) {
@@ -624,11 +610,8 @@ impl O3Cpu {
                 }
             }
             Instr::Stt { disp, .. } => {
-                let addr = hooks.on_execute_result(
-                    core,
-                    &instr,
-                    src(0).wrapping_add(disp as i64 as u64),
-                );
+                let addr =
+                    hooks.on_execute_result(core, &instr, src(0).wrapping_add(disp as i64 as u64));
                 let m = mem_state.as_mut().expect("memory entry");
                 m.addr = Some(addr);
                 m.store_val = hooks.on_mem_store(core, addr, src(1));
@@ -804,10 +787,7 @@ impl O3Cpu {
                 }
                 // Control misprediction?
                 let mispredicted = self.rob[i].actual_next != self.rob[i].predicted_next
-                    && self.rob[i]
-                        .instr
-                        .map(|ins| ins.is_control())
-                        .unwrap_or(false);
+                    && self.rob[i].instr.map(|ins| ins.is_control()).unwrap_or(false);
                 if mispredicted {
                     let redirect = self.rob[i].actual_next;
                     let pc = self.rob[i].pc;
@@ -1034,7 +1014,8 @@ mod tests {
         let mut cpu = O3Cpu::new(O3Config::default(), arch.pc);
         let mut o3_cycles = 0u64;
         loop {
-            let r = cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, o3_cycles).unwrap();
+            let r =
+                cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, o3_cycles).unwrap();
             o3_cycles += 1;
             if matches!(r.event, StepEvent::Halted(_)) {
                 break;

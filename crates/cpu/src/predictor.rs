@@ -6,8 +6,6 @@
 //! branch-history which component to trust. A direct-mapped BTB supplies
 //! targets and a return-address stack handles `bsr`/`ret`.
 
-use serde::{Deserialize, Serialize};
-
 const LOCAL_HIST_BITS: usize = 10;
 const LOCAL_ENTRIES: usize = 1 << LOCAL_HIST_BITS;
 const GLOBAL_BITS: usize = 12;
@@ -25,7 +23,7 @@ fn bump(counter: &mut u8, taken: bool) {
 }
 
 /// Prediction statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictorStats {
     /// Conditional branches predicted.
     pub lookups: u64,
@@ -47,7 +45,7 @@ impl PredictorStats {
 }
 
 /// The tournament predictor with BTB and return-address stack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TournamentPredictor {
     local_history: Vec<u16>,
     local_counters: Vec<u8>,

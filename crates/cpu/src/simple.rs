@@ -6,7 +6,6 @@ use crate::StepResult;
 use gemfi_isa::{ArchState, Trap};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
-use serde::{Deserialize, Serialize};
 
 /// gem5's *Atomic Simple* analogue: one instruction per tick, memory
 /// accesses complete instantaneously (cache statistics are still recorded,
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// This is the model campaigns switch to after the injected fault commits or
 /// squashes, to fast-forward the remainder of the application.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AtomicCpu;
 
 impl AtomicCpu {
@@ -39,7 +38,7 @@ impl AtomicCpu {
 
 /// gem5's *Timing Simple* analogue: functional execution, but every step
 /// pays the modeled instruction-fetch and data-access latencies.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TimingCpu;
 
 impl TimingCpu {
@@ -205,9 +204,8 @@ mod tests {
         a.emit_raw(0x0c00_0000); // opcode 0x03: unimplemented
         let p = a.finish().unwrap();
         let (mut arch, mut mem, mut kernel) = boot(&p);
-        let err = AtomicCpu
-            .step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, 0)
-            .unwrap_err();
+        let err =
+            AtomicCpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, 0).unwrap_err();
         assert!(matches!(err, Trap::IllegalInstruction { .. }));
     }
 

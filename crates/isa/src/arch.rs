@@ -1,7 +1,6 @@
 //! Architectural (software-visible) state of one hardware thread context.
 
 use crate::regs::{RegFile, SpecialReg};
-use serde::{Deserialize, Serialize};
 
 /// Processor-status bit: executing in kernel (PAL) mode.
 pub const PSR_KERNEL: u64 = 1 << 0;
@@ -10,7 +9,7 @@ pub const PSR_INT_ENABLE: u64 = 1 << 1;
 
 /// The complete architectural state a context switch saves and restores,
 /// and the complete target surface for *register* and *PC* fault injection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchState {
     /// General-purpose register files.
     pub regs: RegFile,
@@ -28,13 +27,7 @@ pub struct ArchState {
 impl ArchState {
     /// Fresh state: zeroed registers, PC at `entry`, interrupts enabled.
     pub fn new(entry: u64) -> ArchState {
-        ArchState {
-            regs: RegFile::new(),
-            pc: entry,
-            pcbb: 0,
-            psr: PSR_INT_ENABLE,
-            exc_addr: 0,
-        }
+        ArchState { regs: RegFile::new(), pc: entry, pcbb: 0, psr: PSR_INT_ENABLE, exc_addr: 0 }
     }
 
     /// Reads a special register by identity.

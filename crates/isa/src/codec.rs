@@ -260,7 +260,10 @@ pub trait Codec: Sized {
         let mut r = ByteReader::new(bytes);
         let v = Self::decode(&mut r)?;
         if r.remaining() != 0 {
-            return Err(CodecError::InvalidTag { what: "trailing bytes", value: r.remaining() as u64 });
+            return Err(CodecError::InvalidTag {
+                what: "trailing bytes",
+                value: r.remaining() as u64,
+            });
         }
         Ok(v)
     }

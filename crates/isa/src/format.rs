@@ -6,11 +6,10 @@
 //! `Ra`/`Rb`/`Rc` selector fields. Field extraction and replacement helpers
 //! here keep those manipulations in one place.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four Alpha instruction formats from Table I of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Format {
     /// `opcode[31:26] | number[25:0]`
     PalCode,
@@ -34,7 +33,7 @@ impl fmt::Display for Format {
 }
 
 /// A named bit field within an instruction word, `[hi:lo]` inclusive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Field {
     /// Field name as printed in Table I (e.g. `"Ra"`, `"displacement"`).
     pub name: &'static str,
@@ -111,7 +110,7 @@ impl Format {
 }
 
 /// A raw, undecoded 32-bit instruction word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RawInstr(pub u32);
 
 impl RawInstr {

@@ -11,12 +11,11 @@ use crate::format::{self, RawInstr};
 use crate::opcode::{BranchCond, FpBranchCond, FpFunc, IntFunc, Opcode, PalFunc};
 use crate::regs::{FpReg, IntReg};
 use crate::trap::Trap;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Second operand of an integer operate instruction: a register or an 8-bit
 /// literal (Alpha's `lit` encoding, bit 12 of the word).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Register operand.
     Reg(IntReg),
@@ -34,7 +33,7 @@ impl fmt::Display for Operand {
 }
 
 /// Integer load/store operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOp {
     /// Load sign-extended 32-bit.
     Ldl,
@@ -81,7 +80,7 @@ impl MemOp {
 
 /// Memory-format jump flavours (opcode 0x1a, selected by displacement bits
 /// 15:14 as on Alpha).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JumpKind {
     /// Indirect jump.
     Jmp,
@@ -119,7 +118,7 @@ impl JumpKind {
 }
 
 /// A decoded instruction of the Alpha subset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Instr {
     /// Trap into the PAL/kernel layer.
     CallPal {
@@ -322,9 +321,9 @@ pub fn decode(word: RawInstr) -> Result<Instr, Trap> {
     let disp21 = word.bdisp() as i32;
 
     Ok(match opcode {
-        Opcode::CallPal => Instr::CallPal {
-            func: PalFunc::from_number(word.palnum()).ok_or_else(illegal)?,
-        },
+        Opcode::CallPal => {
+            Instr::CallPal { func: PalFunc::from_number(word.palnum()).ok_or_else(illegal)? }
+        }
         Opcode::FiActivate => Instr::FiActivate { id: word.palnum() },
         Opcode::FiReadInit => Instr::FiReadInit,
         Opcode::Lda => Instr::Lda { ra: ra_int, rb: rb_int, disp: disp16 },
@@ -393,13 +392,13 @@ pub fn encode(instr: &Instr) -> RawInstr {
             .with_field(format::MDISP, disp as u16 as u32)
     }
     fn branch(op: Opcode, ra: u32, disp: i32) -> RawInstr {
-        base(op)
-            .with_field(format::RA, ra)
-            .with_field(format::BDISP, (disp as u32) & 0x1f_ffff)
+        base(op).with_field(format::RA, ra).with_field(format::BDISP, (disp as u32) & 0x1f_ffff)
     }
 
     match *instr {
-        Instr::CallPal { func } => base(Opcode::CallPal).with_field(format::PAL_NUMBER, func.number()),
+        Instr::CallPal { func } => {
+            base(Opcode::CallPal).with_field(format::PAL_NUMBER, func.number())
+        }
         Instr::FiActivate { id } => {
             base(Opcode::FiActivate).with_field(format::PAL_NUMBER, id & 0x03ff_ffff)
         }
@@ -409,12 +408,9 @@ pub fn encode(instr: &Instr) -> RawInstr {
         Instr::Mem { op, ra, rb, disp } => mem(op.opcode(), ra.index() as u32, rb, disp),
         Instr::Ldt { fa, rb, disp } => mem(Opcode::Ldt, fa.index() as u32, rb, disp),
         Instr::Stt { fa, rb, disp } => mem(Opcode::Stt, fa.index() as u32, rb, disp),
-        Instr::Jump { kind, ra, rb } => mem(
-            Opcode::Jmp,
-            ra.index() as u32,
-            rb,
-            ((kind.hint_bits() << 14) & 0xffff) as i16,
-        ),
+        Instr::Jump { kind, ra, rb } => {
+            mem(Opcode::Jmp, ra.index() as u32, rb, ((kind.hint_bits() << 14) & 0xffff) as i16)
+        }
         Instr::Br { ra, disp } => branch(Opcode::Br, ra.index() as u32, disp),
         Instr::Bsr { ra, disp } => branch(Opcode::Bsr, ra.index() as u32, disp),
         Instr::CondBr { cond, ra, disp } => {
@@ -450,9 +446,7 @@ pub fn encode(instr: &Instr) -> RawInstr {
             match rb {
                 Operand::Reg(r) => w = w.with_field(format::RB, r.index() as u32),
                 Operand::Lit(v) => {
-                    w = w
-                        .with_field(format::LITFLAG, 1)
-                        .with_field(format::LITERAL, v as u32);
+                    w = w.with_field(format::LITFLAG, 1).with_field(format::LITERAL, v as u32);
                 }
             }
             w
@@ -555,9 +549,7 @@ mod tests {
     #[test]
     fn illegal_function_code_traps() {
         // Valid opcode (IntArith = 0x10) with an unimplemented function.
-        let w = RawInstr(0)
-            .with_field(format::OPCODE, 0x10)
-            .with_field(format::FUNCTION, 0x7f);
+        let w = RawInstr(0).with_field(format::OPCODE, 0x10).with_field(format::FUNCTION, 0x7f);
         assert!(matches!(decode(w), Err(Trap::IllegalInstruction { .. })));
     }
 
@@ -566,24 +558,14 @@ mod tests {
         // Flipping an SBZ bit of a register-mode operate must still decode to
         // the same instruction (the paper observed "strictly correct" for
         // unused-bit corruption).
-        let i = Instr::IntOp {
-            func: IntFunc::Addq,
-            ra: r(1),
-            rb: Operand::Reg(r(2)),
-            rc: r(3),
-        };
+        let i = Instr::IntOp { func: IntFunc::Addq, ra: r(1), rb: Operand::Reg(r(2)), rc: r(3) };
         let w = encode(&i).flip_bit(13); // bit 13 is SBZ
         assert_eq!(decode(w).unwrap(), i);
     }
 
     #[test]
     fn literal_flag_flips_operand_kind() {
-        let i = Instr::IntOp {
-            func: IntFunc::Addq,
-            ra: r(1),
-            rb: Operand::Reg(r(2)),
-            rc: r(3),
-        };
+        let i = Instr::IntOp { func: IntFunc::Addq, ra: r(1), rb: Operand::Reg(r(2)), rc: r(3) };
         let w = encode(&i).flip_bit(12); // literal flag
         match decode(w).unwrap() {
             Instr::IntOp { rb: Operand::Lit(_), .. } => {}
@@ -603,12 +585,7 @@ mod tests {
     fn display_formats_read_like_assembly() {
         let i = Instr::Mem { op: MemOp::Ldq, ra: r(4), rb: IntReg::SP, disp: 16 };
         assert_eq!(i.to_string(), "ldq r4, 16(sp)");
-        let i = Instr::IntOp {
-            func: IntFunc::Addq,
-            ra: r(1),
-            rb: Operand::Lit(8),
-            rc: r(2),
-        };
+        let i = Instr::IntOp { func: IntFunc::Addq, ra: r(1), rb: Operand::Lit(8), rc: r(2) };
         assert_eq!(i.to_string(), "addq r1, #8, r2");
     }
 

@@ -6,11 +6,10 @@
 //! pseudo-instructions occupy reserved Alpha opcode space (`OPC01`/`OPC02`),
 //! mirroring how GemFI extends the ISA with `m5op`-style pseudo-ops.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Major (6-bit) opcodes implemented by the subset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Opcode {
     /// `CALL_PAL` — trap into the PAL/kernel layer.
@@ -133,8 +132,8 @@ impl Opcode {
             CallPal | FiActivate | FiReadInit => super::Format::PalCode,
             Lda | Ldah | Jmp | Ldt | Stt | Ldl | Ldq | Stl | Stq => super::Format::Memory,
             IntArith | IntLogic | IntShift | IntMul | FltOp => super::Format::Operate,
-            Br | Bsr | Fbeq | Fblt | Fble | Fbne | Fbge | Fbgt | Blbc | Beq | Blt | Ble
-            | Blbs | Bne | Bge | Bgt => super::Format::Branch,
+            Br | Bsr | Fbeq | Fblt | Fble | Fbne | Fbge | Fbgt | Blbc | Beq | Blt | Ble | Blbs
+            | Bne | Bge | Bgt => super::Format::Branch,
         }
     }
 }
@@ -143,7 +142,7 @@ impl Opcode {
 ///
 /// The pair `(major opcode, function)` selects the operation; unknown pairs
 /// decode to illegal instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IntFunc {
     // 0x10 group
     /// 32-bit add (sign-extended result).
@@ -358,7 +357,7 @@ impl fmt::Display for IntFunc {
 /// Function values are subset-local assignments within the 7-bit function
 /// field; the Alpha IEEE T-float codes do not fit the generic Table I operate
 /// layout the paper depicts, so the subset keeps the layout and renumbers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpFunc {
     /// IEEE double add.
     Addt,
@@ -494,7 +493,7 @@ impl fmt::Display for FpFunc {
 
 /// Conditions for integer conditional branches, shared between the decoder
 /// and the branch-predictor update path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchCond {
     /// `Ra == 0`
     Eq,
@@ -546,7 +545,7 @@ impl BranchCond {
 }
 
 /// Conditions for floating-point conditional branches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpBranchCond {
     /// `Ra == 0.0`
     Eq,
@@ -596,7 +595,7 @@ impl FpBranchCond {
 ///
 /// These play the role gem5 FS mode assigns to PALcode + the guest OS:
 /// console I/O, process control, memory management and threading.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PalFunc {
     /// Halt the machine immediately.
     Halt,

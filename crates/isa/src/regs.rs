@@ -1,6 +1,5 @@
 //! Architectural register identities and the register file.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An integer register index, `R0`–`R31`.
@@ -8,7 +7,7 @@ use std::fmt;
 /// `R31` is architecturally wired to zero: reads return 0, writes are
 /// discarded. The type guarantees the index is in range so the register file
 /// can index arrays without bounds checks failing at runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IntReg(u8);
 
 impl IntReg {
@@ -71,7 +70,7 @@ impl fmt::Display for IntReg {
 }
 
 /// A floating-point register index, `F0`–`F31`. `F31` is wired to zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FpReg(u8);
 
 impl FpReg {
@@ -114,7 +113,7 @@ impl fmt::Display for FpReg {
 /// These are the GemFI "special purpose register" fault locations: the
 /// program counter, the PCB base register the kernel substrate uses to name
 /// the running thread, and the processor status word.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecialReg {
     /// Program counter.
     Pc,
@@ -129,12 +128,8 @@ pub enum SpecialReg {
 
 impl SpecialReg {
     /// All special registers, in fault-location index order.
-    pub const ALL: [SpecialReg; 4] = [
-        SpecialReg::Pc,
-        SpecialReg::PcbBase,
-        SpecialReg::Psr,
-        SpecialReg::ExcAddr,
-    ];
+    pub const ALL: [SpecialReg; 4] =
+        [SpecialReg::Pc, SpecialReg::PcbBase, SpecialReg::Psr, SpecialReg::ExcAddr];
 }
 
 impl fmt::Display for SpecialReg {
@@ -150,7 +145,7 @@ impl fmt::Display for SpecialReg {
 
 /// A reference to any architectural register, used by the fault engine to
 /// track which location was corrupted and whether it was later consumed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegRef {
     /// An integer register.
     Int(IntReg),
@@ -175,7 +170,7 @@ impl fmt::Display for RegRef {
 /// Floating-point registers are stored as raw `u64` bit patterns rather than
 /// `f64` so that bit-level fault injection (flip/XOR/set) is exact and so
 /// checkpoints are bit-stable across hosts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegFile {
     int: [u64; super::NUM_INT_REGS],
     fp: [u64; super::NUM_FP_REGS],
@@ -184,10 +179,7 @@ pub struct RegFile {
 impl RegFile {
     /// A register file with every register zeroed.
     pub fn new() -> RegFile {
-        RegFile {
-            int: [0; super::NUM_INT_REGS],
-            fp: [0; super::NUM_FP_REGS],
-        }
+        RegFile { int: [0; super::NUM_INT_REGS], fp: [0; super::NUM_FP_REGS] }
     }
 
     /// Reads an integer register; `R31` always reads as zero.

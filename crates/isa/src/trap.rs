@@ -5,12 +5,11 @@
 //! instructions, corrupted addresses land outside mapped memory or lose
 //! their alignment, and runaway control flow is caught by the watchdog.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fatal guest trap. Any trap terminates the affected application run and
 /// the experiment is classified as `Crashed`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Trap {
     /// The fetched word did not decode to an implemented instruction.
     IllegalInstruction {

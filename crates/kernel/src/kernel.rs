@@ -1,12 +1,11 @@
 //! The kernel proper: boot, PAL dispatch, scheduling, context switching.
 
 use crate::layout::{
-    pcb_addr, stack_top, PCB_OFF_FP, PCB_OFF_INT, PCB_OFF_PC, PCB_OFF_PSR, MAX_THREADS,
+    pcb_addr, stack_top, MAX_THREADS, PCB_OFF_FP, PCB_OFF_INT, PCB_OFF_PC, PCB_OFF_PSR,
 };
 use crate::thread::{Thread, ThreadId, ThreadState};
 use gemfi_isa::{ArchState, FpReg, IntReg, PalFunc, Trap};
 use gemfi_mem::MemorySystem;
-use serde::{Deserialize, Serialize};
 
 /// What a PAL call (or timer interrupt) did to the machine, as seen by the
 /// CPU model that trapped into it.
@@ -27,7 +26,7 @@ pub enum PalOutcome {
 ///
 /// Owned by the machine alongside the memory system and CPU; serialized in
 /// whole-machine checkpoints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     threads: Vec<Thread>,
     current: ThreadId,
@@ -156,8 +155,7 @@ impl Kernel {
             let r = IntReg::new(i as u8).expect("index in range");
             arch.regs.write_int(r, mem.read_u64_functional(base + PCB_OFF_INT + i * 8)?);
             let f = FpReg::new(i as u8).expect("index in range");
-            arch.regs
-                .write_fp_bits(f, mem.read_u64_functional(base + PCB_OFF_FP + i * 8)?);
+            arch.regs.write_fp_bits(f, mem.read_u64_functional(base + PCB_OFF_FP + i * 8)?);
         }
         arch.pc = mem.read_u64_functional(base + PCB_OFF_PC)?;
         arch.psr = mem.read_u64_functional(base + PCB_OFF_PSR)?;
@@ -223,8 +221,7 @@ impl Kernel {
         for i in 0..self.threads.len() {
             if self.threads[i].state == ThreadState::Joining(exited) {
                 self.threads[i].state = ThreadState::Runnable;
-                let v0_slot =
-                    self.threads[i].pcbb + PCB_OFF_INT + IntReg::V0.index() as u64 * 8;
+                let v0_slot = self.threads[i].pcbb + PCB_OFF_INT + IntReg::V0.index() as u64 * 8;
                 mem.write_u64_functional(v0_slot, code)?;
             }
         }
@@ -293,11 +290,7 @@ impl Kernel {
                 if self.threads.len() >= MAX_THREADS {
                     arch.regs.write_int(IntReg::V0, u64::MAX);
                 } else {
-                    let sp = if sp == 0 {
-                        stack_top(self.threads.len(), mem.size())
-                    } else {
-                        sp
-                    };
+                    let sp = if sp == 0 { stack_top(self.threads.len(), mem.size()) } else { sp };
                     let tid = self.create_thread(mem, entry, sp, arg)?;
                     arch.regs.write_int(IntReg::V0, tid as u64);
                 }
@@ -346,9 +339,7 @@ impl Kernel {
                         self.switch_to(t, arch, mem, false)?;
                         Ok(PalOutcome::Switched)
                     }
-                    None => Ok(PalOutcome::AllExited(
-                        self.main_exit_code().unwrap_or(code),
-                    )),
+                    None => Ok(PalOutcome::AllExited(self.main_exit_code().unwrap_or(code))),
                 }
             }
         }

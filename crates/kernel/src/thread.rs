@@ -1,12 +1,10 @@
 //! Kernel thread bookkeeping.
 
-use serde::{Deserialize, Serialize};
-
 /// A guest thread identifier (index into the PCB array).
 pub type ThreadId = usize;
 
 /// Scheduler state of one thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadState {
     /// Eligible to run.
     Runnable,
@@ -18,7 +16,7 @@ pub enum ThreadState {
 
 /// Host-side metadata for one guest thread. The register context itself
 /// lives in the guest PCB, not here.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Thread {
     /// Thread id.
     pub tid: ThreadId,

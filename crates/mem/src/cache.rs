@@ -1,10 +1,9 @@
 //! Set-associative tag cache with LRU replacement.
 
 use crate::stats::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size: usize,
@@ -23,7 +22,7 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct Line {
     tag: u64,
     valid: bool,
@@ -47,7 +46,7 @@ pub struct CacheAccess {
 /// physical memory. That keeps functional state in one place (important for
 /// fault injection on memory transactions) while the cache contributes
 /// timing and the hit/miss statistics the paper's validation compares.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     config: CacheConfig,
     lines: Vec<Line>,
@@ -114,10 +113,8 @@ impl Cache {
         }
 
         self.stats.misses += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            ways.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
         let writeback = victim.valid && victim.dirty;
         if writeback {
             self.stats.writebacks += 1;

@@ -1,10 +1,9 @@
 //! Memory-system configuration.
 
 use crate::cache::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the whole memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
     /// Physical memory size in bytes.
     pub phys_size: usize,

@@ -6,7 +6,6 @@ use crate::phys::PhysMem;
 use crate::stats::MemStats;
 use crate::Ticks;
 use gemfi_isa::Trap;
-use serde::{Deserialize, Serialize};
 
 /// Which port an access uses (instruction or data side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +26,7 @@ pub enum AccessKind {
 /// program loader, the kernel substrate's bookkeeping, checkpoint capture,
 /// and host-side output extraction, none of which exist on the simulated
 /// timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemorySystem {
     config: MemConfig,
     phys: PhysMem,

@@ -1,7 +1,6 @@
 //! Physical memory backing store.
 
 use gemfi_isa::Trap;
-use serde::{Deserialize, Serialize};
 
 /// Byte-addressable guest physical memory.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// configured size raises [`Trap::UnmappedAccess`], which is how corrupted
 /// base registers and displacements become the paper's segmentation-fault
 /// crashes. Multi-byte accesses additionally require natural alignment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysMem {
     bytes: Vec<u8>,
 }

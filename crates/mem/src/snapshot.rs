@@ -6,8 +6,8 @@
 //! matching gem5's behaviour when restoring a checkpoint into a different
 //! CPU model (the paper's campaign methodology restores into O3 mode).
 
-use crate::hierarchy::MemorySystem;
 use crate::config::MemConfig;
+use crate::hierarchy::MemorySystem;
 use gemfi_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
 
 const TAG_ZEROS: u8 = 0;
@@ -93,20 +93,16 @@ impl Codec for MemorySystem {
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
         let phys_size = r.get_len()?;
         let dram_latency = r.get_u64()?;
-        let mut caches = [crate::cache::CacheConfig { size: 0, ways: 0, line: 0, hit_latency: 0 }; 3];
+        let mut caches =
+            [crate::cache::CacheConfig { size: 0, ways: 0, line: 0, hit_latency: 0 }; 3];
         for c in &mut caches {
             c.size = r.get_len()?;
             c.ways = r.get_len()?;
             c.line = r.get_len()?;
             c.hit_latency = r.get_u64()?;
         }
-        let config = MemConfig {
-            phys_size,
-            l1i: caches[0],
-            l1d: caches[1],
-            l2: caches[2],
-            dram_latency,
-        };
+        let config =
+            MemConfig { phys_size, l1i: caches[0], l1d: caches[1], l2: caches[2], dram_latency };
         let image = decode_image(r)?;
         if image.len() != phys_size {
             return Err(CodecError::LengthOverflow { len: image.len() as u64 });

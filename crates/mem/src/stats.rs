@@ -4,11 +4,10 @@
 //! provided by the simulator" between GemFI and unmodified gem5; these
 //! counters are that surface for the memory side.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hit/miss counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -48,7 +47,7 @@ impl fmt::Display for CacheStats {
 }
 
 /// Aggregate statistics of the whole memory system.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1 instruction cache.
     pub l1i: CacheStats,

@@ -6,6 +6,13 @@
 //! a different CPU model). Checkpoints serialize with the workspace's
 //! [`Codec`] into a versioned binary file — the "network share" objects of
 //! the paper's NoW protocol (Sec. III-E step 2).
+//!
+//! The file starts with a self-describing header — magic, format version,
+//! and an FNV-1a digest of the payload — so campaign tooling can cheaply
+//! fingerprint a spooled checkpoint ([`Checkpoint::peek_header`]) without
+//! decoding it. The resume path compares this digest against the one
+//! recorded in the campaign journal and rejects a stale or swapped
+//! checkpoint before re-running any experiment against the wrong state.
 
 use crate::config::MachineConfig;
 use gemfi_cpu::CpuKind;
@@ -15,7 +22,27 @@ use gemfi_kernel::Kernel;
 use gemfi_mem::{MemConfig, MemorySystem};
 
 const MAGIC: u32 = 0x47_46_49_43; // "GFIC"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// FNV-1a, 64-bit — the checkpoint payload fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The decoded file header of a serialized checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Format version ([`Checkpoint::decode`] accepts exactly the current
+    /// one).
+    pub version: u32,
+    /// FNV-1a digest of the encoded payload.
+    pub digest: u64,
+}
 
 /// A point-in-time snapshot of a [`crate::Machine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -53,10 +80,8 @@ fn decode_cpu_kind(r: &mut ByteReader<'_>) -> Result<CpuKind, CodecError> {
     })
 }
 
-impl Codec for Checkpoint {
-    fn encode(&self, w: &mut ByteWriter) {
-        w.put_u32(MAGIC);
-        w.put_u32(VERSION);
+impl Checkpoint {
+    fn encode_payload(&self, w: &mut ByteWriter) {
         encode_cpu_kind(self.config.cpu, w);
         w.put_u64(self.config.quantum);
         w.put_u64(self.config.max_ticks);
@@ -68,18 +93,7 @@ impl Codec for Checkpoint {
         w.put_u64(self.instret);
     }
 
-    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
-        let magic = r.get_u32()?;
-        if magic != MAGIC {
-            return Err(CodecError::InvalidTag { what: "checkpoint magic", value: magic as u64 });
-        }
-        let version = r.get_u32()?;
-        if version != VERSION {
-            return Err(CodecError::InvalidTag {
-                what: "checkpoint version",
-                value: version as u64,
-            });
-        }
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Checkpoint, CodecError> {
         let cpu = decode_cpu_kind(r)?;
         let quantum = r.get_u64()?;
         let max_ticks = r.get_u64()?;
@@ -98,6 +112,64 @@ impl Codec for Checkpoint {
             tick,
             instret,
         })
+    }
+
+    /// The payload fingerprint this checkpoint would carry in its file
+    /// header — the identity the campaign journal records and the resume
+    /// path verifies.
+    pub fn digest(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        self.encode_payload(&mut w);
+        fnv1a(&w.into_bytes())
+    }
+
+    /// Reads just the header of a serialized checkpoint, without decoding
+    /// (or validating) the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] for short or foreign files.
+    pub fn peek_header(bytes: &[u8]) -> Result<CheckpointHeader, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(CodecError::InvalidTag { what: "checkpoint magic", value: magic as u64 });
+        }
+        let version = r.get_u32()?;
+        let digest = r.get_u64()?;
+        Ok(CheckpointHeader { version, digest })
+    }
+}
+
+impl Codec for Checkpoint {
+    fn encode(&self, w: &mut ByteWriter) {
+        let mut pw = ByteWriter::new();
+        self.encode_payload(&mut pw);
+        let payload = pw.into_bytes();
+        w.put_u32(MAGIC);
+        w.put_u32(VERSION);
+        w.put_u64(fnv1a(&payload));
+        w.put_bytes(&payload);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let magic = r.get_u32()?;
+        if magic != MAGIC {
+            return Err(CodecError::InvalidTag { what: "checkpoint magic", value: magic as u64 });
+        }
+        let version = r.get_u32()?;
+        if version != VERSION {
+            return Err(CodecError::InvalidTag {
+                what: "checkpoint version",
+                value: version as u64,
+            });
+        }
+        let digest = r.get_u64()?;
+        let payload = r.get_bytes()?;
+        if fnv1a(payload) != digest {
+            return Err(CodecError::InvalidTag { what: "checkpoint digest", value: digest });
+        }
+        Checkpoint::decode_payload(&mut ByteReader::new(payload))
     }
 }
 
@@ -120,6 +192,21 @@ impl Checkpoint {
     pub fn load(path: &std::path::Path) -> std::io::Result<Checkpoint> {
         let bytes = std::fs::read(path)?;
         Checkpoint::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Reads just the header of a checkpoint file (cheap fingerprinting for
+    /// resume validation).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a [`CodecError`] wrapped as `InvalidData`.
+    pub fn load_header(path: &std::path::Path) -> std::io::Result<CheckpointHeader> {
+        let mut bytes = [0u8; 16];
+        let full = std::fs::read(path)?;
+        let n = full.len().min(16);
+        bytes[..n].copy_from_slice(&full[..n]);
+        Checkpoint::peek_header(&bytes[..n])
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
@@ -180,6 +267,9 @@ mod tests {
         c.save(&path).unwrap();
         let loaded = Checkpoint::load(&path).unwrap();
         assert_equivalent(&loaded, &c);
+        let header = Checkpoint::load_header(&path).unwrap();
+        assert_eq!(header.version, VERSION);
+        assert_eq!(header.digest, c.digest());
         std::fs::remove_file(&path).ok();
     }
 
@@ -189,6 +279,36 @@ mod tests {
         let mut bytes = c.to_bytes();
         bytes[0] ^= 0xff;
         assert!(Checkpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn stale_version_is_rejected() {
+        let (_, c) = checkpointing_machine();
+        let mut bytes = c.to_bytes();
+        bytes[4] = 1; // little-endian version field → v1
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(format!("{err:?}").contains("version"), "{err:?}");
+        // The header remains peekable even for rejected versions.
+        assert_eq!(Checkpoint::peek_header(&bytes).unwrap().version, 1);
+    }
+
+    #[test]
+    fn corrupt_payload_fails_the_digest() {
+        let (_, c) = checkpointing_machine();
+        let mut bytes = c.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert!(format!("{err:?}").contains("digest"), "{err:?}");
+    }
+
+    #[test]
+    fn digest_identifies_distinct_checkpoints() {
+        let (_, a) = checkpointing_machine();
+        let mut b = a.clone();
+        b.tick += 1;
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), a.clone().digest());
     }
 
     #[test]

@@ -2,10 +2,9 @@
 
 use gemfi_cpu::CpuKind;
 use gemfi_mem::MemConfig;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`crate::Machine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
     /// CPU model to boot with.
     pub cpu: CpuKind,

@@ -38,7 +38,7 @@ mod loader;
 mod machine;
 mod stats;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointHeader};
 pub use config::MachineConfig;
 pub use machine::{Machine, RunExit};
 pub use stats::SimStats;

@@ -35,10 +35,7 @@ mod tests {
         let p = a.finish().unwrap();
         let mut mem = MemorySystem::new(MemConfig { phys_size: 1 << 20, ..MemConfig::default() });
         load_program(&mut mem, &p).unwrap();
-        assert_eq!(
-            mem.read_u32_functional(TEXT_BASE).unwrap(),
-            p.text_words()[0]
-        );
+        assert_eq!(mem.read_u32_functional(TEXT_BASE).unwrap(), p.text_words()[0]);
         assert_eq!(mem.read_u64_functional(p.symbol("blob").unwrap()).unwrap(), 0xfeed);
     }
 

@@ -102,8 +102,13 @@ impl<H: FaultHooks> Machine<H> {
         let mut mem = MemorySystem::new(config.mem);
         load_program(&mut mem, program)?;
         let mut arch = ArchState::default();
-        let mut kernel =
-            Kernel::boot(&mut arch, &mut mem, program.entry(), program.image_end(), config.quantum)?;
+        let mut kernel = Kernel::boot(
+            &mut arch,
+            &mut mem,
+            program.entry(),
+            program.image_end(),
+            config.quantum,
+        )?;
         if config.boot_spin > 0 {
             install_boot_stub(&mut mem, &mut arch, config.boot_spin, program.entry())?;
             // Re-save the boot thread's context so its PCB records the stub

@@ -1,13 +1,12 @@
 //! Whole-machine statistics.
 
 use gemfi_mem::MemStats;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The simulator statistics surface the paper's no-fault validation compares
 /// ("as well as the statistical results provided by the simulator. For all
 /// benchmarks the results were identical").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated ticks elapsed.
     pub ticks: u64,

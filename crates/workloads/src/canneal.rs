@@ -123,7 +123,7 @@ impl Workload for Canneal {
         a.s8addq(Reg::R8, Reg::R21, Reg::R9);
         a.ldq(Reg::R9, 0, Reg::R9); // pos[e]
         a.mov(Reg::R9, Reg::R25); // keep pos[e]
-        // net 1: (e+1) & 63
+                                  // net 1: (e+1) & 63
         a.addq_lit(Reg::R8, 1, Reg::R10);
         a.and_lit(Reg::R10, (N - 1) as u8, Reg::R10);
         a.s8addq(Reg::R10, Reg::R21, Reg::R11);
@@ -251,10 +251,7 @@ impl Workload for Canneal {
         a.bne(Reg::R3, "emit");
         a.exit(0);
 
-        GuestWorkload {
-            program: a.finish().expect("canneal assembles"),
-            output_len: 16 + N * 8,
-        }
+        GuestWorkload { program: a.finish().expect("canneal assembles"), output_len: 16 + N * 8 }
     }
 
     fn reference(&self) -> Vec<u8> {

@@ -328,9 +328,7 @@ impl Workload for Dct {
         let q: Vec<f64> = QTABLE.iter().map(|&v| v as i64 as f64).collect();
         // Level-shifted input.
         let img: Vec<f64> = (0..h)
-            .flat_map(|y| {
-                (0..w).map(move |x| (input_pixel(x, y) as i64 as f64) - 128.0)
-            })
+            .flat_map(|y| (0..w).map(move |x| (input_pixel(x, y) as i64 as f64) - 128.0))
             .collect();
         let mut out = vec![0u64; w * h];
         let mm = |a: &dyn Fn(usize, usize) -> f64, b: &dyn Fn(usize, usize) -> f64| {
@@ -379,9 +377,7 @@ impl Workload for Dct {
             .collect();
         let pixels: Vec<u8> = faulty.chunks_exact(8).map(|c| c[0]).collect();
         // Out-of-range words mean corrupted output, not pixels.
-        if faulty
-            .chunks_exact(8)
-            .any(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) > 255)
+        if faulty.chunks_exact(8).any(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) > 255)
         {
             return false;
         }

@@ -101,7 +101,7 @@ impl Workload for Deblock {
         a.ldq(Reg::R12, 0, Reg::R9); // p1
         a.ldq(Reg::R13, 0, Reg::A0); // q0
         a.ldq(Reg::R10, 0, Reg::R10); // q1
-        // |p0-q0| < ALPHA
+                                      // |p0-q0| < ALPHA
         a.subq(Reg::R11, Reg::R13, Reg::R24);
         a.subq(Reg::ZERO, Reg::R24, Reg::R25);
         a.cmovlt(Reg::R24, Reg::R25, Reg::R24);

@@ -117,12 +117,7 @@ pub fn reference_run(workload: &dyn Workload, cpu: CpuKind) -> Result<RunOutput,
         .read_slice(guest.output_addr(), guest.output_len)
         .expect("output region mapped")
         .to_vec();
-    Ok(RunOutput {
-        exit,
-        bytes,
-        console: machine.console().to_vec(),
-        stats: machine.stats(),
-    })
+    Ok(RunOutput { exit, bytes, console: machine.console().to_vec(), stats: machine.stats() })
 }
 
 #[cfg(test)]

@@ -94,7 +94,7 @@ impl Workload for Jacobi {
         a.itoft(Reg::R5, FReg::F1);
         a.cvtqt(FReg::F1, FReg::F1);
         a.divt(FReg::F10, FReg::F1, FReg::F1); // 1/(1+|i-j|)
-        // diagonal: n
+                                               // diagonal: n
         a.itoft(Reg::R20, FReg::F2);
         a.cvtqt(FReg::F2, FReg::F2);
         a.cmpeq(Reg::R3, Reg::R4, Reg::R5);
@@ -190,10 +190,7 @@ impl Workload for Jacobi {
         a.stq(Reg::R23, 0, Reg::R5);
         a.exit(0);
 
-        GuestWorkload {
-            program: a.finish().expect("jacobi assembles"),
-            output_len: self.n * 8 + 8,
-        }
+        GuestWorkload { program: a.finish().expect("jacobi assembles"), output_len: self.n * 8 + 8 }
     }
 
     fn reference(&self) -> Vec<u8> {
@@ -222,8 +219,7 @@ impl Workload for Jacobi {
                 break;
             }
         }
-        let mut out: Vec<u8> =
-            x.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let mut out: Vec<u8> = x.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
         out.extend_from_slice(&iters.to_le_bytes());
         out
     }

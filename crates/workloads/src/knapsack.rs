@@ -263,7 +263,7 @@ impl Workload for Knapsack {
         a.and(Reg::R7, Reg::R2, Reg::R3); // p1 low bits
         a.bic(Reg::R19, Reg::R2, Reg::R4); // p2 high bits
         a.bis(Reg::R3, Reg::R4, Reg::R3); // child
-        // mutation with probability 1/8
+                                          // mutation with probability 1/8
         a.mulq(Reg::R22, Reg::R20, Reg::R22);
         a.addq(Reg::R22, Reg::R18, Reg::R22);
         a.srl_lit(Reg::R22, 40, Reg::R1);
@@ -372,8 +372,7 @@ impl Workload for Knapsack {
     }
 
     fn accept(&self, faulty: &[u8], golden: &[u8]) -> bool {
-        let (Some((fg, ff, _fw)), Some((_, gf, _))) = (read_out(faulty), read_out(golden))
-        else {
+        let (Some((fg, ff, _fw)), Some((_, gf, _))) = (read_out(faulty), read_out(golden)) else {
             return false;
         };
         // The solution must be *verifiably* valid: recompute value and

@@ -34,7 +34,9 @@ pub mod knapsack;
 pub mod pi;
 pub mod psnr;
 
-pub use harness::{reference_run, workload_machine_config, GuestWorkload, Quality, RunOutput, Workload};
+pub use harness::{
+    reference_run, workload_machine_config, GuestWorkload, Quality, RunOutput, Workload,
+};
 
 /// All six paper workloads with default (scaled) parameters, in the order
 /// the paper's figures list them.

@@ -25,9 +25,7 @@ fn main() {
     let mut sampler = FaultSampler::new(0xca3_9a19, prepared.stage_events, 0, 0);
     let population = sampler.total_population();
     let full = leveugle_sample_size(population, 0.01, gemfi_campaign::stats::Z_99, 0.5);
-    println!(
-        "  population {population}; a paper-grade campaign (99%/1%) would need {full} runs"
-    );
+    println!("  population {population}; a paper-grade campaign (99%/1%) would need {full} runs");
 
     let per_class = 12;
     println!("\nrunning {per_class} experiments per location class…\n");

@@ -30,16 +30,14 @@ fn main() {
 
     // Serial, checkpoint-fast-forwarded.
     let t = Instant::now();
-    let serial: Vec<_> = specs
-        .iter()
-        .map(|s| run_experiment(&prepared, &workload, *s, &runner).outcome)
-        .collect();
+    let serial: Vec<_> =
+        specs.iter().map(|s| run_experiment(&prepared, &workload, *s, &runner).outcome).collect();
     println!("\nserial (checkpointed): {:?} in {:.2?}", count(&serial), t.elapsed());
 
     // The NoW protocol over a spool directory.
     let share = std::env::temp_dir().join(format!("gemfi-example-now-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&share);
-    let cfg = NowConfig { workstations: 3, slots_per_workstation: 2, share_dir: share.clone() };
+    let cfg = NowConfig::new(3, 2, &share);
     let t = Instant::now();
     let (table, results, report) =
         run_campaign_now(&prepared, &workload, &specs, &runner, &cfg).expect("share usable");

@@ -42,15 +42,14 @@ fn main() {
     }
 
     // Fault-free reference.
-    let mut golden = Machine::boot(MachineConfig::default(), &program, gemfi_cpu::NoopHooks)
-        .expect("boots");
+    let mut golden =
+        Machine::boot(MachineConfig::default(), &program, gemfi_cpu::NoopHooks).expect("boots");
     let golden_exit = golden.run();
     println!("\nfault-free run: {golden_exit}");
 
     // Fault-injected run on the out-of-order model.
     let config = MachineConfig { cpu: gemfi_cpu::CpuKind::O3, ..MachineConfig::default() };
-    let mut machine =
-        Machine::boot(config, &program, GemFiEngine::new(faults)).expect("boots");
+    let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults)).expect("boots");
     let exit = machine.run();
     println!("fault-injected run: {exit}");
 

@@ -34,7 +34,7 @@ fn main() {
     };
     let trials = 12;
 
-    println!("Vdd scaling on {} (kernel = {} cycles)\n", "pi", kernel_cycles);
+    println!("Vdd scaling on pi (kernel = {} cycles)\n", kernel_cycles);
     println!(
         "{:>6} {:>10} {:>14} {:>12} {:>12}",
         "vdd", "power", "E[upsets]", "acceptable%", "crash%"
@@ -48,8 +48,7 @@ fn main() {
         let faults_per_run = (expected.round() as usize).min(128);
         let mut acceptable = 0;
         let mut crashed = 0;
-        let mut sampler =
-            FaultSampler::new(0xdd + step as u64, prepared.stage_events, 0, 0);
+        let mut sampler = FaultSampler::new(0xdd + step as u64, prepared.stage_events, 0, 0);
         for _ in 0..trials {
             let specs: Vec<_> = (0..faults_per_run)
                 .map(|i| {

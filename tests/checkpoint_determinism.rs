@@ -10,8 +10,8 @@ use gemfi_workloads::knapsack::Knapsack;
 use gemfi_workloads::{workload_machine_config, GuestWorkload, Workload};
 
 fn straight_through(guest: &GuestWorkload, cpu: CpuKind) -> (Vec<u8>, u64) {
-    let mut m = Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks)
-        .expect("boots");
+    let mut m =
+        Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks).expect("boots");
     let mut exit = m.run();
     while exit == RunExit::CheckpointRequest {
         exit = m.run();

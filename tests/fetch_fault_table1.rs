@@ -35,11 +35,8 @@ fn run_with_fetch_flip(
         behavior: gemfi::FaultBehavior::Flip(bit),
         occurrences: 1,
     }]);
-    let config = MachineConfig {
-        cpu: CpuKind::Atomic,
-        max_ticks: 3_000_000,
-        ..MachineConfig::default()
-    };
+    let config =
+        MachineConfig { cpu: CpuKind::Atomic, max_ticks: 3_000_000, ..MachineConfig::default() };
     let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults)).expect("boots");
     let exit = machine.run();
     (exit, machine.hooks().records().to_vec())
@@ -71,10 +68,7 @@ fn opcode_flip_to_hole_crashes_with_illegal_instruction() {
         1,
         27,
     );
-    assert!(
-        matches!(exit, RunExit::Trapped(Trap::IllegalInstruction { .. })),
-        "got {exit}"
-    );
+    assert!(matches!(exit, RunExit::Trapped(Trap::IllegalInstruction { .. })), "got {exit}");
 }
 
 #[test]
@@ -92,10 +86,7 @@ fn memory_displacement_flip_crashes_on_wild_address() {
         3, // li expands to ldah+lda; the ldq is the 3rd fetched instruction
         14,
     );
-    assert!(
-        matches!(exit, RunExit::Trapped(Trap::UnmappedAccess { .. })),
-        "got {exit}"
-    );
+    assert!(matches!(exit, RunExit::Trapped(Trap::UnmappedAccess { .. })), "got {exit}");
 }
 
 #[test]
@@ -135,12 +126,11 @@ fn register_selector_flip_changes_dataflow() {
         location: gemfi::FaultLocation::Decode { core: 0 },
         thread: 0,
         timing: gemfi::FaultTiming::Instructions(4), // the addq
-        behavior: gemfi::FaultBehavior::Flip(11), // Ra selector bit 1: r1 -> r3
+        behavior: gemfi::FaultBehavior::Flip(11),    // Ra selector bit 1: r1 -> r3
         occurrences: 1,
     }]);
     let mut machine =
-        Machine::boot(MachineConfig::default(), &program, GemFiEngine::new(faults))
-            .expect("boots");
+        Machine::boot(MachineConfig::default(), &program, GemFiEngine::new(faults)).expect("boots");
     let exit = machine.run();
     // r4 = r3 + r2 = 78 instead of r1 + r2 = 11.
     assert_eq!(exit, RunExit::Halted(78), "decode fault must redirect the source register");

@@ -3,7 +3,7 @@
 //! with `Threadid:N` only ever hits the thread that called
 //! `fi_activate_inst(N)`.
 
-use gemfi::{FaultConfig, GemFiEngine};
+use gemfi::GemFiEngine;
 use gemfi_asm::{Assembler, Reg};
 use gemfi_cpu::CpuKind;
 use gemfi_sim::{Machine, MachineConfig, RunExit};

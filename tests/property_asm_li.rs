@@ -1,12 +1,12 @@
-//! Executable property test for the assembler's constant-materialization
+//! Executable randomized test for the assembler's constant-materialization
 //! pseudo-ops: for arbitrary 64-bit constants, `li` must leave exactly that
 //! value in the register when the program runs (covering the one-, two-,
 //! and pool-instruction expansion paths), and `lif` the exact IEEE bits.
 
 use gemfi_asm::{Assembler, FReg, Reg};
+use gemfi_campaign::rng::SplitMix64;
 use gemfi_cpu::NoopHooks;
 use gemfi_sim::{Machine, MachineConfig, RunExit};
-use proptest::prelude::*;
 
 fn machine_value_of(build: impl Fn(&mut Assembler)) -> u64 {
     let mut a = Assembler::new();
@@ -21,25 +21,29 @@ fn machine_value_of(build: impl Fn(&mut Assembler)) -> u64 {
     m.out_words()[0]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn li_materializes_arbitrary_constants(value in any::<i64>()) {
+#[test]
+fn li_materializes_arbitrary_constants() {
+    let mut rng = SplitMix64::new(0x11);
+    for _ in 0..48 {
+        let value = rng.next_u64() as i64;
         let got = machine_value_of(|a| {
             a.li(Reg::R1, value);
         });
-        prop_assert_eq!(got, value as u64);
+        assert_eq!(got, value as u64, "li({value:#x})");
     }
+}
 
-    #[test]
-    fn lif_materializes_exact_ieee_bits(bits in any::<u64>()) {
+#[test]
+fn lif_materializes_exact_ieee_bits() {
+    let mut rng = SplitMix64::new(0x11f);
+    for _ in 0..48 {
+        let bits = rng.next_u64();
         let got = machine_value_of(|a| {
             a.lif(FReg::F1, f64::from_bits(bits), Reg::R9);
             a.ftoit(FReg::F1, Reg::R1);
         });
         // +0.0 is the only value lif encodes without the pool (via F31).
-        prop_assert_eq!(got, bits);
+        assert_eq!(got, bits, "lif({bits:#x})");
     }
 }
 

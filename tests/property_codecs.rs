@@ -1,55 +1,69 @@
-//! Property-based tests over the workspace's codecs and core invariants.
+//! Randomized tests over the workspace's codecs and core invariants.
+//! Seeded with a fixed [`SplitMix64`] stream so every run checks the same
+//! (large) sample deterministically.
 
-use gemfi::{FaultConfig, FaultSpec};
+use gemfi::{FaultBehavior, FaultConfig, FaultLocation, FaultSpec, FaultTiming, MemTarget};
+use gemfi_campaign::rng::SplitMix64;
 use gemfi_isa::codec::Codec;
-use gemfi_isa::{decode, encode, disassemble, ArchState, IntReg, RawInstr};
-use proptest::prelude::*;
+use gemfi_isa::{decode, disassemble, encode, ArchState, IntReg, RawInstr};
 
-proptest! {
-    /// Decode∘encode is the identity on every decodable instruction word —
-    /// i.e., re-encoding a decoded word reproduces a word that decodes to
-    /// the same instruction (the fetch-fault analysis depends on decoding
-    /// being a function of the word's fields alone).
-    #[test]
-    fn decode_encode_is_stable(word in any::<u32>()) {
+/// Decode∘encode is the identity on every decodable instruction word —
+/// i.e., re-encoding a decoded word reproduces a word that decodes to the
+/// same instruction (the fetch-fault analysis depends on decoding being a
+/// function of the word's fields alone).
+#[test]
+fn decode_encode_is_stable() {
+    let mut rng = SplitMix64::new(0xc0dec);
+    for _ in 0..20_000 {
+        let word = rng.next_u64() as u32;
         if let Ok(instr) = decode(RawInstr(word)) {
             let reencoded = encode(&instr);
             let instr2 = decode(reencoded).expect("re-encoded instruction decodes");
-            prop_assert_eq!(instr, instr2);
+            assert_eq!(instr, instr2, "word {word:#010x}");
         }
     }
+}
 
-    /// The disassembler never panics, on any word.
-    #[test]
-    fn disassembler_is_total(word in any::<u32>()) {
-        let text = disassemble(RawInstr(word));
-        prop_assert!(!text.is_empty());
+/// The disassembler never panics, on any word.
+#[test]
+fn disassembler_is_total() {
+    let mut rng = SplitMix64::new(0xd15a);
+    for _ in 0..20_000 {
+        let text = disassemble(RawInstr(rng.next_u64() as u32));
+        assert!(!text.is_empty());
     }
+    // Exhaustive over the opcode space with zeroed operand fields.
+    for op in 0u32..64 {
+        assert!(!disassemble(RawInstr(op << 26)).is_empty());
+    }
+}
 
-    /// Architectural state serialization is bit-exact.
-    #[test]
-    fn archstate_codec_roundtrips(
-        pc in any::<u64>(),
-        pcbb in any::<u64>(),
-        regs in proptest::collection::vec(any::<u64>(), 31),
-    ) {
-        let mut a = ArchState::new(pc);
-        a.pcbb = pcbb;
-        for (i, v) in regs.iter().enumerate() {
-            a.regs.write_int(IntReg::new(i as u8).unwrap(), *v);
+/// Architectural state serialization is bit-exact.
+#[test]
+fn archstate_codec_roundtrips() {
+    let mut rng = SplitMix64::new(0xa5c4);
+    for _ in 0..200 {
+        let mut a = ArchState::new(rng.next_u64());
+        a.pcbb = rng.next_u64();
+        for i in 0..31u8 {
+            a.regs.write_int(IntReg::new(i).unwrap(), rng.next_u64());
         }
         let b = ArchState::from_bytes(&a.to_bytes()).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// The zero-run image compression round-trips arbitrary images.
-    #[test]
-    fn image_rle_roundtrips(mut img in proptest::collection::vec(any::<u8>(), 0..4096),
-                            zero_runs in proptest::collection::vec((0usize..4096, 0usize..128), 0..8)) {
+/// The zero-run image compression round-trips arbitrary images.
+#[test]
+fn image_rle_roundtrips() {
+    let mut rng = SplitMix64::new(0x1337);
+    for _ in 0..200 {
+        let len = rng.below(4096) as usize;
+        let mut img: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         // Inject zero runs to exercise both record kinds.
-        for (start, len) in zero_runs {
-            let s = start.min(img.len());
-            let e = (s + len).min(img.len());
+        for _ in 0..rng.below(8) {
+            let s = (rng.below(4096) as usize).min(img.len());
+            let e = (s + rng.below(128) as usize).min(img.len());
             for b in &mut img[s..e] {
                 *b = 0;
             }
@@ -58,61 +72,65 @@ proptest! {
         gemfi_mem::encode_image(&img, &mut w);
         let bytes = w.into_bytes();
         let mut r = gemfi_isa::codec::ByteReader::new(&bytes);
-        prop_assert_eq!(gemfi_mem::decode_image(&mut r).unwrap(), img);
+        assert_eq!(gemfi_mem::decode_image(&mut r).unwrap(), img);
     }
+}
 
-    /// Fault behaviours confined to a width never disturb higher bits, and
-    /// `Flip` is an involution.
-    #[test]
-    fn corruption_respects_width(value in any::<u64>(), bit in 0u8..64, width in prop::sample::select(vec![15u8, 32, 64])) {
-        use gemfi::FaultBehavior;
+/// Fault behaviours confined to a width never disturb higher bits, and
+/// `Flip` is an involution.
+#[test]
+fn corruption_respects_width() {
+    let mut rng = SplitMix64::new(0xbadb17);
+    for _ in 0..2_000 {
+        let value = rng.next_u64();
+        let bit = rng.below(64) as u8;
+        let width = [15u8, 32, 64][rng.below(3) as usize];
         let mask: u64 = if width == 64 { u64::MAX } else { (1 << width) - 1 };
         let flipped = gemfi::corrupt::apply(FaultBehavior::Flip(bit), value, width);
-        prop_assert_eq!(flipped & !mask, value & !mask, "high bits preserved");
+        assert_eq!(flipped & !mask, value & !mask, "high bits preserved");
         let back = gemfi::corrupt::apply(FaultBehavior::Flip(bit), flipped, width);
-        prop_assert_eq!(back, value, "flip is involutive");
+        assert_eq!(back, value, "flip is involutive");
     }
 }
 
-/// Strategy for arbitrary fault specs (exercising the config text format).
-fn arb_spec() -> impl Strategy<Value = FaultSpec> {
-    use gemfi::{FaultBehavior, FaultLocation, FaultTiming, MemTarget};
-    let location = prop_oneof![
-        (0u8..31).prop_map(|reg| FaultLocation::IntReg { core: 0, reg }),
-        (0u8..31).prop_map(|reg| FaultLocation::FpReg { core: 0, reg }),
-        Just(FaultLocation::Fetch { core: 0 }),
-        Just(FaultLocation::Decode { core: 0 }),
-        Just(FaultLocation::Execute { core: 0 }),
-        Just(FaultLocation::Pc { core: 0 }),
-        prop_oneof![Just(MemTarget::Load), Just(MemTarget::Store), Just(MemTarget::Any)]
-            .prop_map(|target| FaultLocation::Mem { core: 0, target }),
-    ];
-    let timing = prop_oneof![
-        (1u64..1_000_000).prop_map(FaultTiming::Instructions),
-        (1u64..1_000_000).prop_map(FaultTiming::Ticks),
-    ];
-    let behavior = prop_oneof![
-        (0u8..64).prop_map(FaultBehavior::Flip),
-        any::<u64>().prop_map(FaultBehavior::Xor),
-        any::<u64>().prop_map(FaultBehavior::Set),
-        Just(FaultBehavior::AllZero),
-        Just(FaultBehavior::AllOne),
-    ];
-    (location, timing, behavior, 0u32..8, 1u64..100).prop_map(
-        |(location, timing, behavior, thread, occurrences)| FaultSpec {
-            location,
-            thread,
-            timing,
-            behavior,
-            occurrences,
+/// Draws an arbitrary fault spec (exercising the config text format).
+fn arb_spec(rng: &mut SplitMix64) -> FaultSpec {
+    let location = match rng.below(7) {
+        0 => FaultLocation::IntReg { core: 0, reg: rng.below(31) as u8 },
+        1 => FaultLocation::FpReg { core: 0, reg: rng.below(31) as u8 },
+        2 => FaultLocation::Fetch { core: 0 },
+        3 => FaultLocation::Decode { core: 0 },
+        4 => FaultLocation::Execute { core: 0 },
+        5 => FaultLocation::Pc { core: 0 },
+        _ => FaultLocation::Mem {
+            core: 0,
+            target: [MemTarget::Load, MemTarget::Store, MemTarget::Any][rng.below(3) as usize],
         },
-    )
+    };
+    let at = rng.range_inclusive(1, 1_000_000);
+    let timing = if rng.coin() { FaultTiming::Instructions(at) } else { FaultTiming::Ticks(at) };
+    let behavior = match rng.below(5) {
+        0 => FaultBehavior::Flip(rng.below(64) as u8),
+        1 => FaultBehavior::Xor(rng.next_u64()),
+        2 => FaultBehavior::Set(rng.next_u64()),
+        3 => FaultBehavior::AllZero,
+        _ => FaultBehavior::AllOne,
+    };
+    FaultSpec {
+        location,
+        thread: rng.below(8) as u32,
+        timing,
+        behavior,
+        occurrences: rng.range_inclusive(1, 99),
+    }
 }
 
-proptest! {
-    /// The Listing-1 text format round-trips every representable fault.
-    #[test]
-    fn fault_config_text_roundtrips(specs in proptest::collection::vec(arb_spec(), 0..10)) {
+/// The Listing-1 text format round-trips every representable fault.
+#[test]
+fn fault_config_text_roundtrips() {
+    let mut rng = SplitMix64::new(0x57ec);
+    for _ in 0..400 {
+        let specs: Vec<FaultSpec> = (0..rng.below(10)).map(|_| arb_spec(&mut rng)).collect();
         let config = FaultConfig::from_specs(specs);
         let mut text = String::new();
         for f in config.faults() {
@@ -120,6 +138,6 @@ proptest! {
             text.push('\n');
         }
         let reparsed: FaultConfig = text.parse().expect("printed configs reparse");
-        prop_assert_eq!(reparsed, config);
+        assert_eq!(reparsed, config);
     }
 }

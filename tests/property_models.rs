@@ -1,10 +1,10 @@
-//! Property tests comparing the simulator's micro-architectural models
+//! Randomized tests comparing the simulator's micro-architectural models
 //! against independent reference models.
 
+use gemfi_campaign::rng::SplitMix64;
 use gemfi_cpu::exec::{alu, cmov_cond};
 use gemfi_isa::opcode::IntFunc;
 use gemfi_mem::{Cache, CacheConfig};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 /// A naive, obviously-correct LRU set-associative cache model.
@@ -39,54 +39,64 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// The production cache's hit/miss sequence matches the reference LRU
-    /// model on arbitrary access streams.
-    #[test]
-    fn cache_hits_match_reference_lru(
-        addrs in proptest::collection::vec(0u64..8192, 1..400),
-    ) {
+/// The production cache's hit/miss sequence matches the reference LRU
+/// model on arbitrary access streams.
+#[test]
+fn cache_hits_match_reference_lru() {
+    let mut rng = SplitMix64::new(0xcac4e);
+    for _ in 0..64 {
         let config = CacheConfig { size: 1024, ways: 4, line: 32, hit_latency: 1 };
         let mut dut = Cache::new(config);
         let mut reference = RefCache::new(config.sets(), config.ways, config.line as u64);
-        for addr in addrs {
+        for _ in 0..rng.range_inclusive(1, 400) {
+            let addr = rng.below(8192);
             let hit = dut.access(addr, false).hit;
             let ref_hit = reference.access(addr);
-            prop_assert_eq!(hit, ref_hit, "divergence at {:#x}", addr);
+            assert_eq!(hit, ref_hit, "divergence at {addr:#x}");
         }
     }
+}
 
-    /// ALU operations agree with host arithmetic (two's complement,
-    /// wrapping, shift masking).
-    #[test]
-    fn alu_matches_host_semantics(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(alu(IntFunc::Addq, a, b), a.wrapping_add(b));
-        prop_assert_eq!(alu(IntFunc::Subq, a, b), a.wrapping_sub(b));
-        prop_assert_eq!(alu(IntFunc::Mulq, a, b), a.wrapping_mul(b));
-        prop_assert_eq!(alu(IntFunc::And, a, b), a & b);
-        prop_assert_eq!(alu(IntFunc::Bis, a, b), a | b);
-        prop_assert_eq!(alu(IntFunc::Xor, a, b), a ^ b);
-        prop_assert_eq!(alu(IntFunc::Sll, a, b), a.wrapping_shl((b & 63) as u32));
-        prop_assert_eq!(alu(IntFunc::Srl, a, b), a.wrapping_shr((b & 63) as u32));
-        prop_assert_eq!(alu(IntFunc::Cmpeq, a, b), (a == b) as u64);
-        prop_assert_eq!(alu(IntFunc::Cmpult, a, b), (a < b) as u64);
-        prop_assert_eq!(alu(IntFunc::Cmplt, a, b), ((a as i64) < (b as i64)) as u64);
-        prop_assert_eq!(
-            alu(IntFunc::Umulh, a, b),
-            ((a as u128 * b as u128) >> 64) as u64
-        );
+/// ALU operations agree with host arithmetic (two's complement, wrapping,
+/// shift masking).
+#[test]
+fn alu_matches_host_semantics() {
+    let mut rng = SplitMix64::new(0xa1d);
+    for _ in 0..5_000 {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(alu(IntFunc::Addq, a, b), a.wrapping_add(b));
+        assert_eq!(alu(IntFunc::Subq, a, b), a.wrapping_sub(b));
+        assert_eq!(alu(IntFunc::Mulq, a, b), a.wrapping_mul(b));
+        assert_eq!(alu(IntFunc::And, a, b), a & b);
+        assert_eq!(alu(IntFunc::Bis, a, b), a | b);
+        assert_eq!(alu(IntFunc::Xor, a, b), a ^ b);
+        assert_eq!(alu(IntFunc::Sll, a, b), a.wrapping_shl((b & 63) as u32));
+        assert_eq!(alu(IntFunc::Srl, a, b), a.wrapping_shr((b & 63) as u32));
+        assert_eq!(alu(IntFunc::Cmpeq, a, b), (a == b) as u64);
+        assert_eq!(alu(IntFunc::Cmpult, a, b), (a < b) as u64);
+        assert_eq!(alu(IntFunc::Cmplt, a, b), ((a as i64) < (b as i64)) as u64);
+        assert_eq!(alu(IntFunc::Umulh, a, b), ((a as u128 * b as u128) >> 64) as u64);
     }
+}
 
-    /// Conditional-move conditions agree with signed comparisons on zero.
-    #[test]
-    fn cmov_conditions_match_sign_tests(v in any::<u64>()) {
+/// Conditional-move conditions agree with signed comparisons on zero.
+#[test]
+fn cmov_conditions_match_sign_tests() {
+    let mut rng = SplitMix64::new(0xc40);
+    let check = |v: u64| {
         let s = v as i64;
-        prop_assert_eq!(cmov_cond(IntFunc::Cmoveq, v), Some(v == 0));
-        prop_assert_eq!(cmov_cond(IntFunc::Cmovne, v), Some(v != 0));
-        prop_assert_eq!(cmov_cond(IntFunc::Cmovlt, v), Some(s < 0));
-        prop_assert_eq!(cmov_cond(IntFunc::Cmovge, v), Some(s >= 0));
-        prop_assert_eq!(cmov_cond(IntFunc::Cmovle, v), Some(s <= 0));
-        prop_assert_eq!(cmov_cond(IntFunc::Cmovgt, v), Some(s > 0));
+        assert_eq!(cmov_cond(IntFunc::Cmoveq, v), Some(v == 0));
+        assert_eq!(cmov_cond(IntFunc::Cmovne, v), Some(v != 0));
+        assert_eq!(cmov_cond(IntFunc::Cmovlt, v), Some(s < 0));
+        assert_eq!(cmov_cond(IntFunc::Cmovge, v), Some(s >= 0));
+        assert_eq!(cmov_cond(IntFunc::Cmovle, v), Some(s <= 0));
+        assert_eq!(cmov_cond(IntFunc::Cmovgt, v), Some(s > 0));
+    };
+    check(0);
+    check(u64::MAX);
+    check(1 << 63);
+    for _ in 0..2_000 {
+        check(rng.next_u64());
     }
 }
 
@@ -160,11 +170,7 @@ fn random_programs_agree_across_cpu_models() {
 
         let mut exits = Vec::new();
         for cpu in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
-            let config = MachineConfig {
-                cpu,
-                max_ticks: 50_000_000,
-                ..MachineConfig::default()
-            };
+            let config = MachineConfig { cpu, max_ticks: 50_000_000, ..MachineConfig::default() };
             let mut m = Machine::boot(config, &program, NoopHooks).expect("boots");
             exits.push(m.run());
         }
