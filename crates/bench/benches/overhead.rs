@@ -2,46 +2,142 @@
 //! machinery compiled out (`NoopHooks`) versus attached and active
 //! (activated thread, empty fault queue — the paper's worst-case overhead
 //! configuration).
+//!
+//! Also records the predecoded-instruction-cache ablation: the same
+//! workload with the cache enabled and disabled, per CPU model, written as
+//! `BENCH_predecode.json` (instructions/sec and the on/off speedup).
+//!
+//! Options: `--samples N` (timing samples per configuration, default 20),
+//! `--points N` (Monte-Carlo points for the Fig. 7 comparison, default
+//! 400), `--ablation-points N` (points for the predecode ablation, default
+//! 20000 — large enough that the simulation hot loop, not machine boot,
+//! dominates the measurement), `--out PATH` (JSON report path, default
+//! `BENCH_predecode.json`).
 
 use gemfi::{FaultConfig, GemFiEngine};
-use gemfi_bench::time_it;
+use gemfi_bench::{time_it, time_it_secs, Args};
 use gemfi_cpu::{CpuKind, NoopHooks};
-use gemfi_sim::{Machine, RunExit};
+use gemfi_sim::{Machine, MachineConfig, RunExit};
 use gemfi_workloads::pi::MonteCarloPi;
 use gemfi_workloads::{workload_machine_config, Workload};
 
-fn pi() -> MonteCarloPi {
-    MonteCarloPi { points: 400, init_spins: 100, ..MonteCarloPi::default() }
+fn pi(points: u64) -> MonteCarloPi {
+    MonteCarloPi { points, init_spins: 100, ..MonteCarloPi::default() }
 }
 
-fn run_noop(cpu: CpuKind) {
-    let w = pi();
-    let guest = w.build();
-    let mut m =
-        Machine::boot(workload_machine_config(cpu), &guest.program, NoopHooks).expect("boots");
+fn config(cpu: CpuKind, predecode: bool) -> MachineConfig {
+    let mut config = workload_machine_config(cpu);
+    config.mem.predecode = predecode;
+    config
+}
+
+fn drive<H: gemfi_cpu::FaultHooks>(mut m: Machine<H>) -> Machine<H> {
     let mut exit = m.run();
     while exit == RunExit::CheckpointRequest {
         exit = m.run();
     }
     assert_eq!(exit, RunExit::Halted(0));
+    m
 }
 
-fn run_gemfi(cpu: CpuKind) {
-    let w = pi();
-    let guest = w.build();
+fn run_noop(cpu: CpuKind, points: u64, predecode: bool) -> u64 {
+    let guest = pi(points).build();
+    let m = Machine::boot(config(cpu, predecode), &guest.program, NoopHooks).expect("boots");
+    drive(m).instret()
+}
+
+fn run_gemfi(cpu: CpuKind, points: u64) {
+    let guest = pi(points).build();
     let engine = GemFiEngine::new(FaultConfig::empty());
-    let mut m = Machine::boot(workload_machine_config(cpu), &guest.program, engine).expect("boots");
-    let mut exit = m.run();
-    while exit == RunExit::CheckpointRequest {
-        exit = m.run();
+    let m = Machine::boot(config(cpu, true), &guest.program, engine).expect("boots");
+    drive(m);
+}
+
+struct Ablation {
+    cpu: CpuKind,
+    predecode: bool,
+    median_secs: f64,
+    min_secs: f64,
+    instructions: u64,
+}
+
+impl Ablation {
+    fn ips(&self) -> f64 {
+        self.instructions as f64 / self.median_secs
     }
-    assert_eq!(exit, RunExit::Halted(0));
+}
+
+fn json_report(samples: usize, ablation_points: u64, results: &[Ablation]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"predecode_ablation\",\n  \"workload\": \"pi\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n  \"points\": {ablation_points},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cpu\": \"{}\", \"predecode\": {}, \"median_secs\": {:.6}, \
+             \"min_secs\": {:.6}, \"instructions\": {}, \"instructions_per_sec\": {:.0}}}{}\n",
+            r.cpu,
+            r.predecode,
+            r.median_secs,
+            r.min_secs,
+            r.instructions,
+            r.ips(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"speedup\": {");
+    let mut first = true;
+    for pair in results.chunks(2) {
+        let [on, off] = pair else { continue };
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{}\": {:.3}", on.cpu, on.ips() / off.ips()));
+    }
+    out.push_str("}\n}\n");
+    out
 }
 
 fn main() {
+    let args = Args::from_env();
+    let samples = args.number("samples", 20usize);
+    let points = args.number("points", 400u64);
+    let ablation_points = args.number("ablation-points", 20_000u64);
+    let out_path = args.value_of("out").unwrap_or("BENCH_predecode.json").to_string();
+
     println!("fig7_overhead");
     for cpu in [CpuKind::Atomic, CpuKind::O3] {
-        time_it(&format!("baseline_noop_{cpu}"), 20, || run_noop(cpu));
-        time_it(&format!("gemfi_active_{cpu}"), 20, || run_gemfi(cpu));
+        time_it(&format!("baseline_noop_{cpu}"), samples, || {
+            run_noop(cpu, points, true);
+        });
+        time_it(&format!("gemfi_active_{cpu}"), samples, || run_gemfi(cpu, points));
     }
+
+    println!("\npredecode_ablation");
+    let mut results = Vec::new();
+    for cpu in [CpuKind::Atomic, CpuKind::O3] {
+        for predecode in [true, false] {
+            let instructions = run_noop(cpu, ablation_points, predecode);
+            let label = format!("{cpu}_predecode_{}", if predecode { "on" } else { "off" });
+            let (median_secs, min_secs) = time_it_secs(&label, samples, || {
+                run_noop(cpu, ablation_points, predecode);
+            });
+            results.push(Ablation { cpu, predecode, median_secs, min_secs, instructions });
+        }
+    }
+    for pair in results.chunks(2) {
+        let [on, off] = pair else { continue };
+        println!(
+            "{:<32} {:.2}x  ({:.0} vs {:.0} instructions/sec)",
+            format!("speedup_{}", on.cpu),
+            on.ips() / off.ips(),
+            on.ips(),
+            off.ips(),
+        );
+    }
+
+    let report = json_report(samples, ablation_points, &results);
+    std::fs::write(&out_path, &report).expect("write BENCH_predecode.json");
+    println!("\nwrote {out_path}");
 }

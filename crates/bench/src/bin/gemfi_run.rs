@@ -35,7 +35,7 @@ use std::time::Duration;
 
 /// Runs a user-supplied `.s` assembly file under GemFI (no outcome
 /// classification — there is no golden model for arbitrary programs).
-fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind) -> ! {
+fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, predecode: bool) -> ! {
     let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
@@ -44,7 +44,8 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind) -> ! {
         eprintln!("{path}: {e}");
         std::process::exit(1);
     });
-    let config = MachineConfig { cpu, ..MachineConfig::default() };
+    let mut config = MachineConfig { cpu, ..MachineConfig::default() };
+    config.mem.predecode = predecode;
     let mut machine =
         Machine::boot(config, &program, GemFiEngine::new(faults)).unwrap_or_else(|t| {
             eprintln!("boot failed: {t}");
@@ -157,12 +158,12 @@ fn main() {
             }),
             None => FaultConfig::empty(),
         };
-        run_assembly_file(path, faults, cpu_of(&args));
+        run_assembly_file(path, faults, cpu_of(&args), !args.has("no-predecode"));
     }
     let Some(name) = args.value_of("workload") else {
         eprintln!(
             "usage: gemfi_run (--workload <name> | --program <file.s>) \
-       [--faults <file>] [--cpu o3|atomic|inorder|timing]"
+       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode]"
         );
         eprintln!(
             "       gemfi_run --workload <name> --campaign <experiments> --share <dir> \

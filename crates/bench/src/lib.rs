@@ -131,7 +131,13 @@ pub fn rule(width: usize) {
 /// one warmup call, `samples` timed calls, median/min report. The workspace
 /// builds fully offline, so the benches cannot depend on an external
 /// benchmarking framework.
-pub fn time_it(name: &str, samples: usize, mut f: impl FnMut()) {
+pub fn time_it(name: &str, samples: usize, f: impl FnMut()) {
+    time_it_secs(name, samples, f);
+}
+
+/// Like [`time_it`], but also returns `(median, min)` in seconds so callers
+/// can derive throughput numbers and machine-readable reports.
+pub fn time_it_secs(name: &str, samples: usize, mut f: impl FnMut()) -> (f64, f64) {
     f(); // warmup
     let mut times: Vec<f64> = (0..samples.max(1))
         .map(|_| {
@@ -141,12 +147,14 @@ pub fn time_it(name: &str, samples: usize, mut f: impl FnMut()) {
         })
         .collect();
     times.sort_by(f64::total_cmp);
+    let (median, min) = (times[times.len() / 2], times[0]);
     println!(
         "{name:<32} median {:>9.3} ms   min {:>9.3} ms   (n={})",
-        times[times.len() / 2] * 1e3,
-        times[0] * 1e3,
+        median * 1e3,
+        min * 1e3,
         times.len()
     );
+    (median, min)
 }
 
 #[cfg(test)]

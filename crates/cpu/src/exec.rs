@@ -197,6 +197,48 @@ pub fn dst_reg(instr: &Instr) -> Option<RegRef> {
     }
 }
 
+/// Fetches and decodes one instruction through the predecode fast path,
+/// invoking the fetch- and decode-stage fault hooks on the raw word.
+///
+/// This is the single fetch/decode entry point shared by all four CPU
+/// models. The hooks are *always* run on the raw word — their side effects
+/// (per-stage instruction counters that arm `Inst:N` fault timings) must be
+/// identical whether or not the predecode cache is enabled. The cached
+/// decode is used only when the hooks return the word unchanged; a fetch- or
+/// decode-stage fault therefore bypasses the cache, the corrupted word is
+/// decoded fresh (bit-for-bit Table-I manifestation semantics), and the
+/// corrupted decode is never installed.
+///
+/// # Errors
+///
+/// [`Trap::IllegalInstruction`] when the (possibly corrupted) word does not
+/// decode, or the fetch trap from the memory system.
+#[inline]
+pub fn fetch_decode<H: FaultHooks>(
+    core: usize,
+    mem: &mut MemorySystem,
+    hooks: &mut H,
+    pc: u64,
+) -> Result<(Instr, Ticks), Trap> {
+    let (raw, cached, fetch_latency) = mem.fetch_predecoded(pc)?;
+    let word = hooks.on_fetch(core, pc, RawInstr(raw));
+    let word = hooks.on_decode(core, word);
+    if word.0 == raw {
+        if let Some(instr) = cached {
+            return Ok((instr, fetch_latency));
+        }
+        let instr =
+            gemfi_isa::decode(word).map_err(|_| Trap::IllegalInstruction { word: word.0, pc })?;
+        mem.install_predecoded(pc, raw, instr);
+        Ok((instr, fetch_latency))
+    } else {
+        // A fault corrupted the raw bits: decode fresh, never install.
+        let instr =
+            gemfi_isa::decode(word).map_err(|_| Trap::IllegalInstruction { word: word.0, pc })?;
+        Ok((instr, fetch_latency))
+    }
+}
+
 /// Everything a model needs to account for one architecturally executed
 /// instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,11 +281,7 @@ pub fn step_instruction<H: FaultHooks>(
     hooks.before_instruction(core, now, arch);
 
     let pc = arch.pc;
-    let (word, fetch_latency) = mem.fetch(pc)?;
-    let word = hooks.on_fetch(core, pc, RawInstr(word));
-    let word = hooks.on_decode(core, word);
-    let instr =
-        gemfi_isa::decode(word).map_err(|_| Trap::IllegalInstruction { word: word.0, pc })?;
+    let (instr, fetch_latency) = fetch_decode(core, mem, hooks, pc)?;
 
     let mut rec = ExecRecord {
         pc,

@@ -52,26 +52,29 @@ impl InOrderCpu {
         let l1i_hit = mem.config().l1i.hit_latency;
         let l1d_hit = mem.config().l1d.hit_latency;
 
-        // Direction prediction must be made before resolution.
-        let prediction = {
-            // Peek the word without timing to know whether it is a branch;
-            // the timed fetch below is the architectural one.
+        // One untimed peek at the upcoming word feeds both the direction
+        // predictor and the load-use interlock. The predecode cache serves
+        // it for free when warm; cold (or with the cache disabled) it falls
+        // back to a functional read + decode. Neither path touches timing
+        // or memory statistics — the timed fetch below is the
+        // architectural one.
+        let peeked = mem.peek_predecoded(arch.pc).or_else(|| {
             let word = mem.read_u32_functional(arch.pc).unwrap_or(0);
-            match gemfi_isa::decode(gemfi_isa::RawInstr(word)) {
-                Ok(i) if i.is_cond_branch() => Some(self.predictor.predict_direction(arch.pc)),
-                _ => None,
-            }
+            gemfi_isa::decode(gemfi_isa::RawInstr(word)).ok()
+        });
+
+        // Direction prediction must be made before resolution.
+        let prediction = match peeked {
+            Some(i) if i.is_cond_branch() => Some(self.predictor.predict_direction(arch.pc)),
+            _ => None,
         };
 
         // Load-use interlock: does this instruction consume the previous
         // load's destination?
         let mut stall: Ticks = 0;
-        if let Some(dest) = self.last_load_dest {
-            let word = mem.read_u32_functional(arch.pc).unwrap_or(0);
-            if let Ok(i) = gemfi_isa::decode(gemfi_isa::RawInstr(word)) {
-                if src_regs(&i).iter().flatten().any(|&s| s == dest) {
-                    stall += 1;
-                }
+        if let (Some(dest), Some(i)) = (self.last_load_dest, peeked) {
+            if src_regs(&i).iter().flatten().any(|&s| s == dest) {
+                stall += 1;
             }
         }
 

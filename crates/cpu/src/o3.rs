@@ -22,7 +22,7 @@ use crate::exec::{alu, cmov_cond, exec_latency, fp_cmov_cond, fpu, src_regs};
 use crate::hooks::FaultHooks;
 use crate::predictor::TournamentPredictor;
 use crate::{StepEvent, StepResult};
-use gemfi_isa::{ArchState, Instr, JumpKind, Operand, RawInstr, RegRef, Trap};
+use gemfi_isa::{ArchState, Instr, JumpKind, Operand, RegRef, Trap};
 use gemfi_kernel::{Kernel, PalOutcome};
 use gemfi_mem::{MemorySystem, Ticks};
 use std::collections::VecDeque;
@@ -256,16 +256,22 @@ impl O3Cpu {
         let pc = self.fetch_pc;
         let seq = self.next_seq;
 
-        let (word, fetch_lat) = match mem.fetch(pc) {
-            Ok(w) => w,
+        let (instr, fetch_lat) = match crate::exec::fetch_decode(core, mem, hooks, pc) {
+            Ok(v) => v,
             Err(t) => {
-                // Possibly a wrong-path fetch: park fetch and let the trap
-                // become precise at commit (or be squashed away).
+                // Possibly a wrong-path fetch (unmapped PC) or a word that
+                // does not decode: park fetch and let the trap become
+                // precise at commit (or be squashed away).
+                let next = if matches!(t, Trap::IllegalInstruction { .. }) {
+                    pc.wrapping_add(4)
+                } else {
+                    pc
+                };
                 self.rob.push_back(RobEntry {
                     seq,
                     pc,
-                    predicted_next: pc,
-                    actual_next: pc,
+                    predicted_next: next,
+                    actual_next: next,
                     instr: None,
                     trap: Some(t),
                     state: EntryState::Done,
@@ -286,16 +292,12 @@ impl O3Cpu {
             self.fetch_ready_at = now + fetch_lat;
         }
 
-        let word = hooks.on_fetch(core, pc, RawInstr(word));
-        let word = hooks.on_decode(core, word);
-        let decoded = gemfi_isa::decode(word);
-
         let mut entry = RobEntry {
             seq,
             pc,
             predicted_next: pc.wrapping_add(4),
             actual_next: pc.wrapping_add(4),
-            instr: None,
+            instr: Some(instr),
             trap: None,
             state: EntryState::Dispatched,
             srcs: [None, None, None],
@@ -306,19 +308,6 @@ impl O3Cpu {
             mem: None,
             predicted_taken: false,
         };
-
-        let instr = match decoded {
-            Ok(i) => i,
-            Err(_) => {
-                entry.trap = Some(Trap::IllegalInstruction { word: word.0, pc });
-                entry.state = EntryState::Done;
-                self.rob.push_back(entry);
-                self.next_seq += 1;
-                self.fetch_parked = true;
-                return false;
-            }
-        };
-        entry.instr = Some(instr);
 
         // Serializing instructions execute at the commit head.
         if matches!(instr, Instr::CallPal { .. } | Instr::FiActivate { .. } | Instr::FiReadInit) {

@@ -41,6 +41,7 @@ pub mod disasm;
 pub mod format;
 pub mod instr;
 pub mod opcode;
+pub mod predecode;
 pub mod regs;
 pub mod trap;
 
@@ -49,6 +50,7 @@ pub use disasm::disassemble;
 pub use format::{Field, Format, RawInstr};
 pub use instr::{decode, encode, Instr, JumpKind, MemOp, Operand};
 pub use opcode::{BranchCond, FpBranchCond, FpFunc, IntFunc, Opcode, PalFunc};
+pub use predecode::{PredecodeCache, PredecodeStats, DEFAULT_PREDECODE_ENTRIES};
 pub use regs::{FpReg, IntReg, RegFile, RegRef, SpecialReg};
 pub use trap::Trap;
 

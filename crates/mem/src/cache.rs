@@ -49,6 +49,11 @@ pub struct CacheAccess {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cache {
     config: CacheConfig,
+    /// `log2(line)` — the line size is asserted to be a power of two.
+    line_shift: u32,
+    /// `sets - 1` when the set count is a power of two (the common case);
+    /// indexing then needs no division on the fetch/load critical path.
+    set_mask: Option<u64>,
     lines: Vec<Line>,
     clock: u64,
     stats: CacheStats,
@@ -69,9 +74,12 @@ impl Cache {
             config.size,
             "geometry must tile the capacity exactly"
         );
+        let sets = config.sets();
         Cache {
             config,
-            lines: vec![Line::default(); config.sets() * config.ways],
+            line_shift: config.line.trailing_zeros(),
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            lines: vec![Line::default(); sets * config.ways],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -87,12 +95,22 @@ impl Cache {
         &self.stats
     }
 
+    #[inline]
     fn set_index(&self, addr: u64) -> usize {
-        ((addr / self.config.line as u64) % self.config.sets() as u64) as usize
+        let block = addr >> self.line_shift;
+        match self.set_mask {
+            Some(mask) => (block & mask) as usize,
+            None => (block % self.config.sets() as u64) as usize,
+        }
     }
 
+    #[inline]
     fn tag(&self, addr: u64) -> u64 {
-        addr / self.config.line as u64 / self.config.sets() as u64
+        let block = addr >> self.line_shift;
+        match self.set_mask {
+            Some(mask) => block >> (mask + 1).trailing_zeros(),
+            None => block / self.config.sets() as u64,
+        }
     }
 
     /// Performs an access: on a miss the line is allocated, evicting the LRU

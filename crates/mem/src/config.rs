@@ -15,6 +15,11 @@ pub struct MemConfig {
     pub l2: CacheConfig,
     /// DRAM access latency in ticks.
     pub dram_latency: u64,
+    /// Whether the predecoded-instruction cache serves fetches. Purely a
+    /// performance knob: results are identical either way (the cache is
+    /// derived state), so the flag is deliberately *not* serialized into
+    /// checkpoints.
+    pub predecode: bool,
 }
 
 impl Default for MemConfig {
@@ -27,6 +32,7 @@ impl Default for MemConfig {
             l1d: CacheConfig { size: 32 << 10, ways: 2, line: 64, hit_latency: 2 },
             l2: CacheConfig { size: 1 << 20, ways: 8, line: 64, hit_latency: 12 },
             dram_latency: 80,
+            predecode: true,
         }
     }
 }

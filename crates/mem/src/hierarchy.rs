@@ -5,7 +5,7 @@ use crate::config::MemConfig;
 use crate::phys::PhysMem;
 use crate::stats::MemStats;
 use crate::Ticks;
-use gemfi_isa::Trap;
+use gemfi_isa::{Instr, PredecodeCache, Trap};
 
 /// Which port an access uses (instruction or data side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,10 @@ pub struct MemorySystem {
     l1d: Cache,
     l2: Cache,
     dram_accesses: u64,
+    /// Predecoded-instruction cache (derived state, never serialized). Lives
+    /// in the memory system so every store path — timed, functional, and
+    /// bulk — can invalidate overlapping entries.
+    predecode: PredecodeCache,
 }
 
 impl MemorySystem {
@@ -45,6 +49,7 @@ impl MemorySystem {
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
             dram_accesses: 0,
+            predecode: PredecodeCache::new(config.predecode),
             config,
         }
     }
@@ -92,6 +97,48 @@ impl MemorySystem {
         Ok((word, lat))
     }
 
+    /// Timed instruction fetch through the predecode cache.
+    ///
+    /// On a predecode hit the raw word comes from the cached entry (store
+    /// invalidation keeps it coherent with physical memory) together with
+    /// the cached decode; on a miss — or with the cache disabled — the word
+    /// is read from physical memory and the decode slot is `None`. Either
+    /// way the L1I/L2 hierarchy is walked for timing, so the cache-level
+    /// statistics the paper's validation compares are identical with the
+    /// predecode cache on and off.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
+    pub fn fetch_predecoded(&mut self, pc: u64) -> Result<(u32, Option<Instr>, Ticks), Trap> {
+        if let Some((raw, instr)) = self.predecode.lookup(pc) {
+            let lat = self.latency(pc, AccessKind::Fetch);
+            return Ok((raw, Some(instr), lat));
+        }
+        let word = self.phys.read_u32(pc, pc)?;
+        let lat = self.latency(pc, AccessKind::Fetch);
+        Ok((word, None, lat))
+    }
+
+    /// Installs a decode into the predecode cache. `raw` must be the word
+    /// as read from memory — never a fault-corrupted variant.
+    #[inline]
+    pub fn install_predecoded(&mut self, pc: u64, raw: u32, instr: Instr) {
+        self.predecode.install(pc, raw, instr);
+    }
+
+    /// Untimed, uncounted predecode lookup for speculative peeks.
+    #[inline]
+    pub fn peek_predecoded(&self, pc: u64) -> Option<Instr> {
+        self.predecode.peek(pc)
+    }
+
+    /// Drops all predecoded entries and their counters (derived-state reset
+    /// on checkpoint capture/restore and CPU-model switch).
+    pub fn clear_predecode(&mut self) {
+        self.predecode.clear();
+    }
+
     /// Timed 64-bit data read.
     ///
     /// # Errors
@@ -121,6 +168,7 @@ impl MemorySystem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn write_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<Ticks, Trap> {
         self.phys.write_u64(addr, value, pc)?;
+        self.predecode.invalidate_range(addr, 8);
         Ok(self.latency(addr, AccessKind::Write))
     }
 
@@ -131,6 +179,7 @@ impl MemorySystem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn write_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<Ticks, Trap> {
         self.phys.write_u32(addr, value, pc)?;
+        self.predecode.invalidate_range(addr, 4);
         Ok(self.latency(addr, AccessKind::Write))
     }
 
@@ -149,7 +198,9 @@ impl MemorySystem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn write_u64_functional(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
-        self.phys.write_u64(addr, value, 0)
+        self.phys.write_u64(addr, value, 0)?;
+        self.predecode.invalidate_range(addr, 8);
+        Ok(())
     }
 
     /// Untimed 32-bit read.
@@ -167,7 +218,9 @@ impl MemorySystem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn write_u32_functional(&mut self, addr: u64, value: u32) -> Result<(), Trap> {
-        self.phys.write_u32(addr, value, 0)
+        self.phys.write_u32(addr, value, 0)?;
+        self.predecode.invalidate_range(addr, 4);
+        Ok(())
     }
 
     /// Untimed bulk write (program loader).
@@ -176,7 +229,9 @@ impl MemorySystem {
     ///
     /// [`Trap::UnmappedAccess`] when the range does not fit.
     pub fn write_slice(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
-        self.phys.write_slice(addr, data)
+        self.phys.write_slice(addr, data)?;
+        self.predecode.invalidate_range(addr, data.len() as u64);
+        Ok(())
     }
 
     /// Untimed bulk read (output extraction).
@@ -200,6 +255,7 @@ impl MemorySystem {
             l1d: *self.l1d.stats(),
             l2: *self.l2.stats(),
             dram_accesses: self.dram_accesses,
+            predecode: self.predecode.stats(),
         }
     }
 
@@ -253,6 +309,91 @@ mod tests {
         assert_eq!(m.stats().l2.misses, 1);
         m.read_u64(0x3000, 0).unwrap();
         assert_eq!(m.stats().l2.accesses(), 1, "L1 hit must not reach L2");
+    }
+
+    #[test]
+    fn predecoded_fetch_hits_after_install_and_skips_decode() {
+        use gemfi_isa::{decode, RawInstr};
+        let mut m = MemorySystem::new(MemConfig::default());
+        let i = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        let word = gemfi_isa::encode(&i).0;
+        m.write_u32_functional(0x4000, word).unwrap();
+        let (raw, cached, _) = m.fetch_predecoded(0x4000).unwrap();
+        assert_eq!(raw, word);
+        assert!(cached.is_none(), "cold fetch misses");
+        m.install_predecoded(0x4000, raw, decode(RawInstr(raw)).unwrap());
+        let (raw2, cached2, _) = m.fetch_predecoded(0x4000).unwrap();
+        assert_eq!(raw2, word);
+        assert_eq!(cached2, Some(i));
+        let s = m.stats().predecode;
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn predecoded_fetch_walks_l1i_like_plain_fetch() {
+        let mut a = MemorySystem::new(MemConfig::default());
+        let mut b = MemorySystem::new(MemConfig::default());
+        let i = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        for m in [&mut a, &mut b] {
+            m.write_u32_functional(0x4000, gemfi_isa::encode(&i).0).unwrap();
+        }
+        b.install_predecoded(0x4000, gemfi_isa::encode(&i).0, i);
+        for _ in 0..3 {
+            let (_, lat_a) = a.fetch(0x4000).unwrap();
+            let (_, _, lat_b) = b.fetch_predecoded(0x4000).unwrap();
+            assert_eq!(lat_a, lat_b, "predecode must not change fetch timing");
+        }
+        assert_eq!(a.stats().l1i, b.stats().l1i);
+    }
+
+    #[test]
+    fn every_store_path_invalidates_cached_decodes() {
+        let i = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        let word = gemfi_isa::encode(&i).0;
+        let stores: [&dyn Fn(&mut MemorySystem); 5] = [
+            &|m| {
+                m.write_u32(0x4000, 0, 0).unwrap();
+            },
+            &|m| {
+                m.write_u64(0x4000, 0, 0).unwrap();
+            },
+            &|m| m.write_u32_functional(0x4000, 0).unwrap(),
+            &|m| m.write_u64_functional(0x4000, 0).unwrap(),
+            &|m| m.write_slice(0x3ffe, &[0; 8]).unwrap(),
+        ];
+        for store in stores {
+            let mut m = MemorySystem::new(MemConfig::default());
+            m.write_u32_functional(0x4000, word).unwrap();
+            m.install_predecoded(0x4000, word, i);
+            assert_eq!(m.peek_predecoded(0x4000), Some(i));
+            store(&mut m);
+            assert_eq!(m.peek_predecoded(0x4000), None, "store must invalidate");
+        }
+    }
+
+    #[test]
+    fn disabled_predecode_never_serves_or_counts() {
+        let mut m = MemorySystem::new(MemConfig { predecode: false, ..MemConfig::default() });
+        let i = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        let word = gemfi_isa::encode(&i).0;
+        m.write_u32_functional(0x4000, word).unwrap();
+        m.install_predecoded(0x4000, word, i);
+        let (raw, cached, _) = m.fetch_predecoded(0x4000).unwrap();
+        assert_eq!((raw, cached), (word, None));
+        assert_eq!(m.stats().predecode, gemfi_isa::PredecodeStats::default());
+    }
+
+    #[test]
+    fn clear_predecode_drops_entries_and_counters() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        let i = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        let word = gemfi_isa::encode(&i).0;
+        m.write_u32_functional(0x4000, word).unwrap();
+        m.install_predecoded(0x4000, word, i);
+        m.fetch_predecoded(0x4000).unwrap();
+        m.clear_predecode();
+        assert_eq!(m.peek_predecoded(0x4000), None);
+        assert_eq!(m.stats().predecode, gemfi_isa::PredecodeStats::default());
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod stats;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::MemConfig;
+pub use gemfi_isa::PredecodeStats;
 pub use hierarchy::{AccessKind, MemorySystem};
 pub use phys::PhysMem;
 pub use snapshot::{decode_image, encode_image};

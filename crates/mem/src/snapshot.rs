@@ -101,8 +101,17 @@ impl Codec for MemorySystem {
             c.line = r.get_len()?;
             c.hit_latency = r.get_u64()?;
         }
-        let config =
-            MemConfig { phys_size, l1i: caches[0], l1d: caches[1], l2: caches[2], dram_latency };
+        // The predecode flag is a host-side performance knob, not machine
+        // state — it is not in the stream (keeping the v2 image stable) and
+        // restores to the default.
+        let config = MemConfig {
+            phys_size,
+            l1i: caches[0],
+            l1d: caches[1],
+            l2: caches[2],
+            dram_latency,
+            predecode: MemConfig::default().predecode,
+        };
         let image = decode_image(r)?;
         if image.len() != phys_size {
             return Err(CodecError::LengthOverflow { len: image.len() as u64 });

@@ -4,6 +4,7 @@
 //! provided by the simulator" between GemFI and unmodified gem5; these
 //! counters are that surface for the memory side.
 
+use gemfi_isa::PredecodeStats;
 use std::fmt;
 
 /// Hit/miss counters for one cache.
@@ -57,6 +58,8 @@ pub struct MemStats {
     pub l2: CacheStats,
     /// Accesses that reached DRAM.
     pub dram_accesses: u64,
+    /// Predecoded-instruction cache counters (all zero when disabled).
+    pub predecode: PredecodeStats,
 }
 
 impl fmt::Display for MemStats {
@@ -64,7 +67,15 @@ impl fmt::Display for MemStats {
         writeln!(f, "l1i: {}", self.l1i)?;
         writeln!(f, "l1d: {}", self.l1d)?;
         writeln!(f, "l2:  {}", self.l2)?;
-        write!(f, "dram accesses: {}", self.dram_accesses)
+        writeln!(f, "dram accesses: {}", self.dram_accesses)?;
+        write!(
+            f,
+            "predecode: hits={} misses={} invalidations={} hit_ratio={:.4}",
+            self.predecode.hits,
+            self.predecode.misses,
+            self.predecode.invalidations,
+            self.predecode.hit_ratio()
+        )
     }
 }
 

@@ -140,10 +140,14 @@ impl<H: FaultHooks> Machine<H> {
         }
         let arch = checkpoint.arch.clone();
         let cpu = Cpu::new(config.cpu, arch.pc);
+        // The predecode cache is derived state: a restored machine starts
+        // with it empty, exactly like one rebuilt from the serialized image.
+        let mut mem = checkpoint.mem.clone();
+        mem.clear_predecode();
         Machine {
             config,
             arch,
-            mem: checkpoint.mem.clone(),
+            mem,
             kernel: checkpoint.kernel.clone(),
             cpu,
             hooks,
@@ -167,10 +171,15 @@ impl<H: FaultHooks> Machine<H> {
     /// Panics if the CPU still has speculative work in flight.
     pub fn checkpoint(&self) -> Checkpoint {
         assert!(!self.cpu.has_in_flight(), "checkpoint requires a quiesced CPU");
+        // Drop the (derived) predecode cache from the captured image so a
+        // checkpoint taken from a warm machine is byte-identical to one
+        // taken from a cold machine in the same architectural state.
+        let mut mem = self.mem.clone();
+        mem.clear_predecode();
         Checkpoint {
             config: self.config,
             arch: self.arch.clone(),
-            mem: self.mem.clone(),
+            mem,
             kernel: self.kernel.clone(),
             tick: self.tick,
             instret: self.instret,
@@ -184,6 +193,9 @@ impl<H: FaultHooks> Machine<H> {
         self.cpu.flush(&self.arch);
         if self.cpu.kind() != kind {
             self.cpu = Cpu::new(kind, self.arch.pc);
+            // Model switches start decode-cold, mirroring gem5 (and keeping
+            // the per-model statistics surfaces independent).
+            self.mem.clear_predecode();
         }
     }
 
@@ -486,6 +498,39 @@ mod tests {
             spun.instret(),
             plain.instret()
         );
+    }
+
+    #[test]
+    fn predecode_cache_warms_but_never_enters_checkpoints() {
+        let p = counting_program(200);
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        m.run();
+        let s = m.stats();
+        assert!(s.mem.predecode.hits > s.mem.predecode.misses, "loop must hit the warm cache");
+        let ckpt = m.checkpoint();
+        assert_eq!(
+            ckpt.mem.stats().predecode,
+            gemfi_mem::PredecodeStats::default(),
+            "checkpoints must carry no predecode state"
+        );
+
+        // Disabling the knob changes the counters, not the outcome.
+        let mut cfg = small_config(CpuKind::Atomic);
+        cfg.mem.predecode = false;
+        let mut off = Machine::boot(cfg, &p, NoopHooks).unwrap();
+        assert_eq!(off.run(), RunExit::Halted(200));
+        assert_eq!(off.stats().mem.predecode, gemfi_mem::PredecodeStats::default());
+    }
+
+    #[test]
+    fn switch_cpu_goes_decode_cold() {
+        let p = counting_program(1000);
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        assert!(m.run_for(500).is_none());
+        assert!(m.stats().mem.predecode.accesses() > 0);
+        m.switch_cpu(CpuKind::InOrder);
+        assert_eq!(m.stats().mem.predecode, gemfi_mem::PredecodeStats::default());
+        assert_eq!(m.run(), RunExit::Halted(1000));
     }
 
     #[test]

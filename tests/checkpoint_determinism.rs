@@ -63,6 +63,45 @@ fn serialized_checkpoint_behaves_like_the_original() {
 }
 
 #[test]
+fn warm_predecode_cache_never_reaches_the_checkpoint_image() {
+    // The predecode cache is derived state: a checkpoint taken from a
+    // machine with a warm cache must serialize byte-identically to one
+    // taken from a machine that never cached a decode, and a restore must
+    // start decode-cold yet reproduce the straight-through output.
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let (golden, _) = straight_through(&guest, CpuKind::Atomic);
+
+    let ckpt_with = |predecode: bool| {
+        let mut config = workload_machine_config(CpuKind::Atomic);
+        config.mem.predecode = predecode;
+        let mut m = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        if predecode {
+            assert!(m.mem().stats().predecode.hits > 0, "cache must be warm at checkpoint time");
+        }
+        m.checkpoint()
+    };
+    let warm = ckpt_with(true);
+    let cold = ckpt_with(false);
+    assert_eq!(warm.to_bytes(), cold.to_bytes(), "cache state leaked into the v2 image");
+
+    let mut m = Machine::restore(&warm, None, NoopHooks);
+    assert_eq!(
+        m.mem().stats().predecode,
+        gemfi_isa::PredecodeStats::default(),
+        "restore must start decode-cold"
+    );
+    let mut exit = m.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = m.run();
+    }
+    assert_eq!(exit, RunExit::Halted(0));
+    let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap();
+    assert_eq!(out, golden.as_slice(), "warm-cache checkpoint diverged from straight-through");
+}
+
+#[test]
 fn one_checkpoint_spawns_many_identical_experiments() {
     // The Fig. 3 pattern: one checkpoint, many restores; every restore sees
     // the same world (the engine re-reads its own fault config per restore,

@@ -15,12 +15,28 @@ use gemfi_cpu::CpuKind;
 use gemfi_isa::Trap;
 use gemfi_sim::{Machine, MachineConfig, RunExit};
 
-/// Builds a machine around a tiny kernel whose N-th fetched instruction is
-/// known, with a fetch-stage fault flipping `bit` of that instruction.
-fn run_with_fetch_flip(
-    build_body: impl Fn(&mut Assembler),
+/// Asserts that every cached predecoded entry still agrees with the
+/// pristine instruction text in memory: a faulted fetch must decode the
+/// corrupted word fresh and never install it.
+fn assert_no_corrupted_decode_cached<H: gemfi_cpu::FaultHooks>(
+    machine: &Machine<H>,
+    program: &gemfi_asm::Program,
+) {
+    for (i, &word) in program.text_words().iter().enumerate() {
+        let pc = gemfi_asm::TEXT_BASE + (i as u64) * 4;
+        if let Some(cached) = machine.mem().peek_predecoded(pc) {
+            let clean = gemfi_isa::decode(gemfi_isa::RawInstr(word)).expect("text decodes");
+            assert_eq!(cached, clean, "corrupted decode cached at {pc:#x}");
+        }
+    }
+}
+
+/// One run of the Table-I scenario with the predecode cache on or off.
+fn run_with_fetch_flip_mode(
+    build_body: &impl Fn(&mut Assembler),
     instr_index: u64,
     bit: u8,
+    predecode: bool,
 ) -> (RunExit, Vec<gemfi::InjectionRecord>) {
     let mut a = Assembler::new();
     a.fi_activate(0);
@@ -35,11 +51,32 @@ fn run_with_fetch_flip(
         behavior: gemfi::FaultBehavior::Flip(bit),
         occurrences: 1,
     }]);
-    let config =
+    let mut config =
         MachineConfig { cpu: CpuKind::Atomic, max_ticks: 3_000_000, ..MachineConfig::default() };
+    config.mem.predecode = predecode;
     let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults)).expect("boots");
     let exit = machine.run();
+    assert_no_corrupted_decode_cached(&machine, &program);
     (exit, machine.hooks().records().to_vec())
+}
+
+/// Builds a machine around a tiny kernel whose N-th fetched instruction is
+/// known, with a fetch-stage fault flipping `bit` of that instruction.
+///
+/// Every scenario runs twice — predecode cache enabled and disabled — and
+/// must manifest bit-for-bit identically: same exit, same injection
+/// records. The cache fast path is bypassed when an armed fault corrupts
+/// the fetched word, so Table-I semantics cannot depend on cache state.
+fn run_with_fetch_flip(
+    build_body: impl Fn(&mut Assembler),
+    instr_index: u64,
+    bit: u8,
+) -> (RunExit, Vec<gemfi::InjectionRecord>) {
+    let on = run_with_fetch_flip_mode(&build_body, instr_index, bit, true);
+    let off = run_with_fetch_flip_mode(&build_body, instr_index, bit, false);
+    assert_eq!(on.0, off.0, "fetch fault manifests differently with the predecode cache");
+    assert_eq!(on.1, off.1, "injection records differ with the predecode cache");
+    on
 }
 
 #[test]
@@ -109,29 +146,61 @@ fn not_taken_branch_displacement_flip_is_strictly_correct() {
 }
 
 #[test]
+fn fetch_flip_fires_even_on_a_warm_cache_entry() {
+    // The faulted instruction sits in a loop and has been fetched (and
+    // predecoded) twice before the fault arms. If the cache fast path were
+    // consulted for the corrupted fetch, the stale clean decode would
+    // execute and the loop would finish; the trap proves the bypass.
+    let (exit, records) = run_with_fetch_flip(
+        |a| {
+            a.li(Reg::R1, 0);
+            a.li(Reg::R2, 8);
+            a.label("loop");
+            a.addq_lit(Reg::R1, 1, Reg::R1);
+            a.subq(Reg::R2, Reg::R1, Reg::R3);
+            a.bgt(Reg::R3, "loop");
+        },
+        9,  // an integer operate in the third loop iteration
+        27, // opcode 0x10 -> 0x18, an unimplemented hole
+    );
+    assert!(matches!(exit, RunExit::Trapped(Trap::IllegalInstruction { .. })), "got {exit}");
+    assert_eq!(records.len(), 1);
+}
+
+#[test]
 fn register_selector_flip_changes_dataflow() {
     // Flipping an Ra-field bit of `addq r1, r2, r3` reads a different
-    // source register: the result changes but execution survives.
-    let mut a = Assembler::new();
-    a.fi_activate(0);
-    a.li(Reg::R1, 10);
-    a.li(Reg::R2, 1);
-    a.li(Reg::R3, 77); // the register the flip redirects to (r1^r3 bit 1 -> r3)
-    a.addq(Reg::R1, Reg::R2, Reg::R4);
-    a.fi_activate(0);
-    a.mov(Reg::R4, Reg::A0);
-    a.pal(gemfi_isa::PalFunc::Exit);
-    let program = a.finish().expect("assembles");
-    let faults = FaultConfig::from_specs(vec![gemfi::FaultSpec {
-        location: gemfi::FaultLocation::Decode { core: 0 },
-        thread: 0,
-        timing: gemfi::FaultTiming::Instructions(4), // the addq
-        behavior: gemfi::FaultBehavior::Flip(11),    // Ra selector bit 1: r1 -> r3
-        occurrences: 1,
-    }]);
-    let mut machine =
-        Machine::boot(MachineConfig::default(), &program, GemFiEngine::new(faults)).expect("boots");
-    let exit = machine.run();
-    // r4 = r3 + r2 = 78 instead of r1 + r2 = 11.
-    assert_eq!(exit, RunExit::Halted(78), "decode fault must redirect the source register");
+    // source register: the result changes but execution survives. Decode
+    // faults corrupt the word after fetch, so the same bypass rule applies:
+    // identical behavior with the predecode cache on or off.
+    for predecode in [true, false] {
+        let mut a = Assembler::new();
+        a.fi_activate(0);
+        a.li(Reg::R1, 10);
+        a.li(Reg::R2, 1);
+        a.li(Reg::R3, 77); // the register the flip redirects to (r1^r3 bit 1 -> r3)
+        a.addq(Reg::R1, Reg::R2, Reg::R4);
+        a.fi_activate(0);
+        a.mov(Reg::R4, Reg::A0);
+        a.pal(gemfi_isa::PalFunc::Exit);
+        let program = a.finish().expect("assembles");
+        let faults = FaultConfig::from_specs(vec![gemfi::FaultSpec {
+            location: gemfi::FaultLocation::Decode { core: 0 },
+            thread: 0,
+            timing: gemfi::FaultTiming::Instructions(4), // the addq
+            behavior: gemfi::FaultBehavior::Flip(11),    // Ra selector bit 1: r1 -> r3
+            occurrences: 1,
+        }]);
+        let mut config = MachineConfig::default();
+        config.mem.predecode = predecode;
+        let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults)).expect("boots");
+        let exit = machine.run();
+        assert_no_corrupted_decode_cached(&machine, &program);
+        // r4 = r3 + r2 = 78 instead of r1 + r2 = 11.
+        assert_eq!(
+            exit,
+            RunExit::Halted(78),
+            "decode fault must redirect the source register (predecode={predecode})"
+        );
+    }
 }
