@@ -1,0 +1,141 @@
+//! Checkpoint fan-out ablation: copy-on-write paged restores versus flat
+//! deep-copy restores (`MemConfig.cow` off), measured as campaign
+//! experiments per second from one shared checkpoint.
+//!
+//! This is the Fig. 3 execution pattern — one snapshot, thousands of short
+//! experiments — where restore cost is pure overhead. With CoW paging a
+//! restore bumps page refcounts (O(page-table)); the flat baseline copies
+//! all of guest physical memory per experiment (O(memory size)). Both modes
+//! run the *same* experiment specs and must classify every one identically:
+//! the clone policy is a performance knob, not a semantic one.
+//!
+//! Options: `--experiments N` (experiments per timing sample, default 40),
+//! `--points N` (Monte-Carlo kernel size, default 120), `--samples N`
+//! (timing samples per mode, default 5), `--out PATH` (JSON report path,
+//! default `BENCH_cow_restore.json`).
+
+use gemfi::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, Outcome};
+use gemfi_bench::{time_it_secs, Args};
+use gemfi_campaign::{prepare_workload_with, run_experiment, PreparedWorkload, RunnerConfig};
+use gemfi_cpu::CpuKind;
+use gemfi_workloads::pi::MonteCarloPi;
+use gemfi_workloads::{workload_machine_config, Workload};
+
+fn prepare(workload: &dyn Workload, cow: bool) -> PreparedWorkload {
+    let mut config = workload_machine_config(CpuKind::Atomic);
+    config.mem.cow = cow;
+    prepare_workload_with(workload, config).expect("workload prepares")
+}
+
+/// Deterministic fault population spread across the kernel: register bit
+/// flips at evenly spaced instruction counts. The specs are identical in
+/// both modes, so the outcome vectors must be too.
+fn fault_population(prepared: &PreparedWorkload, experiments: usize) -> Vec<FaultSpec> {
+    let committed = prepared.stage_events[4].max(experiments as u64);
+    (0..experiments)
+        .map(|i| FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: (i % 24) as u8 },
+            thread: 0,
+            timing: FaultTiming::Instructions(1 + (i as u64 * committed) / experiments as u64),
+            behavior: FaultBehavior::Flip((i % 48) as u8),
+            occurrences: 1,
+        })
+        .collect()
+}
+
+fn run_campaign(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    specs: &[FaultSpec],
+    runner: &RunnerConfig,
+) -> Vec<Outcome> {
+    specs.iter().map(|&spec| run_experiment(prepared, workload, spec, runner).outcome).collect()
+}
+
+struct Mode {
+    cow: bool,
+    median_secs: f64,
+    min_secs: f64,
+    experiments: usize,
+    owned_pages: usize,
+    total_pages: usize,
+}
+
+impl Mode {
+    fn eps(&self) -> f64 {
+        self.experiments as f64 / self.median_secs
+    }
+}
+
+fn json_report(samples: usize, points: u64, modes: &[Mode; 2]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"cow_restore_fanout\",\n  \"workload\": \"pi\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n  \"points\": {points},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cow\": {}, \"experiments\": {}, \"median_secs\": {:.6}, \
+             \"min_secs\": {:.6}, \"experiments_per_sec\": {:.2}, \
+             \"checkpoint_owned_pages\": {}, \"checkpoint_total_pages\": {}}}{}\n",
+            m.cow,
+            m.experiments,
+            m.median_secs,
+            m.min_secs,
+            m.eps(),
+            m.owned_pages,
+            m.total_pages,
+            if i + 1 < modes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"speedup\": {:.3}\n}}\n", modes[0].eps() / modes[1].eps()));
+    out
+}
+
+fn main() {
+    let args = Args::from_env();
+    let experiments = args.number("experiments", 40usize);
+    let points = args.number("points", 120u64);
+    let samples = args.number("samples", 5usize);
+    let out_path = args.value_of("out").unwrap_or("BENCH_cow_restore.json").to_string();
+
+    let workload = MonteCarloPi { points, init_spins: 100, ..MonteCarloPi::default() };
+    // Atomic-only runs keep the kernel cheap, so the measurement isolates
+    // what the ablation changes: per-experiment restore cost.
+    let runner = RunnerConfig {
+        inject_cpu: CpuKind::Atomic,
+        finish_cpu: CpuKind::Atomic,
+        ..RunnerConfig::default()
+    };
+
+    println!("restore_fanout ({experiments} experiments/sample, pi --points {points})");
+    let mut modes = Vec::new();
+    let mut outcomes: Vec<Vec<Outcome>> = Vec::new();
+    for cow in [true, false] {
+        let prepared = prepare(&workload, cow);
+        let specs = fault_population(&prepared, experiments);
+        outcomes.push(run_campaign(&prepared, &workload, &specs, &runner));
+        let label = format!("fanout_cow_{}", if cow { "on" } else { "off" });
+        let (median_secs, min_secs) = time_it_secs(&label, samples, || {
+            run_campaign(&prepared, &workload, &specs, &runner);
+        });
+        let (owned_pages, total_pages) = prepared.checkpoint.mem().page_footprint();
+        modes.push(Mode { cow, median_secs, min_secs, experiments, owned_pages, total_pages });
+    }
+
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "clone policy changed experiment outcomes — CoW is no longer transparent"
+    );
+
+    let modes: [Mode; 2] = modes.try_into().ok().expect("two modes");
+    println!(
+        "speedup_cow_restore                {:.2}x  ({:.1} vs {:.1} experiments/sec)",
+        modes[0].eps() / modes[1].eps(),
+        modes[0].eps(),
+        modes[1].eps(),
+    );
+
+    let report = json_report(samples, points, &modes);
+    std::fs::write(&out_path, &report).expect("write BENCH_cow_restore.json");
+    println!("\nwrote {out_path}");
+}

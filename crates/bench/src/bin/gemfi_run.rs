@@ -35,7 +35,7 @@ use std::time::Duration;
 
 /// Runs a user-supplied `.s` assembly file under GemFI (no outcome
 /// classification — there is no golden model for arbitrary programs).
-fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, predecode: bool) -> ! {
+fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, args: &Args) -> ! {
     let source = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
@@ -45,7 +45,8 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, predecode: b
         std::process::exit(1);
     });
     let mut config = MachineConfig { cpu, ..MachineConfig::default() };
-    config.mem.predecode = predecode;
+    config.mem.predecode = !args.has("no-predecode");
+    config.mem.cow = !args.has("no-cow");
     let mut machine =
         Machine::boot(config, &program, GemFiEngine::new(faults)).unwrap_or_else(|t| {
             eprintln!("boot failed: {t}");
@@ -158,12 +159,12 @@ fn main() {
             }),
             None => FaultConfig::empty(),
         };
-        run_assembly_file(path, faults, cpu_of(&args), !args.has("no-predecode"));
+        run_assembly_file(path, faults, cpu_of(&args), &args);
     }
     let Some(name) = args.value_of("workload") else {
         eprintln!(
             "usage: gemfi_run (--workload <name> | --program <file.s>) \
-       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode]"
+       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode] [--no-cow]"
         );
         eprintln!(
             "       gemfi_run --workload <name> --campaign <experiments> --share <dir> \
@@ -199,13 +200,17 @@ fn main() {
         println!("  {f}");
     }
 
-    let prepared = prepare_workload(workload.as_ref()).unwrap_or_else(|e| {
-        eprintln!("prepare failed: {e}");
-        std::process::exit(1);
-    });
+    let mut machine_config = gemfi_workloads::workload_machine_config(CpuKind::Atomic);
+    machine_config.mem.cow = !args.has("no-cow");
+    let prepared = gemfi_campaign::prepare_workload_with(workload.as_ref(), machine_config)
+        .unwrap_or_else(|e| {
+            eprintln!("prepare failed: {e}");
+            std::process::exit(1);
+        });
     println!(
         "\ncheckpoint at tick {}; fault space (events/stage): {:?}",
-        prepared.checkpoint.tick, prepared.stage_events
+        prepared.checkpoint.tick(),
+        prepared.stage_events
     );
 
     if faults.is_empty() {

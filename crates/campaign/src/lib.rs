@@ -38,8 +38,9 @@ pub use now::{run_campaign_now, ChaosConfig, CompletedExperiment, NowConfig, Now
 pub use report::OutcomeTable;
 pub use rng::SplitMix64;
 pub use runner::{
-    prepare_workload, run_experiment, run_experiment_from, run_experiment_from_with_abort,
-    run_experiment_multi, ExperimentResult, PreparedWorkload, RunnerConfig,
+    prepare_workload, prepare_workload_with, run_experiment, run_experiment_from,
+    run_experiment_from_with_abort, run_experiment_multi, ExperimentResult, PreparedWorkload,
+    RunnerConfig,
 };
 pub use sampler::{FaultSampler, LocationClass};
 pub use stats::{leveugle_sample_size, proportion_ci};

@@ -4,8 +4,9 @@
 use crate::classify::classify;
 use gemfi::{AbortToken, FaultConfig, FaultSpec, GemFiEngine, InjectionRecord, Outcome};
 use gemfi_cpu::CpuKind;
-use gemfi_sim::{Checkpoint, Machine, RunExit};
+use gemfi_sim::{Checkpoint, Machine, MachineConfig, RunExit};
 use gemfi_workloads::{workload_machine_config, GuestWorkload, RunOutput, Workload};
+use std::sync::Arc;
 
 /// Everything a campaign needs about one workload, produced once and shared
 /// by all experiments.
@@ -14,8 +15,10 @@ pub struct PreparedWorkload {
     /// The built guest program.
     pub guest: GuestWorkload,
     /// Snapshot taken at the `fi_read_init_all()` marker (post-boot,
-    /// post-initialization — the Fig. 3 fast-forward point).
-    pub checkpoint: Checkpoint,
+    /// post-initialization — the Fig. 3 fast-forward point). Shared: every
+    /// experiment restores straight from this one immutable checkpoint —
+    /// restoring bumps page refcounts instead of copying guest memory.
+    pub checkpoint: Arc<Checkpoint>,
     /// The fault-free reference run (output bytes, stats).
     pub golden: RunOutput,
     /// Instructions served per pipeline stage during the fault-injection
@@ -86,13 +89,27 @@ pub struct ExperimentResult {
 /// Returns a message when the workload does not reach its checkpoint marker
 /// or does not terminate cleanly.
 pub fn prepare_workload(workload: &dyn Workload) -> Result<PreparedWorkload, String> {
+    prepare_workload_with(workload, workload_machine_config(CpuKind::Atomic))
+}
+
+/// [`prepare_workload`] with an explicit machine configuration (the
+/// `restore_fanout` bench uses this to flip [`gemfi_mem::MemConfig::cow`]
+/// for its flat-clone ablation).
+///
+/// # Errors
+///
+/// Returns a message when the workload does not reach its checkpoint marker
+/// or does not terminate cleanly.
+pub fn prepare_workload_with(
+    workload: &dyn Workload,
+    machine_config: MachineConfig,
+) -> Result<PreparedWorkload, String> {
     let guest = workload.build();
     // Profile with a faultless engine: its per-stage counters measure the
     // fault space between the fi_activate markers.
     let engine = GemFiEngine::new(FaultConfig::empty());
-    let mut machine =
-        Machine::boot(workload_machine_config(CpuKind::Atomic), &guest.program, engine)
-            .map_err(|t| format!("{}: image does not fit: {t}", workload.name()))?;
+    let mut machine = Machine::boot(machine_config, &guest.program, engine)
+        .map_err(|t| format!("{}: image does not fit: {t}", workload.name()))?;
 
     let exit = machine.run();
     if exit != RunExit::CheckpointRequest {
@@ -101,7 +118,7 @@ pub fn prepare_workload(workload: &dyn Workload) -> Result<PreparedWorkload, Str
             workload.name()
         ));
     }
-    let checkpoint = machine.checkpoint();
+    let checkpoint = Arc::new(machine.checkpoint());
     let boot_ticks = machine.tick();
 
     let mut exit = machine.run();
@@ -114,13 +131,25 @@ pub fn prepare_workload(workload: &dyn Workload) -> Result<PreparedWorkload, Str
     let bytes = machine
         .mem()
         .read_slice(guest.output_addr(), guest.output_len)
-        .expect("output region mapped")
-        .to_vec();
+        .expect("output region mapped");
     let golden =
         RunOutput { exit, bytes, console: machine.console().to_vec(), stats: machine.stats() };
     let stage_events = machine.hooks().stage_events();
     let kernel_ticks = machine.tick() - boot_ticks;
     Ok(PreparedWorkload { guest, checkpoint, golden, stage_events, boot_ticks, kernel_ticks })
+}
+
+/// The tick budget for one experiment: checkpoint time plus a multiple of
+/// the fault-free kernel time, plus slack for the grace window.
+fn watchdog_budget(
+    checkpoint: &Checkpoint,
+    prepared: &PreparedWorkload,
+    config: &RunnerConfig,
+) -> u64 {
+    checkpoint
+        .tick()
+        .saturating_add(prepared.kernel_ticks.saturating_mul(config.watchdog_factor))
+        .saturating_add(1_000_000)
 }
 
 /// Runs one experiment from an explicit checkpoint (the NoW path passes a
@@ -148,19 +177,19 @@ pub fn run_experiment_from_with_abort(
     config: &RunnerConfig,
     abort: &AbortToken,
 ) -> ExperimentResult {
-    let mut ckpt = checkpoint.clone();
-    // Corrupted control flow loops forever; bound the run relative to the
-    // fault-free kernel time instead of the generous global default.
-    ckpt.config.max_ticks = ckpt
-        .tick
-        .saturating_add(prepared.kernel_ticks.saturating_mul(config.watchdog_factor))
-        .saturating_add(1_000_000);
-
     // `fi_read_init_all` restore semantics: a fresh engine re-reads the
-    // fault configuration for this experiment.
+    // fault configuration for this experiment. The shared checkpoint is
+    // restored in place — no per-experiment deep copy; the watchdog bound
+    // (corrupted control flow loops forever, so cap the run relative to
+    // the fault-free kernel time) rides along as a restore override.
     let mut engine = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
     engine.set_abort_token(abort.clone());
-    let mut machine = Machine::restore(&ckpt, Some(config.inject_cpu), engine);
+    let mut machine = Machine::restore_with(
+        checkpoint,
+        Some(config.inject_cpu),
+        Some(watchdog_budget(checkpoint, prepared, config)),
+        engine,
+    );
 
     let mut aborted = false;
     let mut switched = config.inject_cpu == config.finish_cpu;
@@ -190,7 +219,6 @@ pub fn run_experiment_from_with_abort(
     let output = machine
         .mem()
         .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
-        .map(<[u8]>::to_vec)
         .unwrap_or_default();
     let injections = machine.hooks().records().to_vec();
     let outcome = if aborted {
@@ -200,7 +228,7 @@ pub fn run_experiment_from_with_abort(
     };
 
     let injection_fraction = injections.first().map(|r| {
-        let rel = r.tick.saturating_sub(checkpoint.tick) as f64;
+        let rel = r.tick.saturating_sub(checkpoint.tick()) as f64;
         (rel / prepared.kernel_ticks.max(1) as f64).min(1.0)
     });
     ExperimentResult {
@@ -224,13 +252,13 @@ pub fn run_experiment_multi(
     config: &RunnerConfig,
 ) -> ExperimentResult {
     assert!(!specs.is_empty(), "at least one fault");
-    let mut ckpt = prepared.checkpoint.clone();
-    ckpt.config.max_ticks = ckpt
-        .tick
-        .saturating_add(prepared.kernel_ticks.saturating_mul(config.watchdog_factor))
-        .saturating_add(1_000_000);
     let engine = GemFiEngine::new(FaultConfig::from_specs(specs.to_vec()));
-    let mut machine = Machine::restore(&ckpt, Some(config.inject_cpu), engine);
+    let mut machine = Machine::restore_with(
+        &prepared.checkpoint,
+        Some(config.inject_cpu),
+        Some(watchdog_budget(&prepared.checkpoint, prepared, config)),
+        engine,
+    );
     let mut switched = config.inject_cpu == config.finish_cpu;
     let exit = loop {
         if !switched && machine.hooks_mut().pending_faults() == 0 {
@@ -251,12 +279,11 @@ pub fn run_experiment_multi(
     let output = machine
         .mem()
         .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
-        .map(<[u8]>::to_vec)
         .unwrap_or_default();
     let injections = machine.hooks().records().to_vec();
     let outcome = classify(workload, &prepared.golden.bytes, exit, &output, &injections);
     let injection_fraction = injections.first().map(|r| {
-        let rel = r.tick.saturating_sub(prepared.checkpoint.tick) as f64;
+        let rel = r.tick.saturating_sub(prepared.checkpoint.tick()) as f64;
         (rel / prepared.kernel_ticks.max(1) as f64).min(1.0)
     });
     ExperimentResult {

@@ -20,6 +20,12 @@ pub struct MemConfig {
     /// derived state), so the flag is deliberately *not* serialized into
     /// checkpoints.
     pub predecode: bool,
+    /// Whether physical-memory clones share pages copy-on-write (`true`,
+    /// the default) or deep-copy every page (`false` — the flat ablation
+    /// baseline of the `restore_fanout` bench). Purely a performance knob:
+    /// contents, traps, and serialized images are identical either way, so
+    /// like `predecode` the flag is *not* serialized into checkpoints.
+    pub cow: bool,
 }
 
 impl Default for MemConfig {
@@ -33,6 +39,7 @@ impl Default for MemConfig {
             l2: CacheConfig { size: 1 << 20, ways: 8, line: 64, hit_latency: 12 },
             dram_latency: 80,
             predecode: true,
+            cow: true,
         }
     }
 }

@@ -44,7 +44,7 @@ impl MemorySystem {
     /// Builds the hierarchy described by `config`.
     pub fn new(config: MemConfig) -> MemorySystem {
         MemorySystem {
-            phys: PhysMem::new(config.phys_size),
+            phys: PhysMem::with_cow(config.phys_size, config.cow),
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
@@ -234,13 +234,21 @@ impl MemorySystem {
         Ok(())
     }
 
-    /// Untimed bulk read (output extraction).
+    /// Untimed bulk read (output extraction). Returns an owned buffer: the
+    /// paged backing store cannot lend a contiguous borrow across page
+    /// boundaries.
     ///
     /// # Errors
     ///
     /// [`Trap::UnmappedAccess`] when the range does not fit.
-    pub fn read_slice(&self, addr: u64, len: usize) -> Result<&[u8], Trap> {
+    pub fn read_slice(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
         self.phys.read_slice(addr, len)
+    }
+
+    /// Diagnostic: `(privately owned, total)` physical pages — the CoW
+    /// dirty-page footprint relative to any snapshot siblings.
+    pub fn page_footprint(&self) -> (usize, usize) {
+        (self.phys.owned_pages(), self.phys.total_pages())
     }
 
     /// Physical memory size in bytes.

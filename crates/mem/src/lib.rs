@@ -35,7 +35,7 @@ pub use cache::{Cache, CacheConfig};
 pub use config::MemConfig;
 pub use gemfi_isa::PredecodeStats;
 pub use hierarchy::{AccessKind, MemorySystem};
-pub use phys::PhysMem;
+pub use phys::{PhysMem, PAGE_SIZE};
 pub use snapshot::{decode_image, encode_image};
 pub use stats::{CacheStats, MemStats};
 

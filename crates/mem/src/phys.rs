@@ -1,37 +1,113 @@
-//! Physical memory backing store.
+//! Physical memory backing store — a paged, copy-on-write page table.
+//!
+//! Guest memory is carved into 4 KiB pages, each behind an [`Arc`]. Cloning
+//! a [`PhysMem`] therefore copies only the page *table* (one `Arc` bump per
+//! page), and a clone's writes copy just the pages they dirty
+//! ([`Arc::make_mut`]) — fork-style semantics, which is what makes
+//! checkpoint fan-out O(dirty pages) instead of O(memory size): thousands
+//! of experiments can restore from one shared snapshot and each pays only
+//! for the working set it actually touches. Untouched memory additionally
+//! shares one process-wide zero page, so a freshly allocated guest costs a
+//! page table, not an image.
+//!
+//! The paging is invisible to the architecture: all accesses are
+//! bounds-checked against the configured size (*not* the page-rounded
+//! size), so touching an address outside it raises [`Trap::UnmappedAccess`]
+//! exactly as the flat implementation did — corrupted base registers and
+//! displacements still become the paper's segmentation-fault crashes.
+//! Multi-byte accesses require natural alignment, which also guarantees a
+//! `u32`/`u64` access never straddles a page; only the bulk slice
+//! operations walk page boundaries.
 
 use gemfi_isa::Trap;
+use std::sync::{Arc, OnceLock};
 
-/// Byte-addressable guest physical memory.
-///
-/// All accesses are bounds-checked: touching an address outside the
-/// configured size raises [`Trap::UnmappedAccess`], which is how corrupted
-/// base registers and displacements become the paper's segmentation-fault
-/// crashes. Multi-byte accesses additionally require natural alignment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Page size in bytes. 4 KiB balances snapshot granularity (copy cost per
+/// dirtied page) against page-table size (entries per GiB).
+pub const PAGE_SIZE: usize = 4096;
+const PAGE_SHIFT: u32 = PAGE_SIZE.trailing_zeros();
+
+/// One page of guest memory.
+#[derive(Clone, PartialEq, Eq)]
+struct Page([u8; PAGE_SIZE]);
+
+impl Page {
+    fn zeroed() -> Page {
+        Page([0; PAGE_SIZE])
+    }
+}
+
+/// The process-wide shared all-zeros page backing untouched memory.
+fn zero_page() -> &'static Arc<Page> {
+    static ZERO: OnceLock<Arc<Page>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new(Page::zeroed()))
+}
+
+/// Byte-addressable guest physical memory (paged, copy-on-write).
 pub struct PhysMem {
-    bytes: Vec<u8>,
+    pages: Vec<Arc<Page>>,
+    size: u64,
+    /// Clone depth: `true` shares pages copy-on-write; `false` deep-copies
+    /// every page, reproducing the flat `Vec<u8>` clone cost (the
+    /// `restore_fanout` ablation baseline). Semantics are identical either
+    /// way — only `clone()` differs.
+    cow: bool,
 }
 
 impl PhysMem {
-    /// Allocates `size` bytes of zeroed memory.
+    /// Allocates `size` bytes of zeroed memory (O(page-table): every page
+    /// starts as the shared zero page).
     pub fn new(size: usize) -> PhysMem {
-        PhysMem { bytes: vec![0; size] }
+        PhysMem::with_cow(size, true)
+    }
+
+    /// [`PhysMem::new`] with an explicit clone policy (see
+    /// [`crate::MemConfig::cow`]).
+    pub fn with_cow(size: usize, cow: bool) -> PhysMem {
+        let pages = size.div_ceil(PAGE_SIZE);
+        PhysMem { pages: vec![Arc::clone(zero_page()); pages], size: size as u64, cow }
     }
 
     /// Memory size in bytes.
     pub fn size(&self) -> u64 {
-        self.bytes.len() as u64
+        self.size
+    }
+
+    /// Pages this instance owns privately (dirtied relative to the shared
+    /// zero page and any snapshot siblings). Diagnostic only.
+    pub fn owned_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| !Arc::ptr_eq(p, zero_page()) && Arc::strong_count(p) == 1)
+            .count()
+    }
+
+    /// Total pages in the page table.
+    pub fn total_pages(&self) -> usize {
+        self.pages.len()
     }
 
     fn check(&self, addr: u64, width: u64, pc: u64) -> Result<usize, Trap> {
         if !addr.is_multiple_of(width) {
             return Err(Trap::MisalignedAccess { addr, pc });
         }
-        if addr.checked_add(width).is_none_or(|end| end > self.size()) {
+        if addr.checked_add(width).is_none_or(|end| end > self.size) {
             return Err(Trap::UnmappedAccess { addr, pc });
         }
         Ok(addr as usize)
+    }
+
+    /// Splits a checked address into page index and offset. Natural
+    /// alignment means a width-≤-`PAGE_SIZE` access at an aligned address
+    /// stays inside one page.
+    #[inline]
+    fn locate(i: usize) -> (usize, usize) {
+        (i >> PAGE_SHIFT, i & (PAGE_SIZE - 1))
+    }
+
+    #[inline]
+    fn page_mut(&mut self, pi: usize) -> &mut [u8; PAGE_SIZE] {
+        &mut Arc::make_mut(&mut self.pages[pi]).0
     }
 
     /// Reads one byte.
@@ -40,8 +116,8 @@ impl PhysMem {
     ///
     /// [`Trap::UnmappedAccess`] when out of bounds.
     pub fn read_u8(&self, addr: u64, pc: u64) -> Result<u8, Trap> {
-        let i = self.check(addr, 1, pc)?;
-        Ok(self.bytes[i])
+        let (pi, off) = Self::locate(self.check(addr, 1, pc)?);
+        Ok(self.pages[pi].0[off])
     }
 
     /// Writes one byte.
@@ -50,8 +126,8 @@ impl PhysMem {
     ///
     /// [`Trap::UnmappedAccess`] when out of bounds.
     pub fn write_u8(&mut self, addr: u64, value: u8, pc: u64) -> Result<(), Trap> {
-        let i = self.check(addr, 1, pc)?;
-        self.bytes[i] = value;
+        let (pi, off) = Self::locate(self.check(addr, 1, pc)?);
+        self.page_mut(pi)[off] = value;
         Ok(())
     }
 
@@ -61,8 +137,8 @@ impl PhysMem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn read_u32(&self, addr: u64, pc: u64) -> Result<u32, Trap> {
-        let i = self.check(addr, 4, pc)?;
-        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()))
+        let (pi, off) = Self::locate(self.check(addr, 4, pc)?);
+        Ok(u32::from_le_bytes(self.pages[pi].0[off..off + 4].try_into().unwrap()))
     }
 
     /// Writes a little-endian 32-bit word.
@@ -71,8 +147,8 @@ impl PhysMem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn write_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<(), Trap> {
-        let i = self.check(addr, 4, pc)?;
-        self.bytes[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        let (pi, off) = Self::locate(self.check(addr, 4, pc)?);
+        self.page_mut(pi)[off..off + 4].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
 
@@ -82,8 +158,8 @@ impl PhysMem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn read_u64(&self, addr: u64, pc: u64) -> Result<u64, Trap> {
-        let i = self.check(addr, 8, pc)?;
-        Ok(u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap()))
+        let (pi, off) = Self::locate(self.check(addr, 8, pc)?);
+        Ok(u64::from_le_bytes(self.pages[pi].0[off..off + 8].try_into().unwrap()))
     }
 
     /// Writes a little-endian 64-bit word.
@@ -92,36 +168,98 @@ impl PhysMem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn write_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<(), Trap> {
-        let i = self.check(addr, 8, pc)?;
-        self.bytes[i..i + 8].copy_from_slice(&value.to_le_bytes());
+        let (pi, off) = Self::locate(self.check(addr, 8, pc)?);
+        self.page_mut(pi)[off..off + 8].copy_from_slice(&value.to_le_bytes());
         Ok(())
     }
 
-    /// Copies a byte slice into memory (host-side loader use).
+    fn check_range(&self, addr: u64, len: usize) -> Result<(), Trap> {
+        if addr.checked_add(len as u64).is_none_or(|end| end > self.size) {
+            return Err(Trap::UnmappedAccess { addr, pc: 0 });
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory (host-side loader use), walking page
+    /// boundaries. Zero chunks aimed at still-pristine (shared-zero) pages
+    /// are skipped without dirtying them, so bulk-loading a sparse image —
+    /// the checkpoint decode path — materializes only its nonzero pages.
     ///
     /// # Errors
     ///
     /// [`Trap::UnmappedAccess`] when the range does not fit.
     pub fn write_slice(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
-        let end = addr
-            .checked_add(data.len() as u64)
-            .filter(|&e| e <= self.size())
-            .ok_or(Trap::UnmappedAccess { addr, pc: 0 })?;
-        self.bytes[addr as usize..end as usize].copy_from_slice(data);
+        self.check_range(addr, data.len())?;
+        let (mut pi, mut off) = Self::locate(addr as usize);
+        let mut data = data;
+        while !data.is_empty() {
+            let n = data.len().min(PAGE_SIZE - off);
+            let (chunk, rest) = data.split_at(n);
+            let pristine = Arc::ptr_eq(&self.pages[pi], zero_page());
+            if !(pristine && chunk.iter().all(|&b| b == 0)) {
+                self.page_mut(pi)[off..off + n].copy_from_slice(chunk);
+            }
+            data = rest;
+            pi += 1;
+            off = 0;
+        }
         Ok(())
     }
 
-    /// Reads a byte range out of memory (host-side extraction use).
+    /// Reads a byte range out of memory (host-side extraction use). The
+    /// range may cross page boundaries, so the bytes are materialized into
+    /// an owned buffer.
     ///
     /// # Errors
     ///
     /// [`Trap::UnmappedAccess`] when the range does not fit.
-    pub fn read_slice(&self, addr: u64, len: usize) -> Result<&[u8], Trap> {
-        let end = addr
-            .checked_add(len as u64)
-            .filter(|&e| e <= self.size())
-            .ok_or(Trap::UnmappedAccess { addr, pc: 0 })?;
-        Ok(&self.bytes[addr as usize..end as usize])
+    pub fn read_slice(&self, addr: u64, len: usize) -> Result<Vec<u8>, Trap> {
+        self.check_range(addr, len)?;
+        let mut out = Vec::with_capacity(len);
+        let (mut pi, mut off) = Self::locate(addr as usize);
+        while out.len() < len {
+            let n = (len - out.len()).min(PAGE_SIZE - off);
+            out.extend_from_slice(&self.pages[pi].0[off..off + n]);
+            pi += 1;
+            off = 0;
+        }
+        Ok(out)
+    }
+}
+
+impl Clone for PhysMem {
+    /// CoW mode: O(page-table) — the snapshot operation behind cheap
+    /// checkpoint restores. Flat-ablation mode (`cow = false`): deep-copies
+    /// every page, reproducing the old `Vec<u8>` clone cost.
+    fn clone(&self) -> PhysMem {
+        let pages = if self.cow {
+            self.pages.clone()
+        } else {
+            self.pages.iter().map(|p| Arc::new(Page::clone(p))).collect()
+        };
+        PhysMem { pages, size: self.size, cow: self.cow }
+    }
+}
+
+impl PartialEq for PhysMem {
+    /// Logical byte equality (page sharing and the clone policy are
+    /// representation details, not state).
+    fn eq(&self, other: &PhysMem) -> bool {
+        self.size == other.size
+            && self.pages.iter().zip(&other.pages).all(|(a, b)| Arc::ptr_eq(a, b) || a.0 == b.0)
+    }
+}
+
+impl Eq for PhysMem {}
+
+impl std::fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysMem")
+            .field("size", &self.size)
+            .field("pages", &self.pages.len())
+            .field("owned_pages", &self.owned_pages())
+            .field("cow", &self.cow)
+            .finish()
     }
 }
 
@@ -158,6 +296,16 @@ mod tests {
     }
 
     #[test]
+    fn bounds_are_the_true_size_not_the_page_rounding() {
+        // 16 bytes occupy one 4 KiB page, but byte 16 is still unmapped.
+        let mut m = PhysMem::new(16);
+        assert_eq!(m.total_pages(), 1);
+        assert!(m.write_u8(15, 1, 0).is_ok());
+        assert!(matches!(m.write_u8(16, 1, 0), Err(Trap::UnmappedAccess { addr: 16, .. })));
+        assert!(matches!(m.read_slice(10, 7), Err(Trap::UnmappedAccess { .. })));
+    }
+
+    #[test]
     fn misalignment_traps() {
         let m = PhysMem::new(64);
         assert!(matches!(m.read_u64(4, 0), Err(Trap::MisalignedAccess { addr: 4, .. })));
@@ -171,5 +319,66 @@ mod tests {
         assert_eq!(m.read_slice(10, 3).unwrap(), &[1, 2, 3]);
         assert!(m.write_slice(62, &[0; 4]).is_err());
         assert!(m.read_slice(62, 4).is_err());
+    }
+
+    #[test]
+    fn slice_io_across_page_boundaries() {
+        let mut m = PhysMem::new(4 * PAGE_SIZE);
+        let data: Vec<u8> = (0..2 * PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        m.write_slice(PAGE_SIZE as u64 - 50, &data).unwrap();
+        assert_eq!(m.read_slice(PAGE_SIZE as u64 - 50, data.len()).unwrap(), data);
+        // Word accesses around the boundary still see the slice's bytes.
+        assert_eq!(m.read_u8(PAGE_SIZE as u64, 0).unwrap(), data[50]);
+    }
+
+    #[test]
+    fn fresh_memory_owns_no_pages() {
+        let m = PhysMem::new(1 << 20);
+        assert_eq!(m.owned_pages(), 0, "untouched memory shares the zero page");
+        assert!(m.read_slice(0, 1 << 20).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn clone_is_shared_until_written() {
+        let mut a = PhysMem::new(8 * PAGE_SIZE);
+        a.write_u64(0, 7, 0).unwrap();
+        a.write_u64(4 * PAGE_SIZE as u64, 9, 0).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.owned_pages(), 0, "snapshot shares every page");
+        assert_eq!(b.owned_pages(), 0);
+        // Writing through the clone dirties exactly one page of it …
+        b.write_u64(0, 100, 0).unwrap();
+        assert_eq!(b.owned_pages(), 1);
+        assert_eq!(a.owned_pages(), 1, "… and leaves the original sole owner of its twin");
+        // … and the original still sees its own data.
+        assert_eq!(a.read_u64(0, 0).unwrap(), 7);
+        assert_eq!(b.read_u64(0, 0).unwrap(), 100);
+        assert_eq!(b.read_u64(4 * PAGE_SIZE as u64, 0).unwrap(), 9);
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flat_ablation_clone_deep_copies_but_behaves_identically() {
+        let mut a = PhysMem::with_cow(4 * PAGE_SIZE, false);
+        a.write_u64(8, 42, 0).unwrap();
+        let mut b = a.clone();
+        assert_eq!(b.owned_pages(), b.total_pages(), "flat clone owns every page");
+        b.write_u64(8, 43, 0).unwrap();
+        assert_eq!(a.read_u64(8, 0).unwrap(), 42);
+        assert_eq!(b.read_u64(8, 0).unwrap(), 43);
+        assert_eq!(a.read_slice(0, 32).unwrap()[8], 42);
+    }
+
+    #[test]
+    fn zero_writes_to_pristine_pages_stay_shared() {
+        let mut m = PhysMem::new(4 * PAGE_SIZE);
+        m.write_slice(0, &vec![0u8; 3 * PAGE_SIZE]).unwrap();
+        assert_eq!(m.owned_pages(), 0, "all-zero bulk writes must not materialize pages");
+        let mut data = vec![0u8; 2 * PAGE_SIZE];
+        data[PAGE_SIZE + 7] = 3;
+        m.write_slice(0, &data).unwrap();
+        assert_eq!(m.owned_pages(), 1, "only the page with a nonzero byte materializes");
+        assert_eq!(m.read_u8(PAGE_SIZE as u64 + 7, 0).unwrap(), 3);
     }
 }

@@ -52,7 +52,11 @@ pub fn encode_image(bytes: &[u8], w: &mut ByteWriter) {
 /// [`CodecError`] on truncation, bad tags, or a size mismatch.
 pub fn decode_image(r: &mut ByteReader<'_>) -> Result<Vec<u8>, CodecError> {
     let total = r.get_len()?;
-    let mut out = Vec::with_capacity(total);
+    // `total` is attacker-controlled until the records check out: cap the
+    // preallocation by what the stream could plausibly still hold so a
+    // corrupt/truncated file errors out instead of reserving gigabytes
+    // up front. Legitimate zero-run expansion beyond this grows amortized.
+    let mut out = Vec::with_capacity(total.min(r.remaining()));
     while out.len() < total {
         match r.get_u8()? {
             TAG_ZEROS => {
@@ -87,7 +91,7 @@ impl Codec for MemorySystem {
             w.put_u64(c.hit_latency);
         }
         let image = self.read_slice(0, cfg.phys_size).expect("whole memory");
-        encode_image(image, w);
+        encode_image(&image, w);
     }
 
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
@@ -101,9 +105,9 @@ impl Codec for MemorySystem {
             c.line = r.get_len()?;
             c.hit_latency = r.get_u64()?;
         }
-        // The predecode flag is a host-side performance knob, not machine
-        // state — it is not in the stream (keeping the v2 image stable) and
-        // restores to the default.
+        // The predecode and CoW flags are host-side performance knobs, not
+        // machine state — they are not in the stream (keeping the v2 image
+        // stable) and restore to the defaults.
         let config = MemConfig {
             phys_size,
             l1i: caches[0],
@@ -111,6 +115,7 @@ impl Codec for MemorySystem {
             l2: caches[2],
             dram_latency,
             predecode: MemConfig::default().predecode,
+            cow: MemConfig::default().cow,
         };
         let image = decode_image(r)?;
         if image.len() != phys_size {
@@ -172,6 +177,19 @@ mod tests {
         assert_eq!(restored.config(), m.config());
         // Restore is cache-cold.
         assert_eq!(restored.stats().l1d.accesses(), 0);
+    }
+
+    #[test]
+    fn huge_declared_total_fails_without_preallocating() {
+        // A corrupt header claiming a 512 GiB image over a near-empty
+        // stream must error on truncation, not abort in the allocator.
+        let mut w = ByteWriter::new();
+        w.put_len(512 << 30);
+        w.put_u8(TAG_ZEROS);
+        w.put_len(64);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(decode_image(&mut r).is_err());
     }
 
     #[test]

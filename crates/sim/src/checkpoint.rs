@@ -13,6 +13,12 @@
 //! decoding it. The resume path compares this digest against the one
 //! recorded in the campaign journal and rejects a stale or swapped
 //! checkpoint before re-running any experiment against the wrong state.
+//!
+//! A checkpoint is immutable once captured (its fields are private), which
+//! lets [`Checkpoint::digest`] memoize the payload fingerprint: the first
+//! call re-encodes the payload, every later call — the resume path
+//! validates digests repeatedly — returns the cached value. Decoding primes
+//! the cache for free from the verified file header.
 
 use crate::config::MachineConfig;
 use gemfi_cpu::CpuKind;
@@ -20,6 +26,7 @@ use gemfi_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use gemfi_isa::ArchState;
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemConfig, MemorySystem};
+use std::sync::OnceLock;
 
 const MAGIC: u32 = 0x47_46_49_43; // "GFIC"
 const VERSION: u32 = 2;
@@ -45,20 +52,36 @@ pub struct CheckpointHeader {
 }
 
 /// A point-in-time snapshot of a [`crate::Machine`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Immutable after capture: restores never mutate the checkpoint (per-run
+/// overrides like the watchdog budget are passed to
+/// [`crate::Machine::restore_with`] instead), so one `Checkpoint` — usually
+/// behind an `Arc` — safely fans out to any number of concurrent
+/// experiments, each sharing its memory pages copy-on-write.
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
-    /// The machine configuration at capture time.
-    pub config: MachineConfig,
-    /// Architectural state of the (single) hardware context.
-    pub arch: ArchState,
-    /// Guest memory and hierarchy configuration.
-    pub mem: MemorySystem,
-    /// Kernel state (threads, console, heap break, …).
-    pub kernel: Kernel,
-    /// Simulated time at capture.
-    pub tick: u64,
-    /// Instructions committed at capture.
-    pub instret: u64,
+    config: MachineConfig,
+    arch: ArchState,
+    mem: MemorySystem,
+    kernel: Kernel,
+    tick: u64,
+    instret: u64,
+    /// Lazily computed payload digest; sound to cache because every other
+    /// field is immutable.
+    digest: OnceLock<u64>,
+}
+
+impl PartialEq for Checkpoint {
+    /// State equality; whether the digest has been computed yet is not
+    /// state.
+    fn eq(&self, other: &Checkpoint) -> bool {
+        self.config == other.config
+            && self.arch == other.arch
+            && self.mem == other.mem
+            && self.kernel == other.kernel
+            && self.tick == other.tick
+            && self.instret == other.instret
+    }
 }
 
 fn encode_cpu_kind(k: CpuKind, w: &mut ByteWriter) {
@@ -81,6 +104,50 @@ fn decode_cpu_kind(r: &mut ByteReader<'_>) -> Result<CpuKind, CodecError> {
 }
 
 impl Checkpoint {
+    /// Assembles a checkpoint from captured machine state.
+    /// [`crate::Machine::checkpoint`] is the usual producer; tests build
+    /// variants directly.
+    pub fn new(
+        config: MachineConfig,
+        arch: ArchState,
+        mem: MemorySystem,
+        kernel: Kernel,
+        tick: u64,
+        instret: u64,
+    ) -> Checkpoint {
+        Checkpoint { config, arch, mem, kernel, tick, instret, digest: OnceLock::new() }
+    }
+
+    /// The machine configuration at capture time.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Architectural state of the (single) hardware context.
+    pub fn arch(&self) -> &ArchState {
+        &self.arch
+    }
+
+    /// Guest memory and hierarchy configuration.
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Kernel state (threads, console, heap break, …).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Simulated time at capture.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Instructions committed at capture.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
     fn encode_payload(&self, w: &mut ByteWriter) {
         encode_cpu_kind(self.config.cpu, w);
         w.put_u64(self.config.quantum);
@@ -104,23 +171,27 @@ impl Checkpoint {
         let tick = r.get_u64()?;
         let instret = r.get_u64()?;
         let mem_config: MemConfig = *mem.config();
-        Ok(Checkpoint {
-            config: MachineConfig { cpu, mem: mem_config, quantum, max_ticks, boot_spin },
+        Ok(Checkpoint::new(
+            MachineConfig { cpu, mem: mem_config, quantum, max_ticks, boot_spin },
             arch,
             mem,
             kernel,
             tick,
             instret,
-        })
+        ))
     }
 
     /// The payload fingerprint this checkpoint would carry in its file
     /// header — the identity the campaign journal records and the resume
-    /// path verifies.
+    /// path verifies. Computed once and cached (the checkpoint is
+    /// immutable); decoding primes the cache from the verified header, so
+    /// the resume-validation path never re-encodes the RLE image at all.
     pub fn digest(&self) -> u64 {
-        let mut w = ByteWriter::new();
-        self.encode_payload(&mut w);
-        fnv1a(&w.into_bytes())
+        *self.digest.get_or_init(|| {
+            let mut w = ByteWriter::new();
+            self.encode_payload(&mut w);
+            fnv1a(&w.into_bytes())
+        })
     }
 
     /// Reads just the header of a serialized checkpoint, without decoding
@@ -146,9 +217,12 @@ impl Codec for Checkpoint {
         let mut pw = ByteWriter::new();
         self.encode_payload(&mut pw);
         let payload = pw.into_bytes();
+        // Serializing necessarily re-encodes the payload, so prime (or
+        // reuse) the digest cache while the bytes are in hand.
+        let digest = *self.digest.get_or_init(|| fnv1a(&payload));
         w.put_u32(MAGIC);
         w.put_u32(VERSION);
-        w.put_u64(fnv1a(&payload));
+        w.put_u64(digest);
         w.put_bytes(&payload);
     }
 
@@ -169,7 +243,11 @@ impl Codec for Checkpoint {
         if fnv1a(payload) != digest {
             return Err(CodecError::InvalidTag { what: "checkpoint digest", value: digest });
         }
-        Checkpoint::decode_payload(&mut ByteReader::new(payload))
+        let ckpt = Checkpoint::decode_payload(&mut ByteReader::new(payload))?;
+        // The header digest was just verified against the payload — prime
+        // the cache so resume validation never re-encodes the image.
+        let _ = ckpt.digest.set(digest);
+        Ok(ckpt)
     }
 }
 
@@ -238,15 +316,15 @@ mod tests {
     fn assert_equivalent(a: &Checkpoint, b: &Checkpoint) {
         // Cache/stat state restores cold by design, so compare the
         // architecturally observable parts.
-        assert_eq!(a.arch, b.arch);
-        assert_eq!(a.kernel, b.kernel);
-        assert_eq!(a.tick, b.tick);
-        assert_eq!(a.instret, b.instret);
-        assert_eq!(a.config, b.config);
-        let size = a.mem.config().phys_size;
+        assert_eq!(a.arch(), b.arch());
+        assert_eq!(a.kernel(), b.kernel());
+        assert_eq!(a.tick(), b.tick());
+        assert_eq!(a.instret(), b.instret());
+        assert_eq!(a.config(), b.config());
+        let size = a.mem().config().phys_size;
         assert_eq!(
-            a.mem.read_slice(0, size).unwrap(),
-            b.mem.read_slice(0, size).unwrap(),
+            a.mem().read_slice(0, size).unwrap(),
+            b.mem().read_slice(0, size).unwrap(),
             "memory images differ"
         );
     }
@@ -305,10 +383,27 @@ mod tests {
     #[test]
     fn digest_identifies_distinct_checkpoints() {
         let (_, a) = checkpointing_machine();
-        let mut b = a.clone();
-        b.tick += 1;
+        let b = Checkpoint::new(
+            *a.config(),
+            a.arch().clone(),
+            a.mem().clone(),
+            a.kernel().clone(),
+            a.tick() + 1,
+            a.instret(),
+        );
         assert_ne!(a.digest(), b.digest());
         assert_eq!(a.digest(), a.clone().digest());
+    }
+
+    #[test]
+    fn digest_is_cached_and_primed_by_decode() {
+        let (_, a) = checkpointing_machine();
+        let first = a.digest();
+        assert_eq!(first, a.digest(), "memoized digest must be stable");
+        // A decoded checkpoint carries the verified header digest already.
+        let decoded = Checkpoint::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(decoded.digest.get().copied(), Some(first), "decode must prime the cache");
+        assert_eq!(decoded.digest(), first);
     }
 
     #[test]

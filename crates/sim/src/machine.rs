@@ -131,33 +131,52 @@ impl<H: FaultHooks> Machine<H> {
     }
 
     /// Reconstructs a machine from a checkpoint. The CPU model starts fresh
-    /// (cold caches and predictor — gem5's restore semantics) in
-    /// `checkpoint.cpu` mode unless `cpu_override` says otherwise.
+    /// (cold caches and predictor — gem5's restore semantics) in the
+    /// checkpoint's CPU mode unless `cpu_override` says otherwise.
     pub fn restore(checkpoint: &Checkpoint, cpu_override: Option<CpuKind>, hooks: H) -> Machine<H> {
-        let mut config = checkpoint.config;
+        Machine::restore_with(checkpoint, cpu_override, None, hooks)
+    }
+
+    /// [`Machine::restore`] with a per-run watchdog override: `max_ticks`
+    /// replaces the checkpointed budget for this machine only. The campaign
+    /// runner bounds every experiment relative to the fault-free kernel
+    /// time this way — as a restore parameter, not by mutating a clone of
+    /// the (shared, immutable) checkpoint.
+    ///
+    /// The checkpoint is never written to: guest memory comes back as a
+    /// copy-on-write page-table snapshot, so restore cost is O(pages)
+    /// regardless of memory size and each restored machine pays only for
+    /// the pages it subsequently dirties.
+    pub fn restore_with(
+        checkpoint: &Checkpoint,
+        cpu_override: Option<CpuKind>,
+        max_ticks: Option<u64>,
+        hooks: H,
+    ) -> Machine<H> {
+        let mut config = *checkpoint.config();
         if let Some(kind) = cpu_override {
             config.cpu = kind;
         }
-        let arch = checkpoint.arch.clone();
+        if let Some(budget) = max_ticks {
+            config.max_ticks = budget;
+        }
+        let arch = checkpoint.arch().clone();
         let cpu = Cpu::new(config.cpu, arch.pc);
         // The predecode cache is derived state: a restored machine starts
         // with it empty, exactly like one rebuilt from the serialized image.
-        let mut mem = checkpoint.mem.clone();
+        let mut mem = checkpoint.mem().clone();
         mem.clear_predecode();
+        let tick = checkpoint.tick();
         Machine {
             config,
             arch,
             mem,
-            kernel: checkpoint.kernel.clone(),
+            kernel: checkpoint.kernel().clone(),
             cpu,
             hooks,
-            tick: checkpoint.tick,
-            instret: checkpoint.instret,
-            next_preempt: if config.quantum > 0 {
-                checkpoint.tick + config.quantum
-            } else {
-                u64::MAX
-            },
+            tick,
+            instret: checkpoint.instret(),
+            next_preempt: if config.quantum > 0 { tick + config.quantum } else { u64::MAX },
             finished: None,
         }
     }
@@ -176,14 +195,14 @@ impl<H: FaultHooks> Machine<H> {
         // taken from a cold machine in the same architectural state.
         let mut mem = self.mem.clone();
         mem.clear_predecode();
-        Checkpoint {
-            config: self.config,
-            arch: self.arch.clone(),
+        Checkpoint::new(
+            self.config,
+            self.arch.clone(),
             mem,
-            kernel: self.kernel.clone(),
-            tick: self.tick,
-            instret: self.instret,
-        }
+            self.kernel.clone(),
+            self.tick,
+            self.instret,
+        )
     }
 
     /// Switches the CPU model at an instruction boundary, discarding
@@ -509,7 +528,7 @@ mod tests {
         assert!(s.mem.predecode.hits > s.mem.predecode.misses, "loop must hit the warm cache");
         let ckpt = m.checkpoint();
         assert_eq!(
-            ckpt.mem.stats().predecode,
+            ckpt.mem().stats().predecode,
             gemfi_mem::PredecodeStats::default(),
             "checkpoints must carry no predecode state"
         );

@@ -115,8 +115,7 @@ pub fn reference_run(workload: &dyn Workload, cpu: CpuKind) -> Result<RunOutput,
     let bytes = machine
         .mem()
         .read_slice(guest.output_addr(), guest.output_len)
-        .expect("output region mapped")
-        .to_vec();
+        .expect("output region mapped");
     Ok(RunOutput { exit, bytes, console: machine.console().to_vec(), stats: machine.stats() })
 }
 

@@ -17,7 +17,7 @@ fn straight_through(guest: &GuestWorkload, cpu: CpuKind) -> (Vec<u8>, u64) {
         exit = m.run();
     }
     assert_eq!(exit, RunExit::Halted(0));
-    let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap().to_vec();
+    let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap();
     (out, m.instret())
 }
 
@@ -102,6 +102,59 @@ fn warm_predecode_cache_never_reaches_the_checkpoint_image() {
 }
 
 #[test]
+fn dirtied_restores_never_bleed_back_into_the_checkpoint() {
+    // Copy-on-write sharing must be invisible: a machine restored from a
+    // shared checkpoint dirties its pages freely, yet the checkpoint still
+    // serializes byte-identically afterwards, and a second restore taken
+    // *after* that dirtying checkpoints back to the very same image as one
+    // taken before it.
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let ckpt = checkpoint_of(&guest);
+    let original_bytes = ckpt.to_bytes();
+    let fresh_image = Machine::restore(&ckpt, None, NoopHooks).checkpoint().to_bytes();
+
+    // Dirty a restored machine's memory heavily: run the kernel to halt.
+    let mut m = Machine::restore(&ckpt, None, NoopHooks);
+    let mut exit = m.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = m.run();
+    }
+    assert_eq!(exit, RunExit::Halted(0));
+
+    assert_eq!(
+        ckpt.to_bytes(),
+        original_bytes,
+        "running a restored machine mutated the shared checkpoint"
+    );
+    assert_eq!(
+        Machine::restore(&ckpt, None, NoopHooks).checkpoint().to_bytes(),
+        fresh_image,
+        "a restore taken after fan-out must serialize like one taken before"
+    );
+}
+
+#[test]
+fn flat_ablation_checkpoints_serialize_identically_to_cow() {
+    // MemConfig.cow is a host-side clone-policy knob: with it off (the
+    // restore_fanout bench's flat baseline) the checkpoint image and the
+    // guest-visible run must be bit-for-bit the same.
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let ckpt_with = |cow: bool| {
+        let mut config = workload_machine_config(CpuKind::Atomic);
+        config.mem.cow = cow;
+        let mut m = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        m.checkpoint()
+    };
+    let cow = ckpt_with(true);
+    let flat = ckpt_with(false);
+    assert_eq!(cow.to_bytes(), flat.to_bytes(), "clone policy leaked into the v2 image");
+    assert_eq!(cow.digest(), flat.digest());
+}
+
+#[test]
 fn one_checkpoint_spawns_many_identical_experiments() {
     // The Fig. 3 pattern: one checkpoint, many restores; every restore sees
     // the same world (the engine re-reads its own fault config per restore,
@@ -117,7 +170,7 @@ fn one_checkpoint_spawns_many_identical_experiments() {
             exit = m.run();
         }
         assert_eq!(exit, RunExit::Halted(0));
-        outputs.push(m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap().to_vec());
+        outputs.push(m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap());
     }
     assert!(outputs.windows(2).all(|w| w[0] == w[1]));
 }

@@ -141,7 +141,7 @@ fn run_model(program: &Program, cpu: CpuKind, predecode: bool) -> Snapshot {
     Snapshot {
         exit,
         arch: m.arch().clone(),
-        mem: m.mem().read_slice(0, PHYS_SIZE).expect("physical memory").to_vec(),
+        mem: m.mem().read_slice(0, PHYS_SIZE).expect("physical memory"),
     }
 }
 

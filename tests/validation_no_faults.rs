@@ -25,11 +25,8 @@ fn run_to_completion<H: gemfi_cpu::FaultHooks>(
         exit = machine.run();
     }
     assert_eq!(exit, RunExit::Halted(0), "{} must terminate cleanly", workload.name());
-    let output = machine
-        .mem()
-        .read_slice(guest.output_addr(), guest.output_len)
-        .expect("output mapped")
-        .to_vec();
+    let output =
+        machine.mem().read_slice(guest.output_addr(), guest.output_len).expect("output mapped");
     (output, machine.console().to_vec(), machine.stats())
 }
 
