@@ -1,0 +1,357 @@
+//! `bench_schema` — validates the committed `BENCH_*.json` performance
+//! reports.
+//!
+//! Every benchmark in this repo writes its ablation numbers as a small JSON
+//! report (e.g. `BENCH_predecode.json`, `BENCH_cow_restore.json`,
+//! `BENCH_hook_elision.json`). CI regenerates some of them on tiny budgets
+//! and archives the artifacts; this binary is the schema gate that keeps
+//! both the committed and the freshly generated reports honest:
+//!
+//! * the file must parse as JSON (a hand-rolled parser — the workspace has
+//!   no serde and takes no registry dependencies);
+//! * the top level must be an object with a non-empty string `"bench"`;
+//! * a `"results"` key must exist, be an array, and be non-empty;
+//! * every entry of `"results"` must be an object.
+//!
+//! ```text
+//! bench_schema [--dir PATH]   # default: current directory
+//! ```
+//!
+//! Scans `PATH` (non-recursively) for `BENCH_*.json`, validates each, and
+//! exits non-zero if any file is malformed — or if no report is found at
+//! all, so a misconfigured CI step cannot pass by scanning an empty
+//! directory.
+
+use gemfi_bench::Args;
+use std::path::Path;
+
+/// A minimal JSON value tree: just enough structure for schema checks.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser over the full grammar (objects, arrays,
+/// strings with escapes, numbers, literals). Errors carry a byte offset.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type ParseResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> ParseResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_document(&mut self) -> ParseResult<Json> {
+        self.skip_ws();
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing garbage after JSON document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> ParseResult<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Json) -> ParseResult<Json> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> ParseResult<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> ParseResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> ParseResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are rejected rather than paired:
+                            // bench reports are ASCII, anything else is noise.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("non-scalar \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> ParseResult<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Number).map_err(|_| self.err("malformed number"))
+    }
+}
+
+fn parse(text: &str) -> ParseResult<Json> {
+    Parser::new(text).parse_document()
+}
+
+/// The schema every `BENCH_*.json` report must satisfy.
+fn validate(doc: &Json) -> Result<usize, String> {
+    let Json::Object(_) = doc else {
+        return Err("top level is not an object".into());
+    };
+    match doc.get("bench") {
+        Some(Json::String(name)) if !name.is_empty() => {}
+        Some(_) => return Err("`bench` is not a string".into()),
+        None => return Err("missing `bench` name".into()),
+    }
+    let results = doc.get("results").ok_or("missing `results` array")?;
+    let Json::Array(entries) = results else {
+        return Err("`results` is not an array".into());
+    };
+    if entries.is_empty() {
+        return Err("`results` is empty".into());
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        if !matches!(entry, Json::Object(_)) {
+            return Err(format!("results[{i}] is not an object"));
+        }
+    }
+    Ok(entries.len())
+}
+
+fn check_file(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if text.trim().is_empty() {
+        return Err("file is empty".into());
+    }
+    validate(&parse(&text)?)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let dir = args.value_of("dir").unwrap_or(".").to_string();
+
+    let mut reports: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("bench_schema: cannot read {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    reports.sort();
+
+    if reports.is_empty() {
+        eprintln!("bench_schema: no BENCH_*.json found in {dir}");
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    for path in &reports {
+        match check_file(path) {
+            Ok(n) => println!("ok   {} ({n} results)", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("{} report(s) valid", reports.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = parse(
+            r#"{"bench": "x", "speedup": {"a": 1.5}, "results": [{"n": -2e3, "ok": true}, {"s": "a\"bA"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(validate(&doc).unwrap(), 2);
+        let Some(Json::Array(items)) = doc.get("results") else { panic!() };
+        assert_eq!(items[0].get("n"), Some(&Json::Number(-2000.0)));
+        assert_eq!(items[1].get("s"), Some(&Json::String("a\"bA".into())));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse(r#"{"a": 01e}"#).is_err());
+        assert!(parse(r#"{"a": "unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        assert!(validate(&parse("[]").unwrap()).is_err());
+        assert!(validate(&parse(r#"{"results": []}"#).unwrap()).is_err());
+        assert!(validate(&parse(r#"{"bench": "x"}"#).unwrap()).is_err());
+        assert!(validate(&parse(r#"{"bench": "x", "results": []}"#).unwrap()).is_err());
+        assert!(validate(&parse(r#"{"bench": "x", "results": [1]}"#).unwrap()).is_err());
+        assert!(validate(&parse(r#"{"bench": "", "results": [{}]}"#).unwrap()).is_err());
+        assert!(validate(&parse(r#"{"bench": "x", "results": [{}]}"#).unwrap()).is_ok());
+    }
+}

@@ -47,6 +47,7 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, args: &Args)
     let mut config = MachineConfig { cpu, ..MachineConfig::default() };
     config.mem.predecode = !args.has("no-predecode");
     config.mem.cow = !args.has("no-cow");
+    config.elide = !args.has("no-elide");
     let mut machine =
         Machine::boot(config, &program, GemFiEngine::new(faults)).unwrap_or_else(|t| {
             eprintln!("boot failed: {t}");
@@ -104,7 +105,8 @@ fn run_campaign_mode(
         resume: args.has("resume"),
         ..NowConfig::new(args.number("workstations", 3usize), args.number("slots", 2usize), share)
     };
-    let runner = RunnerConfig { inject_cpu: cpu, ..RunnerConfig::default() };
+    let runner =
+        RunnerConfig { inject_cpu: cpu, elide: !args.has("no-elide"), ..RunnerConfig::default() };
     println!(
         "campaign: {} x {} on {} ws x {} slots | share {share} | seed {seed} | resume: {}",
         experiments,
@@ -164,7 +166,7 @@ fn main() {
     let Some(name) = args.value_of("workload") else {
         eprintln!(
             "usage: gemfi_run (--workload <name> | --program <file.s>) \
-       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode] [--no-cow]"
+       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode] [--no-cow] [--no-elide]"
         );
         eprintln!(
             "       gemfi_run --workload <name> --campaign <experiments> --share <dir> \
@@ -220,7 +222,8 @@ fn main() {
         return;
     }
 
-    let runner = RunnerConfig { inject_cpu: cpu, ..RunnerConfig::default() };
+    let runner =
+        RunnerConfig { inject_cpu: cpu, elide: !args.has("no-elide"), ..RunnerConfig::default() };
     let result = run_experiment_multi(&prepared, workload.as_ref(), faults.faults(), &runner);
 
     println!("\ninjections:");

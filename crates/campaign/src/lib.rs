@@ -39,8 +39,8 @@ pub use report::OutcomeTable;
 pub use rng::SplitMix64;
 pub use runner::{
     prepare_workload, prepare_workload_with, run_experiment, run_experiment_from,
-    run_experiment_from_with_abort, run_experiment_multi, ExperimentResult, PreparedWorkload,
-    RunnerConfig,
+    run_experiment_from_with_abort, run_experiment_multi, run_experiment_multi_with_abort,
+    ExperimentResult, PreparedWorkload, RunnerConfig, DORMANT_CHUNK_FACTOR,
 };
 pub use sampler::{FaultSampler, LocationClass};
 pub use stats::{leveugle_sample_size, proportion_ci};

@@ -44,9 +44,19 @@ pub struct RunnerConfig {
     pub switch_grace: u64,
     /// Watchdog budget as a multiple of the fault-free kernel ticks.
     pub watchdog_factor: u64,
-    /// Scheduling granularity in ticks.
+    /// Scheduling granularity in ticks while the engine can still observe
+    /// something. Once the engine reports itself fully dormant the loop
+    /// switches to horizon-sized chunks ([`DORMANT_CHUNK_FACTOR`]× larger):
+    /// nothing can fire, so fine-grained polling buys nothing but abort
+    /// latency.
     pub chunk: u64,
+    /// Drive restored machines with the dormancy-elision fast path
+    /// (architecturally invisible; disable for the ablation benchmark).
+    pub elide: bool,
 }
+
+/// How much coarser the chunk granularity gets once the engine is dormant.
+pub const DORMANT_CHUNK_FACTOR: u64 = 50;
 
 impl Default for RunnerConfig {
     fn default() -> RunnerConfig {
@@ -56,6 +66,7 @@ impl Default for RunnerConfig {
             switch_grace: 2_000,
             watchdog_factor: 30,
             chunk: 20_000,
+            elide: true,
         }
     }
 }
@@ -152,6 +163,49 @@ fn watchdog_budget(
         .saturating_add(1_000_000)
 }
 
+/// Drives a restored machine to completion: the switch-grace/model-switch
+/// protocol, horizon-aware chunked scheduling, and abort polling — the one
+/// loop shared by the single- and multi-fault experiment paths.
+///
+/// Returns the terminal exit and whether the abort token cut the run short.
+fn drive_to_completion(
+    machine: &mut Machine<GemFiEngine>,
+    config: &RunnerConfig,
+    abort: &AbortToken,
+) -> (RunExit, bool) {
+    let mut switched = config.inject_cpu == config.finish_cpu;
+    loop {
+        if abort.is_aborted() {
+            return (RunExit::Watchdog, true);
+        }
+        if !switched && machine.hooks_mut().pending_faults() == 0 {
+            // The fault fired (or expired): give the affected instruction
+            // time to commit or squash, then fast-forward in the cheap model.
+            if let Some(exit) = machine.run_for(config.switch_grace) {
+                if exit != RunExit::CheckpointRequest {
+                    return (exit, false);
+                }
+            }
+            machine.switch_cpu(config.finish_cpu);
+            switched = true;
+        }
+        // Horizon-aware scheduling: while the engine can still observe
+        // something, poll at the configured granularity so the model switch
+        // lands promptly after the fault fires; once fully dormant, nothing
+        // can fire and the chunk exists only to bound abort latency.
+        let chunk = if machine.hooks().is_dormant(0, machine.tick()) {
+            config.chunk.saturating_mul(DORMANT_CHUNK_FACTOR)
+        } else {
+            config.chunk
+        };
+        match machine.run_for(chunk) {
+            Some(RunExit::CheckpointRequest) => continue,
+            Some(exit) => return (exit, false),
+            None => {}
+        }
+    }
+}
+
 /// Runs one experiment from an explicit checkpoint (the NoW path passes a
 /// workstation-local copy).
 pub fn run_experiment_from(
@@ -190,32 +244,21 @@ pub fn run_experiment_from_with_abort(
         Some(watchdog_budget(checkpoint, prepared, config)),
         engine,
     );
+    machine.set_elide(config.elide);
+    let (exit, aborted) = drive_to_completion(&mut machine, config, abort);
+    finish_result(machine, checkpoint.tick(), prepared, workload, spec, exit, aborted)
+}
 
-    let mut aborted = false;
-    let mut switched = config.inject_cpu == config.finish_cpu;
-    let exit = loop {
-        if abort.is_aborted() {
-            aborted = true;
-            break RunExit::Watchdog;
-        }
-        if !switched && machine.hooks_mut().pending_faults() == 0 {
-            // The fault fired (or expired): give the affected instruction
-            // time to commit or squash, then fast-forward in the cheap model.
-            if let Some(exit) = machine.run_for(config.switch_grace) {
-                if exit != RunExit::CheckpointRequest {
-                    break exit;
-                }
-            }
-            machine.switch_cpu(config.finish_cpu);
-            switched = true;
-        }
-        match machine.run_for(config.chunk) {
-            Some(RunExit::CheckpointRequest) => continue,
-            Some(exit) => break exit,
-            None => {}
-        }
-    };
-
+/// Classification and result assembly shared by the experiment paths.
+fn finish_result(
+    machine: Machine<GemFiEngine>,
+    checkpoint_tick: u64,
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    spec: FaultSpec,
+    exit: RunExit,
+    aborted: bool,
+) -> ExperimentResult {
     let output = machine
         .mem()
         .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
@@ -226,9 +269,8 @@ pub fn run_experiment_from_with_abort(
     } else {
         classify(workload, &prepared.golden.bytes, exit, &output, &injections)
     };
-
     let injection_fraction = injections.first().map(|r| {
-        let rel = r.tick.saturating_sub(checkpoint.tick()) as f64;
+        let rel = r.tick.saturating_sub(checkpoint_tick) as f64;
         (rel / prepared.kernel_ticks.max(1) as f64).min(1.0)
     });
     ExperimentResult {
@@ -251,50 +293,32 @@ pub fn run_experiment_multi(
     specs: &[FaultSpec],
     config: &RunnerConfig,
 ) -> ExperimentResult {
+    run_experiment_multi_with_abort(prepared, workload, specs, config, &AbortToken::new())
+}
+
+/// [`run_experiment_multi`] with an external abort token, so multi-fault
+/// experiments can be reaped by the same lease watchdog as single-fault
+/// ones. A raised token stops the run at the next chunk boundary and
+/// classifies as [`Outcome::Infrastructure`].
+pub fn run_experiment_multi_with_abort(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    specs: &[FaultSpec],
+    config: &RunnerConfig,
+    abort: &AbortToken,
+) -> ExperimentResult {
     assert!(!specs.is_empty(), "at least one fault");
-    let engine = GemFiEngine::new(FaultConfig::from_specs(specs.to_vec()));
+    let mut engine = GemFiEngine::new(FaultConfig::from_specs(specs.to_vec()));
+    engine.set_abort_token(abort.clone());
     let mut machine = Machine::restore_with(
         &prepared.checkpoint,
         Some(config.inject_cpu),
         Some(watchdog_budget(&prepared.checkpoint, prepared, config)),
         engine,
     );
-    let mut switched = config.inject_cpu == config.finish_cpu;
-    let exit = loop {
-        if !switched && machine.hooks_mut().pending_faults() == 0 {
-            if let Some(exit) = machine.run_for(config.switch_grace) {
-                if exit != RunExit::CheckpointRequest {
-                    break exit;
-                }
-            }
-            machine.switch_cpu(config.finish_cpu);
-            switched = true;
-        }
-        match machine.run_for(config.chunk) {
-            Some(RunExit::CheckpointRequest) => continue,
-            Some(exit) => break exit,
-            None => {}
-        }
-    };
-    let output = machine
-        .mem()
-        .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
-        .unwrap_or_default();
-    let injections = machine.hooks().records().to_vec();
-    let outcome = classify(workload, &prepared.golden.bytes, exit, &output, &injections);
-    let injection_fraction = injections.first().map(|r| {
-        let rel = r.tick.saturating_sub(prepared.checkpoint.tick()) as f64;
-        (rel / prepared.kernel_ticks.max(1) as f64).min(1.0)
-    });
-    ExperimentResult {
-        spec: specs[0],
-        outcome,
-        exit,
-        injections,
-        output,
-        ticks: machine.tick(),
-        injection_fraction,
-    }
+    machine.set_elide(config.elide);
+    let (exit, aborted) = drive_to_completion(&mut machine, config, abort);
+    finish_result(machine, prepared.checkpoint.tick(), prepared, workload, specs[0], exit, aborted)
 }
 
 /// Runs one experiment using the prepared workload's own checkpoint.

@@ -12,9 +12,9 @@ use crate::config::FaultConfig;
 use crate::corrupt::apply;
 use crate::queues::StageQueues;
 use crate::record::InjectionRecord;
-use crate::spec::{FaultLocation, FaultSpec, MemTarget, Stage};
+use crate::spec::{FaultLocation, FaultSpec, FaultTiming, MemTarget, Stage};
 use crate::thread::ThreadTable;
-use gemfi_cpu::FaultHooks;
+use gemfi_cpu::{Dormancy, ElisionBatch, FaultHooks};
 use gemfi_isa::{disassemble, ArchState, FpReg, Instr, IntReg, RawInstr, RegRef};
 use gemfi_mem::Ticks;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -203,6 +203,14 @@ impl GemFiEngine {
     /// have been consumed; in-flight faults must have changed the value).
     pub fn any_propagated(&self) -> bool {
         self.records.iter().any(InjectionRecord::propagated)
+    }
+
+    /// Whether the engine is fully dormant on `core` at `now`: no pending
+    /// fault can ever fire in the current thread-activation state, and no
+    /// consumption watch is live. Campaign schedulers use this to pick a
+    /// coarser chunk granularity for the post-fault fast-forward.
+    pub fn is_dormant(&self, core: usize, now: Ticks) -> bool {
+        matches!(FaultHooks::dormancy(self, core, now), Dormancy::Dormant)
     }
 
     fn resolve_thread(
@@ -488,6 +496,88 @@ impl FaultHooks for GemFiEngine {
         }
         self.threads.on_context_switch(core, new_pcbb);
     }
+
+    /// The dormancy horizon (the event-queue idea of gem5's scheduler,
+    /// applied to fault arming): walk the queued faults that the *running*
+    /// thread on `core` could reach and report how many stage events / ticks
+    /// must elapse before the earliest of them can fire. Faults belonging to
+    /// other threads or cores are frozen — their counters cannot advance
+    /// while this thread runs — and any thread-activation change arrives
+    /// through a batch-interrupting passthrough hook, so the horizon stays
+    /// valid for the whole sprint.
+    fn dormancy(&self, core: usize, now: Ticks) -> Dormancy {
+        // Live consumption watches need per-event reg-read/write tracking.
+        if !self.watches.is_empty() {
+            return Dormancy::Active;
+        }
+        if self.queues.pending() == 0 {
+            return Dormancy::Dormant;
+        }
+        let rec = if self.config.pcb_pointer_cache {
+            self.threads.active(core)
+        } else {
+            self.threads.active_uncached(self.current_pcbb.get(core).copied().unwrap_or(0))
+        };
+        // No activated thread running: every queued fault is frozen.
+        let Some(rec) = rec else { return Dormancy::Dormant };
+        let mut events = u64::MAX;
+        let mut ticks = u64::MAX;
+        for q in self.queues.iter() {
+            if q.spec.thread != rec.id || q.spec.location.core() != core {
+                continue;
+            }
+            match q.spec.timing {
+                FaultTiming::Instructions(start) => {
+                    let served = rec.count(q.spec.stage());
+                    if served >= start {
+                        // Armed: fires on the next matching event.
+                        return Dormancy::Active;
+                    }
+                    events = events.min(start - served);
+                }
+                FaultTiming::Ticks(_) => {
+                    let since = rec.ticks_since_activation(now);
+                    let (start, _) = q.spec.window();
+                    if since >= start {
+                        // In (or past) its window: the fully hooked path
+                        // fires it — or lazily expires it, exactly as the
+                        // queue scan always has.
+                        return Dormancy::Active;
+                    }
+                    ticks = ticks.min(start - since);
+                }
+            }
+        }
+        if events == u64::MAX && ticks == u64::MAX {
+            Dormancy::Dormant
+        } else {
+            Dormancy::Quiet { events, ticks }
+        }
+    }
+
+    /// Bulk equivalent of the per-event counter maintenance: credit the
+    /// batch to the running thread's stage counters and the engine's global
+    /// profiling counters, gated on thread activation exactly like
+    /// `stage_event`/`on_commit`. Activation can only change at batch
+    /// boundaries (the passthrough hooks flush first), so one gate covers
+    /// the whole batch.
+    fn absorb_elided(&mut self, core: usize, now: Option<Ticks>, batch: &ElisionBatch) {
+        if let Some(n) = now {
+            self.last_tick = n;
+        }
+        let rec = if self.config.pcb_pointer_cache {
+            self.threads.active_mut(core)
+        } else {
+            let pcbb = self.current_pcbb.get(core).copied().unwrap_or(0);
+            self.threads.active_mut_uncached(core, pcbb)
+        };
+        if let Some(rec) = rec {
+            for (i, n) in batch.stage_events.iter().enumerate() {
+                rec.stage_counts[i] += n;
+                self.stage_events[i] += n;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -675,6 +765,81 @@ mod tests {
         assert_eq!(e.on_mem_load(0, 0x100, 7), 7);
         assert_eq!(e.on_mem_store(0, 0x100, 7), u64::MAX, "fires on the next store");
         assert_eq!(e.pending_faults(), 0);
+    }
+
+    #[test]
+    fn dormancy_horizon_tracks_the_event_distance() {
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:100 Flip:0 Threadid:0 system.cpu0 occ:1");
+        // Before activation nothing can reach the fault: fully dormant.
+        assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Dormant);
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        assert_eq!(
+            FaultHooks::dormancy(&e, 0, 0),
+            Dormancy::Quiet { events: 100, ticks: u64::MAX }
+        );
+
+        // Absorbing an elided batch must shrink the horizon exactly as the
+        // same events arriving through the per-event hooks would have.
+        let mut batch = ElisionBatch::default();
+        batch.stage_events[Stage::Execute.index()] = 30;
+        e.absorb_elided(0, Some(7), &batch);
+        assert_eq!(FaultHooks::dormancy(&e, 0, 7), Dormancy::Quiet { events: 70, ticks: u64::MAX });
+
+        // ... so the fault still fires on precisely the event the horizon
+        // names: the 70th future execute event.
+        let nop = Instr::FiReadInit;
+        for _ in 0..69 {
+            assert_eq!(e.on_execute_result(0, &nop, 8), 8);
+        }
+        // One event from firing: fewer than 1 further event is safe.
+        assert_eq!(FaultHooks::dormancy(&e, 0, 7), Dormancy::Quiet { events: 1, ticks: u64::MAX });
+        assert_eq!(e.on_execute_result(0, &nop, 8), 9, "fires at the horizon");
+        assert_eq!(FaultHooks::dormancy(&e, 0, 7), Dormancy::Dormant, "queue drained");
+    }
+
+    #[test]
+    fn dormancy_is_active_while_a_watch_is_outstanding() {
+        let mut e =
+            engine_with("RegisterInjectedFault Inst:0 Flip:0 Threadid:0 system.cpu0 occ:1 int 3");
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let mut arch = ArchState::new(0);
+        arch.pcbb = 0x4000;
+        e.before_instruction(0, 1, &mut arch);
+        // The fault fired, but the consumption monitor still watches r3:
+        // elision would miss the read/write that classifies propagation.
+        assert_eq!(e.pending_faults(), 0);
+        assert_eq!(FaultHooks::dormancy(&e, 0, 1), Dormancy::Active);
+        e.on_reg_write(0, RegRef::Int(IntReg::from_bits(3)));
+        assert_eq!(FaultHooks::dormancy(&e, 0, 1), Dormancy::Dormant, "watch retired");
+    }
+
+    #[test]
+    fn dormancy_respects_tick_timed_faults() {
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Tick:500 Flip:0 Threadid:0 system.cpu0 occ:4");
+        e.on_fi_activate(0, 100, 0, 0x4000);
+        assert_eq!(
+            FaultHooks::dormancy(&e, 0, 100),
+            Dormancy::Quiet { events: u64::MAX, ticks: 500 }
+        );
+        assert_eq!(
+            FaultHooks::dormancy(&e, 0, 350),
+            Dormancy::Quiet { events: u64::MAX, ticks: 250 }
+        );
+        // Inside (and past) the window the horizon is gone, even before the
+        // lazy queue scan prunes an expired entry.
+        assert_eq!(FaultHooks::dormancy(&e, 0, 600), Dormancy::Active);
+        assert_eq!(FaultHooks::dormancy(&e, 0, 10_000), Dormancy::Active);
+    }
+
+    #[test]
+    fn dormancy_ignores_faults_of_other_threads() {
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:5 Flip:0 Threadid:9 system.cpu0 occ:1");
+        e.on_fi_activate(0, 0, 0, 0x4000); // thread 0, not the fault's target
+        assert_eq!(e.pending_faults(), 1);
+        assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Dormant);
     }
 
     #[test]

@@ -83,6 +83,16 @@ impl StageQueues {
         self.queues[stage.index()].len()
     }
 
+    /// All still-queued faults, across every stage. Entries that are past
+    /// their window but not yet lazily removed by [`StageQueues::scan`] are
+    /// included — horizon computation must treat them as imminently
+    /// observable, not prune them (a deactivate/re-activate cycle resets a
+    /// thread's activation age, which can bring an "expired" tick window
+    /// back into reach).
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedFault> {
+        self.queues.iter().flatten()
+    }
+
     /// Scans `stage`'s queue for faults that fire for a thread whose
     /// stage-served count is `stage_count` and whose activation age is
     /// `ticks_since`, restricted to `thread` and `core`. Fired faults are

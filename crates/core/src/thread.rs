@@ -134,6 +134,14 @@ impl ThreadTable {
         let idx = self.core_active.get(core).copied().flatten()?;
         Some(&self.arena[idx])
     }
+
+    /// Read-only hash-table resolution (the uncached-path twin of
+    /// [`ThreadTable::active`], for horizon computation under the ablation
+    /// configuration).
+    pub fn active_uncached(&self, current_pcbb: u64) -> Option<&ThreadEnabledFault> {
+        let idx = *self.by_pcbb.get(&current_pcbb)?;
+        Some(&self.arena[idx])
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,56 @@
 use gemfi_isa::{ArchState, Instr, RawInstr, RegRef};
 use gemfi_mem::Ticks;
 
+/// How long a hooks implementation guarantees to stay architecturally
+/// unobservable — its *dormancy horizon*.
+///
+/// The machine asks before entering its elided fast path: while the horizon
+/// holds, hooks cannot corrupt anything, so the interpreter may sprint with
+/// a counting shim ([`ElidedHooks`]) instead of the full per-event hook
+/// dispatch, and deliver the accumulated stage-event counters in one
+/// [`FaultHooks::absorb_elided`] call at the batch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dormancy {
+    /// Something observable may happen on the very next event: run fully
+    /// hooked. This is the conservative default.
+    Active,
+    /// Nothing observable can happen while *every* per-stage event counter
+    /// advances by fewer than `events` and fewer than `ticks` simulation
+    /// ticks elapse. Either bound may be `u64::MAX` ("unconstrained").
+    Quiet {
+        /// Strict per-stage event bound: the earliest event that could fire
+        /// a fault is the `events`-th one of its stage.
+        events: u64,
+        /// Strict tick bound: the earliest tick at which a tick-timed fault
+        /// arms is `now + ticks`.
+        ticks: u64,
+    },
+    /// Nothing observable can ever happen in the current state (no pending
+    /// faults, or none that the running thread can reach): sprint freely
+    /// until the next machine-level boundary.
+    Dormant,
+}
+
+/// Stage events accumulated during one elided sprint, in stage-queue order:
+/// fetch, decode, execute, memory, register (committed instructions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElisionBatch {
+    /// Per-stage event counts (fetch, decode, execute, memory, commit).
+    pub stage_events: [u64; 5],
+}
+
+impl ElisionBatch {
+    /// The largest per-stage counter (compared against the `events` bound).
+    pub fn max_stage_events(&self) -> u64 {
+        self.stage_events.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether any event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stage_events == [0; 5]
+    }
+}
+
 /// Per-stage fault-injection callbacks.
 ///
 /// All methods have no-op defaults; an implementation overrides the stages
@@ -102,13 +152,208 @@ pub trait FaultHooks {
     fn on_context_switch(&mut self, core: usize, new_pcbb: u64) {
         let _ = (core, new_pcbb);
     }
+
+    /// The dormancy horizon at simulation time `now`: how long these hooks
+    /// guarantee to stay unobservable. The default is [`Dormancy::Active`]
+    /// (never elide), so implementations that don't opt in keep exact
+    /// per-event semantics.
+    #[inline]
+    fn dormancy(&self, core: usize, now: Ticks) -> Dormancy {
+        let _ = (core, now);
+        Dormancy::Active
+    }
+
+    /// Delivers the stage events of one elided sprint in bulk. `now` is the
+    /// boundary tick of the last committed instruction in the batch (absent
+    /// when the batch carried no instruction boundary). Implementations that
+    /// report a non-`Active` horizon must account these exactly as if each
+    /// event had arrived through its individual hook.
+    #[inline]
+    fn absorb_elided(&mut self, core: usize, now: Option<Ticks>, batch: &ElisionBatch) {
+        let _ = (core, now, batch);
+    }
+
+    /// Whether [`FaultHooks::absorb_elided`] is non-trivial for this
+    /// implementation. When `false`, the elided sprint skips event counting
+    /// entirely (there is nobody to deliver the batch to). Defaults to
+    /// `true` so custom hooks stay exact; only hooks whose `absorb_elided`
+    /// is a no-op should override this.
+    #[inline]
+    fn absorbs_elided(&self) -> bool {
+        true
+    }
 }
 
 /// The "unmodified gem5" baseline: every hook is a no-op and inlines away.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NoopHooks;
 
-impl FaultHooks for NoopHooks {}
+impl FaultHooks for NoopHooks {
+    /// No-op hooks never observe anything: always dormant.
+    #[inline]
+    fn dormancy(&self, _core: usize, _now: Ticks) -> Dormancy {
+        Dormancy::Dormant
+    }
+
+    /// Nothing to deliver batches to: the sprint shim compiles down to the
+    /// same zero-cost loop as the hooked no-op baseline.
+    #[inline]
+    fn absorbs_elided(&self) -> bool {
+        false
+    }
+}
+
+/// The counting shim driven inside an elided sprint.
+///
+/// Wraps the real hooks without calling their per-event methods: value hooks
+/// are identity, event hooks bump an [`ElisionBatch`] counter, and the two
+/// state-changing pseudo-op hooks (`fi_activate`, context switch) flush the
+/// batch, pass through to the inner hooks, and mark the sprint interrupted
+/// so the machine re-evaluates the dormancy horizon.
+///
+/// Because every CPU model drives this shim through the *same* call sites as
+/// the real hooks, the counters it accumulates are event-for-event identical
+/// to what the inner hooks would have counted themselves — which is what
+/// makes bulk absorption exact.
+#[derive(Debug)]
+pub struct ElidedHooks<'h, H> {
+    inner: &'h mut H,
+    batch: ElisionBatch,
+    core: usize,
+    /// Boundary tick of the last committed instruction seen in the batch.
+    last_now: Option<Ticks>,
+    /// Whether the inner hooks want the batch at all (false for no-op
+    /// hooks, whose sprint then counts nothing).
+    count: bool,
+    interrupted: bool,
+}
+
+impl<'h, H: FaultHooks> ElidedHooks<'h, H> {
+    /// Wraps `inner` for one sprint.
+    pub fn new(inner: &'h mut H) -> ElidedHooks<'h, H> {
+        let count = inner.absorbs_elided();
+        ElidedHooks {
+            inner,
+            batch: ElisionBatch::default(),
+            core: 0,
+            last_now: None,
+            count,
+            interrupted: false,
+        }
+    }
+
+    /// The largest per-stage counter accumulated so far.
+    #[inline]
+    pub fn max_stage_events(&self) -> u64 {
+        self.batch.max_stage_events()
+    }
+
+    /// Whether a passthrough hook ended the batch (the horizon must be
+    /// recomputed before sprinting further).
+    #[inline]
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Delivers the accumulated batch to the inner hooks and resets it.
+    pub fn flush(&mut self) {
+        if self.batch.is_empty() && self.last_now.is_none() {
+            return;
+        }
+        self.inner.absorb_elided(self.core, self.last_now.take(), &self.batch);
+        self.batch = ElisionBatch::default();
+    }
+
+    /// Flushes and releases the inner hooks (end of sprint).
+    pub fn finish(mut self) {
+        self.flush();
+    }
+}
+
+impl<H: FaultHooks> FaultHooks for ElidedHooks<'_, H> {
+    #[inline]
+    fn before_instruction(&mut self, core: usize, now: Ticks, _arch: &mut ArchState) {
+        if self.count {
+            self.core = core;
+            self.last_now = Some(now);
+        }
+    }
+
+    #[inline]
+    fn on_fetch(&mut self, core: usize, _pc: u64, word: RawInstr) -> RawInstr {
+        if self.count {
+            self.core = core;
+            self.batch.stage_events[0] += 1;
+        }
+        word
+    }
+
+    #[inline]
+    fn on_decode(&mut self, core: usize, word: RawInstr) -> RawInstr {
+        if self.count {
+            self.core = core;
+            self.batch.stage_events[1] += 1;
+        }
+        word
+    }
+
+    #[inline]
+    fn on_execute_result(&mut self, core: usize, _instr: &Instr, value: u64) -> u64 {
+        if self.count {
+            self.core = core;
+            self.batch.stage_events[2] += 1;
+        }
+        value
+    }
+
+    #[inline]
+    fn on_mem_load(&mut self, core: usize, _addr: u64, value: u64) -> u64 {
+        if self.count {
+            self.core = core;
+            self.batch.stage_events[3] += 1;
+        }
+        value
+    }
+
+    #[inline]
+    fn on_mem_store(&mut self, core: usize, _addr: u64, value: u64) -> u64 {
+        if self.count {
+            self.core = core;
+            self.batch.stage_events[3] += 1;
+        }
+        value
+    }
+
+    // Register consumption tracking is only live while the inner hooks hold
+    // watches, and a watch-holding engine reports `Dormancy::Active` — so a
+    // sprint never has reg-read/write traffic worth recording.
+
+    #[inline]
+    fn on_commit(&mut self, core: usize, now: Ticks, _pc: u64, _instr: &Instr) {
+        if self.count {
+            self.core = core;
+            self.last_now = Some(now);
+            self.batch.stage_events[4] += 1;
+        }
+    }
+
+    fn on_fi_activate(&mut self, core: usize, now: Ticks, id: u32, pcbb: u64) {
+        // Events so far happened under the pre-toggle activity state;
+        // absorb them before the toggle, exactly as the real hook order
+        // would have attributed them.
+        self.core = core;
+        self.flush();
+        self.inner.on_fi_activate(core, now, id, pcbb);
+        self.interrupted = true;
+    }
+
+    fn on_context_switch(&mut self, core: usize, new_pcbb: u64) {
+        self.core = core;
+        self.flush();
+        self.inner.on_context_switch(core, new_pcbb);
+        self.interrupted = true;
+    }
+}
 
 #[cfg(test)]
 mod tests {

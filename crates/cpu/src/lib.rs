@@ -32,7 +32,7 @@ mod o3;
 mod predictor;
 mod simple;
 
-pub use hooks::{FaultHooks, NoopHooks};
+pub use hooks::{Dormancy, ElidedHooks, ElisionBatch, FaultHooks, NoopHooks};
 pub use inorder::InOrderCpu;
 pub use model::{Cpu, CpuKind};
 pub use o3::{O3Config, O3Cpu};

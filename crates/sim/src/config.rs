@@ -23,6 +23,14 @@ pub struct MachineConfig {
     /// simulation up to the point when fault injection is activated
     /// (including booting of the operating system…)"); 0 disables it.
     pub boot_spin: u64,
+    /// Dormancy-aware hook elision: when the hooks report a dormancy
+    /// horizon, `run`/`run_for` sprint to it with an uninstrumented
+    /// interpreter loop, delivering stage-event counters in bulk at batch
+    /// boundaries. Architecturally invisible (same injections, records,
+    /// outcomes, and bit-identical state either way) — a pure performance
+    /// knob, which is why it is deliberately never serialized into
+    /// checkpoints (v2 images stay byte-stable). Disable for the ablation.
+    pub elide: bool,
 }
 
 impl Default for MachineConfig {
@@ -36,6 +44,7 @@ impl Default for MachineConfig {
             quantum: 10_000,
             max_ticks: 2_000_000_000,
             boot_spin: 0,
+            elide: true,
         }
     }
 }

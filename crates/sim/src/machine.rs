@@ -5,7 +5,7 @@ use crate::config::MachineConfig;
 use crate::loader::load_program;
 use crate::stats::SimStats;
 use gemfi_asm::Program;
-use gemfi_cpu::{Cpu, CpuKind, FaultHooks, StepEvent};
+use gemfi_cpu::{Cpu, CpuKind, Dormancy, ElidedHooks, FaultHooks, StepEvent};
 use gemfi_isa::{ArchState, Trap};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
@@ -87,6 +87,9 @@ pub struct Machine<H> {
     hooks: H,
     tick: Ticks,
     instret: u64,
+    /// Instructions committed inside elided sprints (diagnostic; not
+    /// serialized — derived performance state, like the predecode cache).
+    instret_elided: u64,
     next_preempt: Ticks,
     finished: Option<RunExit>,
 }
@@ -125,6 +128,7 @@ impl<H: FaultHooks> Machine<H> {
             hooks,
             tick: 0,
             instret: 0,
+            instret_elided: 0,
             next_preempt: if config.quantum > 0 { config.quantum } else { u64::MAX },
             finished: None,
         })
@@ -176,9 +180,17 @@ impl<H: FaultHooks> Machine<H> {
             hooks,
             tick,
             instret: checkpoint.instret(),
+            instret_elided: 0,
             next_preempt: if config.quantum > 0 { tick + config.quantum } else { u64::MAX },
             finished: None,
         }
+    }
+
+    /// Flips the hook-elision fast path on or off for this machine (the
+    /// knob is never serialized, so restored machines get the default and
+    /// callers re-apply their setting here).
+    pub fn set_elide(&mut self, on: bool) {
+        self.config.elide = on;
     }
 
     /// Captures a checkpoint of the architectural machine state. Only valid
@@ -282,6 +294,11 @@ impl<H: FaultHooks> Machine<H> {
     /// requests a checkpoint.
     pub fn run(&mut self) -> RunExit {
         loop {
+            if self.config.elide {
+                if let Some(exit) = self.sprint(Ticks::MAX) {
+                    return exit;
+                }
+            }
             if let Some(exit) = self.step() {
                 return exit;
             }
@@ -293,11 +310,109 @@ impl<H: FaultHooks> Machine<H> {
     pub fn run_for(&mut self, budget: Ticks) -> Option<RunExit> {
         let deadline = self.tick.saturating_add(budget);
         while self.tick < deadline {
+            if self.config.elide {
+                if let Some(exit) = self.sprint(deadline) {
+                    return Some(exit);
+                }
+                if self.tick >= deadline {
+                    return None;
+                }
+            }
             if let Some(exit) = self.step() {
                 return Some(exit);
             }
         }
         None
+    }
+
+    /// Headroom a sprint leaves below the `events` horizon: strictly larger
+    /// than the number of events any single stage can observe in one CPU
+    /// step on any model (the simple/in-order models see at most ~2 per
+    /// stage per instruction; O3 is bounded by its width-4 pipeline stages
+    /// per cycle). Generous by >30×, and irrelevant to correctness unless a
+    /// model could outrun it within one step.
+    const EVENT_SLACK: u64 = 128;
+
+    /// The elided fast path: while the hooks report a dormancy horizon,
+    /// execute with hook dispatch compiled down to batch counters
+    /// ([`ElidedHooks`]), stopping at the first machine-level boundary — the
+    /// tick `deadline`, the next timer preempt, the watchdog budget, the
+    /// event/tick horizon, or a batch-interrupting pseudo-op (fi_activate /
+    /// context switch). Terminal events (halt, trap, checkpoint request) are
+    /// handled exactly like [`Machine::step`] and returned; `None` hands
+    /// control back to the fully hooked loop with the batch flushed.
+    ///
+    /// Stopping conditions are all checked against the tick at the *start*
+    /// of a step — the same instant every hook inside that step observes —
+    /// so the instruction stream, preempt points, and chunk boundaries are
+    /// identical to the unelided loop.
+    fn sprint(&mut self, deadline: Ticks) -> Option<RunExit> {
+        if self.finished.is_some() {
+            return self.finished;
+        }
+        let limit = deadline.min(self.next_preempt).min(self.config.max_ticks);
+        if self.tick >= limit {
+            return None;
+        }
+        let (event_bound, tick_limit) = match self.hooks.dormancy(0, self.tick) {
+            Dormancy::Active => return None,
+            Dormancy::Dormant => (u64::MAX, limit),
+            Dormancy::Quiet { events, ticks } => {
+                // The earliest firing is the `events`-th event of a stage /
+                // the tick `now + ticks`: both are exclusive sprint bounds.
+                if events <= Self::EVENT_SLACK {
+                    return None;
+                }
+                (events - 1, limit.min(self.tick.saturating_add(ticks)))
+            }
+        };
+        let unbounded = event_bound == u64::MAX;
+        let mut elided = ElidedHooks::new(&mut self.hooks);
+        let mut exit = None;
+        while self.tick < tick_limit
+            && (unbounded
+                || elided.max_stage_events().saturating_add(Self::EVENT_SLACK) <= event_bound)
+        {
+            match self.cpu.step(
+                0,
+                &mut self.arch,
+                &mut self.mem,
+                &mut self.kernel,
+                &mut elided,
+                self.tick,
+            ) {
+                Ok(r) => {
+                    self.tick += r.ticks;
+                    self.instret += r.committed;
+                    self.instret_elided += r.committed;
+                    match r.event {
+                        StepEvent::None => {}
+                        StepEvent::CheckpointRequest => {
+                            exit = Some(RunExit::CheckpointRequest);
+                            break;
+                        }
+                        StepEvent::Halted(code) => {
+                            self.finished = Some(RunExit::Halted(code));
+                            exit = self.finished;
+                            break;
+                        }
+                    }
+                }
+                Err(t) => {
+                    self.finished = Some(RunExit::Trapped(t));
+                    exit = self.finished;
+                    break;
+                }
+            }
+            if elided.interrupted() {
+                break;
+            }
+        }
+        elided.finish();
+        if exit == Some(RunExit::CheckpointRequest) {
+            self.cpu.flush(&self.arch);
+        }
+        exit
     }
 
     /// Current simulation time in ticks.
@@ -368,6 +483,7 @@ impl<H: FaultHooks> Machine<H> {
         SimStats {
             ticks: self.tick,
             instructions: self.instret,
+            instructions_elided: self.instret_elided,
             context_switches: self.kernel.context_switches(),
             mem: self.mem.stats(),
             branch_lookups: lookups,

@@ -12,6 +12,10 @@ pub struct SimStats {
     pub ticks: u64,
     /// Instructions committed.
     pub instructions: u64,
+    /// Instructions committed inside the dormancy-elided fast path (a
+    /// subset of `instructions`; purely diagnostic — elision is
+    /// architecturally invisible).
+    pub instructions_elided: u64,
     /// Context switches performed by the kernel.
     pub context_switches: u64,
     /// Memory hierarchy counters.
@@ -38,7 +42,13 @@ impl SimStats {
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "ticks: {}", self.ticks)?;
-        writeln!(f, "instructions: {} (ipc {:.3})", self.instructions, self.ipc())?;
+        writeln!(
+            f,
+            "instructions: {} (ipc {:.3}, {} elided)",
+            self.instructions,
+            self.ipc(),
+            self.instructions_elided
+        )?;
         writeln!(f, "context switches: {}", self.context_switches)?;
         writeln!(
             f,

@@ -8,12 +8,12 @@
 //!
 //! Each seeded random program — straight-line arithmetic, forward skips,
 //! bounded loops, and stores/loads through a scratch buffer — runs under
-//! 4 models x {predecode on, off}. Within a model the two runs must be
-//! *fully* identical (complete [`ArchState`] and every byte of physical
-//! memory); across models the guest-visible surface must agree (all 62
-//! registers, the PC, and the data segment — timing-dependent kernel
-//! bookkeeping such as `exc_addr` is allowed to differ between timing
-//! models, never between cache modes).
+//! 4 models x {predecode on, off} x {hook elision on, off}. Within a model
+//! all four runs must be *fully* identical (complete [`ArchState`] and
+//! every byte of physical memory); across models the guest-visible surface
+//! must agree (all 62 registers, the PC, and the data segment —
+//! timing-dependent kernel bookkeeping such as `exc_addr` is allowed to
+//! differ between timing models, never between cache or elision modes).
 
 use gemfi_asm::{Assembler, Program, Reg};
 use gemfi_campaign::rng::SplitMix64;
@@ -129,8 +129,9 @@ struct Snapshot {
     mem: Vec<u8>,
 }
 
-fn run_model(program: &Program, cpu: CpuKind, predecode: bool) -> Snapshot {
-    let mut config = MachineConfig { cpu, max_ticks: 50_000_000, ..MachineConfig::default() };
+fn run_model(program: &Program, cpu: CpuKind, predecode: bool, elide: bool) -> Snapshot {
+    let mut config =
+        MachineConfig { cpu, max_ticks: 50_000_000, elide, ..MachineConfig::default() };
     config.mem.phys_size = PHYS_SIZE;
     config.mem.predecode = predecode;
     let mut m = Machine::boot(config, program, NoopHooks).expect("boots");
@@ -153,20 +154,23 @@ fn data_segment<'s>(program: &Program, snap: &'s Snapshot) -> &'s [u8] {
     &snap.mem[base..end]
 }
 
-/// Runs each seed under every model and both cache modes, asserting the
-/// conformance contract described in the module docs.
+/// Runs each seed under every model, both cache modes, and both elision
+/// modes, asserting the conformance contract described in the module docs.
 fn conformance(seeds: std::ops::Range<u64>) {
     for seed in seeds {
         let program = random_program(seed);
         let mut baseline: Option<Snapshot> = None;
         for cpu in MODELS {
-            let on = run_model(&program, cpu, true);
-            let off = run_model(&program, cpu, false);
-
-            // Within a model the cache must be a pure performance artifact.
-            assert_eq!(on.exit, off.exit, "seed {seed} {cpu}: exit differs with predecode");
-            assert_eq!(on.arch, off.arch, "seed {seed} {cpu}: ArchState differs with predecode");
-            assert!(on.mem == off.mem, "seed {seed} {cpu}: memory differs with predecode");
+            let on = run_model(&program, cpu, true, true);
+            // The cache and elision fast paths must both be pure
+            // performance artifacts, alone and combined.
+            for (predecode, elide) in [(true, false), (false, true), (false, false)] {
+                let other = run_model(&program, cpu, predecode, elide);
+                let tag = format!("seed {seed} {cpu} (predecode={predecode}, elide={elide})");
+                assert_eq!(on.exit, other.exit, "{tag}: exit differs");
+                assert_eq!(on.arch, other.arch, "{tag}: ArchState differs");
+                assert!(on.mem == other.mem, "{tag}: memory differs");
+            }
 
             // Across models the guest-visible surface must agree.
             assert!(
