@@ -7,6 +7,9 @@ use gemfi_workloads::{Quality, Workload};
 /// Classifies one experiment.
 ///
 /// * Any trap, hang, or abnormal exit code → [`Outcome::Crashed`].
+/// * A violated simulator invariant → [`Outcome::Infrastructure`] (a tool
+///   bug — kept out of the guest outcome distribution, and triageable from
+///   the journal).
 /// * If no injected fault propagated (register faults dead/overwritten, or
 ///   the corruption left the value unchanged) → [`Outcome::NonPropagated`].
 /// * Bit-identical output → [`Outcome::StrictlyCorrect`].
@@ -26,6 +29,8 @@ pub fn classify(
         // A checkpoint request is not a terminal state; reaching here is a
         // runner bug, but classify conservatively.
         RunExit::CheckpointRequest => return Outcome::Crashed,
+        // Simulator bug, not a guest outcome: never pollute Crashed.
+        RunExit::SimError(_) => return Outcome::Infrastructure,
     }
     let propagated = records.iter().any(InjectionRecord::propagated);
     if output == golden_output {
@@ -84,6 +89,14 @@ mod tests {
         assert_eq!(classify(&w, &g, trap, &[], &[]), Outcome::Crashed);
         assert_eq!(classify(&w, &g, RunExit::Watchdog, &[], &[]), Outcome::Crashed);
         assert_eq!(classify(&w, &g, RunExit::Halted(1), &g, &[]), Outcome::Crashed);
+    }
+
+    #[test]
+    fn sim_errors_are_infrastructure_not_crashes() {
+        let w = Threshold;
+        let g = w.reference();
+        let exit = RunExit::SimError(gemfi_isa::SimError::new("o3", "broken invariant", 0x1000));
+        assert_eq!(classify(&w, &g, exit, &[], &[]), Outcome::Infrastructure);
     }
 
     #[test]

@@ -82,8 +82,13 @@ pub enum JournalEvent {
         attempt: u64,
         /// Worker that held the lease.
         worker: String,
-        /// Failure description.
+        /// Failure description (for a worker panic, the panic payload).
         reason: String,
+        /// Rendered fault spec of the offending experiment, when known —
+        /// the reproduction handle that makes `Infrastructure` rows
+        /// triageable. Optional so journals written before this field (or
+        /// failures with no spec context) still replay.
+        spec: Option<String>,
     },
     /// Terminal infrastructure failure: retries exhausted.
     Failed {
@@ -93,7 +98,18 @@ pub enum JournalEvent {
         attempts: u64,
         /// Last failure description.
         reason: String,
+        /// Rendered fault spec of the offending experiment, when known.
+        spec: Option<String>,
     },
+}
+
+/// Renders the optional `"spec"` member (empty when absent, so old-format
+/// lines stay byte-identical).
+fn spec_suffix(spec: Option<&str>) -> String {
+    match spec {
+        Some(s) => format!(",\"spec\":\"{}\"", json_escape(s)),
+        None => String::new(),
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -135,15 +151,17 @@ impl JournalEvent {
                 outcome.name(),
                 json_escape(exit)
             ),
-            JournalEvent::AttemptFailed { exp, attempt, worker, reason } => format!(
+            JournalEvent::AttemptFailed { exp, attempt, worker, reason, spec } => format!(
                 "{{\"event\":\"attempt-failed\",\"exp\":{exp},\"attempt\":{attempt},\
-                 \"worker\":\"{}\",\"reason\":\"{}\"}}",
+                 \"worker\":\"{}\",\"reason\":\"{}\"{}}}",
                 json_escape(worker),
-                json_escape(reason)
+                json_escape(reason),
+                spec_suffix(spec.as_deref())
             ),
-            JournalEvent::Failed { exp, attempts, reason } => format!(
-                "{{\"event\":\"failed\",\"exp\":{exp},\"attempts\":{attempts},\"reason\":\"{}\"}}",
-                json_escape(reason)
+            JournalEvent::Failed { exp, attempts, reason, spec } => format!(
+                "{{\"event\":\"failed\",\"exp\":{exp},\"attempts\":{attempts},\"reason\":\"{}\"{}}}",
+                json_escape(reason),
+                spec_suffix(spec.as_deref())
             ),
         }
     }
@@ -181,11 +199,14 @@ impl JournalEvent {
                 attempt: fields.num_field("attempt")?,
                 worker: fields.str_field("worker")?,
                 reason: fields.str_field("reason")?,
+                // Lenient: absent in journals written before this field.
+                spec: fields.opt_str_field("spec"),
             }),
             "failed" => Ok(JournalEvent::Failed {
                 exp: fields.num_field("exp")?,
                 attempts: fields.num_field("attempts")?,
                 reason: fields.str_field("reason")?,
+                spec: fields.opt_str_field("spec"),
             }),
             other => Err(format!("unknown journal event `{other}`")),
         }
@@ -202,6 +223,10 @@ struct FlatObject {
 impl FlatObject {
     fn str_field(&self, key: &str) -> Result<String, String> {
         self.strings.get(key).cloned().ok_or_else(|| format!("missing string field `{key}`"))
+    }
+
+    fn opt_str_field(&self, key: &str) -> Option<String> {
+        self.strings.get(key).cloned()
     }
 
     fn num_field(&self, key: &str) -> Result<u64, String> {
@@ -309,11 +334,29 @@ impl Journal {
 
     /// Opens the journal for appending, creating it if absent.
     ///
+    /// A writer that died mid-append leaves a torn final line. [`replay`]
+    /// tolerates and drops it, but appending after the fragment would glue
+    /// the next event onto it — turning an expected torn *tail* into fatal
+    /// *interior* corruption on every later resume — so the torn tail is
+    /// trimmed off here, before the first append.
+    ///
+    /// [`replay`]: Journal::replay
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn open(share: &Path) -> std::io::Result<Journal> {
         let path = Journal::path_in(share);
+        match std::fs::read(&path) {
+            Ok(bytes) if !bytes.is_empty() && !bytes.ends_with(b"\n") => {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(keep as u64)?;
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(Journal { writer: BufWriter::new(file), path })
     }
@@ -529,8 +572,14 @@ mod tests {
                 attempt: 1,
                 worker: "ws1.slot0".into(),
                 reason: "worker panic: \"chaos\"\nbacktrace".into(),
+                spec: Some("reg f $1 0x1 1:100:i".into()),
             },
-            JournalEvent::Failed { exp: 2, attempts: 3, reason: "lease expired".into() },
+            JournalEvent::Failed {
+                exp: 2,
+                attempts: 3,
+                reason: "lease expired".into(),
+                spec: None,
+            },
         ]
     }
 
@@ -549,6 +598,7 @@ mod tests {
             attempt: 1,
             worker: "w".into(),
             reason: "quote \" backslash \\ newline \n tab \t nul \u{0} end".into(),
+            spec: Some("hostile \"spec\" \\ with newline \n".into()),
         };
         let line = event.to_json();
         assert!(!line.contains('\n'), "one event, one line: {line}");
@@ -590,6 +640,24 @@ mod tests {
     }
 
     #[test]
+    fn open_trims_a_torn_tail_so_later_appends_stay_parseable() {
+        let dir = std::env::temp_dir().join(format!("gemfi-journal-trim-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = Journal::path_in(&dir);
+        let events = sample_events();
+        std::fs::write(&path, format!("{}\n{{\"event\":\"leas", events[0].to_json())).unwrap();
+        // Re-opening after the crash must drop the fragment; the next
+        // append then lands on its own line and a full replay parses.
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(&events[1]).unwrap();
+        drop(j);
+        let replayed = Journal::replay(&path).unwrap();
+        assert_eq!(replayed, vec![events[0].clone(), events[1].clone()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn state_folding_tracks_lifecycles() {
         let state = CampaignState::from_events(&sample_events(), 3).unwrap();
         assert!(state.header.is_some());
@@ -621,8 +689,31 @@ mod tests {
     }
 
     #[test]
+    fn pre_spec_journal_lines_still_parse() {
+        // Lines written before the `spec` field existed must keep replaying.
+        let old = "{\"event\":\"attempt-failed\",\"exp\":1,\"attempt\":2,\
+                   \"worker\":\"w\",\"reason\":\"boom\"}";
+        assert_eq!(
+            JournalEvent::parse(old).unwrap(),
+            JournalEvent::AttemptFailed {
+                exp: 1,
+                attempt: 2,
+                worker: "w".into(),
+                reason: "boom".into(),
+                spec: None,
+            }
+        );
+        let old = "{\"event\":\"failed\",\"exp\":3,\"attempts\":4,\"reason\":\"gone\"}";
+        assert_eq!(
+            JournalEvent::parse(old).unwrap(),
+            JournalEvent::Failed { exp: 3, attempts: 4, reason: "gone".into(), spec: None }
+        );
+    }
+
+    #[test]
     fn out_of_range_experiments_are_rejected() {
-        let events = vec![JournalEvent::Failed { exp: 9, attempts: 1, reason: "x".into() }];
+        let events =
+            vec![JournalEvent::Failed { exp: 9, attempts: 1, reason: "x".into(), spec: None }];
         assert!(CampaignState::from_events(&events, 3).is_err());
     }
 

@@ -180,13 +180,17 @@ struct Shared {
 
 impl Shared {
     /// Transitions a failed attempt: back to pending with backoff, or
-    /// terminally failed once retries are exhausted.
+    /// terminally failed once retries are exhausted. `spec` is the rendered
+    /// fault spec of the experiment — journaled alongside the failure so an
+    /// `Infrastructure` row carries its own reproduction handle.
+    #[allow(clippy::too_many_arguments)]
     fn attempt_failed(
         &mut self,
         exp: usize,
         attempt: u64,
         worker: &str,
         reason: &str,
+        spec: &str,
         config: &NowConfig,
         leases: &LeaseDir,
     ) -> std::io::Result<()> {
@@ -195,6 +199,7 @@ impl Shared {
             attempt,
             worker: worker.to_string(),
             reason: reason.to_string(),
+            spec: Some(spec.to_string()),
         })?;
         leases.release(exp)?;
         if attempt >= config.max_attempts() {
@@ -202,6 +207,7 @@ impl Shared {
                 exp: exp as u64,
                 attempts: attempt,
                 reason: reason.to_string(),
+                spec: Some(spec.to_string()),
             })?;
             std::fs::write(
                 result_path(&config.share_dir, exp),
@@ -230,9 +236,14 @@ impl Shared {
 
     /// Breaks expired leases (raising the runaway runs' abort tokens) and
     /// requeues or terminally fails their experiments.
-    fn reap_expired(&mut self, config: &NowConfig, leases: &LeaseDir) -> std::io::Result<()> {
+    fn reap_expired(
+        &mut self,
+        specs: &[FaultSpec],
+        config: &NowConfig,
+        leases: &LeaseDir,
+    ) -> std::io::Result<()> {
         let now = now_ms();
-        for exp in 0..self.slots.len() {
+        for (exp, spec) in specs.iter().enumerate() {
             let Slot::Leased { attempt, deadline_ms, ref abort } = self.slots[exp] else {
                 continue;
             };
@@ -243,7 +254,8 @@ impl Shared {
             let held = leases.reap(exp, now)?;
             let worker = held.map(|l| l.worker).unwrap_or_else(|| "unknown".into());
             self.reclaimed += 1;
-            self.attempt_failed(exp, attempt, &worker, "lease expired", config, leases)?;
+            let rendered = spec.to_string();
+            self.attempt_failed(exp, attempt, &worker, "lease expired", &rendered, config, leases)?;
         }
         Ok(())
     }
@@ -345,6 +357,7 @@ pub fn run_campaign_now(
                 attempt,
                 worker,
                 reason: "orphaned lease (campaign restart)".to_string(),
+                spec: Some(specs[exp].to_string()),
             })?;
         }
     } else {
@@ -454,7 +467,7 @@ fn worker_loop(
             if s.halted || s.terminal == specs.len() {
                 return Ok(());
             }
-            s.reap_expired(config, leases)?;
+            s.reap_expired(specs, config, leases)?;
             let now = now_ms();
             let pick = s.slots.iter().position(
                 |slot| matches!(slot, Slot::Pending { not_before_ms, .. } if now >= *not_before_ms),
@@ -517,11 +530,15 @@ fn worker_loop(
                 // The runner aborted (reaper raced us) — treat like any
                 // other failed attempt.
                 let reason = format!("runner aborted ({})", result.exit);
-                s.attempt_failed(exp, attempt, worker, &reason, config, leases)?;
+                let rendered = spec.to_string();
+                s.attempt_failed(exp, attempt, worker, &reason, &rendered, config, leases)?;
             }
             Err(panic) => {
+                // Panic provenance: the payload message plus the offending
+                // fault spec, so the journal alone reproduces the case.
                 let reason = format!("worker panic: {}", panic_message(&panic));
-                s.attempt_failed(exp, attempt, worker, &reason, config, leases)?;
+                let rendered = spec.to_string();
+                s.attempt_failed(exp, attempt, worker, &reason, &rendered, config, leases)?;
                 if config.chaos.halt_after.is_some_and(|n| s.finished_here >= n) {
                     s.halted = true;
                 }
@@ -733,11 +750,20 @@ mod tests {
         assert_eq!(report.infrastructure_failures, 0);
         assert_eq!(results[2].attempts, 2, "retry consumed a second attempt");
         assert!(results[2].outcome.is_experiment_outcome());
-        // The journal recorded the failed attempt.
+        // The journal recorded the failed attempt with full provenance:
+        // the panic payload and the offending fault spec.
         let events = Journal::replay(&Journal::path_in(&dir)).unwrap();
-        assert!(events
+        let failed = events
             .iter()
-            .any(|e| matches!(e, JournalEvent::AttemptFailed { exp: 2, attempt: 1, .. })));
+            .find_map(|e| match e {
+                JournalEvent::AttemptFailed { exp: 2, attempt: 1, reason, spec, .. } => {
+                    Some((reason.clone(), spec.clone()))
+                }
+                _ => None,
+            })
+            .expect("journal has the failed attempt");
+        assert!(failed.0.contains("worker panic"), "payload recorded: {}", failed.0);
+        assert_eq!(failed.1.as_deref(), Some(specs[2].to_string().as_str()));
         std::fs::remove_dir_all(&dir).ok();
     }
 

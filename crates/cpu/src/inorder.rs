@@ -10,7 +10,7 @@ use crate::exec::{exec_latency, src_regs, step_instruction};
 use crate::hooks::FaultHooks;
 use crate::predictor::TournamentPredictor;
 use crate::StepResult;
-use gemfi_isa::{ArchState, Instr, JumpKind, RegRef, Trap};
+use gemfi_isa::{ArchState, ExecError, Instr, JumpKind, RegRef};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
 
@@ -39,7 +39,11 @@ impl InOrderCpu {
     ///
     /// # Errors
     ///
-    /// Propagates the guest [`Trap`] that terminated execution.
+    /// [`ExecError::Trap`] with the guest trap that terminated execution.
+    /// The hazard/predictor logic tolerates arbitrary corrupted PCs and
+    /// register selections (the untimed peek falls back to a zero word and
+    /// decode failures become `None`), so this model never reports
+    /// `ExecError::Sim`.
     pub fn step<H: FaultHooks>(
         &mut self,
         core: usize,
@@ -48,7 +52,7 @@ impl InOrderCpu {
         kernel: &mut Kernel,
         hooks: &mut H,
         now: Ticks,
-    ) -> Result<StepResult, Trap> {
+    ) -> Result<StepResult, ExecError> {
         let l1i_hit = mem.config().l1i.hit_latency;
         let l1d_hit = mem.config().l1d.hit_latency;
 

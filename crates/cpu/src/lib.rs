@@ -23,6 +23,15 @@
 //! instruction boundaries. The [`NoopHooks`] implementation compiles to
 //! nothing and serves as the "unmodified gem5" baseline for the Fig. 7
 //! overhead comparison.
+//!
+//! Containment contract: every model's `step` returns
+//! `Result<StepResult, ExecError>` — guest-reachable corruption surfaces as
+//! `ExecError::Trap` (an architectural outcome) and broken simulator
+//! invariants as `ExecError::Sim` (an infrastructure bug); neither panics.
+
+// Guest-reachable crate: new unwrap/expect sites need an explicit allow with
+// a written justification (fault containment, see DESIGN.md).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod exec;
 mod hooks;

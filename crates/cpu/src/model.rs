@@ -5,7 +5,7 @@ use crate::inorder::InOrderCpu;
 use crate::o3::{O3Config, O3Cpu};
 use crate::simple::{AtomicCpu, TimingCpu};
 use crate::StepResult;
-use gemfi_isa::{ArchState, Trap};
+use gemfi_isa::{ArchState, ExecError};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
 use std::fmt;
@@ -74,7 +74,9 @@ impl Cpu {
     ///
     /// # Errors
     ///
-    /// Propagates the guest [`Trap`] that terminated execution.
+    /// [`ExecError::Trap`] carries the guest trap that terminated execution;
+    /// [`ExecError::Sim`] reports a violated simulator invariant (a tool
+    /// bug, classified as infrastructure — never a guest outcome).
     #[allow(clippy::too_many_arguments)]
     pub fn step<H: FaultHooks>(
         &mut self,
@@ -84,7 +86,7 @@ impl Cpu {
         kernel: &mut Kernel,
         hooks: &mut H,
         now: Ticks,
-    ) -> Result<StepResult, Trap> {
+    ) -> Result<StepResult, ExecError> {
         match self {
             Cpu::Atomic(c) => c.step(core, arch, mem, kernel, hooks, now),
             Cpu::Timing(c) => c.step(core, arch, mem, kernel, hooks, now),

@@ -22,7 +22,7 @@ use crate::exec::{alu, cmov_cond, exec_latency, fp_cmov_cond, fpu, src_regs};
 use crate::hooks::FaultHooks;
 use crate::predictor::TournamentPredictor;
 use crate::{StepEvent, StepResult};
-use gemfi_isa::{ArchState, Instr, JumpKind, Operand, RegRef, Trap};
+use gemfi_isa::{ArchState, ExecError, Instr, JumpKind, Operand, RegRef, SimError, Trap};
 use gemfi_kernel::{Kernel, PalOutcome};
 use gemfi_mem::{MemorySystem, Ticks};
 use std::collections::VecDeque;
@@ -242,6 +242,13 @@ impl O3Cpu {
 
     // --------------------------------------------------------------- fetch
 
+    /// Fetches, decodes, renames and dispatches one instruction. `Ok(false)`
+    /// means the front-end stalled this cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when the rename table names a producer that is not in
+    /// the ROB (a broken internal invariant, never a guest outcome).
     fn dispatch_one<H: FaultHooks>(
         &mut self,
         core: usize,
@@ -249,9 +256,9 @@ impl O3Cpu {
         mem: &mut MemorySystem,
         hooks: &mut H,
         now: Ticks,
-    ) -> bool {
+    ) -> Result<bool, SimError> {
         if self.rob.len() >= self.config.rob_size || self.fetch_parked {
-            return false;
+            return Ok(false);
         }
         let pc = self.fetch_pc;
         let seq = self.next_seq;
@@ -285,7 +292,7 @@ impl O3Cpu {
                 });
                 self.next_seq += 1;
                 self.fetch_parked = true;
-                return false;
+                return Ok(false);
             }
         };
         if fetch_lat > mem.config().l1i.hit_latency {
@@ -316,7 +323,7 @@ impl O3Cpu {
             self.rob.push_back(entry);
             self.next_seq += 1;
             self.fetch_parked = true; // resume at the post-commit PC
-            return false;
+            return Ok(false);
         }
 
         // Capture operands through the rename table. A producer that has
@@ -332,7 +339,9 @@ impl O3Cpu {
                 let producer = self.rename_lookup(reg);
                 let (value, ready) = match (producer, reg) {
                     (Some(seq), _) => {
-                        let idx = self.entry_index(seq).expect("renamed producer in ROB");
+                        let idx = self.entry_index(seq).ok_or_else(|| {
+                            SimError::new("o3", "renamed producer present in ROB", pc)
+                        })?;
                         if self.rob[idx].state == EntryState::Done {
                             (self.rob[idx].result, true)
                         } else {
@@ -407,7 +416,7 @@ impl O3Cpu {
         self.rob.push_back(entry);
         self.next_seq += 1;
         self.fetch_pc = next;
-        true
+        Ok(true)
     }
 
     // ------------------------------------------------------------- execute
@@ -425,7 +434,11 @@ impl O3Cpu {
                 // Older store address unknown: conservative wait.
                 None => return Err(()),
                 Some(sa) => {
-                    let overlap = sa < addr + width && addr < sa + m.width;
+                    // Widen to u128: a fault-corrupted base register can put
+                    // `addr` (or `sa`) near u64::MAX, where `addr + width`
+                    // would overflow and abort a debug build.
+                    let overlap = (sa as u128) < addr as u128 + width as u128
+                        && (addr as u128) < sa as u128 + m.width as u128;
                     if !overlap {
                         continue;
                     }
@@ -441,6 +454,13 @@ impl O3Cpu {
         Ok(None)
     }
 
+    /// Executes the dispatched entry at `idx`. `Ok(false)` means it could
+    /// not issue this cycle (e.g. a load waiting on an older store).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] when the entry violates pipeline bookkeeping invariants
+    /// (undecoded, missing memory state, or a serializer reaching execute).
     fn execute_entry<H: FaultHooks>(
         &mut self,
         idx: usize,
@@ -448,9 +468,11 @@ impl O3Cpu {
         mem: &mut MemorySystem,
         hooks: &mut H,
         now: Ticks,
-    ) -> bool {
+    ) -> Result<bool, SimError> {
         let e = self.rob[idx].clone();
-        let instr = e.instr.expect("dispatched entries decoded");
+        let Some(instr) = e.instr else {
+            return Err(SimError::new("o3", "dispatched entries are decoded", e.pc));
+        };
         let src = |n: usize| e.srcs[n].map(|s| s.value).unwrap_or(0);
 
         let mut result = 0u64;
@@ -538,23 +560,19 @@ impl O3Cpu {
                 actual_next = hooks.on_execute_result(core, &instr, target);
                 self.predictor.update_direction(e.pc, taken, e.predicted_taken);
             }
-            Instr::Mem { op, .. } => {
-                let addr = hooks.on_execute_result(
-                    core,
-                    &instr,
-                    src(0).wrapping_add(match instr {
-                        Instr::Mem { disp, .. } => disp as i64 as u64,
-                        _ => unreachable!(),
-                    }),
-                );
-                let m = mem_state.as_mut().expect("memory entry");
+            Instr::Mem { op, disp, .. } => {
+                let addr =
+                    hooks.on_execute_result(core, &instr, src(0).wrapping_add(disp as i64 as u64));
+                let Some(m) = mem_state.as_mut() else {
+                    return Err(SimError::new("o3", "memory entries carry mem state", e.pc));
+                };
                 m.addr = Some(addr);
                 if op.is_store() {
                     m.store_val = hooks.on_mem_store(core, addr, src(1));
                     // Address generation only; data drains at commit.
                 } else {
                     match self.load_check(idx, addr, m.width) {
-                        Err(()) => return false, // retry next cycle
+                        Err(()) => return Ok(false), // retry next cycle
                         Ok(Some(fwd)) => {
                             let v =
                                 if m.width == 4 { (fwd as u32) as i32 as i64 as u64 } else { fwd };
@@ -581,10 +599,12 @@ impl O3Cpu {
             Instr::Ldt { disp, .. } => {
                 let addr =
                     hooks.on_execute_result(core, &instr, src(0).wrapping_add(disp as i64 as u64));
-                let m = mem_state.as_mut().expect("memory entry");
+                let Some(m) = mem_state.as_mut() else {
+                    return Err(SimError::new("o3", "memory entries carry mem state", e.pc));
+                };
                 m.addr = Some(addr);
                 match self.load_check(idx, addr, 8) {
-                    Err(()) => return false,
+                    Err(()) => return Ok(false),
                     Ok(Some(fwd)) => {
                         result = hooks.on_mem_load(core, addr, fwd);
                         lat = 1;
@@ -601,12 +621,14 @@ impl O3Cpu {
             Instr::Stt { disp, .. } => {
                 let addr =
                     hooks.on_execute_result(core, &instr, src(0).wrapping_add(disp as i64 as u64));
-                let m = mem_state.as_mut().expect("memory entry");
+                let Some(m) = mem_state.as_mut() else {
+                    return Err(SimError::new("o3", "memory entries carry mem state", e.pc));
+                };
                 m.addr = Some(addr);
                 m.store_val = hooks.on_mem_store(core, addr, src(1));
             }
             Instr::CallPal { .. } | Instr::FiActivate { .. } | Instr::FiReadInit => {
-                unreachable!("serializing instructions do not reach execute")
+                return Err(SimError::new("o3", "serializers never reach execute", e.pc));
             }
         }
 
@@ -617,7 +639,7 @@ impl O3Cpu {
         entry.actual_next = actual_next;
         entry.trap = trap;
         entry.mem = mem_state;
-        true
+        Ok(true)
     }
 
     // -------------------------------------------------------------- commit
@@ -632,7 +654,7 @@ impl O3Cpu {
         hooks: &mut H,
         now: Ticks,
         event: &mut StepEvent,
-    ) -> Result<bool, Trap> {
+    ) -> Result<bool, ExecError> {
         let Some(head) = self.rob.front() else { return Ok(false) };
         if head.state != EntryState::Done {
             return Ok(false);
@@ -647,16 +669,27 @@ impl O3Cpu {
             self.fetch_ready_at = now + self.config.mispredict_penalty;
             return Ok(false);
         }
-        let e = self.rob.pop_front().expect("head exists");
-        debug_assert_eq!(e.pc, arch.pc, "commit head must be on the architectural path");
+        // The head's presence was checked above and nothing in between can
+        // shrink the ROB; an empty queue here is just "nothing to commit".
+        let Some(e) = self.rob.pop_front() else { return Ok(false) };
+        if e.pc != arch.pc {
+            // A committing entry off the architectural path is a renaming /
+            // squash bookkeeping bug, not a guest outcome: report it as an
+            // infrastructure error instead of corrupting the run silently.
+            return Err(
+                SimError::new("o3", "commit head on the architectural path", arch.pc).into()
+            );
+        }
 
         if let Some(t) = e.trap {
             arch.exc_addr = e.pc;
-            return Err(t);
+            return Err(t.into());
         }
 
         if e.serialize {
-            let instr = e.instr.expect("serializing entries decoded");
+            let Some(instr) = e.instr else {
+                return Err(SimError::new("o3", "serializing entries are decoded", e.pc).into());
+            };
             match instr {
                 Instr::CallPal { func } => {
                     let old_pcbb = arch.pcbb;
@@ -680,7 +713,11 @@ impl O3Cpu {
                     arch.pc = e.pc.wrapping_add(4);
                     *event = StepEvent::CheckpointRequest;
                 }
-                _ => unreachable!(),
+                _ => {
+                    return Err(
+                        SimError::new("o3", "only serializers are marked serialize", e.pc).into()
+                    );
+                }
             }
             hooks.on_commit(core, now, e.pc, &instr);
             self.stats.committed += 1;
@@ -690,12 +727,21 @@ impl O3Cpu {
             return Ok(true);
         }
 
-        let instr = e.instr.expect("decoded");
+        let Some(instr) = e.instr else {
+            return Err(SimError::new("o3", "committing entries are decoded", e.pc).into());
+        };
 
         // Stores drain to memory at commit (store buffer semantics).
         if let Some(m) = e.mem {
             if m.is_store {
-                let addr = m.addr.expect("store executed");
+                let Some(addr) = m.addr else {
+                    return Err(SimError::new(
+                        "o3",
+                        "stores resolve their address before commit",
+                        e.pc,
+                    )
+                    .into());
+                };
                 let r = if m.width == 4 {
                     mem.write_u32(addr, m.store_val as u32, e.pc).map(|_| ())
                 } else {
@@ -703,7 +749,7 @@ impl O3Cpu {
                 };
                 if let Err(t) = r {
                     arch.exc_addr = e.pc;
-                    return Err(t);
+                    return Err(t.into());
                 }
             }
         }
@@ -736,8 +782,10 @@ impl O3Cpu {
     ///
     /// # Errors
     ///
-    /// Returns the guest [`Trap`] when a faulting instruction reaches the
-    /// commit head (traps are precise).
+    /// [`ExecError::Trap`] when a faulting instruction reaches the commit
+    /// head (traps are precise); [`ExecError::Sim`] when pipeline
+    /// bookkeeping breaks an internal invariant (a simulator bug — the
+    /// campaign classifies it as infrastructure, never a guest outcome).
     pub fn step<H: FaultHooks>(
         &mut self,
         core: usize,
@@ -746,7 +794,7 @@ impl O3Cpu {
         kernel: &mut Kernel,
         hooks: &mut H,
         now: Ticks,
-    ) -> Result<StepResult, Trap> {
+    ) -> Result<StepResult, ExecError> {
         let mut event = StepEvent::None;
         let mut committed = 0;
 
@@ -795,7 +843,7 @@ impl O3Cpu {
         while idx < self.rob.len() && issued < self.config.issue_width {
             if self.rob[idx].state == EntryState::Dispatched
                 && self.rob[idx].srcs.iter().flatten().all(|s| s.ready)
-                && self.execute_entry(idx, core, mem, hooks, now)
+                && self.execute_entry(idx, core, mem, hooks, now)?
             {
                 issued += 1;
             }
@@ -805,7 +853,7 @@ impl O3Cpu {
         // 4. Fetch/dispatch.
         if self.fetch_ready_at <= now {
             for _ in 0..self.config.fetch_width {
-                if !self.dispatch_one(core, arch, mem, hooks, now) {
+                if !self.dispatch_one(core, arch, mem, hooks, now)? {
                     break;
                 }
             }
@@ -836,18 +884,28 @@ mod tests {
         (arch, mem, kernel)
     }
 
-    fn run_o3(p: &gemfi_asm::Program, max_cycles: u64) -> (u64, O3Stats, Vec<u64>) {
+    /// Runs to halt, or reports a watchdog-style `Trap::WatchdogTimeout`
+    /// when the cycle budget runs out — a hung drain is an outcome
+    /// (Crashed), never a panic.
+    fn try_run_o3(
+        p: &gemfi_asm::Program,
+        max_cycles: u64,
+    ) -> Result<(u64, O3Stats, Vec<u64>), ExecError> {
         let (mut arch, mut mem, mut kernel) = boot(p);
         let mut cpu = O3Cpu::new(O3Config::default(), arch.pc);
         let mut now = 0;
         for _ in 0..max_cycles {
-            let r = cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, now).unwrap();
+            let r = cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, now)?;
             now += r.ticks;
             if let StepEvent::Halted(code) = r.event {
-                return (code, *cpu.stats(), kernel.out_words().to_vec());
+                return Ok((code, *cpu.stats(), kernel.out_words().to_vec()));
             }
         }
-        panic!("did not halt in {max_cycles} cycles");
+        Err(ExecError::Trap(Trap::WatchdogTimeout))
+    }
+
+    fn run_o3(p: &gemfi_asm::Program, max_cycles: u64) -> (u64, O3Stats, Vec<u64>) {
+        try_run_o3(p, max_cycles).expect("program halts cleanly")
     }
 
     fn sum_loop() -> gemfi_asm::Program {
@@ -863,6 +921,16 @@ mod tests {
         a.mov(Reg::R1, Reg::A0);
         a.pal(gemfi_isa::PalFunc::Exit);
         a.finish().unwrap()
+    }
+
+    #[test]
+    fn hung_drain_reports_watchdog_timeout_not_panic() {
+        let mut a = Assembler::new();
+        a.label("spin");
+        a.br("spin");
+        let p = a.finish().unwrap();
+        let err = try_run_o3(&p, 2_000).unwrap_err();
+        assert_eq!(err, ExecError::Trap(Trap::WatchdogTimeout));
     }
 
     #[test]
@@ -966,7 +1034,7 @@ mod tests {
             match cpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, now) {
                 Ok(r) => now += r.ticks,
                 Err(t) => {
-                    assert!(matches!(t, Trap::UnmappedAccess { .. }));
+                    assert!(matches!(t, ExecError::Trap(Trap::UnmappedAccess { .. })));
                     trapped = true;
                     break;
                 }

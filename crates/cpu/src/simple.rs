@@ -3,7 +3,7 @@
 use crate::exec::step_instruction;
 use crate::hooks::FaultHooks;
 use crate::StepResult;
-use gemfi_isa::{ArchState, Trap};
+use gemfi_isa::{ArchState, ExecError};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
 
@@ -21,7 +21,9 @@ impl AtomicCpu {
     ///
     /// # Errors
     ///
-    /// Propagates the guest [`Trap`] that terminated execution.
+    /// [`ExecError::Trap`] with the guest trap that terminated execution
+    /// (this model has no internal speculative state, so it never reports
+    /// `ExecError::Sim`).
     pub fn step<H: FaultHooks>(
         &mut self,
         core: usize,
@@ -30,7 +32,7 @@ impl AtomicCpu {
         kernel: &mut Kernel,
         hooks: &mut H,
         now: Ticks,
-    ) -> Result<StepResult, Trap> {
+    ) -> Result<StepResult, ExecError> {
         let rec = step_instruction(core, arch, mem, kernel, hooks, now)?;
         Ok(StepResult { ticks: 1, committed: 1, event: rec.event })
     }
@@ -46,7 +48,9 @@ impl TimingCpu {
     ///
     /// # Errors
     ///
-    /// Propagates the guest [`Trap`] that terminated execution.
+    /// [`ExecError::Trap`] with the guest trap that terminated execution
+    /// (this model has no internal speculative state, so it never reports
+    /// `ExecError::Sim`).
     pub fn step<H: FaultHooks>(
         &mut self,
         core: usize,
@@ -55,7 +59,7 @@ impl TimingCpu {
         kernel: &mut Kernel,
         hooks: &mut H,
         now: Ticks,
-    ) -> Result<StepResult, Trap> {
+    ) -> Result<StepResult, ExecError> {
         let rec = step_instruction(core, arch, mem, kernel, hooks, now)?;
         Ok(StepResult {
             ticks: rec.fetch_latency + 1 + rec.mem_latency,
@@ -71,6 +75,7 @@ mod tests {
     use crate::hooks::NoopHooks;
     use crate::StepEvent;
     use gemfi_asm::{Assembler, Reg};
+    use gemfi_isa::Trap;
     use gemfi_mem::MemConfig;
 
     fn boot(program: &gemfi_asm::Program) -> (ArchState, MemorySystem, Kernel) {
@@ -87,22 +92,33 @@ mod tests {
         (arch, mem, kernel)
     }
 
+    /// Runs to halt, or returns a watchdog-style `Trap::WatchdogTimeout`
+    /// when the budget runs out (hangs are an outcome, never a panic).
+    fn try_run_to_halt(
+        arch: &mut ArchState,
+        mem: &mut MemorySystem,
+        kernel: &mut Kernel,
+        max: u64,
+    ) -> Result<u64, ExecError> {
+        let mut cpu = AtomicCpu;
+        let mut now = 0;
+        for _ in 0..max {
+            let r = cpu.step(0, arch, mem, kernel, &mut NoopHooks, now)?;
+            now += r.ticks;
+            if let StepEvent::Halted(code) = r.event {
+                return Ok(code);
+            }
+        }
+        Err(ExecError::Trap(Trap::WatchdogTimeout))
+    }
+
     fn run_to_halt(
         arch: &mut ArchState,
         mem: &mut MemorySystem,
         kernel: &mut Kernel,
         max: u64,
     ) -> u64 {
-        let mut cpu = AtomicCpu;
-        let mut now = 0;
-        for _ in 0..max {
-            let r = cpu.step(0, arch, mem, kernel, &mut NoopHooks, now).unwrap();
-            now += r.ticks;
-            if let StepEvent::Halted(code) = r.event {
-                return code;
-            }
-        }
-        panic!("program did not halt in {max} steps");
+        try_run_to_halt(arch, mem, kernel, max).expect("program halts cleanly")
     }
 
     #[test]
@@ -206,7 +222,7 @@ mod tests {
         let (mut arch, mut mem, mut kernel) = boot(&p);
         let err =
             AtomicCpu.step(0, &mut arch, &mut mem, &mut kernel, &mut NoopHooks, 0).unwrap_err();
-        assert!(matches!(err, Trap::IllegalInstruction { .. }));
+        assert!(matches!(err, ExecError::Trap(Trap::IllegalInstruction { .. })));
     }
 
     #[test]
@@ -227,6 +243,6 @@ mod tests {
                 }
             }
         }
-        assert!(matches!(err, Some(Trap::UnmappedAccess { .. })), "{err:?}");
+        assert!(matches!(err, Some(ExecError::Trap(Trap::UnmappedAccess { .. }))), "{err:?}");
     }
 }

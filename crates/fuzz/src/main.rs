@@ -1,0 +1,82 @@
+//! Command-line driver for the differential fault fuzzer.
+//!
+//! ```text
+//! gemfi-fuzz [--cases N] [--seed S] [--out PATH]
+//! ```
+//!
+//! Runs `N` cases derived from base seed `S`, prints the outcome histogram,
+//! and exits non-zero if any case violated the containment contract. On
+//! failure, `--out PATH` writes a reproducer seed list (one seed per line,
+//! annotated with the failure kind and fault spec) that
+//! [`gemfi_fuzz::parse_seed_list`] reads back.
+
+use std::process::ExitCode;
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { cases: 500, seed: 0x9e37_79b9, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                return Err("usage: gemfi-fuzz [--cases N] [--seed S] [--out PATH]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = gemfi_fuzz::fuzz(args.seed, args.cases);
+    println!("fuzzed {} cases (base seed {:#x}): {}", report.cases, args.seed, report.histogram());
+
+    if report.failures.is_empty() {
+        println!("containment holds: zero panics, zero simulator errors");
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("{} containment violation(s):", report.failures.len());
+    let mut seed_list = String::from(
+        "# gemfi-fuzz reproducer seeds — replay with:\n\
+         #   cargo run -p gemfi-fuzz -- --seed <seed> --cases 1\n",
+    );
+    for f in &report.failures {
+        eprintln!(
+            "  seed {} [{}] {}: {} ({})",
+            f.seed,
+            f.cpu,
+            f.failure.kind(),
+            f.failure.detail(),
+            f.spec
+        );
+        seed_list.push_str(&format!("{} {} {} # {}\n", f.seed, f.failure.kind(), f.cpu, f.spec));
+    }
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, seed_list) {
+            eprintln!("could not write reproducer list to {path}: {e}");
+        } else {
+            eprintln!("reproducer seed list written to {path}");
+        }
+    }
+    ExitCode::FAILURE
+}

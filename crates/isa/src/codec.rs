@@ -162,6 +162,8 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`CodecError::UnexpectedEof`].
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        // Infallible: take(4) either errors or returns exactly 4 bytes.
+        #[allow(clippy::expect_used)]
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
@@ -171,6 +173,8 @@ impl<'a> ByteReader<'a> {
     ///
     /// [`CodecError::UnexpectedEof`].
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        // Infallible: take(8) either errors or returns exactly 8 bytes.
+        #[allow(clippy::expect_used)]
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 

@@ -19,6 +19,10 @@
 //! memory instruction's `displacement` → segmentation faults, …). The same
 //! analysis is meaningful here because the fields occupy the same bits.
 //!
+//! Containment contract: decoding is total over `u32` — every word either
+//! decodes or returns `Trap::IllegalInstruction`-shaped errors upstream, so
+//! corrupted fetch words can never panic the simulator (see DESIGN.md).
+//!
 //! # Example
 //!
 //! ```
@@ -34,6 +38,10 @@
 //! let word = encode(&add);
 //! assert_eq!(decode(word).unwrap(), add);
 //! ```
+
+// Guest-reachable crate: new unwrap/expect sites need an explicit allow with
+// a written justification (fault containment, see DESIGN.md).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arch;
 pub mod codec;
@@ -52,7 +60,7 @@ pub use instr::{decode, encode, Instr, JumpKind, MemOp, Operand};
 pub use opcode::{BranchCond, FpBranchCond, FpFunc, IntFunc, Opcode, PalFunc};
 pub use predecode::{PredecodeCache, PredecodeStats, DEFAULT_PREDECODE_ENTRIES};
 pub use regs::{FpReg, IntReg, RegFile, RegRef, SpecialReg};
-pub use trap::Trap;
+pub use trap::{ExecError, SimError, Trap};
 
 /// Size of one instruction word in bytes. All instructions are 32 bits.
 pub const INSTR_BYTES: u64 = 4;

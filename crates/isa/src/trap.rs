@@ -65,6 +65,84 @@ impl fmt::Display for Trap {
 
 impl std::error::Error for Trap {}
 
+/// A violated *simulator* invariant — a bug in the tool, never a guest
+/// outcome.
+///
+/// The containment contract distinguishes two failure planes:
+///
+/// * guest-reachable corruption (registers, fetched words, decode
+///   selections, execute results, the PC, memory transactions) must
+///   terminate as a [`Trap`] and be tabulated in the paper's outcome
+///   classes;
+/// * a broken *internal* invariant (a renamed producer missing from the
+///   ROB, an undecoded dispatched entry, …) is a simulator defect and must
+///   surface as a `SimError` so campaigns can count it as `Infrastructure`
+///   instead of silently polluting the `Crashed` class.
+///
+/// All fields are `'static`/scalar so the type stays `Copy` like [`Trap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimError {
+    /// The subsystem whose invariant broke (e.g. `"o3"`).
+    pub component: &'static str,
+    /// The invariant that was violated, stated positively.
+    pub invariant: &'static str,
+    /// Architectural PC at the point of detection (0 when unknown).
+    pub pc: u64,
+}
+
+impl SimError {
+    /// A new invariant-violation report.
+    pub fn new(component: &'static str, invariant: &'static str, pc: u64) -> SimError {
+        SimError { component, invariant, pc }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulator invariant violated in {}: {} (pc {:#x})",
+            self.component, self.invariant, self.pc
+        )
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why a CPU step could not complete: a guest [`Trap`] (an architectural
+/// outcome) or a [`SimError`] (a tool bug). CPU models return this so the
+/// two planes never blur; the machine maps each to its own `RunExit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecError {
+    /// A fatal guest trap (the paper's *Crashed* class).
+    Trap(Trap),
+    /// A violated simulator invariant (campaign *Infrastructure*).
+    Sim(SimError),
+}
+
+impl From<Trap> for ExecError {
+    fn from(t: Trap) -> ExecError {
+        ExecError::Trap(t)
+    }
+}
+
+impl From<SimError> for ExecError {
+    fn from(e: SimError) -> ExecError {
+        ExecError::Sim(e)
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Trap(t) => t.fmt(f),
+            ExecError::Sim(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +152,16 @@ mod tests {
         let t = Trap::IllegalInstruction { word: 0xdeadbeef, pc: 0x1000 };
         assert_eq!(t.to_string(), "illegal instruction 0xdeadbeef at pc 0x1000");
         assert!(Trap::WatchdogTimeout.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn sim_errors_stay_distinguishable_from_traps() {
+        let e = SimError::new("o3", "renamed producer present in ROB", 0x2000);
+        assert!(e.to_string().contains("simulator invariant"));
+        let from_trap: ExecError = Trap::WatchdogTimeout.into();
+        let from_sim: ExecError = e.into();
+        assert!(matches!(from_trap, ExecError::Trap(_)));
+        assert!(matches!(from_sim, ExecError::Sim(s) if s == e));
+        assert!(from_sim.to_string().contains("o3"));
     }
 }

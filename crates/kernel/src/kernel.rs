@@ -7,6 +7,12 @@ use crate::thread::{Thread, ThreadId, ThreadState};
 use gemfi_isa::{ArchState, FpReg, IntReg, PalFunc, Trap};
 use gemfi_mem::MemorySystem;
 
+/// Computes `base + off` for a PCB slot, trapping (rather than overflowing)
+/// when a fault-corrupted PCB base pushes the slot past the address space.
+fn pcb_slot(base: u64, off: u64, pc: u64) -> Result<u64, Trap> {
+    base.checked_add(off).ok_or(Trap::UnmappedAccess { addr: base, pc })
+}
+
 /// What a PAL call (or timer interrupt) did to the machine, as seen by the
 /// CPU model that trapped into it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,7 +118,12 @@ impl Kernel {
         arg: u64,
     ) -> Result<ThreadId, Trap> {
         let tid = self.threads.len();
-        assert!(tid < MAX_THREADS, "thread table full");
+        if tid >= MAX_THREADS {
+            // Defensive double of ThreadSpawn's table-full guard: a corrupted
+            // thread table must trap as a bad PAL service, never abort the
+            // simulator.
+            return Err(Trap::IllegalPalCall { number: PalFunc::ThreadSpawn.number(), pc: entry });
+        }
         let pcbb = pcb_addr(tid);
         self.threads.push(Thread { tid, pcbb, state: ThreadState::Runnable });
         // Materialize the initial context in the guest PCB.
@@ -131,15 +142,27 @@ impl Kernel {
     /// PAL routines are microcoded, but the PCB bytes are architecturally
     /// visible and faults in memory can corrupt them).
     fn save_context_of(&mut self, ctx: &ArchState, mem: &mut MemorySystem) -> Result<(), Trap> {
+        // `ctx.pcbb` is guest-corruptible (SpecialReg faults): slot addresses
+        // must be overflow-checked so a wild PCB base traps instead of
+        // panicking in debug arithmetic.
         let base = ctx.pcbb;
         for i in 0..32u64 {
+            // Infallible: i ranges over the 32 architectural registers.
+            #[allow(clippy::expect_used)]
             let r = IntReg::new(i as u8).expect("index in range");
-            mem.write_u64_functional(base + PCB_OFF_INT + i * 8, ctx.regs.read_int(r))?;
+            mem.write_u64_functional(
+                pcb_slot(base, PCB_OFF_INT + i * 8, ctx.pc)?,
+                ctx.regs.read_int(r),
+            )?;
+            #[allow(clippy::expect_used)]
             let f = FpReg::new(i as u8).expect("index in range");
-            mem.write_u64_functional(base + PCB_OFF_FP + i * 8, ctx.regs.read_fp_bits(f))?;
+            mem.write_u64_functional(
+                pcb_slot(base, PCB_OFF_FP + i * 8, ctx.pc)?,
+                ctx.regs.read_fp_bits(f),
+            )?;
         }
-        mem.write_u64_functional(base + PCB_OFF_PC, ctx.pc)?;
-        mem.write_u64_functional(base + PCB_OFF_PSR, ctx.psr)?;
+        mem.write_u64_functional(pcb_slot(base, PCB_OFF_PC, ctx.pc)?, ctx.pc)?;
+        mem.write_u64_functional(pcb_slot(base, PCB_OFF_PSR, ctx.pc)?, ctx.psr)?;
         Ok(())
     }
 
@@ -152,13 +175,22 @@ impl Kernel {
     ) -> Result<(), Trap> {
         let base = pcb_addr(tid);
         for i in 0..32u64 {
+            // Infallible: i ranges over the 32 architectural registers.
+            #[allow(clippy::expect_used)]
             let r = IntReg::new(i as u8).expect("index in range");
-            arch.regs.write_int(r, mem.read_u64_functional(base + PCB_OFF_INT + i * 8)?);
+            arch.regs.write_int(
+                r,
+                mem.read_u64_functional(pcb_slot(base, PCB_OFF_INT + i * 8, arch.pc)?)?,
+            );
+            #[allow(clippy::expect_used)]
             let f = FpReg::new(i as u8).expect("index in range");
-            arch.regs.write_fp_bits(f, mem.read_u64_functional(base + PCB_OFF_FP + i * 8)?);
+            arch.regs.write_fp_bits(
+                f,
+                mem.read_u64_functional(pcb_slot(base, PCB_OFF_FP + i * 8, arch.pc)?)?,
+            );
         }
-        arch.pc = mem.read_u64_functional(base + PCB_OFF_PC)?;
-        arch.psr = mem.read_u64_functional(base + PCB_OFF_PSR)?;
+        arch.pc = mem.read_u64_functional(pcb_slot(base, PCB_OFF_PC, arch.pc)?)?;
+        arch.psr = mem.read_u64_functional(pcb_slot(base, PCB_OFF_PSR, arch.pc)?)?;
         arch.pcbb = base;
         self.current = tid;
         Ok(())
@@ -167,6 +199,12 @@ impl Kernel {
     /// Round-robin pick of the next runnable thread after `from`.
     fn next_runnable(&self, from: ThreadId) -> Option<ThreadId> {
         let n = self.threads.len();
+        if n == 0 {
+            return None;
+        }
+        // A corrupted `current` must not divide-by-zero or overflow here;
+        // reduce it into range and scan the whole table.
+        let from = from % n;
         (1..=n).map(|d| (from + d) % n).find(|&t| self.threads[t].is_runnable())
     }
 
@@ -221,7 +259,8 @@ impl Kernel {
         for i in 0..self.threads.len() {
             if self.threads[i].state == ThreadState::Joining(exited) {
                 self.threads[i].state = ThreadState::Runnable;
-                let v0_slot = self.threads[i].pcbb + PCB_OFF_INT + IntReg::V0.index() as u64 * 8;
+                let v0_slot =
+                    pcb_slot(self.threads[i].pcbb, PCB_OFF_INT + IntReg::V0.index() as u64 * 8, 0)?;
                 mem.write_u64_functional(v0_slot, code)?;
             }
         }

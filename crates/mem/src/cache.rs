@@ -131,6 +131,9 @@ impl Cache {
         }
 
         self.stats.misses += 1;
+        // Infallible: associativity is a host config invariant (>= 1 way),
+        // not guest-corruptible state.
+        #[allow(clippy::expect_used)]
         let victim =
             ways.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
         let writeback = victim.valid && victim.dirty;

@@ -138,6 +138,9 @@ impl PhysMem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn read_u32(&self, addr: u64, pc: u64) -> Result<u32, Trap> {
         let (pi, off) = Self::locate(self.check(addr, 4, pc)?);
+        // Infallible: check() proved the aligned 4-byte window is in bounds,
+        // so the slice is exactly 4 bytes and never crosses a page.
+        #[allow(clippy::unwrap_used)]
         Ok(u32::from_le_bytes(self.pages[pi].0[off..off + 4].try_into().unwrap()))
     }
 
@@ -159,6 +162,9 @@ impl PhysMem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn read_u64(&self, addr: u64, pc: u64) -> Result<u64, Trap> {
         let (pi, off) = Self::locate(self.check(addr, 8, pc)?);
+        // Infallible: check() proved the aligned 8-byte window is in bounds,
+        // so the slice is exactly 8 bytes and never crosses a page.
+        #[allow(clippy::unwrap_used)]
         Ok(u64::from_le_bytes(self.pages[pi].0[off..off + 8].try_into().unwrap()))
     }
 

@@ -90,6 +90,8 @@ impl Codec for MemorySystem {
             w.put_u64(c.line as u64);
             w.put_u64(c.hit_latency);
         }
+        // Infallible: the range [0, phys_size) is the memory's own extent.
+        #[allow(clippy::expect_used)]
         let image = self.read_slice(0, cfg.phys_size).expect("whole memory");
         encode_image(&image, w);
     }
@@ -122,6 +124,8 @@ impl Codec for MemorySystem {
             return Err(CodecError::LengthOverflow { len: image.len() as u64 });
         }
         let mut mem = MemorySystem::new(config);
+        // Infallible: image.len() == phys_size was just checked above.
+        #[allow(clippy::expect_used)]
         mem.write_slice(0, &image).expect("image fits by construction");
         Ok(mem)
     }

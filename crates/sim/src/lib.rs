@@ -32,6 +32,10 @@
 //! assert_eq!(m.run(), RunExit::Halted(7));
 //! ```
 
+// Guest-reachable crate: new unwrap/expect sites need an explicit allow with
+// a written justification (fault containment, see DESIGN.md).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod checkpoint;
 mod config;
 mod loader;
@@ -40,5 +44,6 @@ mod stats;
 
 pub use checkpoint::{Checkpoint, CheckpointHeader};
 pub use config::MachineConfig;
+pub use gemfi_isa::SimError;
 pub use machine::{Machine, RunExit};
 pub use stats::SimStats;

@@ -6,7 +6,7 @@ use crate::loader::load_program;
 use crate::stats::SimStats;
 use gemfi_asm::Program;
 use gemfi_cpu::{Cpu, CpuKind, Dormancy, ElidedHooks, FaultHooks, StepEvent};
-use gemfi_isa::{ArchState, Trap};
+use gemfi_isa::{ArchState, ExecError, SimError, Trap};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
 use std::fmt;
@@ -25,6 +25,10 @@ pub enum RunExit {
     /// A `fi_read_init_all()` committed: the caller should take a
     /// checkpoint (the machine is quiesced) and resume with `run`.
     CheckpointRequest,
+    /// A simulator invariant was violated — a tool bug, not a guest
+    /// outcome. Campaigns classify this as *Infrastructure*, keeping it out
+    /// of the paper's guest outcome classes.
+    SimError(SimError),
 }
 
 impl fmt::Display for RunExit {
@@ -34,6 +38,7 @@ impl fmt::Display for RunExit {
             RunExit::Trapped(t) => write!(f, "trapped: {t}"),
             RunExit::Watchdog => write!(f, "watchdog timeout"),
             RunExit::CheckpointRequest => write!(f, "checkpoint requested"),
+            RunExit::SimError(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,7 +56,10 @@ fn install_boot_stub(
 ) -> Result<(), Trap> {
     use gemfi_isa::opcode::{BranchCond, IntFunc};
     use gemfi_isa::{encode, Instr, IntReg, JumpKind, Operand};
+    // Infallible: 1 and 2 are valid register indices by construction.
+    #[allow(clippy::expect_used)]
     let r1 = IntReg::new(1).expect("r1");
+    #[allow(clippy::expect_used)]
     let r2 = IntReg::new(2).expect("r2");
     let split = |value: u64| {
         let lo = value as i16;
@@ -283,8 +291,12 @@ impl<H: FaultHooks> Machine<H> {
                     }
                 }
             }
-            Err(t) => {
+            Err(ExecError::Trap(t)) => {
                 self.finished = Some(RunExit::Trapped(t));
+                self.finished
+            }
+            Err(ExecError::Sim(e)) => {
+                self.finished = Some(RunExit::SimError(e));
                 self.finished
             }
         }
@@ -398,8 +410,11 @@ impl<H: FaultHooks> Machine<H> {
                         }
                     }
                 }
-                Err(t) => {
-                    self.finished = Some(RunExit::Trapped(t));
+                Err(err) => {
+                    self.finished = Some(match err {
+                        ExecError::Trap(t) => RunExit::Trapped(t),
+                        ExecError::Sim(e) => RunExit::SimError(e),
+                    });
                     exit = self.finished;
                     break;
                 }

@@ -1,0 +1,149 @@
+//! Containment-contract unit tests: hand-picked corruptions that historically
+//! kill simulators — wild PCs, hostile fetch words, corrupted decode
+//! selections — must land on *documented* [`Trap`] variants on **all four**
+//! CPU models, never a panic and never a [`RunExit::SimError`].
+//!
+//! The differential fuzz harness (`crates/fuzz`) covers the same space
+//! randomly; these tests pin the documented trap taxonomy for the corners.
+
+use gemfi::{FaultBehavior, FaultConfig, FaultLocation, FaultSpec, FaultTiming, GemFiEngine};
+use gemfi_asm::{Assembler, Reg};
+use gemfi_cpu::CpuKind;
+use gemfi_isa::Trap;
+use gemfi_sim::{Machine, MachineConfig, RunExit};
+
+const MODELS: [CpuKind; 4] = [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3];
+
+/// A small activated workload: a short counted loop, then a clean exit.
+fn body(a: &mut Assembler) {
+    a.fi_activate(0);
+    a.li(Reg::R1, 0);
+    a.li(Reg::R2, 12);
+    a.label("loop");
+    a.addq_lit(Reg::R1, 1, Reg::R1);
+    a.subq_lit(Reg::R2, 1, Reg::R2);
+    a.bne(Reg::R2, "loop");
+    a.exit(0);
+}
+
+/// Runs the standard body on `cpu` with one injected fault and returns the
+/// terminal exit. Panics (failing the test) if the machine does not
+/// terminate within the watchdog budget.
+fn run_with_fault(cpu: CpuKind, location: FaultLocation, behavior: FaultBehavior) -> RunExit {
+    let mut a = Assembler::new();
+    body(&mut a);
+    let program = a.finish().expect("assembles");
+    let faults = FaultConfig::from_specs(vec![FaultSpec {
+        location,
+        thread: 0,
+        timing: FaultTiming::Instructions(8), // mid-loop
+        behavior,
+        occurrences: 1,
+    }]);
+    let config = MachineConfig { cpu, max_ticks: 3_000_000, ..MachineConfig::default() };
+    let mut machine = Machine::boot(config, &program, GemFiEngine::new(faults)).expect("boots");
+    let exit = machine.run();
+    assert!(
+        !matches!(exit, RunExit::SimError(_)),
+        "guest-reachable fault must never surface a simulator error: {exit} ({cpu})"
+    );
+    exit
+}
+
+#[test]
+fn odd_pc_traps_with_misaligned_access_on_every_model() {
+    for cpu in MODELS {
+        let exit = run_with_fault(cpu, FaultLocation::Pc { core: 0 }, FaultBehavior::Set(0x1001));
+        assert!(
+            matches!(exit, RunExit::Trapped(Trap::MisalignedAccess { .. })),
+            "odd PC on {cpu}: got {exit}"
+        );
+    }
+}
+
+#[test]
+fn unmapped_pc_traps_with_unmapped_access_on_every_model() {
+    // 0x0200_0000 is 4-aligned but beyond the default 16 MiB of memory.
+    for cpu in MODELS {
+        let exit =
+            run_with_fault(cpu, FaultLocation::Pc { core: 0 }, FaultBehavior::Set(0x0200_0000));
+        assert!(
+            matches!(exit, RunExit::Trapped(Trap::UnmappedAccess { .. })),
+            "unmapped PC on {cpu}: got {exit}"
+        );
+    }
+}
+
+#[test]
+fn huge_pc_traps_instead_of_overflowing_on_every_model() {
+    // A 4-aligned PC in the top bytes of the address space: any
+    // fetch-adjacent arithmetic (`pc + 4`) that widens incorrectly would
+    // wrap or abort.
+    for cpu in MODELS {
+        let exit =
+            run_with_fault(cpu, FaultLocation::Pc { core: 0 }, FaultBehavior::Set(u64::MAX - 3));
+        assert!(
+            matches!(exit, RunExit::Trapped(Trap::UnmappedAccess { .. })),
+            "huge PC on {cpu}: got {exit}"
+        );
+    }
+}
+
+#[test]
+fn all_ones_fetch_word_is_a_harmless_not_taken_branch_on_every_model() {
+    // 0xffff_ffff has major opcode 0x3f — `bgt` with `ra = r31` (the zero
+    // register), which never evaluates true: the corrupted word executes as
+    // a not-taken branch and the program completes normally. The documented
+    // outcome is a clean halt, on every model.
+    for cpu in MODELS {
+        let exit = run_with_fault(cpu, FaultLocation::Fetch { core: 0 }, FaultBehavior::AllOne);
+        assert_eq!(exit, RunExit::Halted(0), "all-ones fetch on {cpu}: got {exit}");
+    }
+}
+
+#[test]
+fn opcode_hole_fetch_word_traps_with_illegal_instruction_on_every_model() {
+    // Major opcode 0x18 is an unimplemented hole: the corrupted word cannot
+    // decode and the documented containment path is the precise
+    // illegal-instruction trap.
+    for cpu in MODELS {
+        let exit =
+            run_with_fault(cpu, FaultLocation::Fetch { core: 0 }, FaultBehavior::Set(0x6000_0000));
+        assert!(
+            matches!(exit, RunExit::Trapped(Trap::IllegalInstruction { .. })),
+            "opcode-hole fetch on {cpu}: got {exit}"
+        );
+    }
+}
+
+#[test]
+fn all_zero_fetch_word_traps_with_illegal_pal_call_on_every_model() {
+    // 0x0000_0000 decodes to `call_pal 0` (halt) — privileged, and the
+    // faulted thread runs in user mode, so the documented containment path
+    // is the illegal-PAL-call trap.
+    for cpu in MODELS {
+        let exit = run_with_fault(cpu, FaultLocation::Fetch { core: 0 }, FaultBehavior::AllZero);
+        assert!(
+            matches!(exit, RunExit::Trapped(Trap::IllegalPalCall { .. })),
+            "all-zero fetch on {cpu}: got {exit}"
+        );
+    }
+}
+
+#[test]
+fn corrupted_decode_selection_is_contained_on_every_model() {
+    // Decode corruption rewrites the register-selection fields: the
+    // instruction executes with the wrong sources/destination. Dataflow
+    // changes arbitrarily, but the run must still end in a documented exit.
+    for cpu in MODELS {
+        for behavior in
+            [FaultBehavior::AllOne, FaultBehavior::AllZero, FaultBehavior::Xor(0x03e0_0000)]
+        {
+            let exit = run_with_fault(cpu, FaultLocation::Decode { core: 0 }, behavior);
+            assert!(
+                matches!(exit, RunExit::Halted(_) | RunExit::Trapped(_) | RunExit::Watchdog),
+                "decode corruption {behavior:?} on {cpu}: got {exit}"
+            );
+        }
+    }
+}
