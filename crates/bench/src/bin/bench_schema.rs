@@ -14,13 +14,22 @@
 //! * every entry of `"results"` must be an object.
 //!
 //! ```text
-//! bench_schema [--dir PATH]   # default: current directory
+//! bench_schema [--dir PATH] [--thresholds FLOORS.json]
 //! ```
 //!
-//! Scans `PATH` (non-recursively) for `BENCH_*.json`, validates each, and
-//! exits non-zero if any file is malformed — or if no report is found at
-//! all, so a misconfigured CI step cannot pass by scanning an empty
-//! directory.
+//! Scans `PATH` (non-recursively, default: current directory) for
+//! `BENCH_*.json`, validates each, and exits non-zero if any file is
+//! malformed — or if no report is found at all, so a misconfigured CI step
+//! cannot pass by scanning an empty directory.
+//!
+//! With `--thresholds` the binary is also the **bench-regression gate**:
+//! the floors file maps a `bench` name to a minimum `speedup` — either a
+//! single positive number (gating a scalar `"speedup"` field) or an object
+//! of named floors (gating the matching keys of an object-valued
+//! `"speedup"`, e.g. `hook_elision`'s per-mode ratios). Every floor must
+//! find its report among the scanned files and every gated ratio must meet
+//! its floor, or the run fails. A malformed floors file fails too: the gate
+//! refuses to pass vacuously.
 
 use gemfi_bench::Args;
 use std::path::Path;
@@ -270,12 +279,77 @@ fn validate(doc: &Json) -> Result<usize, String> {
     Ok(entries.len())
 }
 
-fn check_file(path: &Path) -> Result<usize, String> {
+/// The shape a `--thresholds` floors file must satisfy: an object mapping
+/// bench names to either a positive number or a non-empty object of
+/// positive numbers.
+fn validate_thresholds(doc: &Json) -> Result<&Vec<(String, Json)>, String> {
+    let Json::Object(floors) = doc else {
+        return Err("top level is not an object".into());
+    };
+    if floors.is_empty() {
+        return Err("no floors defined — the gate would pass vacuously".into());
+    }
+    for (bench, floor) in floors {
+        match floor {
+            Json::Number(n) if *n > 0.0 => {}
+            Json::Number(_) => return Err(format!("`{bench}` floor is not positive")),
+            Json::Object(keys) if !keys.is_empty() => {
+                for (key, value) in keys {
+                    match value {
+                        Json::Number(n) if *n > 0.0 => {}
+                        _ => return Err(format!("`{bench}.{key}` floor is not a positive number")),
+                    }
+                }
+            }
+            _ => return Err(format!("`{bench}` floor is neither a number nor a non-empty object")),
+        }
+    }
+    Ok(floors)
+}
+
+/// Gates one report's `speedup` against its floor. Returns a human-readable
+/// pass summary, or the first violated ratio.
+fn check_floor(doc: &Json, floor: &Json) -> Result<String, String> {
+    let speedup = doc.get("speedup").ok_or("report has no `speedup` field to gate")?;
+    match (floor, speedup) {
+        (Json::Number(f), Json::Number(s)) => {
+            if s >= f {
+                Ok(format!("speedup {s:.3} >= floor {f}"))
+            } else {
+                Err(format!("speedup {s:.3} below floor {f}"))
+            }
+        }
+        (Json::Number(_), _) => Err("`speedup` is not a number".into()),
+        (Json::Object(floors), speedup @ Json::Object(_)) => {
+            let mut passed = Vec::new();
+            for (key, value) in floors {
+                let Json::Number(f) = value else {
+                    return Err(format!("`{key}` floor is not a number"));
+                };
+                match speedup.get(key) {
+                    Some(Json::Number(s)) if s >= f => passed.push(format!("{key} {s:.3}")),
+                    Some(Json::Number(s)) => {
+                        return Err(format!("`{key}` speedup {s:.3} below floor {f}"))
+                    }
+                    Some(_) => return Err(format!("`{key}` speedup is not a number")),
+                    None => return Err(format!("report's `speedup` has no `{key}` entry")),
+                }
+            }
+            Ok(format!("speedups {} meet their floors", passed.join(", ")))
+        }
+        (Json::Object(_), _) => Err("`speedup` is not an object, but the floor is".into()),
+        _ => Err("unsupported floor shape".into()),
+    }
+}
+
+fn check_file(path: &Path) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
     if text.trim().is_empty() {
         return Err("file is empty".into());
     }
-    validate(&parse(&text)?)
+    let doc = parse(&text)?;
+    validate(&doc)?;
+    Ok(doc)
 }
 
 fn main() {
@@ -305,15 +379,63 @@ fn main() {
     }
 
     let mut failed = false;
+    let mut docs: Vec<(String, Json)> = Vec::new();
     for path in &reports {
         match check_file(path) {
-            Ok(n) => println!("ok   {} ({n} results)", path.display()),
+            Ok(doc) => {
+                let n = match doc.get("results") {
+                    Some(Json::Array(entries)) => entries.len(),
+                    _ => 0,
+                };
+                println!("ok   {} ({n} results)", path.display());
+                if let Some(Json::String(name)) = doc.get("bench") {
+                    docs.push((name.clone(), doc));
+                }
+            }
             Err(e) => {
                 eprintln!("FAIL {}: {e}", path.display());
                 failed = true;
             }
         }
     }
+
+    if let Some(floors_path) = args.value_of("thresholds") {
+        match std::fs::read_to_string(floors_path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|text| parse(&text))
+        {
+            Ok(doc) => match validate_thresholds(&doc) {
+                Ok(floors) => {
+                    for (bench, floor) in floors {
+                        match docs.iter().find(|(name, _)| name == bench) {
+                            Some((_, report)) => match check_floor(report, floor) {
+                                Ok(msg) => println!("gate {bench}: {msg}"),
+                                Err(e) => {
+                                    eprintln!("GATE FAIL {bench}: {e}");
+                                    failed = true;
+                                }
+                            },
+                            None => {
+                                eprintln!(
+                                    "GATE FAIL {bench}: floor defined but no report found in {dir}"
+                                );
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("GATE FAIL {floors_path}: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("GATE FAIL {floors_path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
     if failed {
         std::process::exit(1);
     }
@@ -342,6 +464,42 @@ mod tests {
         assert!(parse("{}x").is_err());
         assert!(parse(r#"{"a": 01e}"#).is_err());
         assert!(parse(r#"{"a": "unterminated}"#).is_err());
+    }
+
+    #[test]
+    fn thresholds_shape_is_enforced() {
+        let ok = parse(r#"{"a": 2.0, "b": {"x": 1.2, "y": 1.5}}"#).unwrap();
+        assert_eq!(validate_thresholds(&ok).unwrap().len(), 2);
+        for bad in [
+            "[]",
+            "{}",
+            r#"{"a": 0}"#,
+            r#"{"a": -1.5}"#,
+            r#"{"a": "2.0"}"#,
+            r#"{"a": {}}"#,
+            r#"{"a": {"x": "fast"}}"#,
+        ] {
+            assert!(validate_thresholds(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn floors_gate_scalar_and_keyed_speedups() {
+        let scalar = parse(r#"{"bench": "x", "results": [{}], "speedup": 4.1}"#).unwrap();
+        assert!(check_floor(&scalar, &Json::Number(4.0)).is_ok());
+        assert!(check_floor(&scalar, &Json::Number(4.2)).is_err());
+
+        let keyed =
+            parse(r#"{"bench": "x", "results": [{}], "speedup": {"atomic": 1.4, "o3": 0.9}}"#)
+                .unwrap();
+        let floor = |text: &str| parse(text).unwrap();
+        assert!(check_floor(&keyed, &floor(r#"{"atomic": 1.2}"#)).is_ok());
+        assert!(check_floor(&keyed, &floor(r#"{"atomic": 1.5}"#)).is_err());
+        assert!(check_floor(&keyed, &floor(r#"{"missing": 1.0}"#)).is_err());
+        assert!(check_floor(&keyed, &Json::Number(1.0)).is_err(), "shape mismatch must fail");
+
+        let none = parse(r#"{"bench": "x", "results": [{}]}"#).unwrap();
+        assert!(check_floor(&none, &Json::Number(1.0)).is_err(), "no speedup field must fail");
     }
 
     #[test]

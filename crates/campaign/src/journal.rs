@@ -60,6 +60,17 @@ pub enum JournalEvent {
         /// Lease expiry, milliseconds since the Unix epoch.
         deadline_ms: u64,
     },
+    /// Fork-at-injection trunk progress: the experiment's divergent suffix
+    /// was forked off the shared fault-free trunk at `tick` instead of
+    /// replaying the whole prefix. Audit/perf-accounting only — replay
+    /// validates the index and changes no state, and whole-run fallbacks
+    /// simply never write one.
+    Forked {
+        /// Experiment index.
+        exp: u64,
+        /// Trunk tick at which the suffix forked.
+        tick: u64,
+    },
     /// The experiment finished and its outcome is final.
     Done {
         /// Experiment index.
@@ -145,6 +156,9 @@ impl JournalEvent {
                  \"deadline_ms\":{deadline_ms}}}",
                 json_escape(worker)
             ),
+            JournalEvent::Forked { exp, tick } => {
+                format!("{{\"event\":\"forked\",\"exp\":{exp},\"tick\":{tick}}}")
+            }
             JournalEvent::Done { exp, attempt, outcome, exit, ticks } => format!(
                 "{{\"event\":\"done\",\"exp\":{exp},\"attempt\":{attempt},\"outcome\":\"{}\",\
                  \"exit\":\"{}\",\"ticks\":{ticks}}}",
@@ -186,6 +200,10 @@ impl JournalEvent {
                 worker: fields.str_field("worker")?,
                 attempt: fields.num_field("attempt")?,
                 deadline_ms: fields.num_field("deadline_ms")?,
+            }),
+            "forked" => Ok(JournalEvent::Forked {
+                exp: fields.num_field("exp")?,
+                tick: fields.num_field("tick")?,
             }),
             "done" => Ok(JournalEvent::Done {
                 exp: fields.num_field("exp")?,
@@ -478,6 +496,10 @@ impl CampaignState {
                         return Err(format!("experiment {exp} leased after finishing"));
                     }
                 }
+                JournalEvent::Forked { exp, .. } => {
+                    // Informational: validate the index, change nothing.
+                    state.slot(*exp)?;
+                }
                 JournalEvent::Done { exp, attempt, outcome, ticks, .. } => {
                     let s = state.slot(*exp)?;
                     // First terminal event wins: a zombie worker completing
@@ -560,6 +582,7 @@ mod tests {
                 attempt: 1,
                 deadline_ms: 1_700_000_000_000,
             },
+            JournalEvent::Forked { exp: 0, tick: 98_765 },
             JournalEvent::Done {
                 exp: 0,
                 attempt: 1,

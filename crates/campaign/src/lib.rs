@@ -21,6 +21,7 @@
 //!    (Sec. III-E).
 
 pub mod classify;
+pub mod fork;
 pub mod journal;
 pub mod lease;
 pub mod now;
@@ -32,13 +33,17 @@ pub mod stats;
 pub mod timing;
 
 pub use classify::classify;
+pub use fork::{
+    drive_suffix, plan_suffixes, run_campaign_forked, run_campaign_forked_journaled, ForkConfig,
+    ForkedSuffix,
+};
 pub use journal::{CampaignState, ExpState, Journal, JournalEvent};
 pub use lease::{Lease, LeaseDir};
 pub use now::{run_campaign_now, ChaosConfig, CompletedExperiment, NowConfig, NowReport};
 pub use report::OutcomeTable;
 pub use rng::SplitMix64;
 pub use runner::{
-    prepare_workload, prepare_workload_with, run_experiment, run_experiment_from,
+    drive_whole_run, prepare_workload, prepare_workload_with, run_experiment, run_experiment_from,
     run_experiment_from_with_abort, run_experiment_multi, run_experiment_multi_with_abort,
     ExperimentResult, PreparedWorkload, RunnerConfig, DORMANT_CHUNK_FACTOR,
 };

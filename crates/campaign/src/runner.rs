@@ -152,7 +152,7 @@ pub fn prepare_workload_with(
 
 /// The tick budget for one experiment: checkpoint time plus a multiple of
 /// the fault-free kernel time, plus slack for the grace window.
-fn watchdog_budget(
+pub(crate) fn watchdog_budget(
     checkpoint: &Checkpoint,
     prepared: &PreparedWorkload,
     config: &RunnerConfig,
@@ -163,15 +163,41 @@ fn watchdog_budget(
         .saturating_add(1_000_000)
 }
 
+/// The first scheduling boundary strictly after `tick` on the absolute grid
+/// `{origin + n·granularity}`.
+///
+/// Anchoring boundaries to the *checkpoint's* tick rather than to wherever
+/// the loop happens to stand makes the pre-switch polling schedule a pure
+/// function of the machine's execution: a suffix forked mid-run lands on
+/// the same grid as a whole run from the checkpoint, so both observe "the
+/// fault has fired" at the identical tick and switch CPU models at the
+/// identical tick — the load-bearing half of fork-at-injection's
+/// bit-identical guarantee.
+fn next_boundary(tick: u64, origin: u64, granularity: u64) -> u64 {
+    let rel = tick.saturating_sub(origin);
+    origin.saturating_add((rel / granularity + 1).saturating_mul(granularity))
+}
+
 /// Drives a restored machine to completion: the switch-grace/model-switch
 /// protocol, horizon-aware chunked scheduling, and abort polling — the one
-/// loop shared by the single- and multi-fault experiment paths.
+/// loop shared by the single-fault, multi-fault, and forked-suffix
+/// experiment paths. `origin` is the checkpoint tick the experiment
+/// descends from; pre-switch boundaries are anchored to it (see
+/// [`next_boundary`]).
+///
+/// Pre-switch polling always runs at the fine granularity, even while the
+/// engine is dormant: the boundary at which `pending_faults() == 0` is
+/// first observed decides the CPU-switch tick, so it must not depend on a
+/// dormancy observation a forked suffix (whose engine starts with its fault
+/// queued) would make differently. Once switched, boundaries are
+/// state-neutral and the dormant coarsening is pure abort-latency tuning.
 ///
 /// Returns the terminal exit and whether the abort token cut the run short.
-fn drive_to_completion(
+pub(crate) fn drive_to_completion(
     machine: &mut Machine<GemFiEngine>,
     config: &RunnerConfig,
     abort: &AbortToken,
+    origin: u64,
 ) -> (RunExit, bool) {
     let mut switched = config.inject_cpu == config.finish_cpu;
     loop {
@@ -189,21 +215,50 @@ fn drive_to_completion(
             machine.switch_cpu(config.finish_cpu);
             switched = true;
         }
-        // Horizon-aware scheduling: while the engine can still observe
-        // something, poll at the configured granularity so the model switch
-        // lands promptly after the fault fires; once fully dormant, nothing
-        // can fire and the chunk exists only to bound abort latency.
-        let chunk = if machine.hooks().is_dormant(0, machine.tick()) {
-            config.chunk.saturating_mul(DORMANT_CHUNK_FACTOR)
+        // Horizon-aware scheduling: after the switch, once the engine is
+        // fully dormant nothing can fire and the chunk exists only to bound
+        // abort latency, so poll far more coarsely.
+        let target = if switched {
+            let chunk = if machine.hooks().is_dormant(0, machine.tick()) {
+                config.chunk.saturating_mul(DORMANT_CHUNK_FACTOR)
+            } else {
+                config.chunk
+            };
+            machine.tick().saturating_add(chunk)
         } else {
-            config.chunk
+            next_boundary(machine.tick(), origin, config.chunk)
         };
-        match machine.run_for(chunk) {
+        match machine.run_for(target.saturating_sub(machine.tick()).max(1)) {
             Some(RunExit::CheckpointRequest) => continue,
             Some(exit) => return (exit, false),
             None => {}
         }
     }
+}
+
+/// Restores from `checkpoint` with a fresh single-fault engine and drives
+/// the whole experiment — everything [`run_experiment_from_with_abort`]
+/// does short of classification. The fork-at-injection conformance suite
+/// compares this machine's terminal state bit-for-bit against a forked
+/// suffix's, so the full machine comes back, not just the result.
+pub fn drive_whole_run(
+    checkpoint: &Checkpoint,
+    prepared: &PreparedWorkload,
+    spec: FaultSpec,
+    config: &RunnerConfig,
+    abort: &AbortToken,
+) -> (Machine<GemFiEngine>, RunExit, bool) {
+    let mut engine = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
+    engine.set_abort_token(abort.clone());
+    let mut machine = Machine::restore_with(
+        checkpoint,
+        Some(config.inject_cpu),
+        Some(watchdog_budget(checkpoint, prepared, config)),
+        engine,
+    );
+    machine.set_elide(config.elide);
+    let (exit, aborted) = drive_to_completion(&mut machine, config, abort, checkpoint.tick());
+    (machine, exit, aborted)
 }
 
 /// Runs one experiment from an explicit checkpoint (the NoW path passes a
@@ -236,21 +291,12 @@ pub fn run_experiment_from_with_abort(
     // restored in place — no per-experiment deep copy; the watchdog bound
     // (corrupted control flow loops forever, so cap the run relative to
     // the fault-free kernel time) rides along as a restore override.
-    let mut engine = GemFiEngine::new(FaultConfig::from_specs(vec![spec]));
-    engine.set_abort_token(abort.clone());
-    let mut machine = Machine::restore_with(
-        checkpoint,
-        Some(config.inject_cpu),
-        Some(watchdog_budget(checkpoint, prepared, config)),
-        engine,
-    );
-    machine.set_elide(config.elide);
-    let (exit, aborted) = drive_to_completion(&mut machine, config, abort);
+    let (machine, exit, aborted) = drive_whole_run(checkpoint, prepared, spec, config, abort);
     finish_result(machine, checkpoint.tick(), prepared, workload, spec, exit, aborted)
 }
 
 /// Classification and result assembly shared by the experiment paths.
-fn finish_result(
+pub(crate) fn finish_result(
     machine: Machine<GemFiEngine>,
     checkpoint_tick: u64,
     prepared: &PreparedWorkload,
@@ -317,7 +363,8 @@ pub fn run_experiment_multi_with_abort(
         engine,
     );
     machine.set_elide(config.elide);
-    let (exit, aborted) = drive_to_completion(&mut machine, config, abort);
+    let (exit, aborted) =
+        drive_to_completion(&mut machine, config, abort, prepared.checkpoint.tick());
     finish_result(machine, prepared.checkpoint.tick(), prepared, workload, specs[0], exit, aborted)
 }
 

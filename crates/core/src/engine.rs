@@ -65,6 +65,28 @@ impl Default for EngineConfig {
     }
 }
 
+/// How far a single fault spec is from its firing point, as seen from the
+/// engine's current thread-activation state — the per-spec refinement of
+/// [`Dormancy`](gemfi_cpu::Dormancy). Fork-at-injection planning uses it to
+/// decide where along the fault-free trunk to fork each experiment's suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireDistance {
+    /// The spec can fire on the very next matching event (or is already in
+    /// its tick window): fork *before* advancing any further.
+    Armed,
+    /// At least `events` more matching stage events, or `ticks` more ticks,
+    /// must elapse before the spec can fire. When the spec's thread has not
+    /// activated injection yet these are lower bounds (activation resets
+    /// the counters, so the full distance still lies ahead); either field is
+    /// `u64::MAX` when that axis does not constrain the spec.
+    Quiet {
+        /// Matching stage events remaining before the spec can fire.
+        events: u64,
+        /// Ticks remaining before the spec's window opens.
+        ticks: u64,
+    },
+}
+
 /// In decode-stage faults, the corruptible space is the concatenation of the
 /// three register-selector fields: `Ra`(5) | `Rb`(5) | `Rc`(5) = 15 bits.
 pub const DECODE_SELECTOR_BITS: u8 = 15;
@@ -211,6 +233,88 @@ impl GemFiEngine {
     /// coarser chunk granularity for the post-fault fast-forward.
     pub fn is_dormant(&self, core: usize, now: Ticks) -> bool {
         matches!(FaultHooks::dormancy(self, core, now), Dormancy::Dormant)
+    }
+
+    /// How far `spec` is from firing on `core`, given this engine's current
+    /// thread-activation state. The per-spec analogue of the [`Dormancy`]
+    /// horizon: where `dormancy` folds every queued fault into one scalar,
+    /// this answers for a single spec that need not even be queued here —
+    /// fork-at-injection asks a fault-free trunk engine how close each
+    /// *planned* experiment's fault is.
+    ///
+    /// The answer is conservative in exactly one direction: when the spec's
+    /// thread has activated injection the distance is exact, and when it has
+    /// not (activation resets counters, so the whole distance still lies
+    /// ahead) the returned `Quiet` fields are lower bounds. A spec that can
+    /// never fire on this core reports `Quiet { u64::MAX, u64::MAX }`.
+    pub fn fire_distance(&self, core: usize, now: Ticks, spec: &FaultSpec) -> FireDistance {
+        if spec.location.core() != core {
+            return FireDistance::Quiet { events: u64::MAX, ticks: u64::MAX };
+        }
+        match self.threads.by_id(spec.thread) {
+            Some(rec) => match spec.timing {
+                FaultTiming::Instructions(start) => {
+                    let served = rec.count(spec.stage());
+                    if served >= start {
+                        FireDistance::Armed
+                    } else {
+                        FireDistance::Quiet { events: start - served, ticks: u64::MAX }
+                    }
+                }
+                FaultTiming::Ticks(_) => {
+                    let since = rec.ticks_since_activation(now);
+                    let (start, _) = spec.window();
+                    if since >= start {
+                        FireDistance::Armed
+                    } else {
+                        FireDistance::Quiet { events: u64::MAX, ticks: start - since }
+                    }
+                }
+            },
+            // Not activated yet: counters start from zero at activation, so
+            // the spec's full offset is still ahead of us — a valid lower
+            // bound. A zero offset could fire immediately after activation.
+            None => match spec.timing {
+                FaultTiming::Instructions(0) => FireDistance::Armed,
+                FaultTiming::Instructions(start) => {
+                    FireDistance::Quiet { events: start, ticks: u64::MAX }
+                }
+                FaultTiming::Ticks(_) => {
+                    let (start, _) = spec.window();
+                    if start == 0 {
+                        FireDistance::Armed
+                    } else {
+                        FireDistance::Quiet { events: u64::MAX, ticks: start }
+                    }
+                }
+            },
+        }
+    }
+
+    /// An engine for a forked machine: carries over everything the guest's
+    /// execution history determines — thread activations, per-core PCB
+    /// bases, per-stage event counters, the tick clock — while installing a
+    /// *fresh* fault queue built from `faults`, empty injection records and
+    /// watches, and a private abort token.
+    ///
+    /// Valid strictly *before* any of `faults` could have fired: queue scans
+    /// ahead of a spec's window never mutate the queue, so an engine that
+    /// had carried these specs from the start would be in exactly this state
+    /// at the fork point. Fork-at-injection relies on that equivalence to
+    /// run each experiment's divergent suffix from a shared fault-free
+    /// trunk.
+    pub fn fork_with_faults(&self, faults: FaultConfig) -> GemFiEngine {
+        GemFiEngine {
+            config: self.config,
+            queues: StageQueues::from_faults(faults.faults()),
+            threads: self.threads.clone(),
+            records: Vec::new(),
+            watches: Vec::new(),
+            current_pcbb: self.current_pcbb.clone(),
+            last_tick: self.last_tick,
+            stage_events: self.stage_events,
+            abort: AbortToken::new(),
+        }
     }
 
     fn resolve_thread(
@@ -840,6 +944,93 @@ mod tests {
         e.on_fi_activate(0, 0, 0, 0x4000); // thread 0, not the fault's target
         assert_eq!(e.pending_faults(), 1);
         assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Dormant);
+    }
+
+    #[test]
+    fn fire_distance_tracks_a_single_spec() {
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Inst:40 Flip:0 Threadid:0 system.cpu0 occ:1");
+        let spec = *e.queues.iter().next().map(|q| &q.spec).unwrap();
+        // Before activation the full offset is a lower bound.
+        assert_eq!(
+            e.fire_distance(0, 0, &spec),
+            FireDistance::Quiet { events: 40, ticks: u64::MAX }
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let nop = Instr::FiReadInit;
+        for _ in 0..10 {
+            e.on_execute_result(0, &nop, 1);
+        }
+        // Activated: the distance is exact and shrinks with served events.
+        assert_eq!(
+            e.fire_distance(0, 0, &spec),
+            FireDistance::Quiet { events: 30, ticks: u64::MAX }
+        );
+        for _ in 0..30 {
+            e.on_execute_result(0, &nop, 1);
+        }
+        // 40 served >= start 40: armed (and in fact it just fired).
+        assert_eq!(e.fire_distance(0, 0, &spec), FireDistance::Armed);
+        // Wrong core: unreachable.
+        assert_eq!(
+            e.fire_distance(1, 0, &spec),
+            FireDistance::Quiet { events: u64::MAX, ticks: u64::MAX }
+        );
+    }
+
+    #[test]
+    fn fire_distance_handles_tick_timed_and_immediate_specs() {
+        let mut e =
+            engine_with("ExecutionStageInjectedFault Tick:500 Flip:0 Threadid:0 system.cpu0 occ:4");
+        let tick_spec = *e.queues.iter().next().map(|q| &q.spec).unwrap();
+        assert_eq!(
+            e.fire_distance(0, 0, &tick_spec),
+            FireDistance::Quiet { events: u64::MAX, ticks: 500 }
+        );
+        e.on_fi_activate(0, 100, 0, 0x4000);
+        assert_eq!(
+            e.fire_distance(0, 350, &tick_spec),
+            FireDistance::Quiet { events: u64::MAX, ticks: 250 }
+        );
+        assert_eq!(e.fire_distance(0, 600, &tick_spec), FireDistance::Armed);
+
+        // An Inst:0 spec for an unactivated thread can fire the moment the
+        // thread activates: never quiet.
+        let immediate = FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 1 },
+            thread: 9,
+            timing: FaultTiming::Instructions(0),
+            behavior: FaultBehavior::AllZero,
+            occurrences: 1,
+        };
+        assert_eq!(e.fire_distance(0, 0, &immediate), FireDistance::Armed);
+    }
+
+    #[test]
+    fn forked_engine_matches_a_carried_one() {
+        // An engine that carried the spec from the start, and a fault-free
+        // trunk engine forked with the same spec at the same point, must be
+        // indistinguishable from here on.
+        let line = "ExecutionStageInjectedFault Inst:20 Flip:3 Threadid:0 system.cpu0 occ:1";
+        let mut carried = engine_with(line);
+        let mut trunk = GemFiEngine::new(FaultConfig::empty());
+        let nop = Instr::FiReadInit;
+        for e in [&mut carried, &mut trunk] {
+            e.on_fi_activate(0, 5, 0, 0x4000);
+            for _ in 0..12 {
+                e.on_execute_result(0, &nop, 7);
+            }
+        }
+        let mut forked = trunk.fork_with_faults(line.parse().unwrap());
+        assert_eq!(forked.pending_faults(), carried.pending_faults());
+        assert_eq!(forked.stage_events(), carried.stage_events());
+        for _ in 0..7 {
+            assert_eq!(forked.on_execute_result(0, &nop, 7), carried.on_execute_result(0, &nop, 7));
+        }
+        // Event 20 since activation: both fire identically.
+        assert_eq!(forked.on_execute_result(0, &nop, 7), 7 ^ (1 << 3));
+        assert_eq!(carried.on_execute_result(0, &nop, 7), 7 ^ (1 << 3));
+        assert_eq!(forked.records(), carried.records());
     }
 
     #[test]

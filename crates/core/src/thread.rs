@@ -142,6 +142,14 @@ impl ThreadTable {
         let idx = *self.by_pcbb.get(&current_pcbb)?;
         Some(&self.arena[idx])
     }
+
+    /// Looks a thread up by its `fi_activate_inst(id)` identity rather than
+    /// its PCB address. Linear over the (tiny) arena — this is a planning
+    /// query, not a per-event path; fork-at-injection uses it to ask how far
+    /// a specific spec's thread is from its firing point.
+    pub fn by_id(&self, id: u32) -> Option<&ThreadEnabledFault> {
+        self.arena.iter().find(|rec| rec.id == id)
+    }
 }
 
 #[cfg(test)]

@@ -251,6 +251,13 @@ impl MemorySystem {
         (self.phys.owned_pages(), self.phys.total_pages())
     }
 
+    /// Diagnostic: physical pages this memory still shares frame-for-frame
+    /// with `other` — e.g. a forked suffix against the trunk it forked from.
+    /// See [`crate::PhysMem::shared_pages_with`].
+    pub fn shared_pages_with(&self, other: &MemorySystem) -> usize {
+        self.phys.shared_pages_with(&other.phys)
+    }
+
     /// Physical memory size in bytes.
     pub fn size(&self) -> u64 {
         self.phys.size()

@@ -87,6 +87,15 @@ impl PhysMem {
         self.pages.len()
     }
 
+    /// Pages whose frames this instance shares with `other` (the same `Arc`
+    /// at the same page index). This is the fork-at-injection footprint
+    /// question — how much of a forked suffix's memory is still the trunk's
+    /// — so pristine zero pages count too: sharing is sharing, whatever the
+    /// frame holds. Diagnostic only, like [`PhysMem::owned_pages`].
+    pub fn shared_pages_with(&self, other: &PhysMem) -> usize {
+        self.pages.iter().zip(&other.pages).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
     fn check(&self, addr: u64, width: u64, pc: u64) -> Result<usize, Trap> {
         if !addr.is_multiple_of(width) {
             return Err(Trap::MisalignedAccess { addr, pc });
@@ -362,6 +371,22 @@ mod tests {
         assert_eq!(b.read_u64(4 * PAGE_SIZE as u64, 0).unwrap(), 9);
         assert_eq!(a, a.clone());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shared_pages_shrink_as_a_fork_dirties_its_suffix() {
+        let mut a = PhysMem::new(8 * PAGE_SIZE);
+        a.write_u64(0, 7, 0).unwrap();
+        let mut b = a.clone();
+        assert_eq!(a.shared_pages_with(&b), 8, "a fresh fork shares its whole table");
+        b.write_u64(0, 1, 0).unwrap();
+        b.write_u64(3 * PAGE_SIZE as u64, 2, 0).unwrap();
+        assert_eq!(a.shared_pages_with(&b), 6, "each dirtied page leaves the shared set");
+        assert_eq!(b.shared_pages_with(&a), 6, "the count is symmetric");
+        // Two unrelated allocations still share their pristine zero pages.
+        let c = PhysMem::new(8 * PAGE_SIZE);
+        let d = PhysMem::new(8 * PAGE_SIZE);
+        assert_eq!(c.shared_pages_with(&d), 8);
     }
 
     #[test]

@@ -159,6 +159,15 @@ impl<H: FaultHooks> Machine<H> {
     /// copy-on-write page-table snapshot, so restore cost is O(pages)
     /// regardless of memory size and each restored machine pays only for
     /// the pages it subsequently dirties.
+    ///
+    /// A restore always starts the CPU model *fresh* (cold pipeline, cold
+    /// predictor) and decode-cold, even when the checkpoint was captured
+    /// from a warm machine — derived state is never serialized, so the
+    /// image carries none to revive. This is deliberately different from
+    /// [`Machine::fork_with`], which continues a live machine and must keep
+    /// the microarchitectural state warm to stay tick-identical with it;
+    /// even a fork, though, drops the (tick-invisible) predecode cache.
+    /// `tests/fork_prefix_conformance.rs` pins both contracts.
     pub fn restore_with(
         checkpoint: &Checkpoint,
         cpu_override: Option<CpuKind>,
@@ -201,6 +210,38 @@ impl<H: FaultHooks> Machine<H> {
         self.config.elide = on;
     }
 
+    /// Forks this machine mid-run: an independent machine that continues
+    /// from the exact same architectural *and* microarchitectural state,
+    /// with `hooks` replacing this machine's hooks.
+    ///
+    /// Unlike [`Machine::restore`], which cold-starts the CPU model from a
+    /// serialized image, a fork keeps the model warm — pipeline contents,
+    /// branch-predictor state, the tick clock and the preempt phase all
+    /// carry over — so the fork's future tick stream is bit-identical to
+    /// this machine's. Guest memory is shared copy-on-write, making a fork
+    /// O(page-table) like a restore.
+    ///
+    /// Derived state is *not* carried: the predecode cache drops at the
+    /// fork, per the never-serialized contract (it is architecturally and
+    /// tick-invisible, so dropping it cannot change behavior).
+    pub fn fork_with<H2: FaultHooks>(&self, hooks: H2) -> Machine<H2> {
+        let mut mem = self.mem.clone();
+        mem.clear_predecode();
+        Machine {
+            config: self.config,
+            arch: self.arch.clone(),
+            mem,
+            kernel: self.kernel.clone(),
+            cpu: self.cpu.clone(),
+            hooks,
+            tick: self.tick,
+            instret: self.instret,
+            instret_elided: self.instret_elided,
+            next_preempt: self.next_preempt,
+            finished: self.finished,
+        }
+    }
+
     /// Captures a checkpoint of the architectural machine state. Only valid
     /// at a quiesced point (no speculative work in flight) — [`Machine::run`]
     /// returns [`RunExit::CheckpointRequest`] exactly at such points.
@@ -223,6 +264,23 @@ impl<H: FaultHooks> Machine<H> {
             self.tick,
             self.instret,
         )
+    }
+
+    /// Captures a checkpoint *without stopping*: the machine is untouched
+    /// and keeps running afterwards. Returns `None` when the CPU still has
+    /// speculative work in flight (O3 mid-burst) — callers advance to the
+    /// next quiesced point and retry. On the simple models every
+    /// instruction boundary is quiesced, so mid-run capture always
+    /// succeeds there.
+    ///
+    /// Snapshot cost is O(pages) regardless of memory size: the captured
+    /// image shares guest pages copy-on-write with the running machine,
+    /// and the machine's later writes dirty private copies.
+    pub fn try_checkpoint(&self) -> Option<Checkpoint> {
+        if self.cpu.has_in_flight() {
+            return None;
+        }
+        Some(self.checkpoint())
     }
 
     /// Switches the CPU model at an instruction boundary, discarding
@@ -332,6 +390,24 @@ impl<H: FaultHooks> Machine<H> {
             }
             if let Some(exit) = self.step() {
                 return Some(exit);
+            }
+        }
+        None
+    }
+
+    /// Runs until the tick clock reaches at least `target` (checkpoint
+    /// requests along the way are serviced by continuing, like every
+    /// campaign loop). Returns the terminal exit when the machine halts,
+    /// traps, or exhausts the watchdog first; `None` once `target` is
+    /// reached with the machine still live. The stopping tick is the first
+    /// step-start tick at or past `target`, a deterministic function of the
+    /// machine's execution alone — snapshot-point capture and fork
+    /// scheduling both rely on that.
+    pub fn run_to_tick(&mut self, target: Ticks) -> Option<RunExit> {
+        while self.tick < target {
+            match self.run_for(target - self.tick) {
+                None | Some(RunExit::CheckpointRequest) => {}
+                Some(exit) => return Some(exit),
             }
         }
         None
@@ -681,6 +757,59 @@ mod tests {
         m.switch_cpu(CpuKind::InOrder);
         assert_eq!(m.stats().mem.predecode, gemfi_mem::PredecodeStats::default());
         assert_eq!(m.run(), RunExit::Halted(1000));
+    }
+
+    #[test]
+    fn run_to_tick_stops_at_a_deterministic_step_start() {
+        let p = counting_program(2_000);
+        let mut a = Machine::boot(small_config(CpuKind::InOrder), &p, NoopHooks).unwrap();
+        let mut b = Machine::boot(small_config(CpuKind::InOrder), &p, NoopHooks).unwrap();
+        assert!(a.run_to_tick(1_234).is_none());
+        // Reaching the same target through different intermediate stops
+        // must land on the same tick with the same state.
+        assert!(b.run_to_tick(700).is_none());
+        assert!(b.run_to_tick(1_234).is_none());
+        assert_eq!(a.tick(), b.tick());
+        assert_eq!(a.instret(), b.instret());
+        assert_eq!(a.arch(), b.arch());
+        assert_eq!(a.run(), b.run());
+    }
+
+    #[test]
+    fn try_checkpoint_captures_without_stopping() {
+        let p = counting_program(1_000);
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        assert!(m.run_to_tick(500).is_none());
+        let ckpt = m.try_checkpoint().expect("atomic machines are always quiesced");
+        assert_eq!(ckpt.tick(), m.tick());
+        // The capture is a pure read: the machine keeps running to the same
+        // result, and a restore of the snapshot agrees with it.
+        assert_eq!(m.run(), RunExit::Halted(1000));
+        let mut r = Machine::restore(&ckpt, None, NoopHooks);
+        assert_eq!(r.run(), RunExit::Halted(1000));
+    }
+
+    #[test]
+    fn fork_continues_tick_identically_with_the_parent() {
+        for kind in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
+            let p = counting_program(1_500);
+            let mut m = Machine::boot(small_config(kind), &p, NoopHooks).unwrap();
+            assert!(m.run_to_tick(800).is_none());
+            let mut f = m.fork_with(NoopHooks);
+            assert_eq!(f.tick(), m.tick(), "{kind}");
+            // The fork drops the derived predecode cache but nothing else:
+            // both machines finish at the exact same tick and state.
+            assert_eq!(
+                f.stats().mem.predecode,
+                gemfi_mem::PredecodeStats::default(),
+                "{kind}: fork must start decode-cold"
+            );
+            assert_eq!(m.run(), RunExit::Halted(1500), "{kind}");
+            assert_eq!(f.run(), RunExit::Halted(1500), "{kind}");
+            assert_eq!(f.tick(), m.tick(), "{kind}: fork diverged in time");
+            assert_eq!(f.instret(), m.instret(), "{kind}");
+            assert_eq!(f.arch(), m.arch(), "{kind}");
+        }
     }
 
     #[test]

@@ -155,6 +155,51 @@ fn flat_ablation_checkpoints_serialize_identically_to_cow() {
 }
 
 #[test]
+fn mid_run_capture_is_byte_identical_to_stop_and_capture() {
+    // Capture-without-stopping must be a pure read: a snapshot taken at
+    // tick T from a machine that keeps running serializes byte-identically
+    // to one from a machine that ran to T and stopped there — and the
+    // capturing machine's own run is unperturbed. Both CoW modes.
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let (golden, _) = straight_through(&guest, CpuKind::Atomic);
+
+    for cow in [true, false] {
+        let mut config = workload_machine_config(CpuKind::Atomic);
+        config.mem.cow = cow;
+        let mut a = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
+        assert_eq!(a.run(), RunExit::CheckpointRequest);
+        let target = a.tick() + 5_000;
+        assert!(a.run_to_tick(target).is_none(), "cow={cow}: kernel outlives the target");
+        let mid = a.try_checkpoint().expect("atomic machines are always quiesced");
+        assert_eq!(mid.tick(), a.tick(), "cow={cow}");
+
+        // The capture had no side effects: the machine finishes the golden
+        // run exactly as an uninterrupted one does.
+        let mut exit = a.run();
+        while exit == RunExit::CheckpointRequest {
+            exit = a.run();
+        }
+        assert_eq!(exit, RunExit::Halted(0), "cow={cow}");
+        let out = a.mem().read_slice(guest.output_addr(), guest.output_len).unwrap();
+        assert_eq!(out, golden.as_slice(), "cow={cow}: capture perturbed the run");
+
+        // A second machine runs to the same tick and stops there: its image
+        // must be byte-for-byte the one captured mid-run.
+        let mut config = workload_machine_config(CpuKind::Atomic);
+        config.mem.cow = cow;
+        let mut b = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
+        assert_eq!(b.run(), RunExit::CheckpointRequest);
+        assert!(b.run_to_tick(target).is_none());
+        assert_eq!(
+            b.try_checkpoint().expect("quiesced").to_bytes(),
+            mid.to_bytes(),
+            "cow={cow}: mid-run capture diverged from stop-and-capture"
+        );
+    }
+}
+
+#[test]
 fn one_checkpoint_spawns_many_identical_experiments() {
     // The Fig. 3 pattern: one checkpoint, many restores; every restore sees
     // the same world (the engine re-reads its own fault config per restore,

@@ -1,0 +1,131 @@
+//! Fork-at-injection conformance (the non-negotiable half of the
+//! shared-prefix executor): a forked-suffix run must be *bit-identical* to
+//! a whole run of the same experiment — same `RunExit`, same complete
+//! [`ArchState`], same every-byte-of-physical-memory, same injection
+//! records, same tick and instruction counts.
+//!
+//! The matrix covers all 4 CPU models as the injection model × predecode
+//! on/off × dormancy elision on/off × CoW on/off. It also pins the
+//! derived-state contract at the fork (the PR 2/4 never-serialized rule):
+//! the trunk runs with a warm predecode cache, but a fork must come out
+//! decode-cold — asserted here rather than trusted.
+
+use gemfi::{AbortToken, FaultBehavior, FaultLocation, FaultSpec, FaultTiming};
+use gemfi_campaign::fork::{drive_suffix, plan_suffixes, ForkConfig};
+use gemfi_campaign::runner::{drive_whole_run, prepare_workload_with, RunnerConfig};
+use gemfi_campaign::PreparedWorkload;
+use gemfi_cpu::CpuKind;
+use gemfi_workloads::pi::MonteCarloPi;
+use gemfi_workloads::workload_machine_config;
+
+fn specs_for(p: &PreparedWorkload) -> Vec<FaultSpec> {
+    let committed = p.stage_events[4];
+    vec![
+        // Late single-bit flip into an unused FP register: the canonical
+        // prefix-heavy experiment (long shared trunk, tiny suffix).
+        FaultSpec {
+            location: FaultLocation::FpReg { core: 0, reg: 20 },
+            thread: 0,
+            timing: FaultTiming::Instructions(committed.saturating_sub(120)),
+            behavior: FaultBehavior::Flip(40),
+            occurrences: 1,
+        },
+        // Mid-kernel flip into a live register: the fault propagates, so
+        // the divergent suffix carries real architectural consequences.
+        FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 1 },
+            thread: 0,
+            timing: FaultTiming::Instructions(committed / 2),
+            behavior: FaultBehavior::Flip(3),
+            occurrences: 1,
+        },
+        // Tick-timed window: exercises the second timing axis of the
+        // fire-distance planner (and its window-expiry semantics).
+        FaultSpec {
+            location: FaultLocation::IntReg { core: 0, reg: 3 },
+            thread: 0,
+            timing: FaultTiming::Ticks(p.kernel_ticks / 2),
+            behavior: FaultBehavior::Flip(5),
+            occurrences: 1_000,
+        },
+    ]
+}
+
+fn conformance(model: CpuKind) {
+    let w = MonteCarloPi { points: 120, init_spins: 60, ..MonteCarloPi::default() };
+    for predecode in [true, false] {
+        for cow in [true, false] {
+            let mut config = workload_machine_config(CpuKind::Atomic);
+            config.mem.predecode = predecode;
+            config.mem.cow = cow;
+            let p = prepare_workload_with(&w, config).expect("prepares");
+            let specs = specs_for(&p);
+            for elide in [true, false] {
+                let runner = RunnerConfig { inject_cpu: model, elide, ..RunnerConfig::default() };
+                let planned = plan_suffixes(&p, &specs, &runner, &ForkConfig::default());
+                assert_eq!(planned.len(), specs.len());
+                assert!(
+                    planned.iter().any(|s| s.forked_at.is_some()),
+                    "{model}: no suffix forked — the matrix would be vacuous"
+                );
+                for mut suffix in planned {
+                    let spec = specs[suffix.index];
+                    let tag = format!(
+                        "{model} predecode={predecode} cow={cow} elide={elide} \
+                         spec#{} forked_at={:?}",
+                        suffix.index, suffix.forked_at
+                    );
+                    if suffix.forked_at.is_some() {
+                        // The trunk ran warm; the fork must not inherit the
+                        // (never-serialized) predecode cache.
+                        assert_eq!(
+                            suffix.machine.mem().stats().predecode,
+                            gemfi_isa::PredecodeStats::default(),
+                            "{tag}: fork must start decode-cold"
+                        );
+                    }
+                    let (fork_exit, fork_aborted) =
+                        drive_suffix(&mut suffix, &p, &runner, &AbortToken::new());
+                    let (whole, whole_exit, whole_aborted) =
+                        drive_whole_run(&p.checkpoint, &p, spec, &runner, &AbortToken::new());
+                    assert!(!fork_aborted && !whole_aborted, "{tag}");
+                    assert_eq!(fork_exit, whole_exit, "{tag}: exit differs");
+                    assert_eq!(suffix.machine.tick(), whole.tick(), "{tag}: tick differs");
+                    assert_eq!(suffix.machine.instret(), whole.instret(), "{tag}: instret differs");
+                    assert_eq!(suffix.machine.arch(), whole.arch(), "{tag}: ArchState differs");
+                    assert_eq!(
+                        suffix.machine.hooks().records(),
+                        whole.hooks().records(),
+                        "{tag}: injection records differ"
+                    );
+                    let size = whole.mem().size() as usize;
+                    assert!(
+                        suffix.machine.mem().read_slice(0, size).expect("memory")
+                            == whole.mem().read_slice(0, size).expect("memory"),
+                        "{tag}: physical memory differs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fork_prefix_conformance_atomic() {
+    conformance(CpuKind::Atomic);
+}
+
+#[test]
+fn fork_prefix_conformance_timing() {
+    conformance(CpuKind::Timing);
+}
+
+#[test]
+fn fork_prefix_conformance_inorder() {
+    conformance(CpuKind::InOrder);
+}
+
+#[test]
+fn fork_prefix_conformance_o3() {
+    conformance(CpuKind::O3);
+}
