@@ -30,6 +30,14 @@
 //! find its report among the scanned files and every gated ratio must meet
 //! its floor, or the run fails. A malformed floors file fails too: the gate
 //! refuses to pass vacuously.
+//!
+//! The gate is deliberately asymmetric about *missing baselines*: a report
+//! (or a keyed speedup entry) with no recorded floor is **skipped with a
+//! note**, never failed — new benchmarks and new model configurations land
+//! before anyone has measured a trustworthy floor for them, and the gate
+//! must not block that. The reverse direction stays strict: a floor whose
+//! report (or keyed entry) is missing is a hard failure, because that means
+//! a previously gated result silently disappeared.
 
 use gemfi_bench::Args;
 use std::path::Path;
@@ -320,13 +328,13 @@ fn check_floor(doc: &Json, floor: &Json) -> Result<String, String> {
             }
         }
         (Json::Number(_), _) => Err("`speedup` is not a number".into()),
-        (Json::Object(floors), speedup @ Json::Object(_)) => {
+        (Json::Object(floors), Json::Object(measured)) => {
             let mut passed = Vec::new();
             for (key, value) in floors {
                 let Json::Number(f) = value else {
                     return Err(format!("`{key}` floor is not a number"));
                 };
-                match speedup.get(key) {
+                match measured.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
                     Some(Json::Number(s)) if s >= f => passed.push(format!("{key} {s:.3}")),
                     Some(Json::Number(s)) => {
                         return Err(format!("`{key}` speedup {s:.3} below floor {f}"))
@@ -335,11 +343,47 @@ fn check_floor(doc: &Json, floor: &Json) -> Result<String, String> {
                     None => return Err(format!("report's `speedup` has no `{key}` entry")),
                 }
             }
-            Ok(format!("speedups {} meet their floors", passed.join(", ")))
+            // Keyed speedups without a recorded floor (a freshly added
+            // model/config) are noted, not failed.
+            let skipped: Vec<&str> = measured
+                .iter()
+                .filter(|(k, _)| !floors.iter().any(|(fk, _)| fk == k))
+                .map(|(k, _)| k.as_str())
+                .collect();
+            let mut msg = format!("speedups {} meet their floors", passed.join(", "));
+            if !skipped.is_empty() {
+                msg.push_str(&format!(" (skipped {}: no recorded baseline)", skipped.join(", ")));
+            }
+            Ok(msg)
         }
         (Json::Object(_), _) => Err("`speedup` is not an object, but the floor is".into()),
         _ => Err("unsupported floor shape".into()),
     }
+}
+
+/// Runs every floor against the scanned reports and reports which scanned
+/// reports were *not* gated. Returns `(notes, failures)`: notes are
+/// printed, failures fail the run. A floor without a matching report is a
+/// failure; a report without a recorded floor is a skip note — models
+/// without a baseline must not fail the gate.
+fn gate_reports(floors: &[(String, Json)], docs: &[(String, Json)]) -> (Vec<String>, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut failures = Vec::new();
+    for (bench, floor) in floors {
+        match docs.iter().find(|(name, _)| name == bench) {
+            Some((_, report)) => match check_floor(report, floor) {
+                Ok(msg) => notes.push(format!("gate {bench}: {msg}")),
+                Err(e) => failures.push(format!("{bench}: {e}")),
+            },
+            None => failures.push(format!("{bench}: floor defined but no report found")),
+        }
+    }
+    for (name, _) in docs {
+        if !floors.iter().any(|(bench, _)| bench == name) {
+            notes.push(format!("gate skip {name}: no recorded baseline"));
+        }
+    }
+    (notes, failures)
 }
 
 fn check_file(path: &Path) -> Result<Json, String> {
@@ -406,22 +450,13 @@ fn main() {
         {
             Ok(doc) => match validate_thresholds(&doc) {
                 Ok(floors) => {
-                    for (bench, floor) in floors {
-                        match docs.iter().find(|(name, _)| name == bench) {
-                            Some((_, report)) => match check_floor(report, floor) {
-                                Ok(msg) => println!("gate {bench}: {msg}"),
-                                Err(e) => {
-                                    eprintln!("GATE FAIL {bench}: {e}");
-                                    failed = true;
-                                }
-                            },
-                            None => {
-                                eprintln!(
-                                    "GATE FAIL {bench}: floor defined but no report found in {dir}"
-                                );
-                                failed = true;
-                            }
-                        }
+                    let (notes, failures) = gate_reports(floors, &docs);
+                    for note in notes {
+                        println!("{note}");
+                    }
+                    for failure in failures {
+                        eprintln!("GATE FAIL {failure}");
+                        failed = true;
                     }
                 }
                 Err(e) => {
@@ -500,6 +535,58 @@ mod tests {
 
         let none = parse(r#"{"bench": "x", "results": [{}]}"#).unwrap();
         assert!(check_floor(&none, &Json::Number(1.0)).is_err(), "no speedup field must fail");
+    }
+
+    #[test]
+    fn keyed_speedups_without_floors_are_noted_not_failed() {
+        // A report that grew a new per-model entry (`o3`) before anyone
+        // recorded a floor for it: the gated key still passes and the new
+        // key is listed as skipped.
+        let keyed =
+            parse(r#"{"bench": "x", "results": [{}], "speedup": {"atomic": 1.4, "o3": 0.9}}"#)
+                .unwrap();
+        let floor = parse(r#"{"atomic": 1.2}"#).unwrap();
+        let msg = check_floor(&keyed, &floor).unwrap();
+        assert!(msg.contains("atomic 1.400"), "{msg}");
+        assert!(msg.contains("skipped o3: no recorded baseline"), "{msg}");
+    }
+
+    #[test]
+    fn reports_without_a_recorded_baseline_are_skipped_not_failed() {
+        let gated = parse(r#"{"bench": "old", "results": [{}], "speedup": 3.0}"#).unwrap();
+        // A brand-new fault-model bench with no floor yet — and no
+        // `speedup` field at all, which would fail `check_floor` if it
+        // were (wrongly) gated.
+        let fresh = parse(r#"{"bench": "cache_models", "results": [{}]}"#).unwrap();
+        let floors = vec![("old".to_string(), Json::Number(2.0))];
+        let docs = vec![("old".to_string(), gated), ("cache_models".to_string(), fresh)];
+        let (notes, failures) = gate_reports(&floors, &docs);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(
+            notes.iter().any(|n| n == "gate skip cache_models: no recorded baseline"),
+            "{notes:?}"
+        );
+        assert!(notes.iter().any(|n| n.starts_with("gate old: speedup 3.000")), "{notes:?}");
+    }
+
+    #[test]
+    fn floor_without_a_report_still_fails() {
+        // The strict direction is preserved: a gated result that vanished
+        // from the scan is a failure, not a skip.
+        let floors = vec![("gone".to_string(), Json::Number(2.0))];
+        let (notes, failures) = gate_reports(&floors, &[]);
+        assert!(notes.is_empty(), "{notes:?}");
+        assert_eq!(failures, vec!["gone: floor defined but no report found".to_string()]);
+    }
+
+    #[test]
+    fn regressed_report_still_fails_through_the_gate() {
+        let slow = parse(r#"{"bench": "old", "results": [{}], "speedup": 1.5}"#).unwrap();
+        let floors = vec![("old".to_string(), Json::Number(2.0))];
+        let docs = vec![("old".to_string(), slow)];
+        let (_, failures) = gate_reports(&floors, &docs);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("below floor"), "{failures:?}");
     }
 
     #[test]

@@ -3,8 +3,30 @@
 //! for the Location, Time and Behavior" (a single-event-upset model).
 
 use crate::rng::SplitMix64;
-use gemfi::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, Stage};
+use gemfi::spec::OCC_PERMANENT;
+use gemfi::{
+    CacheLevel, FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MbuPattern, MemTarget, Stage,
+    VddModel,
+};
 use std::fmt;
+
+/// The (sets, ways) geometry cache-fault sampling draws targets from,
+/// matching `gemfi_mem::MemConfig::default()`: 32 KiB 2-way L1s and a 1 MiB
+/// 8-way L2, all with 64-byte lines.
+pub fn cache_geometry(level: CacheLevel) -> (u64, u32) {
+    match level {
+        CacheLevel::L1I | CacheLevel::L1D => (256, 2),
+        CacheLevel::L2 => (2048, 8),
+    }
+}
+
+/// Total data-array bits of `level` under the default geometry — the `bits`
+/// argument for [`VddModel::expected_upsets`] when scaling cache-fault
+/// density with supply voltage.
+pub fn cache_bits(level: CacheLevel) -> u64 {
+    let (sets, ways) = cache_geometry(level);
+    sets * u64::from(ways) * 64 * 8
+}
 
 /// The location classes of the paper's Fig. 5 columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +171,76 @@ impl FaultSampler {
         let class = LocationClass::ALL[self.rng.below(LocationClass::ALL.len() as u64) as usize];
         self.sample(class)
     }
+
+    /// Draws one memory-hierarchy fault in `level`: a uniformly chosen
+    /// data-line, tag, or whole-way target, a uniformly chosen MBU spatial
+    /// pattern (tag faults always corrupt the full tag), and a fair coin
+    /// between a transient lesion (`occ:1`) and a stuck-at (`occ:perm`).
+    pub fn sample_cache(&mut self, level: CacheLevel) -> FaultSpec {
+        let core = self.core;
+        let (sets, ways) = cache_geometry(level);
+        let set = self.rng.below(sets) as u32;
+        let way = self.rng.below(u64::from(ways)) as u32;
+        let pattern = match self.rng.below(4) {
+            0 => MbuPattern::Single,
+            1 => MbuPattern::Adjacent {
+                bit: self.rng.below(64) as u8,
+                width: 2 + self.rng.below(3) as u8,
+            },
+            2 => MbuPattern::Row(self.rng.below(8) as u8),
+            _ => MbuPattern::Column(self.rng.below(8) as u8),
+        };
+        let location = match self.rng.below(3) {
+            0 => FaultLocation::CacheData { core, level, set, way, pattern },
+            1 => FaultLocation::CacheTag { core, level, set, way },
+            _ => FaultLocation::CacheWay { core, level, way, pattern },
+        };
+        let events = self.stage_events[location.stage().index()].max(1);
+        FaultSpec {
+            location,
+            thread: self.thread,
+            timing: FaultTiming::Instructions(self.rng.range_inclusive(1, events)),
+            behavior: FaultBehavior::Flip(self.rng.below(64) as u8),
+            occurrences: if self.rng.coin() { 1 } else { OCC_PERMANENT },
+        }
+    }
+
+    /// Draws one security-style control-flow fault: instruction skip, opcode
+    /// replacement (fetch stage), or branch-condition inversion (execute
+    /// stage), uniformly.
+    pub fn sample_security(&mut self) -> FaultSpec {
+        let core = self.core;
+        let (location, behavior) = match self.rng.below(3) {
+            0 => (FaultLocation::Fetch { core }, FaultBehavior::Skip),
+            1 => (FaultLocation::Fetch { core }, FaultBehavior::Opcode(self.rng.below(64) as u8)),
+            _ => (FaultLocation::Execute { core }, FaultBehavior::InvertBranch),
+        };
+        let events = self.stage_events[location.stage().index()].max(1);
+        FaultSpec {
+            location,
+            thread: self.thread,
+            timing: FaultTiming::Instructions(self.rng.range_inclusive(1, events)),
+            behavior,
+            occurrences: 1,
+        }
+    }
+
+    /// Draws the Vdd-scaled cache fault set for `level`: the expected upset
+    /// count over the level's bit population and `cycles` cycles at `vdd`,
+    /// each drawn by [`FaultSampler::sample_cache`]. At nominal voltage this
+    /// is empty; deep in the scaling region it grows exponentially (capped
+    /// at 10k so a below-`v_min` request cannot allocate unboundedly).
+    pub fn sample_cache_at_vdd(
+        &mut self,
+        level: CacheLevel,
+        model: &VddModel,
+        vdd: f64,
+        cycles: u64,
+    ) -> Vec<FaultSpec> {
+        let expected = model.expected_upsets(vdd, cache_bits(level), cycles);
+        let count = (expected.min(10_000.0)) as u64;
+        (0..count).map(|_| self.sample_cache(level)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -211,5 +303,68 @@ mod tests {
         assert_eq!(s.population(LocationClass::Fetch), 1000 * 32);
         assert_eq!(s.population(LocationClass::Execute), 800 * 64);
         assert!(s.total_population() > 0);
+    }
+
+    #[test]
+    fn cache_samples_stay_inside_the_geometry() {
+        let mut s = sampler();
+        for level in CacheLevel::ALL {
+            let (sets, ways) = cache_geometry(level);
+            for _ in 0..300 {
+                let f = s.sample_cache(level);
+                assert!(f.location.is_cache());
+                assert_eq!(f.location.cache_level(), Some(level));
+                match f.location {
+                    FaultLocation::CacheData { set, way, .. }
+                    | FaultLocation::CacheTag { set, way, .. } => {
+                        assert!(u64::from(set) < sets);
+                        assert!(way < ways);
+                    }
+                    FaultLocation::CacheWay { way, .. } => assert!(way < ways),
+                    _ => unreachable!(),
+                }
+                assert!(f.occurrences == 1 || f.occurrences == OCC_PERMANENT);
+                // Every sample round-trips through the Listing-1 syntax.
+                let line = f.to_string();
+                let parsed: gemfi::FaultConfig = line
+                    .parse()
+                    .unwrap_or_else(|e| panic!("sampled spec must reparse: {line}: {e:?}"));
+                assert_eq!(parsed.faults(), &[f]);
+            }
+        }
+    }
+
+    #[test]
+    fn security_samples_bind_behavior_to_the_right_stage() {
+        let mut s = sampler();
+        for _ in 0..300 {
+            let f = s.sample_security();
+            assert!(f.behavior.is_security());
+            match f.behavior {
+                FaultBehavior::Skip | FaultBehavior::Opcode(_) => {
+                    assert!(matches!(f.location, FaultLocation::Fetch { .. }));
+                }
+                FaultBehavior::InvertBranch => {
+                    assert!(matches!(f.location, FaultLocation::Execute { .. }));
+                }
+                _ => unreachable!(),
+            }
+            let line = f.to_string();
+            let parsed: gemfi::FaultConfig =
+                line.parse().unwrap_or_else(|e| panic!("must reparse: {line}: {e:?}"));
+            assert_eq!(parsed.faults(), &[f]);
+        }
+    }
+
+    #[test]
+    fn vdd_scaling_grows_the_cache_fault_set() {
+        let model = VddModel::new();
+        let mut s = sampler();
+        let nominal = s.sample_cache_at_vdd(CacheLevel::L2, &model, 1.0, 1_000);
+        assert!(nominal.is_empty(), "nominal voltage: vanishing upset rate");
+        let mut s = sampler();
+        let low = s.sample_cache_at_vdd(CacheLevel::L2, &model, 0.55, 1_000);
+        assert!(!low.is_empty(), "deep scaling region produces faults");
+        assert!(low.len() <= 10_000, "bounded even below v_min");
     }
 }

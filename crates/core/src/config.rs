@@ -5,7 +5,10 @@
 //! Each line of the input file describes the attributes of a single fault."
 //! (Sec. III-A.) Blank lines and `#` comments are ignored.
 
-use crate::spec::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, OCC_PERMANENT};
+use crate::spec::{
+    CacheLevel, FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MbuPattern, MemTarget,
+    OCC_PERMANENT,
+};
 use gemfi_isa::SpecialReg;
 use std::fmt;
 use std::str::FromStr;
@@ -154,6 +157,16 @@ fn parse_line(line: &str) -> Result<FaultSpec, String> {
             behavior = Some(FaultBehavior::AllZero);
         } else if tok == "AllOne" {
             behavior = Some(FaultBehavior::AllOne);
+        } else if tok == "Skip" {
+            behavior = Some(FaultBehavior::Skip);
+        } else if tok == "InvertBranch" {
+            behavior = Some(FaultBehavior::InvertBranch);
+        } else if let Some(v) = tok.strip_prefix("Opcode:") {
+            let op = parse_u64(v)?;
+            if op > 0x3f {
+                return Err(format!("opcode {op:#x} out of 6-bit range"));
+            }
+            behavior = Some(FaultBehavior::Opcode(op as u8));
         } else if let Some(v) = tok.strip_prefix("Threadid:") {
             thread = Some(parse_u64(v)? as u32);
         } else if let Some(v) = tok.strip_prefix("occ:") {
@@ -214,10 +227,90 @@ fn parse_line(line: &str) -> Result<FaultSpec, String> {
             };
             FaultLocation::Mem { core, target }
         }
+        "CacheInjectedFault" => parse_cache_location(core, &module)?,
         other => return Err(format!("unknown fault kind `{other}`")),
     };
 
+    // Security-style behaviors are control-flow transforms bound to a
+    // specific pipeline point; anywhere else the spec is meaningless and
+    // rejected up front rather than silently inert.
+    match behavior {
+        FaultBehavior::Skip | FaultBehavior::Opcode(_)
+            if !matches!(location, FaultLocation::Fetch { .. }) =>
+        {
+            return Err(format!("{behavior} is only valid on FetchedInstructionInjectedFault"));
+        }
+        FaultBehavior::InvertBranch if !matches!(location, FaultLocation::Execute { .. }) => {
+            return Err("InvertBranch is only valid on ExecutionStageInjectedFault".into());
+        }
+        _ => {}
+    }
+
     Ok(FaultSpec { location, thread, timing, behavior, occurrences })
+}
+
+fn parse_cache_location(core: usize, module: &[&str]) -> Result<FaultLocation, String> {
+    let (level_tok, rest) = module.split_first().ok_or("cache fault missing level (l1i/l1d/l2)")?;
+    let level: CacheLevel =
+        level_tok.parse().map_err(|()| format!("unknown cache level `{level_tok}`"))?;
+    let mut array = None; // "data" | "tag"
+    let mut set = None;
+    let mut way = None;
+    let mut pattern = None;
+    for tok in rest {
+        if *tok == "data" || *tok == "tag" {
+            array = Some(*tok);
+        } else if let Some(v) = tok.strip_prefix("set:") {
+            set = Some(parse_u64(v)? as u32);
+        } else if let Some(v) = tok.strip_prefix("way:") {
+            way = Some(parse_u64(v)? as u32);
+        } else if let Some(v) = tok.strip_prefix("mbu:") {
+            pattern = Some(parse_mbu(v)?);
+        } else {
+            return Err(format!("bad cache module token `{tok}`"));
+        }
+    }
+    let way = way.ok_or("cache fault missing way:N")?;
+    match (array, set) {
+        (Some("data"), Some(set)) => Ok(FaultLocation::CacheData {
+            core,
+            level,
+            set,
+            way,
+            pattern: pattern.unwrap_or(MbuPattern::Single),
+        }),
+        (Some("tag"), Some(set)) => {
+            if pattern.is_some() {
+                return Err("tag faults corrupt the whole tag; drop the mbu: token".into());
+            }
+            Ok(FaultLocation::CacheTag { core, level, set, way })
+        }
+        (Some(_), None) => Err("cache line fault missing set:N".into()),
+        // Unreachable: the token loop only ever stores "data"/"tag".
+        (Some(other), Some(_)) => Err(format!("unknown cache array `{other}`")),
+        (None, None) => Ok(FaultLocation::CacheWay {
+            core,
+            level,
+            way,
+            pattern: pattern.unwrap_or(MbuPattern::Single),
+        }),
+        (None, Some(_)) => Err("set:N needs a data/tag array token (or drop it for a whole-way \
+                                fault)"
+            .into()),
+    }
+}
+
+fn parse_mbu(v: &str) -> Result<MbuPattern, String> {
+    let parts: Vec<&str> = v.split(':').collect();
+    match parts.as_slice() {
+        ["single"] => Ok(MbuPattern::Single),
+        ["adj", bit, width] => {
+            Ok(MbuPattern::Adjacent { bit: parse_u64(bit)? as u8, width: parse_u64(width)? as u8 })
+        }
+        ["row", r] => Ok(MbuPattern::Row(parse_u64(r)? as u8)),
+        ["col", c] => Ok(MbuPattern::Column(parse_u64(c)? as u8)),
+        _ => Err(format!("bad MBU pattern `mbu:{v}` (single | adj:B:W | row:R | col:C)")),
+    }
 }
 
 #[cfg(test)]
@@ -280,6 +373,89 @@ MemoryInjectedFault Inst:8 AllOne Threadid:0 system.cpu0 occ:1 store
             "RegisterInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 int 45", // bad reg
             "RegisterInjectedFault Inst:1 Flip:99 Threadid:0 system.cpu0 int 1", // bad bit
             "NonsenseFault Inst:1 Flip:0 Threadid:0 system.cpu0",
+        ] {
+            assert!(bad.parse::<FaultConfig>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_cache_and_security_faults() {
+        let text = "
+CacheInjectedFault Inst:10 Flip:3 Threadid:0 system.cpu0 occ:perm l1d data set:44 way:1 mbu:row:2
+CacheInjectedFault Inst:11 AllZero Threadid:0 system.cpu0 occ:1 l1i tag set:3 way:0
+CacheInjectedFault Tick:500 AllOne Threadid:0 system.cpu0 occ:perm l2 way:7 mbu:col:0
+FetchedInstructionInjectedFault Inst:12 Skip Threadid:0 system.cpu0 occ:1
+FetchedInstructionInjectedFault Inst:13 Opcode:0x1a Threadid:0 system.cpu0 occ:1
+ExecutionStageInjectedFault Inst:14 InvertBranch Threadid:0 system.cpu0 occ:1
+";
+        let cfg: FaultConfig = text.parse().unwrap();
+        assert_eq!(cfg.len(), 6);
+        assert_eq!(
+            cfg.faults()[0].location,
+            FaultLocation::CacheData {
+                core: 0,
+                level: CacheLevel::L1D,
+                set: 44,
+                way: 1,
+                pattern: MbuPattern::Row(2),
+            }
+        );
+        assert_eq!(cfg.faults()[0].occurrences, OCC_PERMANENT);
+        assert_eq!(
+            cfg.faults()[1].location,
+            FaultLocation::CacheTag { core: 0, level: CacheLevel::L1I, set: 3, way: 0 }
+        );
+        assert_eq!(
+            cfg.faults()[2].location,
+            FaultLocation::CacheWay {
+                core: 0,
+                level: CacheLevel::L2,
+                way: 7,
+                pattern: MbuPattern::Column(0),
+            }
+        );
+        assert_eq!(cfg.faults()[3].behavior, FaultBehavior::Skip);
+        assert_eq!(cfg.faults()[4].behavior, FaultBehavior::Opcode(0x1a));
+        assert_eq!(cfg.faults()[5].behavior, FaultBehavior::InvertBranch);
+    }
+
+    #[test]
+    fn new_models_display_parse_roundtrip() {
+        let text = "
+CacheInjectedFault Inst:10 Flip:3 Threadid:0 system.cpu0 occ:perm l1d data set:44 way:1 mbu:adj:4:3
+CacheInjectedFault Inst:11 AllZero Threadid:1 system.cpu0 occ:1 l2 tag set:900 way:5
+CacheInjectedFault Tick:500 Xor:0xf0 Threadid:0 system.cpu1 occ:3 l1i way:1 mbu:single
+FetchedInstructionInjectedFault Inst:12 Skip Threadid:0 system.cpu0 occ:1
+FetchedInstructionInjectedFault Inst:13 Opcode:0x3f Threadid:0 system.cpu0 occ:perm
+ExecutionStageInjectedFault Inst:14 InvertBranch Threadid:0 system.cpu0 occ:2
+";
+        let cfg: FaultConfig = text.parse().unwrap();
+        for f in cfg.faults() {
+            let reparsed: FaultConfig = f.to_string().parse().unwrap();
+            assert_eq!(reparsed.faults()[0], *f, "{f}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_new_model_specs() {
+        for bad in [
+            // Security behaviors outside their pipeline point.
+            "RegisterInjectedFault Inst:1 Skip Threadid:0 system.cpu0 int 1",
+            "ExecutionStageInjectedFault Inst:1 Skip Threadid:0 system.cpu0",
+            "FetchedInstructionInjectedFault Inst:1 InvertBranch Threadid:0 system.cpu0",
+            "MemoryInjectedFault Inst:1 Opcode:0x1 Threadid:0 system.cpu0 load",
+            "CacheInjectedFault Inst:1 Skip Threadid:0 system.cpu0 l1d data set:1 way:0",
+            // Opcode out of the 6-bit field.
+            "FetchedInstructionInjectedFault Inst:1 Opcode:0x40 Threadid:0 system.cpu0",
+            // Cache specs with missing/contradictory geometry.
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 data set:1 way:0",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l4 data set:1 way:0",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l1d data set:1",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l1d data way:0",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l1d set:1 way:0",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l1d tag set:1 way:0 mbu:row:1",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l1d data set:1 way:0 mbu:blob",
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 l1d data set:1 way:0 bogus",
         ] {
             assert!(bad.parse::<FaultConfig>().is_err(), "{bad}");
         }

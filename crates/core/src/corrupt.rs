@@ -13,6 +13,21 @@ pub fn apply(behavior: FaultBehavior, value: u64, width: u8) -> u64 {
         FaultBehavior::Flip(bit) => value ^ (1u64 << (bit as u32 % width.max(1) as u32)),
         FaultBehavior::AllZero => 0,
         FaultBehavior::AllOne => u64::MAX,
+        // Opcode replacement rewrites the top 6 bits of the width window —
+        // the Alpha opcode field for 32-bit instruction words — leaving the
+        // operand fields intact.
+        FaultBehavior::Opcode(op) => {
+            if width < 6 {
+                value
+            } else {
+                let shift = u32::from(width) - 6;
+                (value & !(0x3fu64 << shift)) | (u64::from(op & 0x3f) << shift)
+            }
+        }
+        // Skip and InvertBranch are control-flow behaviors, not value
+        // transforms: applied to a value (programmatic misuse) they are
+        // identity, keeping the fault contained.
+        FaultBehavior::Skip | FaultBehavior::InvertBranch => value,
     };
     (value & !mask) | (corrupted & mask)
 }
@@ -40,6 +55,29 @@ mod tests {
         assert_eq!(apply(FaultBehavior::Xor(0x0f), 0xff, 64), 0xf0);
         assert_eq!(apply(FaultBehavior::AllZero, u64::MAX, 64), 0);
         assert_eq!(apply(FaultBehavior::AllOne, 0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn opcode_replaces_the_top_six_bits_of_the_window() {
+        // 32-bit instruction word: the Alpha opcode field is bits 26–31.
+        let word = 0xdead_beef_u64;
+        let f = apply(FaultBehavior::Opcode(0x15), word, 32);
+        assert_eq!(f >> 26 & 0x3f, 0x15);
+        assert_eq!(f & 0x03ff_ffff, word & 0x03ff_ffff, "operand fields intact");
+        // High bits above the window are preserved, as for every behavior.
+        let tagged = 0xaaaa_0000_dead_beef_u64;
+        let f = apply(FaultBehavior::Opcode(0), tagged, 32);
+        assert_eq!(f >> 32, tagged >> 32);
+        // Degenerate widths are identity, not a shift panic.
+        assert_eq!(apply(FaultBehavior::Opcode(0x3f), 0b1010, 4), 0b1010);
+    }
+
+    #[test]
+    fn control_flow_behaviors_are_identity_on_values() {
+        for b in [FaultBehavior::Skip, FaultBehavior::InvertBranch] {
+            assert_eq!(apply(b, 0xdead_beef, 32), 0xdead_beef);
+            assert_eq!(apply(b, u64::MAX, 64), u64::MAX);
+        }
     }
 
     #[test]

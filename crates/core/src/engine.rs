@@ -12,11 +12,13 @@ use crate::config::FaultConfig;
 use crate::corrupt::apply;
 use crate::queues::StageQueues;
 use crate::record::InjectionRecord;
-use crate::spec::{FaultLocation, FaultSpec, FaultTiming, MemTarget, Stage};
+use crate::spec::{
+    FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MbuPattern, MemTarget, Stage,
+};
 use crate::thread::ThreadTable;
 use gemfi_cpu::{Dormancy, ElisionBatch, FaultHooks};
 use gemfi_isa::{disassemble, ArchState, FpReg, Instr, IntReg, RawInstr, RegRef};
-use gemfi_mem::Ticks;
+use gemfi_mem::{CacheLesion, LesionEffect, LesionKind, LesionTarget, Ticks};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -149,6 +151,12 @@ pub struct GemFiEngine {
     /// Events processed per stage while a thread was enabled (engine-side
     /// statistics; used by overhead analyses).
     stage_events: [u64; 5],
+    /// Cache lesions fired but not yet planted into the memory system: the
+    /// CPU model drains them at the next instruction boundary via
+    /// [`FaultHooks::take_cache_lesions`].
+    pending_lesions: Vec<CacheLesion>,
+    /// Per-core armed instruction-skip flags ([`FaultHooks::take_skip`]).
+    skip_armed: Vec<bool>,
     /// External abort flag (campaign watchdog plumbing).
     abort: AbortToken,
 }
@@ -170,6 +178,8 @@ impl GemFiEngine {
             current_pcbb: vec![0; config.cores],
             last_tick: 0,
             stage_events: [0; 5],
+            pending_lesions: Vec::new(),
+            skip_armed: vec![false; config.cores],
             abort: AbortToken::new(),
         }
     }
@@ -313,6 +323,10 @@ impl GemFiEngine {
             current_pcbb: self.current_pcbb.clone(),
             last_tick: self.last_tick,
             stage_events: self.stage_events,
+            // Valid pre-fire only (see above), so nothing can be armed or
+            // awaiting planting at the fork point.
+            pending_lesions: Vec::new(),
+            skip_armed: vec![false; self.config.cores],
             abort: AbortToken::new(),
         }
     }
@@ -363,6 +377,48 @@ impl GemFiEngine {
             fired.push(*spec);
         });
         fired
+    }
+
+    /// Compiles a fired cache-fault spec into the lesion the memory system
+    /// will apply: behavior × MBU pattern becomes a bit-level
+    /// [`LesionEffect`], and `occurrences` becomes the lesion's lifetime
+    /// (`OCC_PERMANENT` = stuck-at). `None` for non-cache locations.
+    fn lesion_for(spec: &FaultSpec) -> Option<CacheLesion> {
+        let (level, target, kind, pattern) = match spec.location {
+            FaultLocation::CacheData { level, set, way, pattern, .. } => {
+                (level, LesionTarget::Line { set, way }, LesionKind::Data, pattern)
+            }
+            // Tag corruption has no MBU axis: the behavior acts on the full
+            // tag value.
+            FaultLocation::CacheTag { level, set, way, .. } => {
+                (level, LesionTarget::Line { set, way }, LesionKind::Tag, MbuPattern::Single)
+            }
+            FaultLocation::CacheWay { level, way, pattern, .. } => {
+                (level, LesionTarget::Way { way }, LesionKind::Data, pattern)
+            }
+            _ => return None,
+        };
+        let pmask = pattern.mask();
+        let effect = match spec.behavior {
+            FaultBehavior::Set(v) => LesionEffect { set_mask: pmask, set_value: v, xor_mask: 0 },
+            FaultBehavior::AllZero => LesionEffect { set_mask: pmask, set_value: 0, xor_mask: 0 },
+            FaultBehavior::AllOne => {
+                LesionEffect { set_mask: pmask, set_value: u64::MAX, xor_mask: 0 }
+            }
+            FaultBehavior::Xor(m) => {
+                LesionEffect { xor_mask: m & pmask, ..LesionEffect::default() }
+            }
+            FaultBehavior::Flip(bit) => LesionEffect {
+                xor_mask: (1u64 << (u32::from(bit) % 64)) & pmask,
+                ..LesionEffect::default()
+            },
+            // Control-flow behaviors never parse onto cache locations; on
+            // programmatic misuse the lesion is identity (contained).
+            FaultBehavior::Skip | FaultBehavior::Opcode(_) | FaultBehavior::InvertBranch => {
+                LesionEffect::default()
+            }
+        };
+        Some(CacheLesion { level, target, kind, effect, remaining: spec.occurrences })
     }
 
     fn push_record(
@@ -477,6 +533,26 @@ impl FaultHooks for GemFiEngine {
         let fired = self.stage_event(core, Stage::Fetch, |_| true);
         let mut w = word;
         for spec in fired {
+            // An L1I cache fault plants a lesion instead of corrupting the
+            // firing word: the damage shows up on subsequent fetches served
+            // through the lesioned slot.
+            if let Some(lesion) = Self::lesion_for(&spec) {
+                let v = u64::from(w.0);
+                self.pending_lesions.push(lesion);
+                self.push_record(Stage::Fetch, &spec, pc, Some(disassemble(word)), v, v);
+                continue;
+            }
+            // An instruction-skip fault arms the per-core flag; the CPU
+            // model nullifies the instruction at [`FaultHooks::take_skip`].
+            // Recorded as word → 0 (the pipeline sees it suppressed).
+            if spec.behavior == FaultBehavior::Skip {
+                if let Some(armed) = self.skip_armed.get_mut(core) {
+                    *armed = true;
+                }
+                let v = u64::from(w.0);
+                self.push_record(Stage::Fetch, &spec, pc, Some(disassemble(word)), v, 0);
+                continue;
+            }
             let before = w.0 as u64;
             let after = apply(spec.behavior, before, 32);
             w = RawInstr(after as u32);
@@ -498,7 +574,10 @@ impl FaultHooks for GemFiEngine {
     }
 
     fn on_execute_result(&mut self, core: usize, instr: &Instr, value: u64) -> u64 {
-        let fired = self.stage_event(core, Stage::Execute, |_| true);
+        // Branch-inversion faults fire on branch *resolution* (`on_branch`),
+        // never on a produced value.
+        let fired = self
+            .stage_event(core, Stage::Execute, |spec| spec.behavior != FaultBehavior::InvertBranch);
         let mut v = value;
         for spec in fired {
             let before = v;
@@ -509,14 +588,23 @@ impl FaultHooks for GemFiEngine {
     }
 
     fn on_mem_load(&mut self, core: usize, addr: u64, value: u64) -> u64 {
+        // L1D/L2 cache faults ride the memory-stage timeline: any data
+        // memory event can fire them, planting a lesion without corrupting
+        // the firing transaction itself.
         let fired = self.stage_event(core, Stage::Memory, |spec| {
-            matches!(
-                spec.location,
-                FaultLocation::Mem { target: MemTarget::Load | MemTarget::Any, .. }
-            )
+            spec.location.is_cache()
+                || matches!(
+                    spec.location,
+                    FaultLocation::Mem { target: MemTarget::Load | MemTarget::Any, .. }
+                )
         });
         let mut v = value;
         for spec in fired {
+            if let Some(lesion) = Self::lesion_for(&spec) {
+                self.pending_lesions.push(lesion);
+                self.push_record(Stage::Memory, &spec, addr, None, v, v);
+                continue;
+            }
             let before = v;
             v = apply(spec.behavior, before, 64);
             self.push_record(Stage::Memory, &spec, addr, None, before, v);
@@ -526,18 +614,84 @@ impl FaultHooks for GemFiEngine {
 
     fn on_mem_store(&mut self, core: usize, addr: u64, value: u64) -> u64 {
         let fired = self.stage_event(core, Stage::Memory, |spec| {
-            matches!(
-                spec.location,
-                FaultLocation::Mem { target: MemTarget::Store | MemTarget::Any, .. }
-            )
+            spec.location.is_cache()
+                || matches!(
+                    spec.location,
+                    FaultLocation::Mem { target: MemTarget::Store | MemTarget::Any, .. }
+                )
         });
         let mut v = value;
         for spec in fired {
+            if let Some(lesion) = Self::lesion_for(&spec) {
+                self.pending_lesions.push(lesion);
+                self.push_record(Stage::Memory, &spec, addr, None, v, v);
+                continue;
+            }
             let before = v;
             v = apply(spec.behavior, before, 64);
             self.push_record(Stage::Memory, &spec, addr, None, before, v);
         }
         v
+    }
+
+    fn take_skip(&mut self, core: usize) -> bool {
+        match self.skip_armed.get_mut(core) {
+            Some(armed) if *armed => {
+                *armed = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn on_branch(&mut self, core: usize, instr: &Instr, taken: bool) -> bool {
+        // Fast path: nothing queued for the execute stage.
+        if self.queues.pending_in(Stage::Execute) == 0 {
+            return taken;
+        }
+        let Some(key) =
+            Self::resolve_thread(&mut self.threads, &self.config, &self.current_pcbb, core)
+        else {
+            return taken;
+        };
+        // Branch inversion shares the execute-stage timeline but fires on
+        // branch *resolution*, which is not itself a counted event: read
+        // the counter without bumping (the register-stage convention).
+        let (count, ticks_since) = {
+            let rec = if self.config.pcb_pointer_cache {
+                self.threads.active_mut(core).expect("resolved above")
+            } else {
+                self.threads
+                    .active_mut_uncached(core, self.current_pcbb[core])
+                    .expect("resolved above")
+            };
+            (rec.count(Stage::Execute), rec.ticks_since_activation(self.last_tick))
+        };
+        let mut fired = Vec::new();
+        self.queues.scan(
+            Stage::Execute,
+            core,
+            key.id,
+            count,
+            ticks_since,
+            |spec| spec.behavior == FaultBehavior::InvertBranch,
+            |spec| fired.push(*spec),
+        );
+        let mut t = taken;
+        for spec in fired {
+            let before = t as u64;
+            t = !t;
+            self.push_record(Stage::Execute, &spec, 0, Some(instr.to_string()), before, t as u64);
+        }
+        t
+    }
+
+    fn has_cache_lesions(&self) -> bool {
+        !self.pending_lesions.is_empty()
+    }
+
+    fn take_cache_lesions(&mut self) -> Vec<CacheLesion> {
+        std::mem::take(&mut self.pending_lesions)
     }
 
     fn on_reg_read(&mut self, core: usize, reg: RegRef) {
@@ -612,6 +766,11 @@ impl FaultHooks for GemFiEngine {
     fn dormancy(&self, core: usize, now: Ticks) -> Dormancy {
         // Live consumption watches need per-event reg-read/write tracking.
         if !self.watches.is_empty() {
+            return Dormancy::Active;
+        }
+        // An armed skip or a fired-but-unplanted lesion must reach the CPU
+        // model on the very next instruction: never elide over it.
+        if !self.pending_lesions.is_empty() || self.skip_armed.iter().any(|armed| *armed) {
             return Dormancy::Active;
         }
         if self.queues.pending() == 0 {
@@ -1031,6 +1190,101 @@ mod tests {
         assert_eq!(forked.on_execute_result(0, &nop, 7), 7 ^ (1 << 3));
         assert_eq!(carried.on_execute_result(0, &nop, 7), 7 ^ (1 << 3));
         assert_eq!(forked.records(), carried.records());
+    }
+
+    #[test]
+    fn cache_fault_plants_a_lesion_and_retires() {
+        let mut e = engine_with(
+            "CacheInjectedFault Inst:2 Flip:3 Threadid:0 system.cpu0 occ:perm l1d data set:5 way:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        assert!(!e.has_cache_lesions());
+        // First memory event: too early; second fires.
+        assert_eq!(e.on_mem_load(0, 0x100, 7), 7);
+        assert_eq!(e.on_mem_load(0, 0x108, 9), 9, "firing transaction passes through");
+        assert!(e.has_cache_lesions());
+        // One-shot: the spec retires at its first fire even though the
+        // lesion itself is permanent.
+        assert_eq!(e.pending_faults(), 0);
+        let lesions = e.take_cache_lesions();
+        assert_eq!(lesions.len(), 1);
+        assert_eq!(lesions[0].level, gemfi_mem::CacheLevel::L1D);
+        assert_eq!(lesions[0].target, LesionTarget::Line { set: 5, way: 1 });
+        assert_eq!(lesions[0].kind, LesionKind::Data);
+        assert_eq!(lesions[0].effect.xor_mask, 1 << 3);
+        assert_eq!(lesions[0].remaining, crate::spec::OCC_PERMANENT);
+        assert!(!e.has_cache_lesions(), "drained");
+        assert_eq!(e.records().len(), 1);
+    }
+
+    #[test]
+    fn l1i_cache_fault_fires_on_fetch_events() {
+        let mut e = engine_with(
+            "CacheInjectedFault Inst:1 AllOne Threadid:0 system.cpu0 occ:1 l1i way:0 mbu:row:0",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let w = RawInstr(0x1234_5678);
+        assert_eq!(e.on_fetch(0, 0x1_0000, w), w, "firing word passes through");
+        assert!(e.has_cache_lesions());
+        let lesions = e.take_cache_lesions();
+        assert_eq!(lesions[0].level, gemfi_mem::CacheLevel::L1I);
+        assert_eq!(lesions[0].effect.set_mask, 0xff, "row MBU pattern confines the effect");
+        assert_eq!(lesions[0].remaining, 1);
+    }
+
+    #[test]
+    fn skip_fault_arms_the_flag_once() {
+        let mut e =
+            engine_with("FetchedInstructionInjectedFault Inst:2 Skip Threadid:0 system.cpu0 occ:1");
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let w = RawInstr(0x1234_5678);
+        assert_eq!(e.on_fetch(0, 0x1_0000, w), w);
+        assert!(!e.take_skip(0), "too early");
+        assert_eq!(e.on_fetch(0, 0x1_0004, w), w, "skip does not corrupt the word");
+        assert!(e.take_skip(0), "armed at event 2");
+        assert!(!e.take_skip(0), "consuming disarms");
+        assert_eq!(e.records().len(), 1);
+        assert!(e.records()[0].propagated(), "recorded as word suppressed");
+    }
+
+    #[test]
+    fn invert_branch_fires_on_branch_resolution_only() {
+        let mut e = engine_with(
+            "ExecutionStageInjectedFault Inst:2 InvertBranch Threadid:0 system.cpu0 occ:1",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        let nop = Instr::FiReadInit;
+        // Execute-stage value events never fire an InvertBranch fault...
+        assert_eq!(e.on_execute_result(0, &nop, 42), 42); // event 1
+        assert_eq!(e.on_execute_result(0, &nop, 42), 42); // event 2
+        assert_eq!(e.pending_faults(), 1, "still armed");
+        // ...only branch resolution does, without bumping the counter.
+        assert!(!e.on_branch(0, &nop, true), "inverted");
+        assert_eq!(e.pending_faults(), 0);
+        assert!(e.on_branch(0, &nop, true), "exhausted: passes through");
+        assert_eq!(e.records().len(), 1);
+        assert!(e.records()[0].propagated());
+    }
+
+    #[test]
+    fn pending_lesion_and_armed_skip_force_active_dormancy() {
+        let mut e = engine_with(
+            "CacheInjectedFault Inst:1 Flip:0 Threadid:0 system.cpu0 occ:1 l1d data set:0 way:0",
+        );
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        e.on_mem_load(0, 0x100, 1);
+        assert!(e.has_cache_lesions());
+        assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Active, "lesion awaits planting");
+        e.take_cache_lesions();
+        assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Dormant);
+
+        let mut e =
+            engine_with("FetchedInstructionInjectedFault Inst:1 Skip Threadid:0 system.cpu0 occ:1");
+        e.on_fi_activate(0, 0, 0, 0x4000);
+        e.on_fetch(0, 0x1_0000, RawInstr(0));
+        assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Active, "skip armed");
+        assert!(e.take_skip(0));
+        assert_eq!(FaultHooks::dormancy(&e, 0, 0), Dormancy::Dormant);
     }
 
     #[test]

@@ -64,5 +64,7 @@ pub use config::{FaultConfig, ParseFaultError};
 pub use engine::{AbortToken, EngineConfig, FireDistance, GemFiEngine};
 pub use outcome::Outcome;
 pub use record::InjectionRecord;
-pub use spec::{FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MemTarget, Stage};
+pub use spec::{
+    CacheLevel, FaultBehavior, FaultLocation, FaultSpec, FaultTiming, MbuPattern, MemTarget, Stage,
+};
 pub use vdd::VddModel;

@@ -131,7 +131,10 @@ impl StageQueues {
                 Match::Fire => {
                     entry.fired += 1;
                     let spec = entry.spec;
-                    let exhausted = entry.fired >= entry.spec.occurrences;
+                    // One-shot specs (cache faults) retire on their first
+                    // fire: `occurrences` governs the planted lesion's
+                    // lifetime, not how often the spec re-fires.
+                    let exhausted = entry.fired >= entry.spec.occurrences || spec.is_one_shot();
                     if exhausted {
                         q.remove(i);
                     } else {

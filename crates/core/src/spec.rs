@@ -1,7 +1,60 @@
-//! Fault specifications: Location × Thread × Time × Behavior (Sec. III-A).
+//! Fault specifications: Location × Thread × Time × Behavior (Sec. III-A),
+//! extended with memory-hierarchy (cache-array) locations and
+//! security-style behaviors.
 
 use gemfi_isa::SpecialReg;
+pub use gemfi_mem::CacheLevel;
 use std::fmt;
+
+/// The spatial pattern of a multi-bit upset (MBU) in a cache array: which
+/// bits of the 64-bit datum the fault behavior is confined to. Models the
+/// physically-adjacent upset shapes of particle strikes (a run of adjacent
+/// bits, a whole row, or a column of the array's byte grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MbuPattern {
+    /// No spatial confinement: the behavior sees the whole 64-bit datum.
+    Single,
+    /// A run of `width` adjacent bits starting at `bit`.
+    Adjacent {
+        /// First affected bit (0–63).
+        bit: u8,
+        /// Run length in bits (clamped to 1–64).
+        width: u8,
+    },
+    /// Byte row `r` of the 8×8 bit grid: bits `8r .. 8r+8`.
+    Row(u8),
+    /// Bit column `c` of the 8×8 bit grid: bit `c` of every byte.
+    Column(u8),
+}
+
+impl MbuPattern {
+    /// The bit mask this pattern confines the fault behavior to.
+    pub fn mask(self) -> u64 {
+        match self {
+            MbuPattern::Single => u64::MAX,
+            MbuPattern::Adjacent { bit, width } => {
+                let bit = u32::from(bit) % 64;
+                let width = u32::from(width).clamp(1, 64);
+                let run = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+                // The run wraps at bit 63 rather than silently shrinking.
+                run.rotate_left(bit)
+            }
+            MbuPattern::Row(r) => 0xffu64.rotate_left(8 * (u32::from(r) % 8)),
+            MbuPattern::Column(c) => 0x0101_0101_0101_0101u64.rotate_left(u32::from(c) % 8),
+        }
+    }
+}
+
+impl fmt::Display for MbuPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MbuPattern::Single => write!(f, "mbu:single"),
+            MbuPattern::Adjacent { bit, width } => write!(f, "mbu:adj:{bit}:{width}"),
+            MbuPattern::Row(r) => write!(f, "mbu:row:{r}"),
+            MbuPattern::Column(c) => write!(f, "mbu:col:{c}"),
+        }
+    }
+}
 
 /// Which memory transactions a memory-stage fault targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +135,46 @@ pub enum FaultLocation {
         /// Loads, stores, or both.
         target: MemTarget,
     },
+    /// One cache line's *data-array* entry: when the fault fires it plants
+    /// a lesion that corrupts every access landing on the (set, way) slot,
+    /// confined to the MBU pattern, for `occurrences` applications
+    /// ([`OCC_PERMANENT`] = stuck-at).
+    CacheData {
+        /// Target core.
+        core: usize,
+        /// Which cache array.
+        level: CacheLevel,
+        /// Set index (wrapped into the level's geometry).
+        set: u32,
+        /// Way index within the set.
+        way: u32,
+        /// MBU spatial confinement of the behavior.
+        pattern: MbuPattern,
+    },
+    /// One cache line's *tag-array* entry: the slot answers for the aliased
+    /// line, so reads that hit it serve wrong data (never a sim abort).
+    CacheTag {
+        /// Target core.
+        core: usize,
+        /// Which cache array.
+        level: CacheLevel,
+        /// Set index (wrapped into the level's geometry).
+        set: u32,
+        /// Way index within the set.
+        way: u32,
+    },
+    /// A whole cache way across every set (a stuck-at column of the data
+    /// array).
+    CacheWay {
+        /// Target core.
+        core: usize,
+        /// Which cache array.
+        level: CacheLevel,
+        /// Way index within each set.
+        way: u32,
+        /// MBU spatial confinement of the behavior.
+        pattern: MbuPattern,
+    },
 }
 
 impl FaultLocation {
@@ -95,7 +188,32 @@ impl FaultLocation {
             | FaultLocation::Decode { core }
             | FaultLocation::Execute { core }
             | FaultLocation::Pc { core }
-            | FaultLocation::Mem { core, .. } => core,
+            | FaultLocation::Mem { core, .. }
+            | FaultLocation::CacheData { core, .. }
+            | FaultLocation::CacheTag { core, .. }
+            | FaultLocation::CacheWay { core, .. } => core,
+        }
+    }
+
+    /// Whether this is a cache-array (memory-hierarchy) location. Cache
+    /// faults fire exactly once — `occurrences` then governs how long the
+    /// planted lesion persists, not how often the spec re-fires.
+    pub fn is_cache(&self) -> bool {
+        matches!(
+            self,
+            FaultLocation::CacheData { .. }
+                | FaultLocation::CacheTag { .. }
+                | FaultLocation::CacheWay { .. }
+        )
+    }
+
+    /// The cache array a cache location targets, if any.
+    pub fn cache_level(&self) -> Option<CacheLevel> {
+        match *self {
+            FaultLocation::CacheData { level, .. }
+            | FaultLocation::CacheTag { level, .. }
+            | FaultLocation::CacheWay { level, .. } => Some(level),
+            _ => None,
         }
     }
 
@@ -111,6 +229,18 @@ impl FaultLocation {
             | FaultLocation::FpReg { .. }
             | FaultLocation::SpecialReg { .. }
             | FaultLocation::Pc { .. } => Stage::Register,
+            // Cache faults ride the queue whose events naturally reach the
+            // damaged array: L1I lesions arm on fetch activity, L1D/L2 on
+            // memory transactions.
+            FaultLocation::CacheData { level, .. }
+            | FaultLocation::CacheTag { level, .. }
+            | FaultLocation::CacheWay { level, .. } => {
+                if *level == CacheLevel::L1I {
+                    Stage::Fetch
+                } else {
+                    Stage::Memory
+                }
+            }
         }
     }
 }
@@ -128,6 +258,15 @@ impl fmt::Display for FaultLocation {
             FaultLocation::Execute { core } => write!(f, "system.cpu{core} execute"),
             FaultLocation::Pc { core } => write!(f, "system.cpu{core} pc"),
             FaultLocation::Mem { core, target } => write!(f, "system.cpu{core} mem {target}"),
+            FaultLocation::CacheData { core, level, set, way, pattern } => {
+                write!(f, "system.cpu{core} {level} data set:{set} way:{way} {pattern}")
+            }
+            FaultLocation::CacheTag { core, level, set, way } => {
+                write!(f, "system.cpu{core} {level} tag set:{set} way:{way}")
+            }
+            FaultLocation::CacheWay { core, level, way, pattern } => {
+                write!(f, "system.cpu{core} {level} way:{way} {pattern}")
+            }
         }
     }
 }
@@ -190,6 +329,26 @@ pub enum FaultBehavior {
     AllZero,
     /// Set all bits to one.
     AllOne,
+    /// Security-style: suppress the fetched instruction entirely — the PC
+    /// advances past it with no architectural side effects (an instruction
+    /// skip, as induced by clock/voltage glitching). Fetch stage only.
+    Skip,
+    /// Security-style: replace the opcode field (the top 6 bits of the
+    /// instruction word) with the given 6-bit value, leaving the operand
+    /// fields intact. Decodes-or-traps per the containment taxonomy. Fetch
+    /// stage only.
+    Opcode(u8),
+    /// Security-style: invert the evaluated condition of the targeted
+    /// conditional branch (taken ↔ not-taken). Execute stage only.
+    InvertBranch,
+}
+
+impl FaultBehavior {
+    /// Whether this is one of the security-style behaviors (instruction
+    /// skip, opcode replacement, branch-condition inversion).
+    pub fn is_security(&self) -> bool {
+        matches!(self, FaultBehavior::Skip | FaultBehavior::Opcode(_) | FaultBehavior::InvertBranch)
+    }
 }
 
 impl fmt::Display for FaultBehavior {
@@ -200,6 +359,9 @@ impl fmt::Display for FaultBehavior {
             FaultBehavior::Flip(b) => write!(f, "Flip:{b}"),
             FaultBehavior::AllZero => write!(f, "AllZero"),
             FaultBehavior::AllOne => write!(f, "AllOne"),
+            FaultBehavior::Skip => write!(f, "Skip"),
+            FaultBehavior::Opcode(v) => write!(f, "Opcode:{v:#x}"),
+            FaultBehavior::InvertBranch => write!(f, "InvertBranch"),
         }
     }
 }
@@ -249,6 +411,13 @@ impl FaultSpec {
         self.location.stage()
     }
 
+    /// Whether this spec fires exactly once and is then retired from its
+    /// queue. Cache faults are one-shot: the fire plants a persistent
+    /// lesion whose lifetime `occurrences` governs instead.
+    pub fn is_one_shot(&self) -> bool {
+        self.location.is_cache()
+    }
+
     /// The activation window `[start, end)` in the timing unit.
     pub fn window(&self) -> (u64, u64) {
         let start = match self.timing {
@@ -269,6 +438,9 @@ impl fmt::Display for FaultSpec {
             FaultLocation::Execute { .. } => "ExecutionStageInjectedFault",
             FaultLocation::Pc { .. } => "PCInjectedFault",
             FaultLocation::Mem { .. } => "MemoryInjectedFault",
+            FaultLocation::CacheData { .. }
+            | FaultLocation::CacheTag { .. }
+            | FaultLocation::CacheWay { .. } => "CacheInjectedFault",
         };
         let occ = if self.occurrences == OCC_PERMANENT {
             "perm".to_string()
@@ -328,5 +500,65 @@ mod tests {
         assert!(s.contains("system.cpu1"));
         assert!(s.contains("occ:1"));
         assert!(s.contains("int 1"));
+    }
+
+    #[test]
+    fn mbu_patterns_mask_the_right_bits() {
+        assert_eq!(MbuPattern::Single.mask(), u64::MAX);
+        assert_eq!(MbuPattern::Adjacent { bit: 4, width: 3 }.mask(), 0b111 << 4);
+        assert_eq!(MbuPattern::Adjacent { bit: 62, width: 4 }.mask(), (0b11 << 62) | 0b11);
+        assert_eq!(MbuPattern::Row(2).mask(), 0xff_0000);
+        assert_eq!(MbuPattern::Column(0).mask(), 0x0101_0101_0101_0101);
+        assert_eq!(MbuPattern::Column(7).mask(), 0x8080_8080_8080_8080);
+        // Out-of-range indices wrap rather than widen or panic.
+        assert_eq!(MbuPattern::Row(10).mask(), MbuPattern::Row(2).mask());
+        assert_eq!(MbuPattern::Column(15).mask(), MbuPattern::Column(7).mask());
+        assert_eq!(MbuPattern::Adjacent { bit: 0, width: 0 }.mask(), 1);
+    }
+
+    #[test]
+    fn cache_locations_route_by_level_and_are_one_shot() {
+        let data = FaultLocation::CacheData {
+            core: 0,
+            level: CacheLevel::L1I,
+            set: 3,
+            way: 0,
+            pattern: MbuPattern::Single,
+        };
+        assert_eq!(data.stage(), Stage::Fetch);
+        let tag = FaultLocation::CacheTag { core: 0, level: CacheLevel::L1D, set: 3, way: 0 };
+        assert_eq!(tag.stage(), Stage::Memory);
+        let way = FaultLocation::CacheWay {
+            core: 0,
+            level: CacheLevel::L2,
+            way: 1,
+            pattern: MbuPattern::Row(0),
+        };
+        assert_eq!(way.stage(), Stage::Memory);
+        for loc in [data, tag, way] {
+            assert!(loc.is_cache());
+            assert_eq!(loc.core(), 0);
+            let spec = FaultSpec {
+                location: loc,
+                thread: 0,
+                timing: FaultTiming::Instructions(1),
+                behavior: FaultBehavior::Flip(0),
+                occurrences: OCC_PERMANENT,
+            };
+            assert!(spec.is_one_shot());
+            assert!(spec.to_string().starts_with("CacheInjectedFault"));
+        }
+        assert!(!FaultLocation::Fetch { core: 0 }.is_cache());
+    }
+
+    #[test]
+    fn security_behaviors_render_their_tokens() {
+        assert_eq!(FaultBehavior::Skip.to_string(), "Skip");
+        assert_eq!(FaultBehavior::Opcode(0x1a).to_string(), "Opcode:0x1a");
+        assert_eq!(FaultBehavior::InvertBranch.to_string(), "InvertBranch");
+        assert!(FaultBehavior::Skip.is_security());
+        assert!(FaultBehavior::Opcode(0).is_security());
+        assert!(FaultBehavior::InvertBranch.is_security());
+        assert!(!FaultBehavior::Flip(3).is_security());
     }
 }

@@ -239,6 +239,20 @@ pub fn fetch_decode<H: FaultHooks>(
     }
 }
 
+/// Plants any cache lesions that fired since the last drain into the memory
+/// system. Every CPU model calls this at instruction boundaries (including
+/// early returns), so a fired cache fault becomes architecturally visible on
+/// the very next memory access. The `has_cache_lesions` pre-check keeps the
+/// fault-free path allocation-free and inlineable to nothing.
+#[inline]
+pub fn drain_lesions<H: FaultHooks>(hooks: &mut H, mem: &mut MemorySystem) {
+    if hooks.has_cache_lesions() {
+        for lesion in hooks.take_cache_lesions() {
+            mem.plant_lesion(lesion);
+        }
+    }
+}
+
 /// Everything a model needs to account for one architecturally executed
 /// instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,6 +309,17 @@ pub fn step_instruction<H: FaultHooks>(
         event: StepEvent::None,
     };
 
+    // An instruction-skip fault nullifies the fetched instruction: the PC
+    // advances past it, but none of its side effects happen. The skipped
+    // slot still commits (per-thread instruction counters keep advancing,
+    // as they would for a pipeline bubble).
+    if hooks.take_skip(core) {
+        arch.pc = rec.next_pc;
+        hooks.on_commit(core, now, pc, &instr);
+        drain_lesions(hooks, mem);
+        return Ok(rec);
+    }
+
     let read_int = |hooks: &mut H, arch: &ArchState, r: IntReg| -> u64 {
         hooks.on_reg_read(core, RegRef::Int(r));
         arch.regs.read_int(r)
@@ -315,6 +340,7 @@ pub fn step_instruction<H: FaultHooks>(
                     }
                     // The switched-in thread resumes at its own saved PC.
                     hooks.on_commit(core, now, pc, &instr);
+                    drain_lesions(hooks, mem);
                     return Ok(rec);
                 }
                 PalOutcome::AllExited(code) => rec.event = StepEvent::Halted(code),
@@ -400,7 +426,7 @@ pub fn step_instruction<H: FaultHooks>(
         Instr::CondBr { cond, ra, disp } => {
             let v = read_int(hooks, arch, ra);
             rec.is_cond_branch = true;
-            rec.taken = cond.eval(v);
+            rec.taken = hooks.on_branch(core, &instr, cond.eval(v));
             let target = if rec.taken {
                 pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2)
             } else {
@@ -412,7 +438,7 @@ pub fn step_instruction<H: FaultHooks>(
             hooks.on_reg_read(core, RegRef::Fp(fa));
             let v = arch.regs.read_fp_bits(fa);
             rec.is_cond_branch = true;
-            rec.taken = cond.eval(v);
+            rec.taken = hooks.on_branch(core, &instr, cond.eval(v));
             let target = if rec.taken {
                 pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2)
             } else {
@@ -478,6 +504,7 @@ pub fn step_instruction<H: FaultHooks>(
 
     arch.pc = rec.next_pc;
     hooks.on_commit(core, now, pc, &instr);
+    drain_lesions(hooks, mem);
     Ok(rec)
 }
 

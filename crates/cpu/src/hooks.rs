@@ -14,7 +14,7 @@
 //! compares a GemFI-hooked machine against this zero-cost baseline.
 
 use gemfi_isa::{ArchState, Instr, RawInstr, RegRef};
-use gemfi_mem::Ticks;
+use gemfi_mem::{CacheLesion, Ticks};
 
 /// How long a hooks implementation guarantees to stay architecturally
 /// unobservable — its *dormancy horizon*.
@@ -117,6 +117,40 @@ pub trait FaultHooks {
     fn on_mem_store(&mut self, core: usize, addr: u64, value: u64) -> u64 {
         let _ = (core, addr);
         value
+    }
+
+    /// Whether an instruction-skip fault fired on the word just fetched.
+    /// Consuming the flag disarms it; the CPU model must then advance the PC
+    /// past the instruction without executing any of its side effects.
+    #[inline]
+    fn take_skip(&mut self, core: usize) -> bool {
+        let _ = core;
+        false
+    }
+
+    /// A conditional branch resolved its direction as `taken`; a
+    /// branch-inversion fault may flip it. The returned direction is the one
+    /// the CPU model must commit (and train its predictor on).
+    #[inline]
+    fn on_branch(&mut self, core: usize, instr: &Instr, taken: bool) -> bool {
+        let _ = (core, instr);
+        taken
+    }
+
+    /// Whether any cache lesions fired and await planting into the memory
+    /// system. Split from [`FaultHooks::take_cache_lesions`] so the common
+    /// no-lesion path stays allocation-free.
+    #[inline]
+    fn has_cache_lesions(&self) -> bool {
+        false
+    }
+
+    /// Drains the cache lesions that fired since the last drain. The CPU
+    /// model plants them into its [`gemfi_mem::MemorySystem`] at the next
+    /// instruction boundary.
+    #[inline]
+    fn take_cache_lesions(&mut self) -> Vec<CacheLesion> {
+        Vec::new()
     }
 
     /// An architectural register was read as a source operand (consumption
@@ -327,6 +361,11 @@ impl<H: FaultHooks> FaultHooks for ElidedHooks<'_, H> {
     // Register consumption tracking is only live while the inner hooks hold
     // watches, and a watch-holding engine reports `Dormancy::Active` — so a
     // sprint never has reg-read/write traffic worth recording.
+    //
+    // `take_skip`, `on_branch`, `has_cache_lesions` and `take_cache_lesions`
+    // likewise keep their identity defaults: an armed skip or pending lesion
+    // forces `Dormancy::Active`, and the sprint's horizon ends before any
+    // branch-inversion fault can arm, so none of them can be live mid-sprint.
 
     #[inline]
     fn on_commit(&mut self, core: usize, now: Ticks, _pc: u64, _instr: &Instr) {

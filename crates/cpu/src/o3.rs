@@ -299,6 +299,34 @@ impl O3Cpu {
             self.fetch_ready_at = now + fetch_lat;
         }
 
+        // An instruction-skip fault nullifies the fetched instruction: it
+        // occupies a ROB slot (and commits, advancing per-thread counters)
+        // but executes nothing. Checked before the serialize split so a
+        // skipped PAL call really is skipped. A skip armed by a wrong-path
+        // fetch is consumed here and squashed away — harmless, exactly like
+        // any other fault on a squashed instruction.
+        if hooks.take_skip(core) {
+            self.rob.push_back(RobEntry {
+                seq,
+                pc,
+                predicted_next: pc.wrapping_add(4),
+                actual_next: pc.wrapping_add(4),
+                instr: Some(instr),
+                trap: None,
+                state: EntryState::Done,
+                srcs: [None, None, None],
+                dst: None,
+                result: 0,
+                done_at: now,
+                serialize: false,
+                mem: None,
+                predicted_taken: false,
+            });
+            self.next_seq += 1;
+            self.fetch_pc = pc.wrapping_add(4);
+            return Ok(true);
+        }
+
         let mut entry = RobEntry {
             seq,
             pc,
@@ -541,7 +569,10 @@ impl O3Cpu {
                 result = e.pc.wrapping_add(4);
             }
             Instr::CondBr { cond, disp, .. } => {
-                let taken = cond.eval(src(0));
+                // Branch inversion hooks in at resolution; the predictor
+                // trains on the post-inversion (architecturally committed)
+                // direction.
+                let taken = hooks.on_branch(core, &instr, cond.eval(src(0)));
                 let target = if taken {
                     e.pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2)
                 } else {
@@ -551,7 +582,7 @@ impl O3Cpu {
                 self.predictor.update_direction(e.pc, taken, e.predicted_taken);
             }
             Instr::FpCondBr { cond, disp, .. } => {
-                let taken = cond.eval(src(0));
+                let taken = hooks.on_branch(core, &instr, cond.eval(src(0)));
                 let target = if taken {
                     e.pc.wrapping_add(4).wrapping_add((disp as i64 as u64) << 2)
                 } else {
@@ -809,6 +840,7 @@ impl O3Cpu {
             }
         }
         if event != StepEvent::None {
+            crate::exec::drain_lesions(hooks, mem);
             return Ok(StepResult { ticks: 1, committed, event });
         }
 
@@ -858,6 +890,10 @@ impl O3Cpu {
                 }
             }
         }
+
+        // Cache lesions fired this cycle become visible at the cycle
+        // boundary (the O3 instruction-boundary analogue).
+        crate::exec::drain_lesions(hooks, mem);
 
         Ok(StepResult { ticks: 1, committed, event })
     }

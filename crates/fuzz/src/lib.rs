@@ -14,9 +14,11 @@
 //! * a random (but always halting, fault-free) guest program;
 //! * a random machine: any of the four CPU models × the predecode,
 //!   copy-on-write, and dormancy-elision knobs;
-//! * a random [`FaultSpec`]: all five stage queues, all five behaviors,
-//!   both timing units, and transient/intermittent/permanent occurrence
-//!   classes.
+//! * a random [`FaultSpec`]: all five stage queues, all behaviors
+//!   (including the security-style skip / opcode-replacement /
+//!   branch-inversion trio), cache data/tag/way lesions under every MBU
+//!   spatial pattern, both timing units, and
+//!   transient/intermittent/permanent occurrence classes.
 //!
 //! The case first runs the program fault-free **twice** and demands
 //! byte-identical results (exit, output words, console, instruction count,
@@ -33,10 +35,11 @@
 
 use gemfi::spec::OCC_PERMANENT;
 use gemfi::{
-    FaultBehavior, FaultConfig, FaultLocation, FaultSpec, FaultTiming, GemFiEngine,
-    InjectionRecord, MemTarget, Outcome,
+    CacheLevel, FaultBehavior, FaultConfig, FaultLocation, FaultSpec, FaultTiming, GemFiEngine,
+    InjectionRecord, MbuPattern, MemTarget, Outcome,
 };
 use gemfi_asm::{Assembler, FReg, Program, Reg};
+use gemfi_campaign::sampler::cache_geometry;
 use gemfi_campaign::SplitMix64;
 use gemfi_cpu::CpuKind;
 use gemfi_isa::{IntReg, SpecialReg};
@@ -297,6 +300,92 @@ pub fn gen_spec(rng: &mut SplitMix64) -> FaultSpec {
     FaultSpec { location, thread: 0, timing, behavior, occurrences }
 }
 
+/// Stream-separation constant for the expanded fault axes. Each case draws
+/// its program, machine, and base spec from the main seed stream exactly as
+/// it always has; a second stream seeded with `seed ^ NEW_AXES_STREAM` then
+/// decides whether the case swaps in a cache-hierarchy or security-style
+/// spec instead. Keeping the main stream's draw count fixed means every
+/// pre-expansion seed — including the committed regression list — replays
+/// its original case bit-identically.
+const NEW_AXES_STREAM: u64 = 0x6361_6368_655f_6c73;
+
+/// Samples the memory-hierarchy fault axis: data/tag/way targets across all
+/// three cache arrays, every MBU spatial pattern, and transient through
+/// stuck-at persistence.
+pub fn gen_cache_spec(rng: &mut SplitMix64) -> FaultSpec {
+    let level = [CacheLevel::L1I, CacheLevel::L1D, CacheLevel::L2][rng.below(3) as usize];
+    let (sets, ways) = cache_geometry(level);
+    let set = rng.below(sets) as u32;
+    let way = rng.below(u64::from(ways)) as u32;
+    let pattern = match rng.below(4) {
+        0 => MbuPattern::Single,
+        1 => MbuPattern::Adjacent { bit: rng.below(64) as u8, width: 2 + rng.below(3) as u8 },
+        2 => MbuPattern::Row(rng.below(8) as u8),
+        _ => MbuPattern::Column(rng.below(8) as u8),
+    };
+    let location = match rng.below(3) {
+        0 => FaultLocation::CacheData { core: 0, level, set, way, pattern },
+        1 => FaultLocation::CacheTag { core: 0, level, set, way },
+        _ => FaultLocation::CacheWay { core: 0, level, way, pattern },
+    };
+    let behavior = match rng.below(5) {
+        0 => FaultBehavior::Set(corruption_value(rng)),
+        1 => FaultBehavior::Xor(corruption_value(rng)),
+        2 => FaultBehavior::Flip(rng.below(64) as u8),
+        3 => FaultBehavior::AllZero,
+        _ => FaultBehavior::AllOne,
+    };
+    let timing = if rng.coin() {
+        FaultTiming::Instructions(rng.below(250))
+    } else {
+        FaultTiming::Ticks(rng.below(2_000))
+    };
+    // For cache locations `occurrences` is lesion lifetime, not re-fire
+    // count: 1 = transient upset, permanent = stuck-at cell.
+    let occurrences = match rng.below(3) {
+        0 => 1,
+        1 => rng.range_inclusive(2, 16),
+        _ => OCC_PERMANENT,
+    };
+    FaultSpec { location, thread: 0, timing, behavior, occurrences }
+}
+
+/// Samples the security-style behavior axis: instruction skip, opcode
+/// replacement, and branch-condition inversion, each bound to the only
+/// stage that accepts it.
+pub fn gen_security_spec(rng: &mut SplitMix64) -> FaultSpec {
+    let (location, behavior) = match rng.below(3) {
+        0 => (FaultLocation::Fetch { core: 0 }, FaultBehavior::Skip),
+        1 => (FaultLocation::Fetch { core: 0 }, FaultBehavior::Opcode(rng.below(64) as u8)),
+        _ => (FaultLocation::Execute { core: 0 }, FaultBehavior::InvertBranch),
+    };
+    let timing = if rng.coin() {
+        FaultTiming::Instructions(rng.below(250))
+    } else {
+        FaultTiming::Ticks(rng.below(2_000))
+    };
+    let occurrences = match rng.below(3) {
+        0 => 1,
+        1 => rng.range_inclusive(2, 16),
+        _ => OCC_PERMANENT,
+    };
+    FaultSpec { location, thread: 0, timing, behavior, occurrences }
+}
+
+/// Draws the fault spec for case `seed`: the base spec always comes off the
+/// main stream (preserving the seed contract), then the auxiliary stream
+/// picks which axis the case actually exercises — base, cache, or security,
+/// one third each.
+pub fn gen_case_spec(seed: u64, rng: &mut SplitMix64) -> FaultSpec {
+    let base = gen_spec(rng);
+    let mut aux = SplitMix64::new(seed ^ NEW_AXES_STREAM);
+    match aux.below(3) {
+        0 => base,
+        1 => gen_cache_spec(&mut aux),
+        _ => gen_security_spec(&mut aux),
+    }
+}
+
 /// Samples the machine space: every CPU model crossed with the predecode,
 /// copy-on-write, and dormancy-elision knobs.
 pub fn gen_machine(rng: &mut SplitMix64) -> MachineConfig {
@@ -398,7 +487,7 @@ pub fn run_case(seed: u64) -> Result<CaseReport, FuzzFailure> {
     let mut rng = SplitMix64::new(seed);
     let program = gen_program(&mut rng);
     let config = gen_machine(&mut rng);
-    let spec = gen_spec(&mut rng);
+    let spec = gen_case_spec(seed, &mut rng);
     let fail = |failure: CaseFailure| FuzzFailure {
         seed,
         spec: spec.to_string(),
@@ -537,6 +626,91 @@ mod tests {
         }
         assert_eq!(stages.len(), 5, "all five stage queues sampled");
         assert!(transient && intermittent && permanent);
+    }
+
+    /// The spec case `seed` will inject, without running anything.
+    fn spec_for_seed(seed: u64) -> FaultSpec {
+        let mut rng = SplitMix64::new(seed);
+        let _ = gen_program(&mut rng);
+        let _ = gen_machine(&mut rng);
+        gen_case_spec(seed, &mut rng)
+    }
+
+    #[test]
+    fn extended_axes_are_reachable_and_parse_back() {
+        let mut cache = std::collections::HashSet::new();
+        let mut security = std::collections::HashSet::new();
+        for seed in 0..400u64 {
+            let spec = spec_for_seed(seed);
+            match spec.location {
+                FaultLocation::CacheData { .. } => cache.insert("data"),
+                FaultLocation::CacheTag { .. } => cache.insert("tag"),
+                FaultLocation::CacheWay { .. } => cache.insert("way"),
+                _ => match spec.behavior {
+                    FaultBehavior::Skip => security.insert("skip"),
+                    FaultBehavior::Opcode(_) => security.insert("opcode"),
+                    FaultBehavior::InvertBranch => security.insert("invert"),
+                    _ => continue,
+                },
+            };
+            // Every generated spec must survive the Listing-1 round trip —
+            // i.e. stay reachable from `gemfi_run` input syntax.
+            let parsed: FaultConfig = spec
+                .to_string()
+                .parse()
+                .unwrap_or_else(|e| panic!("seed {seed}: `{spec}` does not re-parse: {e:?}"));
+            assert_eq!(parsed.faults(), &[spec], "seed {seed} round trip");
+        }
+        assert_eq!(cache.len(), 3, "cache targets sampled: {cache:?}");
+        assert_eq!(security.len(), 3, "security behaviors sampled: {security:?}");
+    }
+
+    #[test]
+    fn committed_seeds_replay_their_documented_specs() {
+        // The regression list's value is that each seed replays a *known*
+        // case: the panic reproducer must predate the cache/security axes
+        // (the auxiliary stream leaves its base spec untouched), and each
+        // family pin must keep drawing its documented fault. Any drift in
+        // the generators or the stream constant trips this first.
+        let pinned: &[(u64, &str)] = &[
+            (
+                31914,
+                "ExecutionStageInjectedFault Inst:53 AllOne Threadid:0 occ:perm \
+                 system.cpu0 execute",
+            ),
+            (
+                3,
+                "CacheInjectedFault Inst:248 Flip:3 Threadid:0 occ:1 system.cpu0 \
+                 l1d data set:218 way:0 mbu:col:7",
+            ),
+            (
+                0,
+                "CacheInjectedFault Inst:225 Set:0x10000 Threadid:0 occ:perm \
+                 system.cpu0 l1d tag set:98 way:1",
+            ),
+            (
+                935,
+                "CacheInjectedFault Inst:71 AllOne Threadid:0 occ:1 system.cpu0 \
+                 l1i way:0 mbu:single",
+            ),
+            (
+                2,
+                "FetchedInstructionInjectedFault Inst:214 Skip Threadid:0 occ:11 system.cpu0 fetch",
+            ),
+            (
+                17,
+                "FetchedInstructionInjectedFault Inst:50 Opcode:0x1f Threadid:0 occ:perm \
+                 system.cpu0 fetch",
+            ),
+            (
+                18,
+                "ExecutionStageInjectedFault Inst:146 InvertBranch Threadid:0 occ:perm \
+                 system.cpu0 execute",
+            ),
+        ];
+        for (seed, expected) in pinned {
+            assert_eq!(&spec_for_seed(*seed).to_string(), expected, "seed {seed}");
+        }
     }
 
     #[test]

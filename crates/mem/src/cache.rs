@@ -38,6 +38,9 @@ pub struct CacheAccess {
     pub hit: bool,
     /// Whether a dirty victim had to be written back.
     pub writeback: bool,
+    /// The way index the line occupies after the access (hit way, or the
+    /// way the fill allocated). Cache-array fault lesions target this slot.
+    pub way: u32,
 }
 
 /// One level of a write-back, write-allocate set-associative cache.
@@ -123,25 +126,58 @@ impl Cache {
         let base = set * self.config.ways;
         let ways = &mut self.lines[base..base + self.config.ways];
 
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some((way, line)) =
+            ways.iter_mut().enumerate().find(|(_, l)| l.valid && l.tag == tag)
+        {
             line.lru = self.clock;
             line.dirty |= write;
             self.stats.hits += 1;
-            return CacheAccess { hit: true, writeback: false };
+            return CacheAccess { hit: true, writeback: false, way: way as u32 };
         }
 
         self.stats.misses += 1;
         // Infallible: associativity is a host config invariant (>= 1 way),
         // not guest-corruptible state.
         #[allow(clippy::expect_used)]
-        let victim =
-            ways.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
+        let (way, victim) = ways
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .expect("ways > 0");
         let writeback = victim.valid && victim.dirty;
         if writeback {
             self.stats.writebacks += 1;
         }
         *victim = Line { tag, valid: true, dirty: write, lru: self.clock };
-        CacheAccess { hit: false, writeback }
+        CacheAccess { hit: false, writeback, way: way as u32 }
+    }
+
+    /// Set index of `addr` (public so cache-array lesions can be targeted).
+    #[inline]
+    pub fn set_of(&self, addr: u64) -> u64 {
+        self.set_index(addr) as u64
+    }
+
+    /// Tag of `addr`.
+    #[inline]
+    pub fn tag_of(&self, addr: u64) -> u64 {
+        self.tag(addr)
+    }
+
+    /// Base address of the line identified by `(set, tag)` — the inverse of
+    /// [`Cache::set_of`]/[`Cache::tag_of`]. Wrapping arithmetic: a
+    /// fault-corrupted tag may put the reconstructed address anywhere, and
+    /// an out-of-range result must stay a contained wrong-address, not an
+    /// overflow abort.
+    #[inline]
+    pub fn line_addr(&self, set: u64, tag: u64) -> u64 {
+        tag.wrapping_mul(self.config.sets() as u64).wrapping_add(set) << self.line_shift
+    }
+
+    /// Byte offset of `addr` within its line.
+    #[inline]
+    pub fn line_offset(&self, addr: u64) -> u64 {
+        addr & ((self.config.line as u64) - 1)
     }
 
     /// Invalidates everything (used when restoring checkpoints taken with a
@@ -210,5 +246,24 @@ mod tests {
     #[should_panic(expected = "geometry")]
     fn bad_geometry_panics() {
         Cache::new(CacheConfig { size: 100, ways: 2, line: 16, hit_latency: 1 });
+    }
+
+    #[test]
+    fn set_tag_line_addr_roundtrip() {
+        let c = tiny();
+        for addr in [0x0u64, 0x10, 0x25, 0x133, 0xffff] {
+            let base = c.line_addr(c.set_of(addr), c.tag_of(addr));
+            assert_eq!(base + c.line_offset(addr), addr);
+        }
+    }
+
+    #[test]
+    fn access_reports_resident_way() {
+        let mut c = tiny();
+        let a = c.access(0x000, false);
+        assert_eq!(a.way, 0, "a cold set fills way 0 first (lesion tests rely on this)");
+        let b = c.access(0x020, false); // same set, other way
+        assert_ne!(a.way, b.way);
+        assert_eq!(c.access(0x000, false).way, a.way, "hit reports the resident way");
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::cache::Cache;
 use crate::config::MemConfig;
+use crate::lesion::{CacheLesion, CacheLevel, LesionKind};
 use crate::phys::PhysMem;
 use crate::stats::MemStats;
 use crate::Ticks;
@@ -16,6 +17,17 @@ pub enum AccessKind {
     Read,
     /// Data write (L1D).
     Write,
+}
+
+/// Where one access landed in the hierarchy: the (set, way) slot it
+/// occupies at L1, and at L2 when the L1 missed. Cache-array lesions match
+/// against this path.
+#[derive(Debug, Clone, Copy)]
+struct AccessPath {
+    kind: AccessKind,
+    l1_set: u64,
+    l1_way: u32,
+    l2: Option<(u64, u32)>,
 }
 
 /// The complete memory system of one simulated machine.
@@ -38,6 +50,11 @@ pub struct MemorySystem {
     /// in the memory system so every store path — timed, functional, and
     /// bulk — can invalidate overlapping entries.
     predecode: PredecodeCache,
+    /// Planted cache-array lesions (fault state, never serialized: restore
+    /// rebuilds lesion-free, and forks clone the machine before any fault
+    /// fires). A lesion survives `invalidate_caches` — it damages the
+    /// array, not the lines resident in it.
+    lesions: Vec<CacheLesion>,
 }
 
 impl MemorySystem {
@@ -50,6 +67,7 @@ impl MemorySystem {
             l2: Cache::new(config.l2),
             dram_accesses: 0,
             predecode: PredecodeCache::new(config.predecode),
+            lesions: Vec::new(),
             config,
         }
     }
@@ -59,20 +77,24 @@ impl MemorySystem {
         &self.config
     }
 
-    /// Walks the hierarchy for timing and returns the access latency.
-    fn latency(&mut self, addr: u64, kind: AccessKind) -> Ticks {
+    /// Walks the hierarchy for timing; returns the access latency together
+    /// with the (set, way) slots the access landed on at each level.
+    fn walk(&mut self, addr: u64, kind: AccessKind) -> (Ticks, AccessPath) {
         let write = matches!(kind, AccessKind::Write);
         let (l1, l1_lat) = match kind {
             AccessKind::Fetch => (&mut self.l1i, self.config.l1i.hit_latency),
             AccessKind::Read | AccessKind::Write => (&mut self.l1d, self.config.l1d.hit_latency),
         };
         let a1 = l1.access(addr, write);
+        let l1_set = l1.set_of(addr);
+        let mut path = AccessPath { kind, l1_set, l1_way: a1.way, l2: None };
         let mut lat = l1_lat;
         if a1.hit {
-            return lat;
+            return (lat, path);
         }
         // L1 miss: consult L2 (the fill, not the CPU write, owns the line).
         let a2 = self.l2.access(addr, a1.writeback);
+        path.l2 = Some((self.l2.set_of(addr), a2.way));
         lat += self.config.l2.hit_latency;
         if !a2.hit {
             self.dram_accesses += 1;
@@ -83,7 +105,150 @@ impl MemorySystem {
                 self.dram_accesses += 1;
             }
         }
-        lat
+        (lat, path)
+    }
+
+    /// Walks the hierarchy for timing only (fault-free fast path).
+    fn latency(&mut self, addr: u64, kind: AccessKind) -> Ticks {
+        self.walk(addr, kind).0
+    }
+
+    /// Plants a cache-array lesion (a fired memory-hierarchy fault). The
+    /// lesion corrupts every access landing on the damaged slot until its
+    /// `remaining` budget runs out (`u64::MAX` = stuck-at, never heals).
+    pub fn plant_lesion(&mut self, lesion: CacheLesion) {
+        self.lesions.push(lesion);
+    }
+
+    /// The currently active cache-array lesions.
+    pub fn lesions(&self) -> &[CacheLesion] {
+        &self.lesions
+    }
+
+    /// Whether any active lesion sits in an array that serves instruction
+    /// fetches (L1I or L2). While true, the predecode cache is bypassed and
+    /// installs are refused: predecode entries must only ever hold true
+    /// memory words, and a lesioned fetch path can corrupt them.
+    fn fetch_lesioned(&self) -> bool {
+        self.lesions.iter().any(|l| l.level.serves_fetch())
+    }
+
+    /// The tag cache modelling `level`.
+    fn cache_at(&self, level: CacheLevel) -> &Cache {
+        match level {
+            CacheLevel::L1I => &self.l1i,
+            CacheLevel::L1D => &self.l1d,
+            CacheLevel::L2 => &self.l2,
+        }
+    }
+
+    /// The (set, way) slot this access occupies at `level`, if it reached
+    /// that level at all.
+    fn path_slot(level: CacheLevel, path: &AccessPath) -> Option<(u64, u32)> {
+        match (level, path.kind) {
+            (CacheLevel::L1I, AccessKind::Fetch) => Some((path.l1_set, path.l1_way)),
+            (CacheLevel::L1D, AccessKind::Read | AccessKind::Write) => {
+                Some((path.l1_set, path.l1_way))
+            }
+            (CacheLevel::L2, _) => path.l2,
+            _ => None,
+        }
+    }
+
+    /// Burns one corrupting application off lesion `i`. Returns `true` when
+    /// the lesion healed and was removed (so the caller re-checks index `i`).
+    fn consume_lesion(&mut self, i: usize) -> bool {
+        let l = &mut self.lesions[i];
+        if l.remaining != u64::MAX {
+            l.remaining = l.remaining.saturating_sub(1);
+            if l.remaining == 0 {
+                self.lesions.remove(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies active lesions to a value served through `path`. Data
+    /// lesions transform the value; tag lesions make the slot answer for
+    /// the aliased line, so the read serves physical memory at the aliased
+    /// address instead (wrong-data reads — an unmapped alias falls back to
+    /// the true value, never a sim abort). `width` is the access width in
+    /// bytes.
+    fn lesioned_read(&mut self, addr: u64, value: u64, width: u32, path: &AccessPath) -> u64 {
+        let mut v = value;
+        let mut i = 0;
+        while i < self.lesions.len() {
+            let l = self.lesions[i];
+            let slot = Self::path_slot(l.level, path);
+            let sets = self.cache_at(l.level).config().sets() as u64;
+            let applied = match slot {
+                Some((set, way)) if l.covers(set, way, sets) => match l.kind {
+                    LesionKind::Data => {
+                        v = l.effect.apply(v);
+                        true
+                    }
+                    LesionKind::Tag => {
+                        let cache = self.cache_at(l.level);
+                        let alias_tag = l.effect.apply(cache.tag_of(addr));
+                        let alias = cache.line_addr(set, alias_tag) | cache.line_offset(addr);
+                        let aliased = match width {
+                            4 => self.phys.read_u32(alias, 0).ok().map(u64::from),
+                            _ => self.phys.read_u64(alias, 0).ok(),
+                        };
+                        match aliased {
+                            Some(x) => {
+                                v = x;
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                },
+                _ => false,
+            };
+            if applied && self.consume_lesion(i) {
+                continue; // healed and removed: the next lesion now sits at `i`
+            }
+            i += 1;
+        }
+        v
+    }
+
+    /// Applies active *data* lesions to a value stored through `path`,
+    /// corrupting the backing store in place (write-through damage). Tag
+    /// lesions are read-side only: they redirect what the slot answers, not
+    /// what the CPU wrote.
+    fn lesioned_store(&mut self, addr: u64, value: u64, width: u32, path: &AccessPath) {
+        let mut v = value;
+        let mut changed = false;
+        let mut i = 0;
+        while i < self.lesions.len() {
+            let l = self.lesions[i];
+            let slot = Self::path_slot(l.level, path);
+            let sets = self.cache_at(l.level).config().sets() as u64;
+            let applied = matches!(
+                (slot, l.kind),
+                (Some((set, way)), LesionKind::Data) if l.covers(set, way, sets)
+            );
+            if applied {
+                v = l.effect.apply(v);
+                changed = true;
+                if self.consume_lesion(i) {
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if changed {
+            // The original (uncorrupted) write already validated the
+            // address and invalidated overlapping predecode entries, so the
+            // corrupting re-write cannot fail or leave a stale decode.
+            let _ = match width {
+                4 => self.phys.write_u32(addr, v as u32, 0),
+                _ => self.phys.write_u64(addr, v, 0),
+            };
+        }
     }
 
     /// Timed instruction fetch.
@@ -93,7 +258,12 @@ impl MemorySystem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn fetch(&mut self, pc: u64) -> Result<(u32, Ticks), Trap> {
         let word = self.phys.read_u32(pc, pc)?;
-        let lat = self.latency(pc, AccessKind::Fetch);
+        if self.lesions.is_empty() {
+            let lat = self.latency(pc, AccessKind::Fetch);
+            return Ok((word, lat));
+        }
+        let (lat, path) = self.walk(pc, AccessKind::Fetch);
+        let word = self.lesioned_read(pc, u64::from(word), 4, &path) as u32;
         Ok((word, lat))
     }
 
@@ -111,19 +281,31 @@ impl MemorySystem {
     ///
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn fetch_predecoded(&mut self, pc: u64) -> Result<(u32, Option<Instr>, Ticks), Trap> {
-        if let Some((raw, instr)) = self.predecode.lookup(pc) {
-            let lat = self.latency(pc, AccessKind::Fetch);
-            return Ok((raw, Some(instr), lat));
+        // While a lesion sits on the fetch path (L1I/L2), the predecode
+        // cache is bypassed entirely: a cached entry would serve the stale
+        // true word instead of the damaged array's corruption.
+        let lesioned = self.fetch_lesioned();
+        if !lesioned {
+            if let Some((raw, instr)) = self.predecode.lookup(pc) {
+                let lat = self.latency(pc, AccessKind::Fetch);
+                return Ok((raw, Some(instr), lat));
+            }
         }
         let word = self.phys.read_u32(pc, pc)?;
-        let lat = self.latency(pc, AccessKind::Fetch);
+        let (lat, path) = self.walk(pc, AccessKind::Fetch);
+        let word =
+            if lesioned { self.lesioned_read(pc, u64::from(word), 4, &path) as u32 } else { word };
         Ok((word, None, lat))
     }
 
     /// Installs a decode into the predecode cache. `raw` must be the word
-    /// as read from memory — never a fault-corrupted variant.
+    /// as read from memory — never a fault-corrupted variant; installs are
+    /// therefore refused while a lesion sits on the fetch path.
     #[inline]
     pub fn install_predecoded(&mut self, pc: u64, raw: u32, instr: Instr) {
+        if self.fetch_lesioned() {
+            return;
+        }
         self.predecode.install(pc, raw, instr);
     }
 
@@ -146,7 +328,12 @@ impl MemorySystem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn read_u64(&mut self, addr: u64, pc: u64) -> Result<(u64, Ticks), Trap> {
         let v = self.phys.read_u64(addr, pc)?;
-        let lat = self.latency(addr, AccessKind::Read);
+        if self.lesions.is_empty() {
+            let lat = self.latency(addr, AccessKind::Read);
+            return Ok((v, lat));
+        }
+        let (lat, path) = self.walk(addr, AccessKind::Read);
+        let v = self.lesioned_read(addr, v, 8, &path);
         Ok((v, lat))
     }
 
@@ -157,7 +344,12 @@ impl MemorySystem {
     /// [`Trap::UnmappedAccess`] / [`Trap::MisalignedAccess`].
     pub fn read_u32(&mut self, addr: u64, pc: u64) -> Result<(u32, Ticks), Trap> {
         let v = self.phys.read_u32(addr, pc)?;
-        let lat = self.latency(addr, AccessKind::Read);
+        if self.lesions.is_empty() {
+            let lat = self.latency(addr, AccessKind::Read);
+            return Ok((v, lat));
+        }
+        let (lat, path) = self.walk(addr, AccessKind::Read);
+        let v = self.lesioned_read(addr, u64::from(v), 4, &path) as u32;
         Ok((v, lat))
     }
 
@@ -169,7 +361,12 @@ impl MemorySystem {
     pub fn write_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<Ticks, Trap> {
         self.phys.write_u64(addr, value, pc)?;
         self.predecode.invalidate_range(addr, 8);
-        Ok(self.latency(addr, AccessKind::Write))
+        if self.lesions.is_empty() {
+            return Ok(self.latency(addr, AccessKind::Write));
+        }
+        let (lat, path) = self.walk(addr, AccessKind::Write);
+        self.lesioned_store(addr, value, 8, &path);
+        Ok(lat)
     }
 
     /// Timed 32-bit data write.
@@ -180,7 +377,12 @@ impl MemorySystem {
     pub fn write_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<Ticks, Trap> {
         self.phys.write_u32(addr, value, pc)?;
         self.predecode.invalidate_range(addr, 4);
-        Ok(self.latency(addr, AccessKind::Write))
+        if self.lesions.is_empty() {
+            return Ok(self.latency(addr, AccessKind::Write));
+        }
+        let (lat, path) = self.walk(addr, AccessKind::Write);
+        self.lesioned_store(addr, u64::from(value), 4, &path);
+        Ok(lat)
     }
 
     /// Untimed 64-bit read (loader/extraction side).
@@ -417,5 +619,152 @@ mod tests {
         let size = m.size();
         assert!(m.read_u64(size, 0x77).is_err());
         assert_eq!(m.stats().l1d.accesses(), 0);
+    }
+
+    use crate::lesion::{CacheLesion, CacheLevel, LesionEffect, LesionKind, LesionTarget};
+
+    fn data_lesion(level: CacheLevel, set: u32, way: u32, remaining: u64) -> CacheLesion {
+        CacheLesion {
+            level,
+            target: LesionTarget::Line { set, way },
+            kind: LesionKind::Data,
+            effect: LesionEffect { xor_mask: 1, ..LesionEffect::default() },
+            remaining,
+        }
+    }
+
+    #[test]
+    fn data_lesion_corrupts_reads_then_heals() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.write_u64_functional(0x2000, 0x40).unwrap();
+        let set = 0x2000 >> 6 & 0xff; // default L1D: 64 B lines, 256 sets
+        m.plant_lesion(data_lesion(CacheLevel::L1D, set as u32, 0, 2));
+        // A cold set fills way 0 first, so both reads land on the lesion.
+        assert_eq!(m.read_u64(0x2000, 0).unwrap().0, 0x41);
+        assert_eq!(m.read_u64(0x2000, 0).unwrap().0, 0x41);
+        assert!(m.lesions().is_empty(), "transient lesion heals after its budget");
+        assert_eq!(m.read_u64(0x2000, 0).unwrap().0, 0x40);
+    }
+
+    #[test]
+    fn stuck_at_lesion_never_heals_and_corrupts_stores() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        let set = (0x3000u64 >> 6 & 0xff) as u32;
+        m.plant_lesion(data_lesion(CacheLevel::L1D, set, 0, u64::MAX));
+        m.write_u64(0x3000, 0x10, 0).unwrap();
+        // The store went through the damaged slot: the backing store holds
+        // the corrupted value even for functional (untimed) readers.
+        assert_eq!(m.read_u64_functional(0x3000).unwrap(), 0x11);
+        assert_eq!(m.lesions().len(), 1);
+    }
+
+    #[test]
+    fn way_lesion_covers_every_set_of_the_level() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.write_u64_functional(0x1000, 5).unwrap();
+        m.write_u64_functional(0x8000, 9).unwrap();
+        m.plant_lesion(CacheLesion {
+            level: CacheLevel::L1D,
+            target: LesionTarget::Way { way: 0 },
+            kind: LesionKind::Data,
+            effect: LesionEffect { set_mask: u64::MAX, set_value: 0, xor_mask: 0 },
+            remaining: u64::MAX,
+        });
+        assert_eq!(m.read_u64(0x1000, 0).unwrap().0, 0, "stuck-at-zero way");
+        assert_eq!(m.read_u64(0x8000, 0).unwrap().0, 0, "different set, same way");
+    }
+
+    #[test]
+    fn tag_lesion_serves_the_aliased_line() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        // Two addresses in the same L1D set whose tags differ by exactly
+        // bit 0 (set stride = 256 sets * 64 B = 16 KiB).
+        let a = 0x2000u64;
+        let alias = a + (256 << 6);
+        m.write_u64_functional(a, 0xaaaa).unwrap();
+        m.write_u64_functional(alias, 0xbbbb).unwrap();
+        let set = (a >> 6 & 0xff) as u32;
+        m.plant_lesion(CacheLesion {
+            level: CacheLevel::L1D,
+            target: LesionTarget::Line { set, way: 0 },
+            kind: LesionKind::Tag,
+            effect: LesionEffect { xor_mask: 1, ..LesionEffect::default() },
+            remaining: u64::MAX,
+        });
+        // Dirty the line, then read it back: the damaged tag answers for
+        // the aliased line — wrong data, not an abort.
+        m.write_u64(a, 0xcccc, 0).unwrap();
+        assert_eq!(m.read_u64(a, 0).unwrap().0, 0xbbbb);
+    }
+
+    #[test]
+    fn tag_lesion_with_unmapped_alias_falls_back_to_true_value() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.write_u64_functional(0x2000, 0x77).unwrap();
+        m.plant_lesion(CacheLesion {
+            level: CacheLevel::L1D,
+            target: LesionTarget::Line { set: (0x2000 >> 6 & 0xff) as u32, way: 0 },
+            kind: LesionKind::Tag,
+            // Flipping a high tag bit aliases far outside physical memory.
+            effect: LesionEffect { xor_mask: 1 << 40, ..LesionEffect::default() },
+            remaining: u64::MAX,
+        });
+        assert_eq!(m.read_u64(0x2000, 0).unwrap().0, 0x77, "unmapped alias is contained");
+    }
+
+    #[test]
+    fn fetch_lesion_bypasses_predecode_and_refuses_installs() {
+        use gemfi_isa::{decode, RawInstr};
+        let mut m = MemorySystem::new(MemConfig::default());
+        let i = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        let word = gemfi_isa::encode(&i).0;
+        m.write_u32_functional(0x4000, word).unwrap();
+        m.plant_lesion(CacheLesion {
+            level: CacheLevel::L1I,
+            target: LesionTarget::Way { way: 0 },
+            kind: LesionKind::Data,
+            effect: LesionEffect { xor_mask: 1 << 26, ..LesionEffect::default() },
+            remaining: u64::MAX,
+        });
+        let (raw, cached, _) = m.fetch_predecoded(0x4000).unwrap();
+        assert_eq!(cached, None, "lesioned fetch path must not serve predecode");
+        assert_eq!(raw, word ^ (1 << 26), "the damaged array corrupts the fetch");
+        // Installs are refused while the fetch path is lesioned — neither a
+        // corrupted decode nor even the true word may land.
+        if let Ok(instr) = decode(RawInstr(raw)) {
+            m.install_predecoded(0x4000, raw, instr);
+        }
+        m.install_predecoded(0x4000, word, i);
+        assert_eq!(m.peek_predecoded(0x4000), None);
+        // An entry installed *before* the lesion holds a true word: it may
+        // stay resident (it is bypassed while the lesion is active).
+        let mut pre = MemorySystem::new(MemConfig::default());
+        pre.write_u32_functional(0x4000, word).unwrap();
+        pre.install_predecoded(0x4000, word, i);
+        pre.plant_lesion(CacheLesion {
+            level: CacheLevel::L2,
+            target: LesionTarget::Way { way: 0 },
+            kind: LesionKind::Data,
+            effect: LesionEffect { xor_mask: 1 << 26, ..LesionEffect::default() },
+            remaining: u64::MAX,
+        });
+        let (_, cached, _) = pre.fetch_predecoded(0x4000).unwrap();
+        assert_eq!(cached, None, "resident true-word entry is bypassed, not served");
+        assert_eq!(pre.peek_predecoded(0x4000), Some(i));
+        // An L1D-only lesion leaves the fetch path (and predecode) alone.
+        let mut d = MemorySystem::new(MemConfig::default());
+        d.write_u32_functional(0x4000, word).unwrap();
+        d.plant_lesion(data_lesion(CacheLevel::L1D, 0, 0, u64::MAX));
+        d.install_predecoded(0x4000, word, i);
+        let (raw, cached, _) = d.fetch_predecoded(0x4000).unwrap();
+        assert_eq!((raw, cached), (word, Some(i)));
+    }
+
+    #[test]
+    fn lesions_survive_cache_invalidation() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        m.plant_lesion(data_lesion(CacheLevel::L2, 3, 1, u64::MAX));
+        m.invalidate_caches();
+        assert_eq!(m.lesions().len(), 1, "lesions damage the array, not the lines");
     }
 }

@@ -1,0 +1,201 @@
+//! Cache-array fault lesions: the memory-hierarchy half of the CHAOS-style
+//! fault catalog.
+//!
+//! A *lesion* is persistent damage to a cache array — a corrupted data
+//! entry, a corrupted tag, or a whole stuck-at way. The injection engine
+//! fires a cache fault spec exactly once and converts it into a
+//! [`CacheLesion`]; the CPU model plants the lesion into the
+//! [`MemorySystem`](crate::MemorySystem), which then corrupts every access
+//! that lands on the damaged slot until the lesion's budget of corrupting
+//! applications (`remaining`) runs out. `remaining == u64::MAX` models a
+//! stuck-at (permanent) lesion.
+//!
+//! The engine lives above this crate, so the spec-level behavior
+//! (`Set`/`Xor`/`Flip`/…) and MBU spatial pattern are pre-compiled into a
+//! self-contained bit transform ([`LesionEffect`]) — the memory system
+//! never needs to know the fault-specification language.
+
+use std::fmt;
+
+/// Which cache array a lesion damages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    /// The L1 instruction cache.
+    L1I,
+    /// The L1 data cache.
+    L1D,
+    /// The unified L2.
+    L2,
+}
+
+impl CacheLevel {
+    /// All levels, display order.
+    pub const ALL: [CacheLevel; 3] = [CacheLevel::L1I, CacheLevel::L1D, CacheLevel::L2];
+
+    /// Whether damage at this level can corrupt instruction fetches (and so
+    /// must force the predecode cache to be bypassed while active).
+    pub fn serves_fetch(self) -> bool {
+        matches!(self, CacheLevel::L1I | CacheLevel::L2)
+    }
+}
+
+impl fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheLevel::L1I => write!(f, "l1i"),
+            CacheLevel::L1D => write!(f, "l1d"),
+            CacheLevel::L2 => write!(f, "l2"),
+        }
+    }
+}
+
+impl std::str::FromStr for CacheLevel {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<CacheLevel, ()> {
+        match s {
+            "l1i" => Ok(CacheLevel::L1I),
+            "l1d" => Ok(CacheLevel::L1D),
+            "l2" => Ok(CacheLevel::L2),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Which slots of the array the lesion covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LesionTarget {
+    /// One line: a single (set, way) slot.
+    Line {
+        /// Set index (wrapped into the level's geometry when applied).
+        set: u32,
+        /// Way index within the set.
+        way: u32,
+    },
+    /// A whole way across every set (a stuck-at column of the array).
+    Way {
+        /// Way index within each set.
+        way: u32,
+    },
+}
+
+/// What the lesion damages: the data entry or the tag entry of the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LesionKind {
+    /// The data array: values read through (or written through) the slot
+    /// are corrupted by the effect.
+    Data,
+    /// The tag array: the slot answers for the wrong address, so reads that
+    /// hit it serve the aliased line's memory instead (wrong-data reads).
+    Tag,
+}
+
+/// A pre-compiled bit transform: `new = ((old & !set_mask) | (set_value &
+/// set_mask)) ^ xor_mask`. Every spec behavior (Set/AllZero/AllOne as
+/// overwrites, Xor/Flip as flips) restricted to an MBU spatial-pattern mask
+/// compiles to this shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LesionEffect {
+    /// Bits overwritten from `set_value`.
+    pub set_mask: u64,
+    /// Replacement bits (only those under `set_mask` matter).
+    pub set_value: u64,
+    /// Bits flipped after the overwrite.
+    pub xor_mask: u64,
+}
+
+impl LesionEffect {
+    /// Applies the transform to a 64-bit datum.
+    pub fn apply(self, value: u64) -> u64 {
+        ((value & !self.set_mask) | (self.set_value & self.set_mask)) ^ self.xor_mask
+    }
+
+    /// Whether the transform can never change any value.
+    pub fn is_identity(self) -> bool {
+        self.xor_mask == 0 && self.set_mask == 0
+    }
+}
+
+/// Persistent damage to one cache array, planted by the injection engine
+/// when a cache fault spec fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheLesion {
+    /// The damaged array.
+    pub level: CacheLevel,
+    /// The damaged slot(s).
+    pub target: LesionTarget,
+    /// Data-entry or tag-entry damage.
+    pub kind: LesionKind,
+    /// The bit transform applied on each corrupting access.
+    pub effect: LesionEffect,
+    /// Corrupting applications left before the lesion heals;
+    /// `u64::MAX` = stuck-at (never heals).
+    pub remaining: u64,
+}
+
+impl CacheLesion {
+    /// Whether the lesion covers the (set, way) slot of its level.
+    pub fn covers(&self, set: u64, way: u32, sets: u64) -> bool {
+        match self.target {
+            // The spec's set index is wrapped into the level's geometry so
+            // an out-of-range index stays a valid (contained) fault.
+            LesionTarget::Line { set: s, way: w } => {
+                (s as u64) % sets.max(1) == set % sets.max(1) && w == way
+            }
+            LesionTarget::Way { way: w } => w == way,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effect_composes_overwrite_then_flip() {
+        let e = LesionEffect { set_mask: 0xff00, set_value: 0xab00, xor_mask: 0x0001 };
+        assert_eq!(e.apply(0x1234), 0xab35);
+        assert!(!e.is_identity());
+        assert!(LesionEffect::default().is_identity());
+    }
+
+    #[test]
+    fn line_target_wraps_out_of_range_sets() {
+        let l = CacheLesion {
+            level: CacheLevel::L1D,
+            target: LesionTarget::Line { set: 300, way: 1 },
+            kind: LesionKind::Data,
+            effect: LesionEffect { xor_mask: 1, ..LesionEffect::default() },
+            remaining: 1,
+        };
+        // 300 % 256 == 44.
+        assert!(l.covers(44, 1, 256));
+        assert!(!l.covers(44, 0, 256));
+        assert!(!l.covers(45, 1, 256));
+    }
+
+    #[test]
+    fn way_target_covers_every_set() {
+        let l = CacheLesion {
+            level: CacheLevel::L2,
+            target: LesionTarget::Way { way: 3 },
+            kind: LesionKind::Data,
+            effect: LesionEffect { set_mask: u64::MAX, ..LesionEffect::default() },
+            remaining: u64::MAX,
+        };
+        assert!(l.covers(0, 3, 2048));
+        assert!(l.covers(2047, 3, 2048));
+        assert!(!l.covers(5, 2, 2048));
+    }
+
+    #[test]
+    fn levels_that_serve_fetch() {
+        assert!(CacheLevel::L1I.serves_fetch());
+        assert!(CacheLevel::L2.serves_fetch());
+        assert!(!CacheLevel::L1D.serves_fetch());
+        for level in CacheLevel::ALL {
+            assert_eq!(level.to_string().parse::<CacheLevel>(), Ok(level));
+        }
+        assert!("l3".parse::<CacheLevel>().is_err());
+    }
+}

@@ -31,6 +31,7 @@
 mod cache;
 mod config;
 mod hierarchy;
+mod lesion;
 mod phys;
 mod snapshot;
 mod stats;
@@ -39,6 +40,7 @@ pub use cache::{Cache, CacheConfig};
 pub use config::MemConfig;
 pub use gemfi_isa::PredecodeStats;
 pub use hierarchy::{AccessKind, MemorySystem};
+pub use lesion::{CacheLesion, CacheLevel, LesionEffect, LesionKind, LesionTarget};
 pub use phys::{PhysMem, PAGE_SIZE};
 pub use snapshot::{decode_image, encode_image};
 pub use stats::{CacheStats, MemStats};

@@ -1,0 +1,118 @@
+//! A Fig. 5-style outcome campaign over the *expanded* fault-model catalog:
+//! cache-hierarchy lesions (L1I / L1D / L2 data, tag, and way arrays, with
+//! MBU spatial patterns and transient-through-stuck-at persistence) and
+//! security-style behaviors (instruction skip, opcode replacement,
+//! branch-condition inversion), classified with the same outcome taxonomy
+//! as the paper's register/pipeline campaign.
+//!
+//! The DCT workload is used because its kernel is memory-rich, so cache
+//! lesions have live lines to damage.
+//!
+//! ```text
+//! cargo run --release --example fault_models_campaign
+//! ```
+
+use gemfi::{CacheLevel, FaultBehavior, FaultSpec};
+use gemfi_campaign::{prepare_workload, run_experiment, FaultSampler, OutcomeTable, RunnerConfig};
+use gemfi_workloads::dct::Dct;
+use gemfi_workloads::Workload;
+
+/// Draws security specs until one carries the wanted behavior, so each
+/// behavior gets its own table row.
+fn sample_security_kind(sampler: &mut FaultSampler, want: fn(&FaultBehavior) -> bool) -> FaultSpec {
+    loop {
+        let spec = sampler.sample_security();
+        if want(&spec.behavior) {
+            return spec;
+        }
+    }
+}
+
+fn main() {
+    let workload = Dct::default();
+    println!("preparing {} (checkpoint + golden run)…", workload.name());
+    let prepared = prepare_workload(&workload).expect("prepares");
+    println!(
+        "  fault space: {:?} events/stage, kernel {} ticks",
+        prepared.stage_events, prepared.kernel_ticks
+    );
+
+    let per_family = 40;
+    let mut sampler = FaultSampler::new(0x5eed_cafe, prepared.stage_events, 0, 0);
+    let runner = RunnerConfig::default();
+
+    println!("\nrunning {per_family} experiments per fault-model family…\n");
+    println!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "family", "crash", "nonprop", "strict", "correct", "sdc", "infra"
+    );
+
+    type Draw = Box<dyn FnMut(&mut FaultSampler) -> FaultSpec>;
+    let families: Vec<(&str, Draw)> = vec![
+        ("l1i-cache", Box::new(|s: &mut FaultSampler| s.sample_cache(CacheLevel::L1I))),
+        ("l1d-cache", Box::new(|s: &mut FaultSampler| s.sample_cache(CacheLevel::L1D))),
+        ("l2-cache", Box::new(|s: &mut FaultSampler| s.sample_cache(CacheLevel::L2))),
+        (
+            "skip",
+            Box::new(|s: &mut FaultSampler| {
+                sample_security_kind(s, |b| matches!(b, FaultBehavior::Skip))
+            }),
+        ),
+        (
+            "opcode",
+            Box::new(|s: &mut FaultSampler| {
+                sample_security_kind(s, |b| matches!(b, FaultBehavior::Opcode(_)))
+            }),
+        ),
+        (
+            "invert-branch",
+            Box::new(|s: &mut FaultSampler| {
+                sample_security_kind(s, |b| matches!(b, FaultBehavior::InvertBranch))
+            }),
+        ),
+    ];
+
+    for (name, mut draw) in families {
+        let mut table = OutcomeTable::new();
+        for _ in 0..per_family {
+            let spec = draw(&mut sampler);
+            let result = run_experiment(&prepared, &workload, spec, &runner);
+            table.add(result.outcome);
+        }
+        println!("{name:<14} {table}");
+    }
+
+    // The random rows sample the paper's transient single-bit upset model,
+    // where spatial masking dominates (a random slot rarely intersects the
+    // kernel's resident lines before the lesion heals). The stuck-at corner
+    // is the opposite extreme: a permanent all-one way-0 lesion sits under
+    // every cold fill.
+    println!("\nstuck-at corner (way 0, AllOne, occ:perm, fired mid-kernel):\n");
+    for level in CacheLevel::ALL {
+        let spec = FaultSpec {
+            location: gemfi::FaultLocation::CacheWay {
+                core: 0,
+                level,
+                way: 0,
+                pattern: gemfi::MbuPattern::Single,
+            },
+            thread: 0,
+            timing: gemfi::FaultTiming::Instructions(
+                prepared.stage_events[spec_stage_events_index(level)] / 2,
+            ),
+            behavior: FaultBehavior::AllOne,
+            occurrences: gemfi::spec::OCC_PERMANENT,
+        };
+        let result = run_experiment(&prepared, &workload, spec, &runner);
+        println!("{:<14} {:?} ({})", format!("{level}-way0"), result.outcome, result.exit);
+    }
+}
+
+/// The stage-events slot a cache level's timing counts against (L1I fires
+/// on fetch events; L1D/L2 on memory events).
+fn spec_stage_events_index(level: CacheLevel) -> usize {
+    match level {
+        CacheLevel::L1I => 0,
+        CacheLevel::L1D | CacheLevel::L2 => 3,
+    }
+}

@@ -48,6 +48,33 @@ fn specs_for(p: &PreparedWorkload) -> Vec<FaultSpec> {
             behavior: FaultBehavior::Flip(5),
             occurrences: 1_000,
         },
+        // Cache-line lesion (memory-hierarchy axis): one-shot firing plants
+        // persistent damage in the memory system — state that lives outside
+        // ArchState, so a forked suffix must plant and apply it exactly as
+        // a whole run does. Memory-stage timing counts *memory events*, of
+        // which this kernel serves only a handful — time it to the second.
+        FaultSpec {
+            location: FaultLocation::CacheData {
+                core: 0,
+                level: gemfi::CacheLevel::L1D,
+                set: 7,
+                way: 0,
+                pattern: gemfi::MbuPattern::Row(1),
+            },
+            thread: 0,
+            timing: FaultTiming::Instructions(2),
+            behavior: FaultBehavior::Flip(9),
+            occurrences: 5,
+        },
+        // Instruction skip (security axis): fires on the Fetch queue and
+        // carries armed per-core state across the fork boundary.
+        FaultSpec {
+            location: FaultLocation::Fetch { core: 0 },
+            thread: 0,
+            timing: FaultTiming::Instructions(committed / 2),
+            behavior: FaultBehavior::Skip,
+            occurrences: 1,
+        },
     ]
 }
 
