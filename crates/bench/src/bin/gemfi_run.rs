@@ -47,6 +47,7 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, args: &Args)
     let mut config = MachineConfig { cpu, ..MachineConfig::default() };
     config.mem.predecode = !args.has("no-predecode");
     config.mem.cow = !args.has("no-cow");
+    config.mem.superblock = !args.has("no-superblock");
     config.elide = !args.has("no-elide");
     let mut machine =
         Machine::boot(config, &program, GemFiEngine::new(faults)).unwrap_or_else(|t| {
@@ -105,8 +106,12 @@ fn run_campaign_mode(
         resume: args.has("resume"),
         ..NowConfig::new(args.number("workstations", 3usize), args.number("slots", 2usize), share)
     };
-    let runner =
-        RunnerConfig { inject_cpu: cpu, elide: !args.has("no-elide"), ..RunnerConfig::default() };
+    let runner = RunnerConfig {
+        inject_cpu: cpu,
+        elide: !args.has("no-elide"),
+        superblock: !args.has("no-superblock"),
+        ..RunnerConfig::default()
+    };
     println!(
         "campaign: {} x {} on {} ws x {} slots | share {share} | seed {seed} | resume: {}",
         experiments,
@@ -166,7 +171,7 @@ fn main() {
     let Some(name) = args.value_of("workload") else {
         eprintln!(
             "usage: gemfi_run (--workload <name> | --program <file.s>) \
-       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode] [--no-cow] [--no-elide]"
+       [--faults <file>] [--cpu o3|atomic|inorder|timing] [--no-predecode] [--no-cow] [--no-elide] [--no-superblock]"
         );
         eprintln!(
             "       gemfi_run --workload <name> --campaign <experiments> --share <dir> \
@@ -203,7 +208,10 @@ fn main() {
     }
 
     let mut machine_config = gemfi_workloads::workload_machine_config(CpuKind::Atomic);
+    machine_config.mem.predecode = !args.has("no-predecode");
     machine_config.mem.cow = !args.has("no-cow");
+    machine_config.mem.superblock = !args.has("no-superblock");
+    machine_config.elide = !args.has("no-elide");
     let prepared = gemfi_campaign::prepare_workload_with(workload.as_ref(), machine_config)
         .unwrap_or_else(|e| {
             eprintln!("prepare failed: {e}");
@@ -222,8 +230,12 @@ fn main() {
         return;
     }
 
-    let runner =
-        RunnerConfig { inject_cpu: cpu, elide: !args.has("no-elide"), ..RunnerConfig::default() };
+    let runner = RunnerConfig {
+        inject_cpu: cpu,
+        elide: !args.has("no-elide"),
+        superblock: !args.has("no-superblock"),
+        ..RunnerConfig::default()
+    };
     let result = run_experiment_multi(&prepared, workload.as_ref(), faults.faults(), &runner);
 
     println!("\ninjections:");

@@ -53,6 +53,9 @@ pub struct RunnerConfig {
     /// Drive restored machines with the dormancy-elision fast path
     /// (architecturally invisible; disable for the ablation benchmark).
     pub elide: bool,
+    /// Execute superblock translations inside dormant sprints
+    /// (architecturally invisible; disable for the ablation benchmark).
+    pub superblock: bool,
 }
 
 /// How much coarser the chunk granularity gets once the engine is dormant.
@@ -67,6 +70,7 @@ impl Default for RunnerConfig {
             watchdog_factor: 30,
             chunk: 20_000,
             elide: true,
+            superblock: true,
         }
     }
 }
@@ -257,6 +261,7 @@ pub fn drive_whole_run(
         engine,
     );
     machine.set_elide(config.elide);
+    machine.set_superblock(config.superblock);
     let (exit, aborted) = drive_to_completion(&mut machine, config, abort, checkpoint.tick());
     (machine, exit, aborted)
 }
@@ -363,6 +368,7 @@ pub fn run_experiment_multi_with_abort(
         engine,
     );
     machine.set_elide(config.elide);
+    machine.set_superblock(config.superblock);
     let (exit, aborted) =
         drive_to_completion(&mut machine, config, abort, prepared.checkpoint.tick());
     finish_result(machine, prepared.checkpoint.tick(), prepared, workload, specs[0], exit, aborted)

@@ -289,6 +289,25 @@ impl<'h, H: FaultHooks> ElidedHooks<'h, H> {
         self.interrupted
     }
 
+    /// Folds a superblock run's bulk event counts into the batch — the
+    /// counts the per-instruction path would have accumulated hook-by-hook
+    /// for the same instructions (`events` in stage-queue order, `last_now`
+    /// the start tick of the last instruction that *started*). Batch
+    /// partitioning is absorption-insensitive, so delivering these together
+    /// with per-instruction counts is tick- and event-identical.
+    pub fn record_block(&mut self, core: usize, last_now: Option<Ticks>, events: [u64; 5]) {
+        if !self.count {
+            return;
+        }
+        self.core = core;
+        for (acc, n) in self.batch.stage_events.iter_mut().zip(events) {
+            *acc += n;
+        }
+        if let Some(now) = last_now {
+            self.last_now = Some(now);
+        }
+    }
+
     /// Delivers the accumulated batch to the inner hooks and resets it.
     pub fn flush(&mut self) {
         if self.batch.is_empty() && self.last_now.is_none() {

@@ -386,19 +386,29 @@ pub fn gen_case_spec(seed: u64, rng: &mut SplitMix64) -> FaultSpec {
     }
 }
 
+/// Stream-separation constant for the superblock machine knob (PR 8).
+/// Like [`NEW_AXES_STREAM`], it keeps the main stream's draw count frozen:
+/// the superblock coin comes off its own stream seeded with
+/// `seed ^ SUPERBLOCK_STREAM`, so every committed seed still draws its
+/// documented program, machine, and fault spec bit-identically.
+const SUPERBLOCK_STREAM: u64 = 0x7375_7065_7262_6c6b;
+
 /// Samples the machine space: every CPU model crossed with the predecode,
-/// copy-on-write, and dormancy-elision knobs.
-pub fn gen_machine(rng: &mut SplitMix64) -> MachineConfig {
+/// copy-on-write, dormancy-elision, and superblock knobs.
+pub fn gen_machine(seed: u64, rng: &mut SplitMix64) -> MachineConfig {
     // Draw order is part of the seed contract: cpu, predecode, cow, elide.
     let cpu =
         [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3][rng.below(4) as usize];
     let predecode = rng.coin();
     let cow = rng.coin();
     let elide = rng.coin();
+    // The superblock knob rides its own stream (see SUPERBLOCK_STREAM).
+    let superblock = SplitMix64::new(seed ^ SUPERBLOCK_STREAM).coin();
     let mut config =
         MachineConfig { cpu, elide, max_ticks: CASE_MAX_TICKS, ..MachineConfig::default() };
     config.mem.predecode = predecode;
     config.mem.cow = cow;
+    config.mem.superblock = superblock;
     config
 }
 
@@ -486,7 +496,7 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
 pub fn run_case(seed: u64) -> Result<CaseReport, FuzzFailure> {
     let mut rng = SplitMix64::new(seed);
     let program = gen_program(&mut rng);
-    let config = gen_machine(&mut rng);
+    let config = gen_machine(seed, &mut rng);
     let spec = gen_case_spec(seed, &mut rng);
     let fail = |failure: CaseFailure| FuzzFailure {
         seed,
@@ -632,7 +642,7 @@ mod tests {
     fn spec_for_seed(seed: u64) -> FaultSpec {
         let mut rng = SplitMix64::new(seed);
         let _ = gen_program(&mut rng);
-        let _ = gen_machine(&mut rng);
+        let _ = gen_machine(seed, &mut rng);
         gen_case_spec(seed, &mut rng)
     }
 

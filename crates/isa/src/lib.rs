@@ -51,6 +51,8 @@ pub mod instr;
 pub mod opcode;
 pub mod predecode;
 pub mod regs;
+pub mod semantics;
+pub mod superblock;
 pub mod trap;
 
 pub use arch::{ArchState, PSR_INT_ENABLE, PSR_KERNEL};
@@ -60,6 +62,10 @@ pub use instr::{decode, encode, Instr, JumpKind, MemOp, Operand};
 pub use opcode::{BranchCond, FpBranchCond, FpFunc, IntFunc, Opcode, PalFunc};
 pub use predecode::{PredecodeCache, PredecodeStats, DEFAULT_PREDECODE_ENTRIES};
 pub use regs::{FpReg, IntReg, RegFile, RegRef, SpecialReg};
+pub use superblock::{
+    BlockRun, SbMemory, Superblock, SuperblockCache, SuperblockStats, DEFAULT_SUPERBLOCK_ENTRIES,
+    MAX_SUPERBLOCK_UOPS,
+};
 pub use trap::{ExecError, SimError, Trap};
 
 /// Size of one instruction word in bytes. All instructions are 32 bits.

@@ -1,0 +1,127 @@
+//! Pure instruction semantics: the ALU/FPU evaluation functions shared by
+//! every CPU model *and* by the superblock translator.
+//!
+//! These used to live in `gemfi_cpu::exec`; they moved down into the ISA
+//! crate so the superblock micro-op handlers ([`crate::superblock`]) can
+//! call them without a dependency cycle. `gemfi_cpu::exec` re-exports them,
+//! so the models (and the O3 core's execution machinery) are unchanged.
+//! Architectural behaviour must stay identical across models — the paper's
+//! methodology switches models mid-run, which is only sound if they agree
+//! functionally.
+
+use crate::opcode::{FpBranchCond, FpFunc, IntFunc};
+
+/// Evaluates an integer operate (no conditional moves; see [`cmov_cond`]).
+pub fn alu(func: IntFunc, a: u64, b: u64) -> u64 {
+    use IntFunc::*;
+    match func {
+        Addl => (a.wrapping_add(b) as i32) as i64 as u64,
+        Addq => a.wrapping_add(b),
+        Subl => (a.wrapping_sub(b) as i32) as i64 as u64,
+        Subq => a.wrapping_sub(b),
+        Cmpeq => (a == b) as u64,
+        Cmplt => ((a as i64) < (b as i64)) as u64,
+        Cmple => ((a as i64) <= (b as i64)) as u64,
+        Cmpult => (a < b) as u64,
+        Cmpule => (a <= b) as u64,
+        S8addq => a.wrapping_mul(8).wrapping_add(b),
+        And => a & b,
+        Bic => a & !b,
+        Bis => a | b,
+        Ornot => a | !b,
+        Xor => a ^ b,
+        Eqv => !(a ^ b),
+        Sll => a.wrapping_shl((b & 63) as u32),
+        Srl => a.wrapping_shr((b & 63) as u32),
+        Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Mull => (a.wrapping_mul(b) as i32) as i64 as u64,
+        Mulq => a.wrapping_mul(b),
+        Umulh => (((a as u128) * (b as u128)) >> 64) as u64,
+        Cmoveq | Cmovne | Cmovlt | Cmovge | Cmovle | Cmovgt => {
+            unreachable!("conditional moves are resolved by the caller")
+        }
+    }
+}
+
+/// For conditional moves, evaluates the move condition on `ra`; `None` for
+/// non-cmov operations.
+pub fn cmov_cond(func: IntFunc, ra: u64) -> Option<bool> {
+    let s = ra as i64;
+    Some(match func {
+        IntFunc::Cmoveq => ra == 0,
+        IntFunc::Cmovne => ra != 0,
+        IntFunc::Cmovlt => s < 0,
+        IntFunc::Cmovge => s >= 0,
+        IntFunc::Cmovle => s <= 0,
+        IntFunc::Cmovgt => s > 0,
+        _ => return None,
+    })
+}
+
+/// Evaluates an FP operate on raw IEEE-754 bit patterns (no FP conditional
+/// moves; the caller resolves those like integer cmovs).
+///
+/// Arithmetic goes through host `f64` operations — IEEE-754 semantics are
+/// deterministic and identical on every host, which keeps checkpoints and
+/// golden outputs bit-stable.
+pub fn fpu(func: FpFunc, a_bits: u64, b_bits: u64) -> u64 {
+    use FpFunc::*;
+    let a = f64::from_bits(a_bits);
+    let b = f64::from_bits(b_bits);
+    match func {
+        Addt => (a + b).to_bits(),
+        Subt => (a - b).to_bits(),
+        Mult => (a * b).to_bits(),
+        Divt => (a / b).to_bits(),
+        Sqrtt => b.sqrt().to_bits(),
+        // Alpha encodes FP compare results as 2.0 / 0.0.
+        Cmpteq => {
+            if a == b {
+                2.0f64.to_bits()
+            } else {
+                0
+            }
+        }
+        Cmptlt => {
+            if a < b {
+                2.0f64.to_bits()
+            } else {
+                0
+            }
+        }
+        Cmptle => {
+            if a <= b {
+                2.0f64.to_bits()
+            } else {
+                0
+            }
+        }
+        Cvtqt => (b_bits as i64 as f64).to_bits(),
+        Cvttq => {
+            // Truncate toward zero; saturate like hardware instead of UB.
+            let t = b.trunc();
+            if t.is_nan() {
+                0
+            } else if t >= i64::MAX as f64 {
+                i64::MAX as u64
+            } else if t <= i64::MIN as f64 {
+                i64::MIN as u64
+            } else {
+                (t as i64) as u64
+            }
+        }
+        Cpys => (a_bits & (1 << 63)) | (b_bits & !(1 << 63)),
+        Cpysn => ((a_bits ^ (1 << 63)) & (1 << 63)) | (b_bits & !(1 << 63)),
+        Fcmoveq | Fcmovne => unreachable!("FP conditional moves resolved by the caller"),
+        Itoft | Ftoit => unreachable!("cross-bank moves have dedicated variants"),
+    }
+}
+
+/// For FP conditional moves, evaluates the condition on `fa` bits.
+pub fn fp_cmov_cond(func: FpFunc, fa_bits: u64) -> Option<bool> {
+    match func {
+        FpFunc::Fcmoveq => Some(FpBranchCond::Eq.eval(fa_bits)),
+        FpFunc::Fcmovne => Some(FpBranchCond::Ne.eval(fa_bits)),
+        _ => None,
+    }
+}

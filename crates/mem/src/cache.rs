@@ -187,6 +187,16 @@ impl Cache {
             *l = Line::default();
         }
     }
+
+    /// Returns the cache to its freshly-built state: lines, LRU clock, and
+    /// statistics — exactly what [`Cache::new`] with the same geometry
+    /// produces. Stronger than [`Cache::invalidate_all`], which keeps the
+    /// clock and counters.
+    pub fn reset_cold(&mut self) {
+        self.invalidate_all();
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
 }
 
 #[cfg(test)]

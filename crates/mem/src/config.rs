@@ -26,6 +26,13 @@ pub struct MemConfig {
     /// contents, traps, and serialized images are identical either way, so
     /// like `predecode` the flag is *not* serialized into checkpoints.
     pub cow: bool,
+    /// Whether straight-line guest regions are pre-translated into
+    /// superblocks of micro-ops and executed by threaded dispatch while the
+    /// fault engine is dormant. Purely a performance knob layered above
+    /// `predecode`: architectural results are identical either way (the
+    /// translation cache is derived state), so the flag is deliberately
+    /// *not* serialized into checkpoints.
+    pub superblock: bool,
 }
 
 impl Default for MemConfig {
@@ -40,6 +47,7 @@ impl Default for MemConfig {
             dram_latency: 80,
             predecode: true,
             cow: true,
+            superblock: true,
         }
     }
 }

@@ -6,7 +6,9 @@ use crate::lesion::{CacheLesion, CacheLevel, LesionKind};
 use crate::phys::PhysMem;
 use crate::stats::MemStats;
 use crate::Ticks;
-use gemfi_isa::{Instr, PredecodeCache, Trap};
+use gemfi_isa::superblock::{translate, SbMemory};
+use gemfi_isa::{Instr, PredecodeCache, Superblock, SuperblockCache, Trap};
+use std::sync::Arc;
 
 /// Which port an access uses (instruction or data side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,11 @@ pub struct MemorySystem {
     /// in the memory system so every store path — timed, functional, and
     /// bulk — can invalidate overlapping entries.
     predecode: PredecodeCache,
+    /// Superblock translation cache (derived state, never serialized). Same
+    /// residency rule as `predecode`: every store path invalidates
+    /// overlapping translations, and any lesion on the fetch path refuses
+    /// lookups and installs.
+    superblocks: SuperblockCache,
     /// Planted cache-array lesions (fault state, never serialized: restore
     /// rebuilds lesion-free, and forks clone the machine before any fault
     /// fires). A lesion survives `invalidate_caches` — it damages the
@@ -67,6 +74,7 @@ impl MemorySystem {
             l2: Cache::new(config.l2),
             dram_accesses: 0,
             predecode: PredecodeCache::new(config.predecode),
+            superblocks: SuperblockCache::new(config.superblock),
             lesions: Vec::new(),
             config,
         }
@@ -321,6 +329,56 @@ impl MemorySystem {
         self.predecode.clear();
     }
 
+    /// Drops all superblock translations and their counters (derived-state
+    /// reset on checkpoint capture/restore and CPU-model switch).
+    pub fn clear_superblocks(&mut self) {
+        self.superblocks.clear();
+    }
+
+    /// Flips the superblock knob post-construction (restored machines come
+    /// up with the default; the campaign runner re-applies its config).
+    /// Disabling drops every translation and counter.
+    pub fn set_superblock(&mut self, enabled: bool) {
+        self.config.superblock = enabled;
+        self.superblocks.set_enabled(enabled);
+    }
+
+    /// The superblock starting exactly at `pc`, translating and installing
+    /// it on a miss. Refuses (`None`) while the knob is off, while any
+    /// cache lesion is planted (block execution skips the hierarchy walk
+    /// entirely, so *no* lesioned path — fetch or data — may be live), or
+    /// when the head instruction cannot be translated.
+    ///
+    /// Translation fetches functionally: like predecode installs, building
+    /// host-side derived state must not perturb cache stats or timing.
+    pub fn superblock_at(&mut self, pc: u64) -> Option<Arc<Superblock>> {
+        if !self.superblocks.enabled() || !self.lesions.is_empty() {
+            return None;
+        }
+        if let Some(block) = self.superblocks.lookup(pc) {
+            return Some(block);
+        }
+        let phys = &self.phys;
+        match translate(pc, |addr| phys.read_u32(addr, 0).ok()) {
+            Some(block) => Some(self.superblocks.install(block)),
+            None => {
+                self.superblocks.note_untranslatable();
+                None
+            }
+        }
+    }
+
+    /// Notes micro-ops committed through superblock execution.
+    pub fn note_superblock_run(&mut self, uops: u64) {
+        self.superblocks.note_executed(uops);
+    }
+
+    /// Notes a cached superblock skipped because it did not fit the
+    /// sprint's remaining tick or event budget.
+    pub fn note_superblock_fallback(&mut self) {
+        self.superblocks.note_budget_fallback();
+    }
+
     /// Timed 64-bit data read.
     ///
     /// # Errors
@@ -361,6 +419,7 @@ impl MemorySystem {
     pub fn write_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<Ticks, Trap> {
         self.phys.write_u64(addr, value, pc)?;
         self.predecode.invalidate_range(addr, 8);
+        self.superblocks.invalidate_range(addr, 8);
         if self.lesions.is_empty() {
             return Ok(self.latency(addr, AccessKind::Write));
         }
@@ -377,6 +436,7 @@ impl MemorySystem {
     pub fn write_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<Ticks, Trap> {
         self.phys.write_u32(addr, value, pc)?;
         self.predecode.invalidate_range(addr, 4);
+        self.superblocks.invalidate_range(addr, 4);
         if self.lesions.is_empty() {
             return Ok(self.latency(addr, AccessKind::Write));
         }
@@ -402,6 +462,7 @@ impl MemorySystem {
     pub fn write_u64_functional(&mut self, addr: u64, value: u64) -> Result<(), Trap> {
         self.phys.write_u64(addr, value, 0)?;
         self.predecode.invalidate_range(addr, 8);
+        self.superblocks.invalidate_range(addr, 8);
         Ok(())
     }
 
@@ -422,6 +483,7 @@ impl MemorySystem {
     pub fn write_u32_functional(&mut self, addr: u64, value: u32) -> Result<(), Trap> {
         self.phys.write_u32(addr, value, 0)?;
         self.predecode.invalidate_range(addr, 4);
+        self.superblocks.invalidate_range(addr, 4);
         Ok(())
     }
 
@@ -433,6 +495,7 @@ impl MemorySystem {
     pub fn write_slice(&mut self, addr: u64, data: &[u8]) -> Result<(), Trap> {
         self.phys.write_slice(addr, data)?;
         self.predecode.invalidate_range(addr, data.len() as u64);
+        self.superblocks.invalidate_range(addr, data.len() as u64);
         Ok(())
     }
 
@@ -473,6 +536,7 @@ impl MemorySystem {
             l2: *self.l2.stats(),
             dram_accesses: self.dram_accesses,
             predecode: self.predecode.stats(),
+            superblock: self.superblocks.stats(),
         }
     }
 
@@ -481,6 +545,56 @@ impl MemorySystem {
         self.l1i.invalidate_all();
         self.l1d.invalidate_all();
         self.l2.invalidate_all();
+    }
+
+    /// Returns every cache level (tags, LRU clocks, statistics) and the DRAM
+    /// counter to the freshly-built state — exactly what decoding a
+    /// serialized image produces. Checkpoint capture and restore call this
+    /// so an in-process checkpoint behaves identically to one that
+    /// round-tripped through bytes: the image deliberately carries no cache
+    /// state, so the in-memory object must not either. Without it, the warm
+    /// capture-time tag state leaks into restored runs — and since fast
+    /// paths that legitimately skip the hierarchy walk (superblock
+    /// execution) leave different warm state than stepped runs, restored
+    /// detailed-model timing would depend on host-side knobs.
+    pub fn reset_caches(&mut self) {
+        self.l1i.reset_cold();
+        self.l1d.reset_cold();
+        self.l2.reset_cold();
+        self.dram_accesses = 0;
+    }
+}
+
+/// The memory surface superblock micro-ops execute against: direct
+/// physical loads and stores, no hierarchy walk. Only reachable while the
+/// machine is dormant on the atomic model with no lesions planted
+/// (`Machine::sprint` gates it; `superblock_at` refuses otherwise) — and
+/// the atomic model charges one tick per committed instruction regardless
+/// of memory latency, so skipping the walk is tick-invisible. Cache
+/// hit/miss counters diverge from the knob-off run, exactly like the
+/// original substrate's KVM-style fast-forward; they are diagnostics, never
+/// serialized, and never part of outcome classification.
+impl SbMemory for MemorySystem {
+    fn load_u64(&mut self, addr: u64, pc: u64) -> Result<u64, Trap> {
+        self.phys.read_u64(addr, pc)
+    }
+
+    fn load_u32(&mut self, addr: u64, pc: u64) -> Result<u32, Trap> {
+        self.phys.read_u32(addr, pc)
+    }
+
+    fn store_u64(&mut self, addr: u64, value: u64, pc: u64) -> Result<(), Trap> {
+        self.phys.write_u64(addr, value, pc)?;
+        self.predecode.invalidate_range(addr, 8);
+        self.superblocks.invalidate_range(addr, 8);
+        Ok(())
+    }
+
+    fn store_u32(&mut self, addr: u64, value: u32, pc: u64) -> Result<(), Trap> {
+        self.phys.write_u32(addr, value, pc)?;
+        self.predecode.invalidate_range(addr, 4);
+        self.superblocks.invalidate_range(addr, 4);
+        Ok(())
     }
 }
 
@@ -586,6 +700,109 @@ mod tests {
             store(&mut m);
             assert_eq!(m.peek_predecoded(0x4000), None, "store must invalidate");
         }
+    }
+
+    /// A two-instruction straight-line block (`addq; br`) at `addr`.
+    fn put_block(m: &mut MemorySystem, addr: u64) {
+        let add = gemfi_isa::Instr::IntOp {
+            func: gemfi_isa::opcode::IntFunc::Addq,
+            ra: gemfi_isa::IntReg::new(1).unwrap(),
+            rb: gemfi_isa::Operand::Lit(1),
+            rc: gemfi_isa::IntReg::new(1).unwrap(),
+        };
+        let br = gemfi_isa::Instr::Br { ra: gemfi_isa::IntReg::new(31).unwrap(), disp: 0 };
+        m.write_u32_functional(addr, gemfi_isa::encode(&add).0).unwrap();
+        m.write_u32_functional(addr + 4, gemfi_isa::encode(&br).0).unwrap();
+    }
+
+    #[test]
+    fn superblock_translates_installs_and_hits() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        put_block(&mut m, 0x4000);
+        let b = m.superblock_at(0x4000).expect("translates");
+        assert_eq!((b.start(), b.len()), (0x4000, 2));
+        m.superblock_at(0x4000).expect("hit");
+        let s = m.stats().superblock;
+        assert_eq!((s.blocks_built, s.hits, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn every_store_path_invalidates_superblocks() {
+        let stores: [&dyn Fn(&mut MemorySystem); 6] = [
+            &|m| {
+                m.write_u32(0x4004, 0, 0).unwrap();
+            },
+            &|m| {
+                m.write_u64(0x4000, 0, 0).unwrap();
+            },
+            &|m| m.write_u32_functional(0x4004, 0).unwrap(),
+            &|m| m.write_u64_functional(0x4000, 0).unwrap(),
+            &|m| m.write_slice(0x3ffe, &[0; 8]).unwrap(),
+            &|m| SbMemory::store_u32(m, 0x4004, 0, 0).unwrap(),
+        ];
+        for store in stores {
+            let mut m = MemorySystem::new(MemConfig::default());
+            put_block(&mut m, 0x4000);
+            m.superblock_at(0x4000).expect("translates");
+            store(&mut m);
+            assert_eq!(
+                m.stats().superblock.invalidations,
+                1,
+                "store must drop the overlapping block"
+            );
+            // A re-lookup retranslates from the patched bytes (all stores
+            // zeroed at least one instruction word, so the stale two-op
+            // block can never be served again).
+            if let Some(b) = m.superblock_at(0x4000) {
+                assert!(b.len() < 2, "stale block must not survive the store");
+            }
+        }
+    }
+
+    #[test]
+    fn superblocks_refuse_while_any_lesion_is_planted() {
+        use crate::lesion::{LesionEffect, LesionTarget};
+        let mut m = MemorySystem::new(MemConfig::default());
+        put_block(&mut m, 0x4000);
+        m.superblock_at(0x4000).expect("translates while healthy");
+        // A *data*-side lesion must also refuse: block execution skips the
+        // hierarchy walk entirely, so no lesioned path may be live.
+        m.plant_lesion(CacheLesion {
+            level: CacheLevel::L1D,
+            target: LesionTarget::Line { set: 0, way: 0 },
+            kind: LesionKind::Data,
+            effect: LesionEffect { xor_mask: 1, ..LesionEffect::default() },
+            remaining: u64::MAX,
+        });
+        assert!(m.superblock_at(0x4000).is_none(), "lesioned machine refuses");
+        // One lesioned read burns the single-application budget; once the
+        // lesion heals, blocks are served again.
+        let mut l = m.lesions()[0];
+        l.remaining = 1;
+        m.lesions.clear();
+        m.plant_lesion(l);
+        m.read_u64(0, 0).unwrap();
+        assert!(m.lesions().is_empty(), "transient lesion healed");
+        assert!(m.superblock_at(0x4000).is_some(), "healed machine serves again");
+    }
+
+    #[test]
+    fn disabled_superblocks_never_serve_or_count() {
+        let mut m = MemorySystem::new(MemConfig { superblock: false, ..MemConfig::default() });
+        put_block(&mut m, 0x4000);
+        assert!(m.superblock_at(0x4000).is_none());
+        assert_eq!(m.stats().superblock, gemfi_isa::SuperblockStats::default());
+    }
+
+    #[test]
+    fn clear_superblocks_drops_translations_and_counters() {
+        let mut m = MemorySystem::new(MemConfig::default());
+        put_block(&mut m, 0x4000);
+        m.superblock_at(0x4000).expect("translates");
+        m.clear_superblocks();
+        assert_eq!(m.stats().superblock, gemfi_isa::SuperblockStats::default());
+        let b = m.superblock_at(0x4000).expect("retranslates after clear");
+        assert_eq!(b.len(), 2);
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod stats;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::MemConfig;
-pub use gemfi_isa::PredecodeStats;
+pub use gemfi_isa::{PredecodeStats, SuperblockStats};
 pub use hierarchy::{AccessKind, MemorySystem};
 pub use lesion::{CacheLesion, CacheLevel, LesionEffect, LesionKind, LesionTarget};
 pub use phys::{PhysMem, PAGE_SIZE};

@@ -107,9 +107,9 @@ impl Codec for MemorySystem {
             c.line = r.get_len()?;
             c.hit_latency = r.get_u64()?;
         }
-        // The predecode and CoW flags are host-side performance knobs, not
-        // machine state — they are not in the stream (keeping the v2 image
-        // stable) and restore to the defaults.
+        // The predecode, CoW, and superblock flags are host-side performance
+        // knobs, not machine state — they are not in the stream (keeping the
+        // v2 image stable) and restore to the defaults.
         let config = MemConfig {
             phys_size,
             l1i: caches[0],
@@ -118,6 +118,7 @@ impl Codec for MemorySystem {
             dram_latency,
             predecode: MemConfig::default().predecode,
             cow: MemConfig::default().cow,
+            superblock: MemConfig::default().superblock,
         };
         let image = decode_image(r)?;
         if image.len() != phys_size {

@@ -4,7 +4,7 @@
 //! provided by the simulator" between GemFI and unmodified gem5; these
 //! counters are that surface for the memory side.
 
-use gemfi_isa::PredecodeStats;
+use gemfi_isa::{PredecodeStats, SuperblockStats};
 use std::fmt;
 
 /// Hit/miss counters for one cache.
@@ -60,6 +60,8 @@ pub struct MemStats {
     pub dram_accesses: u64,
     /// Predecoded-instruction cache counters (all zero when disabled).
     pub predecode: PredecodeStats,
+    /// Superblock translation cache counters (all zero when disabled).
+    pub superblock: SuperblockStats,
 }
 
 impl fmt::Display for MemStats {
@@ -68,13 +70,25 @@ impl fmt::Display for MemStats {
         writeln!(f, "l1d: {}", self.l1d)?;
         writeln!(f, "l2:  {}", self.l2)?;
         writeln!(f, "dram accesses: {}", self.dram_accesses)?;
-        write!(
+        writeln!(
             f,
             "predecode: hits={} misses={} invalidations={} hit_ratio={:.4}",
             self.predecode.hits,
             self.predecode.misses,
             self.predecode.invalidations,
             self.predecode.hit_ratio()
+        )?;
+        write!(
+            f,
+            "superblock: built={} hits={} misses={} uops={} invalidations={} \
+             untranslatable={} budget_fallbacks={}",
+            self.superblock.blocks_built,
+            self.superblock.hits,
+            self.superblock.misses,
+            self.superblock.uops_executed,
+            self.superblock.invalidations,
+            self.superblock.untranslatable,
+            self.superblock.budget_fallbacks
         )
     }
 }

@@ -185,8 +185,12 @@ impl<H: FaultHooks> Machine<H> {
         let cpu = Cpu::new(config.cpu, arch.pc);
         // The predecode cache is derived state: a restored machine starts
         // with it empty, exactly like one rebuilt from the serialized image.
+        // Cache tag/LRU state is likewise never serialized, so the restore
+        // goes cache-cold even from an in-memory checkpoint.
         let mut mem = checkpoint.mem().clone();
         mem.clear_predecode();
+        mem.clear_superblocks();
+        mem.reset_caches();
         let tick = checkpoint.tick();
         Machine {
             config,
@@ -210,6 +214,15 @@ impl<H: FaultHooks> Machine<H> {
         self.config.elide = on;
     }
 
+    /// Flips the superblock fast path on or off for this machine (like
+    /// `elide`, the knob is never serialized: restored machines get the
+    /// default and callers re-apply their setting here). Turning it off
+    /// drops every cached translation.
+    pub fn set_superblock(&mut self, on: bool) {
+        self.config.mem.superblock = on;
+        self.mem.set_superblock(on);
+    }
+
     /// Forks this machine mid-run: an independent machine that continues
     /// from the exact same architectural *and* microarchitectural state,
     /// with `hooks` replacing this machine's hooks.
@@ -227,6 +240,7 @@ impl<H: FaultHooks> Machine<H> {
     pub fn fork_with<H2: FaultHooks>(&self, hooks: H2) -> Machine<H2> {
         let mut mem = self.mem.clone();
         mem.clear_predecode();
+        mem.clear_superblocks();
         Machine {
             config: self.config,
             arch: self.arch.clone(),
@@ -253,9 +267,16 @@ impl<H: FaultHooks> Machine<H> {
         assert!(!self.cpu.has_in_flight(), "checkpoint requires a quiesced CPU");
         // Drop the (derived) predecode cache from the captured image so a
         // checkpoint taken from a warm machine is byte-identical to one
-        // taken from a cold machine in the same architectural state.
+        // taken from a cold machine in the same architectural state. The
+        // cache hierarchy goes cold too: the serialized image carries no
+        // tag/LRU state, and the in-memory checkpoint must be
+        // indistinguishable from its own byte round-trip — warm capture-time
+        // tags differ between stepped and superblock execution, and must
+        // not leak into restored runs.
         let mut mem = self.mem.clone();
         mem.clear_predecode();
+        mem.clear_superblocks();
+        mem.reset_caches();
         Checkpoint::new(
             self.config,
             self.arch.clone(),
@@ -290,9 +311,15 @@ impl<H: FaultHooks> Machine<H> {
         self.cpu.flush(&self.arch);
         if self.cpu.kind() != kind {
             self.cpu = Cpu::new(kind, self.arch.pc);
+            // Keep the config in sync with the live model: the sprint's
+            // superblock gate reads `config.cpu`, so a stale value would
+            // silently disable (or worse, enable) block execution after a
+            // switch — e.g. the post-fault atomic fast-forward.
+            self.config.cpu = kind;
             // Model switches start decode-cold, mirroring gem5 (and keeping
             // the per-model statistics surfaces independent).
             self.mem.clear_predecode();
+            self.mem.clear_superblocks();
         }
     }
 
@@ -455,12 +482,58 @@ impl<H: FaultHooks> Machine<H> {
             }
         };
         let unbounded = event_bound == u64::MAX;
+        // Superblock execution only inside the sprint, only on the atomic
+        // model (which charges one tick per committed instruction, so
+        // skipping the hierarchy walk is tick-invisible), and only with no
+        // lesion planted (micro-ops apply no lesion transforms). Skips and
+        // pending fault windows never reach here: armed state forces
+        // `Dormancy::Active` and pending windows bound `event_bound`/
+        // `tick_limit`, which the per-block budget check below honors.
+        let sb_ok = self.config.mem.superblock
+            && self.config.cpu == CpuKind::Atomic
+            && self.mem.lesions().is_empty();
         let mut elided = ElidedHooks::new(&mut self.hooks);
         let mut exit = None;
         while self.tick < tick_limit
             && (unbounded
                 || elided.max_stage_events().saturating_add(Self::EVENT_SLACK) <= event_bound)
         {
+            if sb_ok {
+                if let Some(block) = self.mem.superblock_at(self.arch.pc) {
+                    let n = block.len() as u64;
+                    // The whole block must fit below every sprint bound:
+                    // on atomic, n micro-ops cost exactly n ticks and at
+                    // most n events per stage. If it does not fit, fall
+                    // through to per-instruction stepping, which stops at
+                    // precisely the same boundary as the knob-off run.
+                    let fits_ticks = self.tick.saturating_add(n) <= tick_limit;
+                    let fits_events = unbounded
+                        || elided
+                            .max_stage_events()
+                            .saturating_add(n)
+                            .saturating_add(Self::EVENT_SLACK)
+                            <= event_bound;
+                    if fits_ticks && fits_events {
+                        let start_tick = self.tick;
+                        let run = block.execute(&mut self.arch, &mut self.mem);
+                        self.tick += run.committed;
+                        self.instret += run.committed;
+                        self.instret_elided += run.committed;
+                        self.mem.note_superblock_run(run.committed);
+                        // The last started instruction began at start_tick
+                        // + (started - 1); started >= 1 for any block.
+                        let last_now = run.started.checked_sub(1).map(|d| start_tick + d);
+                        elided.record_block(0, last_now, run.events);
+                        if let Some(t) = run.trap {
+                            self.finished = Some(RunExit::Trapped(t));
+                            exit = self.finished;
+                            break;
+                        }
+                        continue;
+                    }
+                    self.mem.note_superblock_fallback();
+                }
+            }
             match self.cpu.step(
                 0,
                 &mut self.arch,
@@ -729,7 +802,11 @@ mod tests {
     #[test]
     fn predecode_cache_warms_but_never_enters_checkpoints() {
         let p = counting_program(200);
-        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        // Superblocks off: they would absorb the dormant loop and starve
+        // the predecode counters this test pins.
+        let mut cfg = small_config(CpuKind::Atomic);
+        cfg.mem.superblock = false;
+        let mut m = Machine::boot(cfg, &p, NoopHooks).unwrap();
         m.run();
         let s = m.stats();
         assert!(s.mem.predecode.hits > s.mem.predecode.misses, "loop must hit the warm cache");
@@ -751,12 +828,66 @@ mod tests {
     #[test]
     fn switch_cpu_goes_decode_cold() {
         let p = counting_program(1000);
-        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        let mut cfg = small_config(CpuKind::Atomic);
+        cfg.mem.superblock = false;
+        let mut m = Machine::boot(cfg, &p, NoopHooks).unwrap();
         assert!(m.run_for(500).is_none());
         assert!(m.stats().mem.predecode.accesses() > 0);
         m.switch_cpu(CpuKind::InOrder);
         assert_eq!(m.stats().mem.predecode, gemfi_mem::PredecodeStats::default());
         assert_eq!(m.run(), RunExit::Halted(1000));
+    }
+
+    #[test]
+    fn superblocks_warm_on_dormant_atomic_but_never_enter_checkpoints() {
+        let p = counting_program(200);
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        assert_eq!(m.run(), RunExit::Halted(200));
+        let s = m.stats().mem.superblock;
+        assert!(s.blocks_built > 0, "dormant atomic run must translate");
+        assert!(s.hits > 0, "the loop must hit the warm translation cache");
+        assert!(s.uops_executed > 0);
+        let ckpt = m.checkpoint();
+        assert_eq!(
+            ckpt.mem().stats().superblock,
+            gemfi_mem::SuperblockStats::default(),
+            "checkpoints must carry no superblock state"
+        );
+
+        // Same outcome, same tick count, knob off.
+        let mut cfg = small_config(CpuKind::Atomic);
+        cfg.mem.superblock = false;
+        let mut off = Machine::boot(cfg, &p, NoopHooks).unwrap();
+        assert_eq!(off.run(), RunExit::Halted(200));
+        assert_eq!(off.stats().mem.superblock, gemfi_mem::SuperblockStats::default());
+        assert_eq!((off.tick(), off.instret()), (m.tick(), m.instret()));
+        assert_eq!(off.arch(), m.arch());
+    }
+
+    #[test]
+    fn superblocks_run_only_on_the_atomic_model() {
+        let p = counting_program(100);
+        for kind in [CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
+            let mut m = Machine::boot(small_config(kind), &p, NoopHooks).unwrap();
+            assert_eq!(m.run(), RunExit::Halted(100), "{kind}");
+            assert_eq!(
+                m.stats().mem.superblock,
+                gemfi_mem::SuperblockStats::default(),
+                "{kind} must never touch the superblock cache"
+            );
+        }
+    }
+
+    #[test]
+    fn set_superblock_off_drops_translations_mid_run() {
+        let p = counting_program(1000);
+        let mut m = Machine::boot(small_config(CpuKind::Atomic), &p, NoopHooks).unwrap();
+        assert!(m.run_for(200).is_none());
+        assert!(m.stats().mem.superblock.blocks_built > 0);
+        m.set_superblock(false);
+        assert_eq!(m.stats().mem.superblock, gemfi_mem::SuperblockStats::default());
+        assert_eq!(m.run(), RunExit::Halted(1000));
+        assert_eq!(m.stats().mem.superblock, gemfi_mem::SuperblockStats::default());
     }
 
     #[test]

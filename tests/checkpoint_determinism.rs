@@ -75,6 +75,10 @@ fn warm_predecode_cache_never_reaches_the_checkpoint_image() {
     let ckpt_with = |predecode: bool| {
         let mut config = workload_machine_config(CpuKind::Atomic);
         config.mem.predecode = predecode;
+        // Superblocks off so the dormant fast-forward still warms the
+        // predecode cache this test pins (the superblock axis has its own
+        // byte-stability test below).
+        config.mem.superblock = false;
         let mut m = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
         assert_eq!(m.run(), RunExit::CheckpointRequest);
         if predecode {
@@ -99,6 +103,89 @@ fn warm_predecode_cache_never_reaches_the_checkpoint_image() {
     assert_eq!(exit, RunExit::Halted(0));
     let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap();
     assert_eq!(out, golden.as_slice(), "warm-cache checkpoint diverged from straight-through");
+}
+
+#[test]
+fn warm_superblock_cache_never_reaches_the_checkpoint_image() {
+    // Same derived-state contract for the superblock translation cache: a
+    // checkpoint from a machine that sprinted through warm superblocks must
+    // serialize byte-identically to one that never translated a block, and
+    // the v2 image is byte-stable with the knob in either position.
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+    let (golden, _) = straight_through(&guest, CpuKind::Atomic);
+
+    let ckpt_with = |superblock: bool| {
+        let mut config = workload_machine_config(CpuKind::Atomic);
+        config.mem.superblock = superblock;
+        let mut m = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        if superblock {
+            assert!(
+                m.mem().stats().superblock.uops_executed > 0,
+                "fast-forward must have run through superblocks"
+            );
+        }
+        m.checkpoint()
+    };
+    let warm = ckpt_with(true);
+    let cold = ckpt_with(false);
+    assert_eq!(warm.to_bytes(), cold.to_bytes(), "superblock state leaked into the v2 image");
+
+    let mut m = Machine::restore(&warm, None, NoopHooks);
+    assert_eq!(
+        m.mem().stats().superblock,
+        gemfi_isa::SuperblockStats::default(),
+        "restore must start translation-cold"
+    );
+    let mut exit = m.run();
+    while exit == RunExit::CheckpointRequest {
+        exit = m.run();
+    }
+    assert_eq!(exit, RunExit::Halted(0));
+    let out = m.mem().read_slice(guest.output_addr(), guest.output_len).unwrap();
+    assert_eq!(out, golden.as_slice(), "superblock checkpoint diverged from straight-through");
+}
+
+#[test]
+fn in_process_restore_times_identically_to_a_byte_round_trip() {
+    // The serialized image deliberately carries no cache tag/LRU state, so
+    // an in-process restore must go cache-cold too — otherwise detailed
+    // -model timing after a restore depends on *how the capturing machine
+    // executed*. Superblock execution skips the hierarchy walk, so a warm
+    // capture's tag state differs across the knob; all four restores below
+    // must still finish at the identical tick (this pinned a real 4-tick
+    // injection-record shift between `gemfi_run` runs with and without
+    // `--no-superblock`).
+    let w = Knapsack { generations: 4, ..Knapsack::default() };
+    let guest = w.build();
+
+    let ckpt_with = |superblock: bool| {
+        let mut config = workload_machine_config(CpuKind::Atomic);
+        config.mem.superblock = superblock;
+        let mut m = Machine::boot(config, &guest.program, NoopHooks).expect("boots");
+        assert_eq!(m.run(), RunExit::CheckpointRequest);
+        m.checkpoint()
+    };
+
+    let drive = |c: &Checkpoint| {
+        let mut m = Machine::restore(c, Some(CpuKind::O3), NoopHooks);
+        assert_eq!(m.mem().stats().l1i.accesses(), 0, "restore must start cache-cold");
+        let mut exit = m.run();
+        while exit == RunExit::CheckpointRequest {
+            exit = m.run();
+        }
+        assert_eq!(exit, RunExit::Halted(0));
+        (m.instret(), m.tick())
+    };
+
+    let warm_sb = ckpt_with(true);
+    let warm_stepped = ckpt_with(false);
+    let round_tripped = Checkpoint::from_bytes(&warm_sb.to_bytes()).expect("decodes");
+
+    let baseline = drive(&round_tripped);
+    assert_eq!(drive(&warm_sb), baseline, "in-process restore timed unlike its own byte image");
+    assert_eq!(drive(&warm_stepped), baseline, "restored timing depended on the superblock knob");
 }
 
 #[test]

@@ -8,8 +8,9 @@
 //!
 //! Each seeded random program — straight-line arithmetic, forward skips,
 //! bounded loops, and stores/loads through a scratch buffer — runs under
-//! 4 models x {predecode on, off} x {hook elision on, off}. Within a model
-//! all four runs must be *fully* identical (complete [`ArchState`] and
+//! 4 models x {predecode on, off} x {hook elision on, off} x {superblock
+//! on, off}. Within a model all eight runs must be *fully* identical
+//! (complete [`ArchState`] and
 //! every byte of physical memory); across models the guest-visible surface
 //! must agree (all 62 registers, the PC, and the data segment —
 //! timing-dependent kernel bookkeeping such as `exc_addr` is allowed to
@@ -129,11 +130,18 @@ struct Snapshot {
     mem: Vec<u8>,
 }
 
-fn run_model(program: &Program, cpu: CpuKind, predecode: bool, elide: bool) -> Snapshot {
+fn run_model(
+    program: &Program,
+    cpu: CpuKind,
+    predecode: bool,
+    elide: bool,
+    superblock: bool,
+) -> Snapshot {
     let mut config =
         MachineConfig { cpu, max_ticks: 50_000_000, elide, ..MachineConfig::default() };
     config.mem.phys_size = PHYS_SIZE;
     config.mem.predecode = predecode;
+    config.mem.superblock = superblock;
     let mut m = Machine::boot(config, program, NoopHooks).expect("boots");
     let mut exit = m.run();
     while exit == RunExit::CheckpointRequest {
@@ -154,19 +162,23 @@ fn data_segment<'s>(program: &Program, snap: &'s Snapshot) -> &'s [u8] {
     &snap.mem[base..end]
 }
 
-/// Runs each seed under every model, both cache modes, and both elision
-/// modes, asserting the conformance contract described in the module docs.
+/// Runs each seed under every model and every combination of the three
+/// fast-path knobs (predecode, elision, superblock), asserting the
+/// conformance contract described in the module docs.
 fn conformance(seeds: std::ops::Range<u64>) {
     for seed in seeds {
         let program = random_program(seed);
         let mut baseline: Option<Snapshot> = None;
         for cpu in MODELS {
-            let on = run_model(&program, cpu, true, true);
-            // The cache and elision fast paths must both be pure
-            // performance artifacts, alone and combined.
-            for (predecode, elide) in [(true, false), (false, true), (false, false)] {
-                let other = run_model(&program, cpu, predecode, elide);
-                let tag = format!("seed {seed} {cpu} (predecode={predecode}, elide={elide})");
+            let on = run_model(&program, cpu, true, true, true);
+            // Every fast path must be a pure performance artifact, alone
+            // and in every combination.
+            for mask in 0..7u8 {
+                let (predecode, elide, superblock) = (mask & 1 != 0, mask & 2 != 0, mask & 4 != 0);
+                let other = run_model(&program, cpu, predecode, elide, superblock);
+                let tag = format!(
+                    "seed {seed} {cpu} (predecode={predecode}, elide={elide},                      superblock={superblock})"
+                );
                 assert_eq!(on.exit, other.exit, "{tag}: exit differs");
                 assert_eq!(on.arch, other.arch, "{tag}: ArchState differs");
                 assert!(on.mem == other.mem, "{tag}: memory differs");

@@ -5,10 +5,11 @@
 //! records, same tick and instruction counts.
 //!
 //! The matrix covers all 4 CPU models as the injection model × predecode
-//! on/off × dormancy elision on/off × CoW on/off. It also pins the
-//! derived-state contract at the fork (the PR 2/4 never-serialized rule):
-//! the trunk runs with a warm predecode cache, but a fork must come out
-//! decode-cold — asserted here rather than trusted.
+//! on/off × dormancy elision on/off × CoW on/off × superblock on/off. It
+//! also pins the derived-state contract at the fork (the PR 2/4
+//! never-serialized rule): the trunk runs with warm predecode and
+//! superblock caches, but a fork must come out decode-cold and
+//! translation-cold — asserted here rather than trusted.
 
 use gemfi::{AbortToken, FaultBehavior, FaultLocation, FaultSpec, FaultTiming};
 use gemfi_campaign::fork::{drive_suffix, plan_suffixes, ForkConfig};
@@ -87,8 +88,14 @@ fn conformance(model: CpuKind) {
             config.mem.cow = cow;
             let p = prepare_workload_with(&w, config).expect("prepares");
             let specs = specs_for(&p);
-            for elide in [true, false] {
-                let runner = RunnerConfig { inject_cpu: model, elide, ..RunnerConfig::default() };
+            for (elide, superblock) in [(true, true), (true, false), (false, true), (false, false)]
+            {
+                let runner = RunnerConfig {
+                    inject_cpu: model,
+                    elide,
+                    superblock,
+                    ..RunnerConfig::default()
+                };
                 let planned = plan_suffixes(&p, &specs, &runner, &ForkConfig::default());
                 assert_eq!(planned.len(), specs.len());
                 assert!(
@@ -99,16 +106,21 @@ fn conformance(model: CpuKind) {
                     let spec = specs[suffix.index];
                     let tag = format!(
                         "{model} predecode={predecode} cow={cow} elide={elide} \
-                         spec#{} forked_at={:?}",
+                         superblock={superblock} spec#{} forked_at={:?}",
                         suffix.index, suffix.forked_at
                     );
                     if suffix.forked_at.is_some() {
                         // The trunk ran warm; the fork must not inherit the
-                        // (never-serialized) predecode cache.
+                        // (never-serialized) predecode or superblock caches.
                         assert_eq!(
                             suffix.machine.mem().stats().predecode,
                             gemfi_isa::PredecodeStats::default(),
                             "{tag}: fork must start decode-cold"
+                        );
+                        assert_eq!(
+                            suffix.machine.mem().stats().superblock,
+                            gemfi_isa::SuperblockStats::default(),
+                            "{tag}: fork must start translation-cold"
                         );
                     }
                     let (fork_exit, fork_aborted) =

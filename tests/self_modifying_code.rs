@@ -53,25 +53,66 @@ fn smc_program() -> gemfi_asm::Program {
     a.finish().expect("assembles")
 }
 
-fn run(cpu: CpuKind, predecode: bool) -> (RunExit, gemfi_isa::PredecodeStats) {
+struct SmcRun {
+    exit: RunExit,
+    tick: u64,
+    instret: u64,
+    stats: gemfi_mem::MemStats,
+}
+
+fn run(cpu: CpuKind, predecode: bool, superblock: bool) -> SmcRun {
     let mut config = MachineConfig { cpu, ..MachineConfig::default() };
     config.mem.predecode = predecode;
+    config.mem.superblock = superblock;
     let mut m = Machine::boot(config, &smc_program(), NoopHooks).expect("boots");
     let exit = m.run();
-    (exit, m.mem().stats().predecode)
+    SmcRun { exit, tick: m.tick(), instret: m.instret(), stats: m.mem().stats() }
 }
 
 #[test]
 fn patched_instruction_takes_effect_under_the_cache() {
     for cpu in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
-        let (on, stats) = run(cpu, true);
-        let (off, _) = run(cpu, false);
-        assert_eq!(on, RunExit::Halted(101), "{cpu}: stale decode served from the cache");
-        assert_eq!(on, off, "{cpu}: predecode cache changed SMC behavior");
+        // Superblocks off here: on the atomic model they would absorb the
+        // dormant loop and starve the predecode counters this test pins
+        // (the superblock axis has its own test below).
+        let on = run(cpu, true, false);
+        let off = run(cpu, false, false);
+        assert_eq!(on.exit, RunExit::Halted(101), "{cpu}: stale decode served from the cache");
+        assert_eq!(on.exit, off.exit, "{cpu}: predecode cache changed SMC behavior");
+        assert_eq!(on.tick, off.tick, "{cpu}: predecode cache changed SMC timing");
         // The guest's store really did evict a warm entry (the patch runs
         // twice; at least the first store hits the cached `patchme` line).
+        let stats = on.stats.predecode;
         assert!(stats.invalidations > 0, "{cpu}: store did not invalidate cached decode");
         assert!(stats.hits > 0, "{cpu}: cache never warmed");
+    }
+}
+
+#[test]
+fn patched_instruction_takes_effect_inside_a_translated_superblock() {
+    // On the atomic model the whole patch loop is one straight-line region,
+    // so the guest's store lands *inside* the superblock currently
+    // executing: the block must stop after that store commits and the
+    // retranslation must pick up the patched bytes. Bit-identical exit,
+    // tick count, and instret with the knob on and off.
+    for cpu in [CpuKind::Atomic, CpuKind::Timing, CpuKind::InOrder, CpuKind::O3] {
+        let on = run(cpu, true, true);
+        let off = run(cpu, true, false);
+        assert_eq!(on.exit, RunExit::Halted(101), "{cpu}: stale micro-op executed");
+        assert_eq!(on.exit, off.exit, "{cpu}: superblocks changed SMC behavior");
+        assert_eq!(on.tick, off.tick, "{cpu}: superblocks changed SMC timing");
+        assert_eq!(on.instret, off.instret, "{cpu}: superblocks changed instruction count");
+        if cpu == CpuKind::Atomic {
+            let s = on.stats.superblock;
+            assert!(s.uops_executed > 0, "the dormant loop must run through superblocks");
+            assert!(s.invalidations > 0, "the patch store must drop the stale translation");
+        } else {
+            assert_eq!(
+                on.stats.superblock,
+                gemfi_isa::SuperblockStats::default(),
+                "{cpu}: only the atomic model may execute superblocks"
+            );
+        }
     }
 }
 
