@@ -23,11 +23,24 @@
 //!     [--seed N] [--workstations N] [--slots N] \
 //!     [--lease-secs N] [--max-retries N] [--resume]
 //! ```
+//!
+//! Adaptive mode replaces the fixed experiment count with the sequential
+//! sampling engine: per-cell batches are drawn only until every
+//! outcome-rate Wilson CI is tighter than `--ci-halfwidth`, lopsided cells
+//! stop early, and the remaining budget flows to high-variance cells
+//! (`--campaign N` without `--adaptive` stays the fixed-n baseline):
+//!
+//! ```text
+//! gemfi_run --workload pi --adaptive --share /mnt/spool/pi \
+//!     [--ci-halfwidth 0.05] [--min-n 25] [--budget N] [--batch 16] \
+//!     [--cells int-reg,pc,l1d-cache,...] [--seed N] [--resume]
+//! ```
 
 use gemfi::{FaultConfig, GemFiEngine, Outcome};
 use gemfi_bench::Args;
 use gemfi_campaign::{
-    prepare_workload, run_campaign_now, run_experiment_multi, FaultSampler, NowConfig, RunnerConfig,
+    prepare_workload, run_campaign_adaptive_now, run_campaign_now, run_experiment_multi,
+    AdaptiveConfig, CellKind, FaultSampler, NowConfig, RunnerConfig,
 };
 use gemfi_cpu::CpuKind;
 use gemfi_sim::{Machine, MachineConfig};
@@ -80,13 +93,9 @@ fn run_assembly_file(path: &str, faults: FaultConfig, cpu: CpuKind, args: &Args)
 fn run_campaign_mode(
     args: &Args,
     workload: &dyn gemfi_workloads::Workload,
-    n: &str,
+    n: Option<&str>,
     cpu: CpuKind,
 ) -> ! {
-    let experiments: usize = n.parse().unwrap_or_else(|_| {
-        eprintln!("--campaign expects an experiment count, got `{n}`");
-        std::process::exit(2);
-    });
     let Some(share) = args.value_of("share") else {
         eprintln!("campaign mode needs --share <dir> (the spool directory)");
         std::process::exit(2);
@@ -97,9 +106,6 @@ fn run_campaign_mode(
         std::process::exit(1);
     });
     let seed = args.number("seed", 1u64);
-    let mut sampler = FaultSampler::new(seed, prepared.stage_events, 0, 0);
-    let specs: Vec<_> = (0..experiments).map(|_| sampler.sample_any()).collect();
-
     let config = NowConfig {
         lease: Duration::from_secs(args.number("lease-secs", 30u64)),
         max_retries: args.number("max-retries", 2u64),
@@ -112,6 +118,16 @@ fn run_campaign_mode(
         superblock: !args.has("no-superblock"),
         ..RunnerConfig::default()
     };
+
+    if args.has("adaptive") {
+        run_adaptive_campaign(args, workload, &prepared, n, seed, &config, &runner);
+    }
+    let experiments: usize = n.and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+        eprintln!("--campaign expects an experiment count, got `{}`", n.unwrap_or(""));
+        std::process::exit(2);
+    });
+    let mut sampler = FaultSampler::new(seed, prepared.stage_events, 0, 0);
+    let specs: Vec<_> = (0..experiments).map(|_| sampler.sample_any()).collect();
     println!(
         "campaign: {} x {} on {} ws x {} slots | share {share} | seed {seed} | resume: {}",
         experiments,
@@ -150,6 +166,85 @@ fn run_campaign_mode(
     }
 }
 
+/// Adaptive mode: sequential sampling with per-cell early stopping.
+/// `--campaign N` (when given alongside `--adaptive`) doubles as the
+/// default `--budget`.
+fn run_adaptive_campaign(
+    args: &Args,
+    workload: &dyn gemfi_workloads::Workload,
+    prepared: &gemfi_campaign::PreparedWorkload,
+    n: Option<&str>,
+    seed: u64,
+    config: &NowConfig,
+    runner: &RunnerConfig,
+) -> ! {
+    let default_budget: u64 = n.and_then(|n| n.parse().ok()).unwrap_or(0);
+    let mut adaptive = AdaptiveConfig {
+        ci_halfwidth: args.number("ci-halfwidth", 0.05f64),
+        min_n: args.number("min-n", 25u64),
+        budget: args.number("budget", default_budget),
+        batch: args.number("batch", 16u64),
+        ..AdaptiveConfig::default()
+    };
+    if let Some(list) = args.value_of("cells") {
+        adaptive.cells = list
+            .split(',')
+            .map(|label| {
+                CellKind::parse(label.trim()).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown cell `{label}` (known: int-reg fp-reg fetch decode execute \
+                         mem pc l1i-cache l1d-cache l2-cache security)"
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+    }
+    println!(
+        "adaptive campaign: {} on {} ws x {} slots | ±{} at z={:.2}, min-n {}, budget {}, \
+         batch {} | cells {} | seed {seed} | resume: {}",
+        workload.name(),
+        config.workstations,
+        config.slots_per_workstation,
+        adaptive.ci_halfwidth,
+        adaptive.z,
+        adaptive.min_n,
+        if adaptive.budget == 0 { "auto".to_string() } else { adaptive.budget.to_string() },
+        adaptive.batch,
+        adaptive.cells_label(),
+        config.resume,
+    );
+
+    match run_campaign_adaptive_now(prepared, workload, runner, config, &adaptive, seed) {
+        Ok((outcome, report)) => {
+            println!("\n{outcome}");
+            println!("pooled: {}", outcome.table);
+            println!("acceptable: {:.1}%", outcome.table.acceptable_fraction() * 100.0);
+            println!(
+                "wall {:.2?} | resumed {} | retries {} | reclaimed leases {} | infra failures {}",
+                report.wall,
+                report.resumed,
+                report.retries,
+                report.reclaimed_leases,
+                report.infrastructure_failures,
+            );
+            if outcome.table.count(Outcome::Infrastructure) > 0 {
+                std::process::exit(3);
+            }
+            std::process::exit(0);
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            eprintln!("adaptive campaign interrupted: {e}");
+            eprintln!("re-run with --resume to finish");
+            std::process::exit(4);
+        }
+        Err(e) => {
+            eprintln!("adaptive campaign failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let cpu_of = |args: &Args| match args.value_of("cpu") {
@@ -177,6 +272,10 @@ fn main() {
             "       gemfi_run --workload <name> --campaign <experiments> --share <dir> \
        [--seed N] [--workstations N] [--slots N] [--lease-secs N] [--max-retries N] [--resume]"
         );
+        eprintln!(
+            "       gemfi_run --workload <name> --adaptive --share <dir> \
+       [--ci-halfwidth H] [--min-n N] [--budget N] [--batch N] [--cells a,b,...] [--seed N] [--resume]"
+        );
         eprintln!("workloads: dct jacobi pi knapsack deblock canneal");
         std::process::exit(2);
     };
@@ -186,8 +285,8 @@ fn main() {
         std::process::exit(2);
     };
 
-    if let Some(n) = args.value_of("campaign") {
-        run_campaign_mode(&args, workload.as_ref(), n, cpu_of(&args));
+    if args.value_of("campaign").is_some() || args.has("adaptive") {
+        run_campaign_mode(&args, workload.as_ref(), args.value_of("campaign"), cpu_of(&args));
     }
 
     let faults = match args.value_of("faults") {

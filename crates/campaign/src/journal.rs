@@ -49,6 +49,45 @@ pub enum JournalEvent {
         /// journal recorded for different faults.
         spec_digest: u64,
     },
+    /// Adaptive-campaign header: written once at the start of a sequential
+    /// (early-stopping) campaign instead of [`JournalEvent::Campaign`]. The
+    /// experiment count is open-ended — the engine draws until the stopping
+    /// rule or the budget ends it — so identity is pinned by the sampler
+    /// seed, the checkpoint, and the stopping-rule parameters instead.
+    /// Fractional parameters are stored in parts-per-million because the
+    /// journal's flat format is integers-and-strings only.
+    AdaptiveCampaign {
+        /// Journal format version.
+        version: u64,
+        /// Campaign sampler seed (per-cell streams derive from it).
+        seed: u64,
+        /// Digest of the spooled checkpoint file.
+        checkpoint_digest: u64,
+        /// Confidence z-value, in parts per million (1.96 → 1_960_000).
+        z_ppm: u64,
+        /// Target CI half-width, in parts per million (0.05 → 50_000).
+        halfwidth_ppm: u64,
+        /// Minimum experiments per cell before it may stop.
+        min_n: u64,
+        /// Global experiment budget.
+        budget: u64,
+        /// Draws per undecided cell per round.
+        batch: u64,
+        /// Comma-joined cell labels, in sampling order.
+        cells: String,
+    },
+    /// The sequential engine drew one fault point for a cell and assigned
+    /// it the next experiment index. Journaled for the whole round *before*
+    /// any of the round's experiments execute, so a resumed campaign can
+    /// verify it re-derives the identical draw sequence.
+    Drawn {
+        /// Experiment index (globally sequential in draw order).
+        exp: u64,
+        /// Cell label (e.g. `int-reg`, `l1d-cache`, `security`).
+        cell: String,
+        /// 0-based ordinal of this draw within its cell's stream.
+        draw: u64,
+    },
     /// A worker claimed the experiment under an expiring lease.
     Leased {
         /// Experiment index.
@@ -151,6 +190,27 @@ impl JournalEvent {
                      \"checkpoint_digest\":{checkpoint_digest},\"spec_digest\":{spec_digest}}}"
                 )
             }
+            JournalEvent::AdaptiveCampaign {
+                version,
+                seed,
+                checkpoint_digest,
+                z_ppm,
+                halfwidth_ppm,
+                min_n,
+                budget,
+                batch,
+                cells,
+            } => format!(
+                "{{\"event\":\"adaptive-campaign\",\"version\":{version},\"seed\":{seed},\
+                 \"checkpoint_digest\":{checkpoint_digest},\"z_ppm\":{z_ppm},\
+                 \"halfwidth_ppm\":{halfwidth_ppm},\"min_n\":{min_n},\"budget\":{budget},\
+                 \"batch\":{batch},\"cells\":\"{}\"}}",
+                json_escape(cells)
+            ),
+            JournalEvent::Drawn { exp, cell, draw } => format!(
+                "{{\"event\":\"drawn\",\"exp\":{exp},\"cell\":\"{}\",\"draw\":{draw}}}",
+                json_escape(cell)
+            ),
             JournalEvent::Leased { exp, worker, attempt, deadline_ms } => format!(
                 "{{\"event\":\"leased\",\"exp\":{exp},\"worker\":\"{}\",\"attempt\":{attempt},\
                  \"deadline_ms\":{deadline_ms}}}",
@@ -194,6 +254,22 @@ impl JournalEvent {
                 experiments: fields.num_field("experiments")?,
                 checkpoint_digest: fields.num_field("checkpoint_digest")?,
                 spec_digest: fields.num_field("spec_digest")?,
+            }),
+            "adaptive-campaign" => Ok(JournalEvent::AdaptiveCampaign {
+                version: fields.num_field("version")?,
+                seed: fields.num_field("seed")?,
+                checkpoint_digest: fields.num_field("checkpoint_digest")?,
+                z_ppm: fields.num_field("z_ppm")?,
+                halfwidth_ppm: fields.num_field("halfwidth_ppm")?,
+                min_n: fields.num_field("min_n")?,
+                budget: fields.num_field("budget")?,
+                batch: fields.num_field("batch")?,
+                cells: fields.str_field("cells")?,
+            }),
+            "drawn" => Ok(JournalEvent::Drawn {
+                exp: fields.num_field("exp")?,
+                cell: fields.str_field("cell")?,
+                draw: fields.num_field("draw")?,
             }),
             "leased" => Ok(JournalEvent::Leased {
                 exp: fields.num_field("exp")?,
@@ -482,10 +558,15 @@ impl CampaignState {
         };
         for event in events {
             match event {
-                JournalEvent::Campaign { .. } => {
+                JournalEvent::Campaign { .. } | JournalEvent::AdaptiveCampaign { .. } => {
                     if state.header.is_none() {
                         state.header = Some(event.clone());
                     }
+                }
+                JournalEvent::Drawn { .. } => {
+                    // Adaptive draw records are folded by the sequential
+                    // engine's own replay (`adaptive::replay_adaptive`);
+                    // they carry no lifecycle transition.
                 }
                 JournalEvent::Leased { exp, .. } => {
                     // Liveness is tracked by the lease files; the journal
@@ -603,6 +684,18 @@ mod tests {
                 reason: "lease expired".into(),
                 spec: None,
             },
+            JournalEvent::AdaptiveCampaign {
+                version: JOURNAL_VERSION,
+                seed: 7,
+                checkpoint_digest: 0xdead_beef,
+                z_ppm: 1_960_000,
+                halfwidth_ppm: 50_000,
+                min_n: 25,
+                budget: 5_000,
+                batch: 16,
+                cells: "int-reg,fp-reg,pc".into(),
+            },
+            JournalEvent::Drawn { exp: 3, cell: "fp-reg".into(), draw: 0 },
         ]
     }
 

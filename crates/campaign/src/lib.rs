@@ -20,6 +20,7 @@
 //!    workstations** pulling work from a shared spool directory
 //!    (Sec. III-E).
 
+pub mod adaptive;
 pub mod classify;
 pub mod fork;
 pub mod journal;
@@ -32,6 +33,10 @@ pub mod sampler;
 pub mod stats;
 pub mod timing;
 
+pub use adaptive::{
+    replay_adaptive, run_campaign_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptiveReplay,
+    AdaptiveState, CellKind, CellReport, ReplayTerminal,
+};
 pub use classify::classify;
 pub use fork::{
     drive_suffix, plan_suffixes, run_campaign_forked, run_campaign_forked_journaled, ForkConfig,
@@ -39,7 +44,10 @@ pub use fork::{
 };
 pub use journal::{CampaignState, ExpState, Journal, JournalEvent};
 pub use lease::{Lease, LeaseDir};
-pub use now::{run_campaign_now, ChaosConfig, CompletedExperiment, NowConfig, NowReport};
+pub use now::{
+    run_campaign_adaptive_now, run_campaign_now, ChaosConfig, CompletedExperiment, NowConfig,
+    NowReport,
+};
 pub use report::OutcomeTable;
 pub use rng::SplitMix64;
 pub use runner::{
@@ -48,4 +56,7 @@ pub use runner::{
     ExperimentResult, PreparedWorkload, RunnerConfig, DORMANT_CHUNK_FACTOR,
 };
 pub use sampler::{FaultSampler, LocationClass};
-pub use stats::{leveugle_sample_size, proportion_ci};
+pub use stats::{
+    leveugle_sample_size, proportion_ci, wilson_interval, CellDecision, CellStats, StopRule, Z_95,
+    Z_99,
+};

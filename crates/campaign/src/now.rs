@@ -32,6 +32,9 @@
 //!   reaps orphaned leases, and schedules only the unfinished remainder.
 //!   The merged [`OutcomeTable`] is identical to an uninterrupted run.
 
+use crate::adaptive::{
+    replay_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptiveReplay, AdaptiveState, ReplayTerminal,
+};
 use crate::journal::{
     spec_digest, CampaignState, ExpState, Journal, JournalEvent, JOURNAL_VERSION,
 };
@@ -166,7 +169,17 @@ enum Slot {
     Failed,
 }
 
+/// The in-process scheduler of one execution *window*: a set of
+/// experiments run together over the workstation pool. A fixed-n campaign
+/// is a single window covering every experiment; an adaptive campaign runs
+/// one window per sampling round. Slots and completions are indexed
+/// locally; `exps` maps a local slot to its global experiment index (the
+/// one leases, fault files, and journal records use).
 struct Shared {
+    /// Local slot → global experiment index.
+    exps: Vec<usize>,
+    /// Fault spec per local slot.
+    specs: Vec<FaultSpec>,
     slots: Vec<Slot>,
     journal: Journal,
     completed: Vec<Option<CompletedExperiment>>,
@@ -175,6 +188,9 @@ struct Shared {
     reclaimed: u64,
     terminal: usize,
     finished_here: usize,
+    /// Experiments finished in this process by *earlier* windows — keeps
+    /// [`ChaosConfig::halt_after`] a per-process count across rounds.
+    finished_before: usize,
     halted: bool,
 }
 
@@ -186,7 +202,7 @@ impl Shared {
     #[allow(clippy::too_many_arguments)]
     fn attempt_failed(
         &mut self,
-        exp: usize,
+        local: usize,
         attempt: u64,
         worker: &str,
         reason: &str,
@@ -194,6 +210,7 @@ impl Shared {
         config: &NowConfig,
         leases: &LeaseDir,
     ) -> std::io::Result<()> {
+        let exp = self.exps[local];
         self.journal.append(&JournalEvent::AttemptFailed {
             exp: exp as u64,
             attempt,
@@ -213,8 +230,8 @@ impl Shared {
                 result_path(&config.share_dir, exp),
                 format!("outcome={} attempts={attempt} reason={reason}\n", Outcome::Infrastructure),
             )?;
-            self.slots[exp] = Slot::Failed;
-            self.completed[exp] = Some(CompletedExperiment {
+            self.slots[local] = Slot::Failed;
+            self.completed[local] = Some(CompletedExperiment {
                 exp,
                 outcome: Outcome::Infrastructure,
                 attempts: attempt,
@@ -228,7 +245,7 @@ impl Shared {
             // Capped exponential backoff: base × 2^(attempt-1), at most 64×.
             let factor = 1u64 << (attempt - 1).min(6);
             let backoff = config.retry_backoff.as_millis() as u64 * factor;
-            self.slots[exp] =
+            self.slots[local] =
                 Slot::Pending { attempts: attempt, not_before_ms: now_ms() + backoff };
         }
         Ok(())
@@ -236,26 +253,29 @@ impl Shared {
 
     /// Breaks expired leases (raising the runaway runs' abort tokens) and
     /// requeues or terminally fails their experiments.
-    fn reap_expired(
-        &mut self,
-        specs: &[FaultSpec],
-        config: &NowConfig,
-        leases: &LeaseDir,
-    ) -> std::io::Result<()> {
+    fn reap_expired(&mut self, config: &NowConfig, leases: &LeaseDir) -> std::io::Result<()> {
         let now = now_ms();
-        for (exp, spec) in specs.iter().enumerate() {
-            let Slot::Leased { attempt, deadline_ms, ref abort } = self.slots[exp] else {
+        for local in 0..self.slots.len() {
+            let Slot::Leased { attempt, deadline_ms, ref abort } = self.slots[local] else {
                 continue;
             };
             if now <= deadline_ms {
                 continue;
             }
             abort.abort();
-            let held = leases.reap(exp, now)?;
+            let held = leases.reap(self.exps[local], now)?;
             let worker = held.map(|l| l.worker).unwrap_or_else(|| "unknown".into());
             self.reclaimed += 1;
-            let rendered = spec.to_string();
-            self.attempt_failed(exp, attempt, &worker, "lease expired", &rendered, config, leases)?;
+            let rendered = self.specs[local].to_string();
+            self.attempt_failed(
+                local,
+                attempt,
+                &worker,
+                "lease expired",
+                &rendered,
+                config,
+                leases,
+            )?;
         }
         Ok(())
     }
@@ -369,8 +389,99 @@ pub fn run_campaign_now(
         })?;
     }
 
+    // Step 3: one local checkpoint copy per workstation.
+    let locals = load_local_checkpoints(&ckpt_path, config.workstations)?;
+    let window = execute_window(
+        prepared,
+        workload,
+        (0..specs.len()).collect(),
+        specs.to_vec(),
+        slots,
+        completed,
+        &locals,
+        runner,
+        config,
+        journal,
+        &leases,
+        reclaimed_at_start,
+        0,
+    )?;
+    if window.halted {
+        return Err(Error::new(
+            ErrorKind::Interrupted,
+            format!(
+                "campaign halted by chaos after {} experiments ({} of {} terminal); resume to finish",
+                window.finished_here,
+                window.terminal,
+                specs.len()
+            ),
+        ));
+    }
+
+    let results: Vec<CompletedExperiment> = window
+        .completed
+        .into_iter()
+        .map(|r| r.expect("all experiments reached a terminal state"))
+        .collect();
+    let table: OutcomeTable = results.iter().map(|r| r.outcome).collect();
+    let report = NowReport {
+        wall: window.wall,
+        per_workstation: window.per_ws,
+        experiments: specs.len(),
+        resumed: resumed_count,
+        retries: window.retries,
+        reclaimed_leases: window.reclaimed,
+        infrastructure_failures: table.count(Outcome::Infrastructure),
+    };
+    Ok((table, results, report))
+}
+
+/// What one execution window did.
+struct WindowResult {
+    journal: Journal,
+    completed: Vec<Option<CompletedExperiment>>,
+    per_ws: Vec<usize>,
+    retries: u64,
+    reclaimed: u64,
+    terminal: usize,
+    finished_here: usize,
+    halted: bool,
+    wall: Duration,
+}
+
+fn load_local_checkpoints(
+    ckpt_path: &Path,
+    workstations: usize,
+) -> std::io::Result<Vec<std::sync::Arc<Checkpoint>>> {
+    (0..workstations).map(|_| Checkpoint::load(ckpt_path).map(std::sync::Arc::new)).collect()
+}
+
+/// Runs one window of experiments over the workstation pool: the paper's
+/// claim/lease/execute/journal protocol (steps 4–5), factored out so both
+/// the fixed-n campaign (one window) and the adaptive engine (one window
+/// per round) share it. `exps[i]` is the global index of local slot `i`;
+/// fault files for every listed experiment must already be spooled.
+#[allow(clippy::too_many_arguments)]
+fn execute_window(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    exps: Vec<usize>,
+    specs: Vec<FaultSpec>,
+    slots: Vec<Slot>,
+    completed: Vec<Option<CompletedExperiment>>,
+    locals: &[std::sync::Arc<Checkpoint>],
+    runner: &RunnerConfig,
+    config: &NowConfig,
+    journal: Journal,
+    leases: &LeaseDir,
+    reclaimed_at_start: u64,
+    finished_before: usize,
+) -> std::io::Result<WindowResult> {
+    debug_assert!(exps.len() == specs.len() && exps.len() == slots.len());
     let shared = Mutex::new(Shared {
         terminal: slots.iter().filter(|s| matches!(s, Slot::Done | Slot::Failed)).count(),
+        exps,
+        specs,
         slots,
         journal,
         completed,
@@ -378,19 +489,17 @@ pub fn run_campaign_now(
         retries: 0,
         reclaimed: reclaimed_at_start,
         finished_here: 0,
+        finished_before,
         halted: false,
     });
 
     let started = Instant::now();
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut handles = Vec::new();
-        for ws in 0..config.workstations {
-            // Step 3: one local checkpoint copy per workstation.
-            let local = std::sync::Arc::new(Checkpoint::load(&ckpt_path)?);
+        for (ws, local) in locals.iter().enumerate() {
             for slot in 0..config.slots_per_workstation {
-                let local = std::sync::Arc::clone(&local);
+                let local = std::sync::Arc::clone(local);
                 let shared = &shared;
-                let leases = &leases;
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         &format!("ws{ws}.slot{slot}"),
@@ -398,7 +507,6 @@ pub fn run_campaign_now(
                         &local,
                         prepared,
                         workload,
-                        specs,
                         runner,
                         config,
                         shared,
@@ -414,35 +522,18 @@ pub fn run_campaign_now(
     })?;
     let wall = started.elapsed();
 
-    let shared = shared.into_inner().expect("no worker holds the schedule");
-    if shared.halted {
-        return Err(Error::new(
-            ErrorKind::Interrupted,
-            format!(
-                "campaign halted by chaos after {} experiments ({} of {} terminal); resume to finish",
-                shared.finished_here,
-                shared.terminal,
-                specs.len()
-            ),
-        ));
-    }
-
-    let results: Vec<CompletedExperiment> = shared
-        .completed
-        .into_iter()
-        .map(|r| r.expect("all experiments reached a terminal state"))
-        .collect();
-    let table: OutcomeTable = results.iter().map(|r| r.outcome).collect();
-    let report = NowReport {
+    let s = shared.into_inner().expect("no worker holds the schedule");
+    Ok(WindowResult {
+        journal: s.journal,
+        completed: s.completed,
+        per_ws: s.per_ws,
+        retries: s.retries,
+        reclaimed: s.reclaimed,
+        terminal: s.terminal,
+        finished_here: s.finished_here,
+        halted: s.halted,
         wall,
-        per_workstation: shared.per_ws,
-        experiments: specs.len(),
-        resumed: resumed_count,
-        retries: shared.retries,
-        reclaimed_leases: shared.reclaimed,
-        infrastructure_failures: table.count(Outcome::Infrastructure),
-    };
-    Ok((table, results, report))
+    })
 }
 
 /// One worker slot: claim → lease → execute (under `catch_unwind`) →
@@ -451,10 +542,9 @@ pub fn run_campaign_now(
 fn worker_loop(
     worker: &str,
     ws: usize,
-    local: &Checkpoint,
+    local_ckpt: &Checkpoint,
     prepared: &PreparedWorkload,
     workload: &dyn Workload,
-    specs: &[FaultSpec],
     runner: &RunnerConfig,
     config: &NowConfig,
     shared: &Mutex<Shared>,
@@ -464,18 +554,19 @@ fn worker_loop(
         // Step 4: claim the next remaining experiment under a lease.
         let claimed = {
             let mut s = shared.lock().expect("schedule mutex");
-            if s.halted || s.terminal == specs.len() {
+            if s.halted || s.terminal == s.exps.len() {
                 return Ok(());
             }
-            s.reap_expired(specs, config, leases)?;
+            s.reap_expired(config, leases)?;
             let now = now_ms();
             let pick = s.slots.iter().position(
                 |slot| matches!(slot, Slot::Pending { not_before_ms, .. } if now >= *not_before_ms),
             );
             match pick {
                 None => None,
-                Some(exp) => {
-                    let Slot::Pending { attempts, .. } = s.slots[exp] else { unreachable!() };
+                Some(local) => {
+                    let Slot::Pending { attempts, .. } = s.slots[local] else { unreachable!() };
+                    let exp = s.exps[local];
                     let attempt = attempts + 1;
                     let deadline_ms = now + config.lease.as_millis() as u64;
                     let lease = leases
@@ -488,13 +579,13 @@ fn worker_loop(
                         attempt,
                         deadline_ms: lease.deadline_ms,
                     })?;
-                    s.slots[exp] = Slot::Leased { attempt, deadline_ms, abort: abort.clone() };
-                    Some((exp, attempt, abort))
+                    s.slots[local] = Slot::Leased { attempt, deadline_ms, abort: abort.clone() };
+                    Some((local, exp, attempt, abort))
                 }
             }
         };
 
-        let Some((exp, attempt, abort)) = claimed else {
+        let Some((local, exp, attempt, abort)) = claimed else {
             // Everything is leased or backing off; wait for the world to
             // change rather than busy-spinning on the lock.
             std::thread::sleep(Duration::from_millis(1));
@@ -507,22 +598,23 @@ fn worker_loop(
         let chaos_panic = config.chaos.panic_on.contains(&(exp, attempt));
         let run = catch_unwind(AssertUnwindSafe(|| {
             assert!(!chaos_panic, "chaos: injected panic for experiment {exp} attempt {attempt}");
-            run_experiment_from_with_abort(local, prepared, workload, spec, runner, &abort)
+            run_experiment_from_with_abort(local_ckpt, prepared, workload, spec, runner, &abort)
         }));
 
         let mut s = shared.lock().expect("schedule mutex");
         // A reaped worker's slot has moved on; its late result is a zombie
         // and must not double-count (the journal keeps first-terminal-wins
         // semantics too).
-        let still_mine = matches!(s.slots[exp], Slot::Leased { attempt: a, .. } if a == attempt);
+        let still_mine = matches!(s.slots[local], Slot::Leased { attempt: a, .. } if a == attempt);
         if !still_mine {
             continue;
         }
         match run {
             Ok(result) if result.outcome != Outcome::Infrastructure => {
-                finish_experiment(&mut s, exp, attempt, ws, &result, config)?;
+                finish_experiment(&mut s, local, attempt, ws, &result, config)?;
                 leases.release(exp)?;
-                if config.chaos.halt_after.is_some_and(|n| s.finished_here >= n) {
+                if config.chaos.halt_after.is_some_and(|n| s.finished_before + s.finished_here >= n)
+                {
                     s.halted = true;
                 }
             }
@@ -531,15 +623,16 @@ fn worker_loop(
                 // other failed attempt.
                 let reason = format!("runner aborted ({})", result.exit);
                 let rendered = spec.to_string();
-                s.attempt_failed(exp, attempt, worker, &reason, &rendered, config, leases)?;
+                s.attempt_failed(local, attempt, worker, &reason, &rendered, config, leases)?;
             }
             Err(panic) => {
                 // Panic provenance: the payload message plus the offending
                 // fault spec, so the journal alone reproduces the case.
                 let reason = format!("worker panic: {}", panic_message(&panic));
                 let rendered = spec.to_string();
-                s.attempt_failed(exp, attempt, worker, &reason, &rendered, config, leases)?;
-                if config.chaos.halt_after.is_some_and(|n| s.finished_here >= n) {
+                s.attempt_failed(local, attempt, worker, &reason, &rendered, config, leases)?;
+                if config.chaos.halt_after.is_some_and(|n| s.finished_before + s.finished_here >= n)
+                {
                     s.halted = true;
                 }
             }
@@ -550,12 +643,13 @@ fn worker_loop(
 /// Records a successful terminal outcome: journal, result file, schedule.
 fn finish_experiment(
     s: &mut Shared,
-    exp: usize,
+    local: usize,
     attempt: u64,
     ws: usize,
     result: &ExperimentResult,
     config: &NowConfig,
 ) -> std::io::Result<()> {
+    let exp = s.exps[local];
     s.journal.append(&JournalEvent::Done {
         exp: exp as u64,
         attempt,
@@ -568,8 +662,8 @@ fn finish_experiment(
         result_path(&config.share_dir, exp),
         format!("{} outcome={} exit={}\n", result.spec, result.outcome, result.exit),
     )?;
-    s.slots[exp] = Slot::Done;
-    s.completed[exp] = Some(CompletedExperiment {
+    s.slots[local] = Slot::Done;
+    s.completed[local] = Some(CompletedExperiment {
         exp,
         outcome: result.outcome,
         attempts: attempt,
@@ -580,6 +674,192 @@ fn finish_experiment(
     s.terminal += 1;
     s.finished_here += 1;
     Ok(())
+}
+
+/// Runs an adaptive (sequential early-stopping) campaign on the NoW: each
+/// round the engine draws the next batch per undecided cell, journals
+/// every draw, executes the not-yet-terminal remainder as one
+/// lease/journal window across the workstations, and folds the outcomes
+/// back into the live per-cell stats before re-evaluating the stopping
+/// rule.
+///
+/// Resume ([`NowConfig::resume`]): the engine re-derives the identical
+/// draw trajectory from the seed, validates it against the journaled
+/// `drawn` records, folds terminal outcomes already recorded, reaps
+/// orphaned leases, and executes only what is missing — reaching
+/// byte-identical per-cell decisions to an uninterrupted run.
+///
+/// # Errors
+///
+/// I/O errors from the share; [`ErrorKind::InvalidData`] when resume finds
+/// a journal from a different campaign (seed, checkpoint, stopping rule,
+/// or cell set mismatch); [`ErrorKind::Interrupted`] when
+/// [`ChaosConfig::halt_after`] stops the campaign early (the journal
+/// remains resumable).
+pub fn run_campaign_adaptive_now(
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    runner: &RunnerConfig,
+    config: &NowConfig,
+    adaptive: &AdaptiveConfig,
+    seed: u64,
+) -> std::io::Result<(AdaptiveOutcome, NowReport)> {
+    std::fs::create_dir_all(&config.share_dir)?;
+    let leases = LeaseDir::new(&config.share_dir);
+    let ckpt_path = config.share_dir.join("campaign.ckpt");
+    let resuming = config.resume && Journal::path_in(&config.share_dir).exists();
+
+    let replay = if resuming {
+        let header = Checkpoint::load_header(&ckpt_path)?;
+        replay_adaptive(&config.share_dir, adaptive, seed, header.digest)?
+    } else {
+        clear_run_artifacts(&config.share_dir)?;
+        prepared.checkpoint.save(&ckpt_path)?;
+        AdaptiveReplay::default()
+    };
+    let mut journal = Journal::open(&config.share_dir)?;
+    if !resuming {
+        journal.append(&adaptive.header(seed, prepared.checkpoint.digest()))?;
+    }
+    let locals = load_local_checkpoints(&ckpt_path, config.workstations)?;
+
+    let mut state = AdaptiveState::new(adaptive, seed, prepared.stage_events);
+    let mut table = OutcomeTable::new();
+    let mut per_ws = vec![0usize; config.workstations];
+    let mut wall = Duration::ZERO;
+    let (mut retries, mut reclaimed) = (0u64, 0u64);
+    let (mut resumed, mut finished_in_process) = (0usize, 0usize);
+
+    loop {
+        let draws = state.next_round();
+        if draws.is_empty() {
+            break;
+        }
+        // Commit the whole round's draw decisions to the journal before
+        // executing any of them; a journaled prefix must match the
+        // re-derived trajectory exactly.
+        let mut window_exps: Vec<usize> = Vec::new();
+        let mut window_cells: Vec<usize> = Vec::new();
+        let mut window_specs: Vec<FaultSpec> = Vec::new();
+        let mut window_slots: Vec<Slot> = Vec::new();
+        for d in &draws {
+            let label = adaptive.cells[d.cell].to_string();
+            if let Some((cell, ordinal)) = replay.drawn.get(d.exp as usize) {
+                if *cell != label || *ordinal != d.draw {
+                    return Err(Error::new(
+                        ErrorKind::InvalidData,
+                        format!(
+                            "journaled draw {} ({cell} #{ordinal}) does not match the \
+                             re-derived trajectory ({label} #{})",
+                            d.exp, d.draw
+                        ),
+                    ));
+                }
+            } else {
+                journal.append(&JournalEvent::Drawn { exp: d.exp, cell: label, draw: d.draw })?;
+            }
+            match replay.terminal.get(&d.exp) {
+                Some(ReplayTerminal::Done { outcome, .. }) => {
+                    state.record(d.cell, *outcome);
+                    table.add(*outcome);
+                    resumed += 1;
+                }
+                Some(ReplayTerminal::Failed { .. }) => {
+                    // Infrastructure failures spent budget but are not
+                    // evidence — mirror of the live path.
+                    table.add(Outcome::Infrastructure);
+                    resumed += 1;
+                }
+                None => {
+                    let global = d.exp as usize;
+                    FaultConfig::from_specs(vec![d.spec])
+                        .save(&fault_path(&config.share_dir, global))?;
+                    let mut attempts = replay.attempts.get(&d.exp).copied().unwrap_or(0);
+                    if let Some(orphan) = leases.read(global)? {
+                        // A worker of the dead campaign process died
+                        // holding this draw.
+                        leases.release(global)?;
+                        reclaimed += 1;
+                        attempts = attempts.max(orphan.attempt);
+                        journal.append(&JournalEvent::AttemptFailed {
+                            exp: d.exp,
+                            attempt: orphan.attempt,
+                            worker: orphan.worker,
+                            reason: "orphaned lease (campaign restart)".to_string(),
+                            spec: Some(d.spec.to_string()),
+                        })?;
+                    }
+                    window_exps.push(global);
+                    window_cells.push(d.cell);
+                    window_specs.push(d.spec);
+                    window_slots.push(Slot::Pending { attempts, not_before_ms: 0 });
+                }
+            }
+        }
+
+        if !window_exps.is_empty() {
+            let prefilled = vec![None; window_exps.len()];
+            let window = execute_window(
+                prepared,
+                workload,
+                window_exps,
+                window_specs,
+                window_slots,
+                prefilled,
+                &locals,
+                runner,
+                config,
+                journal,
+                &leases,
+                0,
+                finished_in_process,
+            )?;
+            journal = window.journal;
+            wall += window.wall;
+            retries += window.retries;
+            reclaimed += window.reclaimed;
+            finished_in_process += window.finished_here;
+            for (ws, n) in window.per_ws.iter().enumerate() {
+                per_ws[ws] += n;
+            }
+            if window.halted {
+                return Err(Error::new(
+                    ErrorKind::Interrupted,
+                    format!(
+                        "adaptive campaign halted by chaos after {finished_in_process} \
+                         experiments ({} drawn); resume to finish",
+                        state.drawn_total()
+                    ),
+                ));
+            }
+            for (local, done) in window.completed.into_iter().enumerate() {
+                let done = done.expect("all window experiments reached a terminal state");
+                state.record(window_cells[local], done.outcome);
+                table.add(done.outcome);
+            }
+        }
+        state.end_round();
+    }
+
+    state.finalize();
+    let outcome = AdaptiveOutcome {
+        cells: state.reports(adaptive.z),
+        table,
+        experiments: state.drawn_total(),
+        rounds: state.rounds(),
+        resumed: resumed as u64,
+        z: adaptive.z,
+    };
+    let report = NowReport {
+        wall,
+        per_workstation: per_ws,
+        experiments: outcome.experiments as usize,
+        resumed,
+        retries,
+        reclaimed_leases: reclaimed,
+        infrastructure_failures: outcome.table.count(Outcome::Infrastructure),
+    };
+    Ok((outcome, report))
 }
 
 /// Replays and validates the journal against this campaign's identity.

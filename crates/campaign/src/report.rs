@@ -67,6 +67,27 @@ impl OutcomeTable {
             .collect::<Vec<_>>()
             .join(" ")
     }
+
+    /// A rate ± Wilson-half-width row over the five experiment outcomes
+    /// (infrastructure failures are harness noise, not rates): the
+    /// adaptive-campaign report column.
+    pub fn rate_ci_row(&self, z: f64) -> String {
+        let n = Outcome::ALL
+            .iter()
+            .filter(|o| o.is_experiment_outcome())
+            .map(|o| self.count(*o))
+            .sum::<u64>();
+        Outcome::ALL
+            .iter()
+            .filter(|o| o.is_experiment_outcome())
+            .map(|o| {
+                let hw = crate::stats::proportion_ci(self.count(*o), n, z);
+                let rate = if n == 0 { 0.0 } else { self.count(*o) as f64 / n as f64 };
+                format!("{:5.1}±{:4.1}%", rate * 100.0, hw * 100.0)
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
 }
 
 impl fmt::Display for OutcomeTable {

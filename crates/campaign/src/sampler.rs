@@ -115,11 +115,30 @@ impl FaultSampler {
         FaultSampler { rng: SplitMix64::new(seed), stage_events, thread, core }
     }
 
+    /// A sampler dedicated to one campaign cell: the campaign seed mixed
+    /// with the cell's index, so each cell owns an independent deterministic
+    /// stream. The sequential engine draws cells batch-by-batch in whatever
+    /// order the stopping rule dictates; per-cell streams make draw `k` of a
+    /// cell invariant to that interleaving — the property its resume path
+    /// (and its byte-identical-decisions guarantee) is built on.
+    pub fn for_cell(seed: u64, cell: usize, stage_events: [u64; 5]) -> FaultSampler {
+        // SplitMix64's increment constant keeps distinct cells' seeds
+        // decorrelated even for adjacent campaign seeds.
+        let mixed = seed ^ (cell as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        FaultSampler::new(mixed, stage_events, 0, 0)
+    }
+
     /// The population size of class `class` (events × bits), the `N` of the
     /// Leveugle sizing formula.
     pub fn population(&self, class: LocationClass) -> u64 {
         let events = self.stage_events[class.stage().index()].max(1);
         events.saturating_mul(class.bit_width() as u64)
+    }
+
+    /// Profiled events of one stage (≥ 1) — the time axis of any fault
+    /// family whose activation rides that stage's queue.
+    pub fn stage_events(&self, stage: Stage) -> u64 {
+        self.stage_events[stage.index()].max(1)
     }
 
     /// Total population over all classes.
@@ -164,6 +183,15 @@ impl FaultSampler {
         let mut spec = self.sample(class);
         spec.timing = FaultTiming::Instructions(self.rng.range_inclusive(start, end - 1));
         spec
+    }
+
+    /// Draws a batch of `k` transient single-bit-flip faults in `class` —
+    /// the draw-on-demand entry point of the sequential engine, which asks
+    /// for one round's worth of faults at a time instead of an up-front
+    /// Leveugle-sized worklist. Equivalent to `k` calls of
+    /// [`FaultSampler::sample`].
+    pub fn sample_batch(&mut self, class: LocationClass, k: usize) -> Vec<FaultSpec> {
+        (0..k).map(|_| self.sample(class)).collect()
     }
 
     /// Draws a fault from a uniformly chosen class (the whole-space model).
@@ -285,6 +313,31 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.sample_any(), b.sample_any());
         }
+    }
+
+    #[test]
+    fn cell_samplers_are_independent_deterministic_streams() {
+        let events = [100; 5];
+        // Same (seed, cell) → same stream; different cell → different one.
+        let mut a = FaultSampler::for_cell(7, 3, events);
+        let mut b = FaultSampler::for_cell(7, 3, events);
+        for _ in 0..50 {
+            assert_eq!(a.sample_any(), b.sample_any());
+        }
+        let mut d = FaultSampler::for_cell(7, 3, events);
+        let mut c = FaultSampler::for_cell(7, 4, events);
+        let diverged =
+            (0..50).any(|_| d.sample(LocationClass::Fetch) != c.sample(LocationClass::Fetch));
+        assert!(diverged, "distinct cells draw distinct streams");
+    }
+
+    #[test]
+    fn batched_draws_equal_repeated_single_draws() {
+        let mut a = sampler();
+        let mut b = sampler();
+        let batch = a.sample_batch(LocationClass::Mem, 20);
+        let singles: Vec<_> = (0..20).map(|_| b.sample(LocationClass::Mem)).collect();
+        assert_eq!(batch, singles);
     }
 
     #[test]

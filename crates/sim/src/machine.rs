@@ -6,7 +6,7 @@ use crate::loader::load_program;
 use crate::stats::SimStats;
 use gemfi_asm::Program;
 use gemfi_cpu::{Cpu, CpuKind, Dormancy, ElidedHooks, FaultHooks, StepEvent};
-use gemfi_isa::{ArchState, ExecError, SimError, Trap};
+use gemfi_isa::{ArchState, ExecError, SimError, Trap, MAX_SUPERBLOCK_UOPS};
 use gemfi_kernel::Kernel;
 use gemfi_mem::{MemorySystem, Ticks};
 use std::fmt;
@@ -492,6 +492,14 @@ impl<H: FaultHooks> Machine<H> {
         let sb_ok = self.config.mem.superblock
             && self.config.cpu == CpuKind::Atomic
             && self.mem.lesions().is_empty();
+        // Deadline bucketing: a block holds at most MAX_SUPERBLOCK_UOPS
+        // micro-ops (n ticks, ≤ n events per stage on atomic), so while the
+        // sprint is strictly below these saturating thresholds *any* block
+        // fits and the per-block budget arithmetic is skipped. Near a bound
+        // the thresholds saturate to 0 and the exact check takes over.
+        let max_block = MAX_SUPERBLOCK_UOPS as u64;
+        let safe_tick = tick_limit.saturating_sub(max_block);
+        let safe_events = event_bound.saturating_sub(max_block.saturating_add(Self::EVENT_SLACK));
         let mut elided = ElidedHooks::new(&mut self.hooks);
         let mut exit = None;
         while self.tick < tick_limit
@@ -503,17 +511,22 @@ impl<H: FaultHooks> Machine<H> {
                     let n = block.len() as u64;
                     // The whole block must fit below every sprint bound:
                     // on atomic, n micro-ops cost exactly n ticks and at
-                    // most n events per stage. If it does not fit, fall
-                    // through to per-instruction stepping, which stops at
-                    // precisely the same boundary as the knob-off run.
-                    let fits_ticks = self.tick.saturating_add(n) <= tick_limit;
-                    let fits_events = unbounded
-                        || elided
-                            .max_stage_events()
-                            .saturating_add(n)
-                            .saturating_add(Self::EVENT_SLACK)
-                            <= event_bound;
-                    if fits_ticks && fits_events {
+                    // most n events per stage. The bucketed fast path
+                    // accepts any block far from the bounds; the exact
+                    // per-block check runs only near a deadline. If the
+                    // block does not fit, fall through to per-instruction
+                    // stepping, which stops at precisely the same boundary
+                    // as the knob-off run.
+                    let fits = (self.tick < safe_tick
+                        && (unbounded || elided.max_stage_events() < safe_events))
+                        || (self.tick.saturating_add(n) <= tick_limit
+                            && (unbounded
+                                || elided
+                                    .max_stage_events()
+                                    .saturating_add(n)
+                                    .saturating_add(Self::EVENT_SLACK)
+                                    <= event_bound));
+                    if fits {
                         let start_tick = self.tick;
                         let run = block.execute(&mut self.arch, &mut self.mem);
                         self.tick += run.committed;

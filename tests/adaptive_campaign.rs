@@ -1,0 +1,143 @@
+//! Adaptive-campaign invariants at the integration level: the min-n floor,
+//! the hard budget cap, and kill-based resume — an interrupted sequential
+//! campaign, resumed from its journal, must reach byte-identical per-cell
+//! decisions to an uninterrupted run on the same seed.
+
+use gemfi::Outcome;
+use gemfi_campaign::{
+    prepare_workload, run_campaign_adaptive, run_campaign_adaptive_now, AdaptiveConfig, CellKind,
+    ChaosConfig, NowConfig, RunnerConfig,
+};
+use gemfi_cpu::CpuKind;
+use gemfi_workloads::pi::MonteCarloPi;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn campaign() -> (MonteCarloPi, gemfi_campaign::PreparedWorkload, RunnerConfig) {
+    let w = MonteCarloPi { points: 60, init_spins: 40, ..MonteCarloPi::default() };
+    let p = prepare_workload(&w).unwrap();
+    let runner = RunnerConfig {
+        inject_cpu: CpuKind::Atomic,
+        finish_cpu: CpuKind::Atomic,
+        ..RunnerConfig::default()
+    };
+    (w, p, runner)
+}
+
+fn share(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gemfi-adaptive-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &PathBuf) -> NowConfig {
+    NowConfig {
+        lease: Duration::from_secs(30),
+        retry_backoff: Duration::from_millis(1),
+        ..NowConfig::new(2, 2, dir)
+    }
+}
+
+#[test]
+fn no_cell_decides_below_the_min_n_floor_on_any_seed() {
+    let (w, p, runner) = campaign();
+    // A loose half-width that single-digit samples could nominally satisfy
+    // on a lopsided cell — only the floor keeps the sample honest.
+    let adaptive = AdaptiveConfig {
+        ci_halfwidth: 0.2,
+        min_n: 24,
+        batch: 8,
+        cells: vec![CellKind::parse("l2-cache").unwrap(), CellKind::parse("int-reg").unwrap()],
+        ..AdaptiveConfig::default()
+    };
+    for seed in [1u64, 2, 3] {
+        let outcome = run_campaign_adaptive(&p, &w, &runner, None, &adaptive, seed);
+        for cell in &outcome.cells {
+            if cell.decision.is_decided() {
+                assert!(
+                    cell.n >= adaptive.min_n,
+                    "seed {seed}: {} decided at n={} below the min-n floor",
+                    cell.cell,
+                    cell.n
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_budget_caps_total_draws_across_all_cells() {
+    let (w, p, runner) = campaign();
+    // A half-width this tight wants hundreds of samples per cell; the
+    // budget must cut the campaign off first.
+    let adaptive = AdaptiveConfig {
+        ci_halfwidth: 0.02,
+        min_n: 8,
+        batch: 8,
+        budget: 48,
+        cells: vec![CellKind::parse("pc").unwrap(), CellKind::parse("decode").unwrap()],
+        ..AdaptiveConfig::default()
+    };
+    let outcome = run_campaign_adaptive(&p, &w, &runner, None, &adaptive, 7);
+    assert_eq!(outcome.experiments, 48, "the campaign draws exactly up to the budget");
+    assert!(
+        outcome.cells.iter().all(|c| !c.decision.is_decided()),
+        "neither cell can close a 2%-half-width CI inside 48 draws, so both end \
+         exhausted-at-budget rather than decided"
+    );
+}
+
+#[test]
+fn interrupted_adaptive_campaign_resumes_to_identical_decisions() {
+    let (w, p, runner) = campaign();
+    let adaptive = AdaptiveConfig {
+        ci_halfwidth: 0.12,
+        min_n: 16,
+        batch: 8,
+        cells: vec![
+            CellKind::parse("l1d-cache").unwrap(),
+            CellKind::parse("fp-reg").unwrap(),
+            CellKind::parse("pc").unwrap(),
+        ],
+        ..AdaptiveConfig::default()
+    };
+    let seed = 0xFEED;
+
+    // Ground truth: the same campaign run start-to-finish in its own share.
+    let fresh_dir = share("fresh");
+    let (fresh, _) =
+        run_campaign_adaptive_now(&p, &w, &runner, &config(&fresh_dir), &adaptive, seed).unwrap();
+
+    // Interrupted run: the driver halts a few completions in, then resumes.
+    let dir = share("kill");
+    let mut cfg = config(&dir);
+    cfg.chaos = ChaosConfig { halt_after: Some(5), ..ChaosConfig::default() };
+    let err = run_campaign_adaptive_now(&p, &w, &runner, &cfg, &adaptive, seed).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Interrupted, "{err}");
+
+    let mut cfg = config(&dir);
+    cfg.resume = true;
+    let (resumed, report) =
+        run_campaign_adaptive_now(&p, &w, &runner, &cfg, &adaptive, seed).unwrap();
+    assert!(resumed.resumed > 0, "finished work was replayed from the journal, not re-run");
+    assert!(report.resumed > 0);
+
+    // Byte-identical decisions: same cells, same n, same decision state,
+    // same per-cell outcome counts, same totals.
+    assert_eq!(resumed.experiments, fresh.experiments);
+    assert_eq!(resumed.rounds, fresh.rounds);
+    assert_eq!(resumed.cells.len(), fresh.cells.len());
+    for (r, f) in resumed.cells.iter().zip(&fresh.cells) {
+        assert_eq!(r.cell, f.cell);
+        assert_eq!(r.n, f.n, "{}: replayed sample size differs", r.cell);
+        assert_eq!(r.decision, f.decision, "{}: decision differs", r.cell);
+        assert_eq!(r.stats, f.stats, "{}: outcome counts differ", r.cell);
+    }
+    for o in Outcome::ALL {
+        assert_eq!(resumed.table.count(o), fresh.table.count(o), "{o}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&fresh_dir).ok();
+}
