@@ -1,0 +1,151 @@
+//! Spool-vs-socket transport ablation: the same fixed-n campaign executed
+//! once over the NoW spool share (`run_campaign_now`, worker threads
+//! claiming lease files directly) and once over the campaign server
+//! (`CampaignServer` + `run_socket_worker` fleets on localhost TCP).
+//!
+//! Both arms run the identical spec list with the same worker count, so the
+//! measured gap is pure transport overhead: line-delimited JSON framing,
+//! per-lease heartbeat connections, and the checkpoint blob fetch, against
+//! the spool's rename-based claims on a shared filesystem. Experiment
+//! execution dominates at paper scale — the committed report documents that
+//! the socket backend's throughput stays within noise of the spool, i.e.
+//! serving campaigns over the network costs (almost) nothing.
+//!
+//! The bench also asserts the two arms' outcome tables are byte-identical:
+//! a transport may cost time, never results.
+//!
+//! Options: `--points N` (pi workload size, default 400), `--experiments N`
+//! (default 24), `--workers N` (default 2), `--samples N` (default 3),
+//! `--seed N` (default 7), `--out PATH` (default `BENCH_now_server.json`).
+
+use gemfi_bench::{time_it_secs, Args};
+use gemfi_campaign::{
+    prepare_workload, run_campaign_now, run_socket_worker, CampaignServer, FaultSampler, NowConfig,
+    OutcomeTable, QueueKind, QueueSpec, RunnerConfig, ServerConfig, WorkerOptions,
+};
+use gemfi_cpu::CpuKind;
+use gemfi_workloads::pi::MonteCarloPi;
+use gemfi_workloads::Workload;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Fresh scratch share per campaign run — both arms journal durably, so a
+/// timing sample must never resume a previous sample's journal.
+fn fresh_share(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("gemfi-bench-now-server-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch share");
+    dir
+}
+
+fn main() {
+    let args = Args::from_env();
+    let points: u64 = args.number("points", 400u64);
+    let experiments: usize = args.number("experiments", 24usize);
+    let workers: usize = args.number("workers", 2usize);
+    let samples: usize = args.number("samples", 3usize);
+    let seed: u64 = args.number("seed", 7u64);
+    let out_path = args.value_of("out").unwrap_or("BENCH_now_server.json").to_string();
+
+    let workload = MonteCarloPi { points, ..MonteCarloPi::default() };
+    // Atomic both sides: the ablation measures transport overhead, not
+    // microarchitectural simulation speed.
+    let runner = RunnerConfig {
+        inject_cpu: CpuKind::Atomic,
+        finish_cpu: CpuKind::Atomic,
+        ..RunnerConfig::default()
+    };
+    let prepared = prepare_workload(&workload).expect("workload prepares");
+    let mut sampler = FaultSampler::new(seed, prepared.stage_events, 0, 0);
+    let specs: Vec<_> = (0..experiments).map(|_| sampler.sample_any()).collect();
+
+    // Spool arm: in-process worker threads claiming lease files off the
+    // share directory.
+    let mut spool_table: Option<OutcomeTable> = None;
+    let (spool_median, spool_min) = time_it_secs("spool", samples, || {
+        let share = fresh_share("spool");
+        let config = NowConfig::new(workers, 1, &share);
+        let (table, _, _) =
+            run_campaign_now(&prepared, &workload, &specs, &runner, &config).expect("spool run");
+        spool_table = Some(table);
+    });
+
+    // Socket arm: the campaign server plus a localhost worker fleet of the
+    // same size, each worker re-resolving the guest from the wire metadata
+    // exactly as a remote `gemfi_worker` process would.
+    let resolver = move |name: &str, scale: &str| -> Option<Box<dyn Workload>> {
+        (name == "pi" && scale == "bench").then(|| Box::new(workload) as Box<dyn Workload>)
+    };
+    let mut socket_table: Option<OutcomeTable> = None;
+    let (socket_median, socket_min) = time_it_secs("socket", samples, || {
+        let share = fresh_share("socket");
+        let server = CampaignServer::start(
+            ServerConfig { idle_backoff: Duration::from_millis(2), ..ServerConfig::new(&share) },
+            vec![QueueSpec {
+                name: "pi".to_string(),
+                priority: 1,
+                quota: 0,
+                workload: "pi".to_string(),
+                scale: "bench".to_string(),
+                prepared: prepared.clone(),
+                kind: QueueKind::FixedN { specs: specs.clone() },
+            }],
+        )
+        .expect("server starts");
+        let addr = server.addr().to_string();
+        let fleet: Vec<_> = (0..workers)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut opts = WorkerOptions::new(format!("bench-w{i}"));
+                    opts.runner = RunnerConfig {
+                        inject_cpu: CpuKind::Atomic,
+                        finish_cpu: CpuKind::Atomic,
+                        ..RunnerConfig::default()
+                    };
+                    opts.reconnect_delay = Duration::from_millis(2);
+                    run_socket_worker(&addr, &resolver, &opts).expect("worker finishes")
+                })
+            })
+            .collect();
+        assert!(server.wait_complete(Duration::from_secs(600)), "campaign must complete");
+        for worker in fleet {
+            worker.join().expect("worker thread");
+        }
+        let report = server.shutdown().expect("server shutdown");
+        socket_table = Some(report.queues[0].table);
+    });
+
+    let spool_table = spool_table.unwrap();
+    let socket_table = socket_table.unwrap();
+    assert_eq!(
+        spool_table, socket_table,
+        "transports disagree on outcomes — the socket backend is not conformant"
+    );
+
+    let spool_rate = experiments as f64 / spool_median;
+    let socket_rate = experiments as f64 / socket_median;
+    // Socket throughput relative to spool: ~1.0 means the network transport
+    // is free next to experiment execution.
+    let ratio = socket_rate / spool_rate;
+    println!("\nspool   {spool_rate:>8.1} exps/s  (median {spool_median:.4}s)");
+    println!("socket  {socket_rate:>8.1} exps/s  (median {socket_median:.4}s)");
+    println!("socket/spool throughput ratio {ratio:.3}");
+
+    let report = format!(
+        "{{\n  \"bench\": \"now_server\",\n  \"workload\": \"pi\",\n  \"points\": {points},\n  \
+         \"experiments\": {experiments},\n  \"workers\": {workers},\n  \"samples\": {samples},\n  \
+         \"seed\": {seed},\n  \"results\": [\n    \
+         {{\"transport\": \"spool\", \"median_secs\": {spool_median:.6}, \"min_secs\": \
+         {spool_min:.6}, \"experiments_per_sec\": {spool_rate:.2}}},\n    \
+         {{\"transport\": \"socket\", \"median_secs\": {socket_median:.6}, \"min_secs\": \
+         {socket_min:.6}, \"experiments_per_sec\": {socket_rate:.2}}}\n  ],\n  \
+         \"speedup\": {{\"socket_vs_spool\": {ratio:.3}}}\n}}\n"
+    );
+    std::fs::write(&out_path, &report).expect("write BENCH_now_server.json");
+    println!("\nwrote {out_path}");
+}

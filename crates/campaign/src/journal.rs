@@ -15,11 +15,12 @@
 //!
 //! The format is deliberately hand-rolled, flat JSON (string and integer
 //! fields only): the workspace builds fully offline, and a lifecycle log
-//! should be greppable from a shell on the share without tooling.
+//! should be greppable from a shell on the share without tooling. The
+//! encoding itself lives in [`crate::wire`], where the campaign server's
+//! socket protocol speaks the same dialect.
 
+use crate::wire::{json_escape, parse_flat_object};
 use gemfi::Outcome;
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -162,24 +163,6 @@ fn spec_suffix(spec: Option<&str>) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl JournalEvent {
     /// Renders the event as one JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
@@ -303,112 +286,6 @@ impl JournalEvent {
                 spec: fields.opt_str_field("spec"),
             }),
             other => Err(format!("unknown journal event `{other}`")),
-        }
-    }
-}
-
-/// A parsed flat JSON object: string and unsigned-integer values only.
-#[derive(Debug, Default)]
-struct FlatObject {
-    strings: BTreeMap<String, String>,
-    numbers: BTreeMap<String, u64>,
-}
-
-impl FlatObject {
-    fn str_field(&self, key: &str) -> Result<String, String> {
-        self.strings.get(key).cloned().ok_or_else(|| format!("missing string field `{key}`"))
-    }
-
-    fn opt_str_field(&self, key: &str) -> Option<String> {
-        self.strings.get(key).cloned()
-    }
-
-    fn num_field(&self, key: &str) -> Result<u64, String> {
-        self.numbers.get(key).copied().ok_or_else(|| format!("missing numeric field `{key}`"))
-    }
-}
-
-/// Parses `{"k":"v","n":42,...}` — exactly the shape [`JournalEvent`]
-/// emits. Not a general JSON parser: no nesting, no arrays, no floats.
-fn parse_flat_object(line: &str) -> Result<FlatObject, String> {
-    let mut chars = line.trim().chars().peekable();
-    let mut obj = FlatObject::default();
-    if chars.next() != Some('{') {
-        return Err("expected `{`".into());
-    }
-    loop {
-        match chars.peek() {
-            Some('}') => break,
-            Some('"') => {}
-            Some(',') => {
-                chars.next();
-                continue;
-            }
-            Some(c) if c.is_whitespace() => {
-                chars.next();
-                continue;
-            }
-            other => return Err(format!("expected key, found {other:?}")),
-        }
-        let key = parse_string(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next() != Some(':') {
-            return Err(format!("missing `:` after key `{key}`"));
-        }
-        skip_ws(&mut chars);
-        match chars.peek() {
-            Some('"') => {
-                let value = parse_string(&mut chars)?;
-                obj.strings.insert(key, value);
-            }
-            Some(c) if c.is_ascii_digit() => {
-                let mut n: u64 = 0;
-                while let Some(c) = chars.peek() {
-                    let Some(d) = c.to_digit(10) else { break };
-                    n = n
-                        .checked_mul(10)
-                        .and_then(|n| n.checked_add(d as u64))
-                        .ok_or_else(|| format!("numeric overflow in `{key}`"))?;
-                    chars.next();
-                }
-                obj.numbers.insert(key, n);
-            }
-            other => return Err(format!("unsupported value for `{key}`: {other:?}")),
-        }
-    }
-    Ok(obj)
-}
-
-fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-    while chars.peek().is_some_and(|c| c.is_whitespace()) {
-        chars.next();
-    }
-}
-
-fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
-    if chars.next() != Some('"') {
-        return Err("expected `\"`".into());
-    }
-    let mut out = String::new();
-    loop {
-        match chars.next() {
-            None => return Err("unterminated string".into()),
-            Some('"') => return Ok(out),
-            Some('\\') => match chars.next() {
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some('n') => out.push('\n'),
-                Some('r') => out.push('\r'),
-                Some('t') => out.push('\t'),
-                Some('u') => {
-                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
-                    let code = u32::from_str_radix(&hex, 16)
-                        .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                }
-                other => return Err(format!("bad escape {other:?}")),
-            },
-            Some(c) => out.push(c),
         }
     }
 }

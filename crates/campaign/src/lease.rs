@@ -16,11 +16,15 @@
 use std::fs::OpenOptions;
 use std::io::{ErrorKind, Write};
 use std::path::{Path, PathBuf};
-use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::clock::{Clock, SystemClock};
 
 /// Milliseconds since the Unix epoch — the clock leases are stamped in.
+/// Served by [`SystemClock`], so it never runs backwards even if
+/// `SystemTime` does; code that needs a *test-controllable* clock takes an
+/// `Arc<dyn Clock>` instead of calling this.
 pub fn now_ms() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    SystemClock.now_ms()
 }
 
 /// A decoded lease file.
@@ -145,6 +149,30 @@ impl LeaseDir {
         }
     }
 
+    /// Renews the lease on `exp` to a new deadline — the heartbeat path.
+    /// The rewrite only happens when the caller still owns the lease
+    /// (worker and attempt match); returns whether it did. A missing lease
+    /// means a reaper already broke it: the caller has lost the window.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn renew(
+        &self,
+        exp: usize,
+        worker: &str,
+        attempt: u64,
+        new_deadline_ms: u64,
+    ) -> std::io::Result<bool> {
+        let Some(current) = self.read(exp)? else { return Ok(false) };
+        if current.worker != worker || current.attempt != attempt {
+            return Ok(false);
+        }
+        let renewed = Lease { deadline_ms: new_deadline_ms, ..current };
+        std::fs::write(self.lease_path(exp), renewed.render())?;
+        Ok(true)
+    }
+
     /// Breaks an *expired* lease so the experiment can be reclaimed.
     /// Returns the broken lease, or `None` when the lease is gone or still
     /// live (someone else got here first, or the owner finished in time).
@@ -197,6 +225,21 @@ mod tests {
         assert_eq!(broken.attempt, 1);
         assert!(leases.read(0).unwrap().is_none());
         assert!(leases.reap(0, 2_000).unwrap().is_none(), "idempotent");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn renew_extends_only_the_owners_lease() {
+        let d = dir("renew");
+        let leases = LeaseDir::new(&d);
+        leases.claim(5, "w0", 1, 1_000).unwrap().unwrap();
+        assert!(leases.renew(5, "w0", 1, 2_000).unwrap(), "owner renews");
+        assert_eq!(leases.read(5).unwrap().unwrap().deadline_ms, 2_000);
+        assert!(!leases.renew(5, "w1", 1, 9_000).unwrap(), "stranger cannot renew");
+        assert!(!leases.renew(5, "w0", 2, 9_000).unwrap(), "wrong attempt cannot renew");
+        assert_eq!(leases.read(5).unwrap().unwrap().deadline_ms, 2_000);
+        leases.release(5).unwrap();
+        assert!(!leases.renew(5, "w0", 1, 9_000).unwrap(), "reaped lease cannot renew");
         std::fs::remove_dir_all(&d).ok();
     }
 

@@ -22,6 +22,7 @@
 
 pub mod adaptive;
 pub mod classify;
+pub mod clock;
 pub mod fork;
 pub mod journal;
 pub mod lease;
@@ -30,14 +31,21 @@ pub mod report;
 pub mod rng;
 pub mod runner;
 pub mod sampler;
+pub mod server;
+pub mod snapshot;
 pub mod stats;
 pub mod timing;
+pub mod transport;
+pub mod window;
+pub mod wire;
+pub mod worker;
 
 pub use adaptive::{
     replay_adaptive, run_campaign_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptiveReplay,
     AdaptiveState, CellKind, CellReport, ReplayTerminal,
 };
 pub use classify::classify;
+pub use clock::{system_clock, Clock, SystemClock, TestClock};
 pub use fork::{
     drive_suffix, plan_suffixes, run_campaign_forked, run_campaign_forked_journaled, ForkConfig,
     ForkedSuffix,
@@ -56,7 +64,14 @@ pub use runner::{
     ExperimentResult, PreparedWorkload, RunnerConfig, DORMANT_CHUNK_FACTOR,
 };
 pub use sampler::{FaultSampler, LocationClass};
+pub use server::{CampaignServer, QueueKind, QueueReport, QueueSpec, ServerConfig, ServerReport};
+pub use snapshot::SnapshotPolicy;
 pub use stats::{
     leveugle_sample_size, proportion_ci, wilson_interval, CellDecision, CellStats, StopRule, Z_95,
     Z_99,
+};
+pub use transport::{CampaignTransport, ClaimReply, QueueContext, ReportAck, WorkAssignment};
+pub use wire::{ClientMsg, ServerMsg, PROTO_VERSION};
+pub use worker::{
+    run_socket_worker, SocketTransport, WorkerOptions, WorkerReport, WorkloadResolver,
 };

@@ -16,6 +16,14 @@
 //! checkpoint blob, lease files, result files, the journal) are the same
 //! ones a physical cluster would exchange over NFS.
 //!
+//! The claim/execute/report cycle itself lives in the backend-neutral
+//! pieces this module composes: the [`WindowScheduler`] owns the
+//! lease/journal/backoff state machine, [`SpoolTransport`] exposes it
+//! through the [`crate::transport::CampaignTransport`] verbs, and
+//! [`drive_worker`] is the very worker loop a remote socket worker runs
+//! against a [`crate::server::CampaignServer`] — so every recovery path
+//! tested here holds for the network backend too.
+//!
 //! Fault tolerance, on top of the paper's protocol:
 //!
 //! - A worker that panics releases its lease and journals the failed
@@ -26,30 +34,42 @@
 //!   run's [`AbortToken`], and requeues the experiment.
 //! - An experiment that exhausts its retries is terminally classified
 //!   [`Outcome::Infrastructure`] — counted, never silently dropped.
+//! - With [`NowConfig::snapshot_ticks`] set, workers drop periodic mid-run
+//!   snapshots ([`crate::snapshot`]) onto the share; a retried attempt
+//!   resumes from the last snapshot instead of re-running from the
+//!   campaign checkpoint.
 //! - A killed campaign resumes: [`run_campaign_now`] with
 //!   [`NowConfig::resume`] replays the journal, verifies it belongs to this
 //!   campaign (experiment count, fault-spec digest, checkpoint digest),
 //!   reaps orphaned leases, and schedules only the unfinished remainder.
 //!   The merged [`OutcomeTable`] is identical to an uninterrupted run.
+//!
+//! [`AbortToken`]: gemfi::AbortToken
 
 use crate::adaptive::{
-    replay_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptiveReplay, AdaptiveState, ReplayTerminal,
+    replay_adaptive, AdaptiveConfig, AdaptiveOutcome, AdaptiveReplay, AdaptiveState, Draw,
+    ReplayTerminal,
 };
+use crate::clock::{system_clock, Clock};
 use crate::journal::{
     spec_digest, CampaignState, ExpState, Journal, JournalEvent, JOURNAL_VERSION,
 };
-use crate::lease::{now_ms, LeaseDir};
+use crate::lease::LeaseDir;
 use crate::report::OutcomeTable;
 use crate::runner::{
     run_experiment_from_with_abort, ExperimentResult, PreparedWorkload, RunnerConfig,
 };
-use gemfi::{AbortToken, FaultConfig, FaultSpec, Outcome};
+use crate::snapshot::{run_experiment_snapshotted, SnapshotPolicy};
+use crate::transport::{SpoolTransport, WorkAssignment};
+use crate::window::{fault_path, snapshot_path, SchedulerPolicy, SeedSlot, WindowScheduler};
+use crate::worker::{drive_worker, WorkerOptions};
+use gemfi::{FaultConfig, FaultSpec, Outcome};
 use gemfi_sim::Checkpoint;
 use gemfi_workloads::Workload;
 use std::io::{Error, ErrorKind};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::path::Path;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Deterministic failure injection for testing the campaign harness itself.
@@ -85,13 +105,21 @@ pub struct NowConfig {
     /// Replay an existing journal and run only the unfinished remainder.
     /// Without a journal on the share this is an ordinary fresh start.
     pub resume: bool,
+    /// Mid-run snapshot cadence in simulated ticks; `0` disables. Snapshot
+    /// files land on the share next to the experiment's fault file and are
+    /// deleted once the experiment reaches a terminal outcome.
+    pub snapshot_ticks: u64,
+    /// The clock leases and backoffs are judged by. Production uses
+    /// [`system_clock`]; tests inject a [`crate::clock::TestClock`].
+    pub clock: Arc<dyn Clock>,
     /// Failure injection for harness tests.
     pub chaos: ChaosConfig,
 }
 
 impl NowConfig {
     /// A config with the given cluster shape and default fault-tolerance
-    /// policy (30 s leases, 2 retries, 50 ms base backoff, fresh start).
+    /// policy (30 s leases, 2 retries, 50 ms base backoff, fresh start,
+    /// system clock, no snapshots).
     pub fn new(
         workstations: usize,
         slots_per_workstation: usize,
@@ -105,12 +133,25 @@ impl NowConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(50),
             resume: false,
+            snapshot_ticks: 0,
+            clock: system_clock(),
             chaos: ChaosConfig::default(),
         }
     }
 
     fn max_attempts(&self) -> u64 {
         self.max_retries + 1
+    }
+
+    /// The window-scheduler policy this config implies.
+    pub(crate) fn scheduler_policy(&self) -> SchedulerPolicy {
+        SchedulerPolicy {
+            lease_ms: self.lease.as_millis() as u64,
+            max_attempts: self.max_attempts(),
+            backoff_ms: self.retry_backoff.as_millis() as u64,
+            idle_backoff_ms: 1,
+            halt_after: self.chaos.halt_after,
+        }
     }
 }
 
@@ -154,133 +195,6 @@ pub struct NowReport {
     pub infrastructure_failures: u64,
 }
 
-/// Per-experiment scheduler state (the in-process mirror of the on-share
-/// lease/journal truth).
-#[derive(Debug)]
-enum Slot {
-    /// Waiting to run; `attempts` already burned, claimable at
-    /// `not_before_ms`.
-    Pending { attempts: u64, not_before_ms: u64 },
-    /// In flight under a lease.
-    Leased { attempt: u64, deadline_ms: u64, abort: AbortToken },
-    /// Finished (outcome journaled).
-    Done,
-    /// Terminally failed in the harness.
-    Failed,
-}
-
-/// The in-process scheduler of one execution *window*: a set of
-/// experiments run together over the workstation pool. A fixed-n campaign
-/// is a single window covering every experiment; an adaptive campaign runs
-/// one window per sampling round. Slots and completions are indexed
-/// locally; `exps` maps a local slot to its global experiment index (the
-/// one leases, fault files, and journal records use).
-struct Shared {
-    /// Local slot → global experiment index.
-    exps: Vec<usize>,
-    /// Fault spec per local slot.
-    specs: Vec<FaultSpec>,
-    slots: Vec<Slot>,
-    journal: Journal,
-    completed: Vec<Option<CompletedExperiment>>,
-    per_ws: Vec<usize>,
-    retries: u64,
-    reclaimed: u64,
-    terminal: usize,
-    finished_here: usize,
-    /// Experiments finished in this process by *earlier* windows — keeps
-    /// [`ChaosConfig::halt_after`] a per-process count across rounds.
-    finished_before: usize,
-    halted: bool,
-}
-
-impl Shared {
-    /// Transitions a failed attempt: back to pending with backoff, or
-    /// terminally failed once retries are exhausted. `spec` is the rendered
-    /// fault spec of the experiment — journaled alongside the failure so an
-    /// `Infrastructure` row carries its own reproduction handle.
-    #[allow(clippy::too_many_arguments)]
-    fn attempt_failed(
-        &mut self,
-        local: usize,
-        attempt: u64,
-        worker: &str,
-        reason: &str,
-        spec: &str,
-        config: &NowConfig,
-        leases: &LeaseDir,
-    ) -> std::io::Result<()> {
-        let exp = self.exps[local];
-        self.journal.append(&JournalEvent::AttemptFailed {
-            exp: exp as u64,
-            attempt,
-            worker: worker.to_string(),
-            reason: reason.to_string(),
-            spec: Some(spec.to_string()),
-        })?;
-        leases.release(exp)?;
-        if attempt >= config.max_attempts() {
-            self.journal.append(&JournalEvent::Failed {
-                exp: exp as u64,
-                attempts: attempt,
-                reason: reason.to_string(),
-                spec: Some(spec.to_string()),
-            })?;
-            std::fs::write(
-                result_path(&config.share_dir, exp),
-                format!("outcome={} attempts={attempt} reason={reason}\n", Outcome::Infrastructure),
-            )?;
-            self.slots[local] = Slot::Failed;
-            self.completed[local] = Some(CompletedExperiment {
-                exp,
-                outcome: Outcome::Infrastructure,
-                attempts: attempt,
-                ticks: 0,
-                resumed: false,
-            });
-            self.terminal += 1;
-            self.finished_here += 1;
-        } else {
-            self.retries += 1;
-            // Capped exponential backoff: base × 2^(attempt-1), at most 64×.
-            let factor = 1u64 << (attempt - 1).min(6);
-            let backoff = config.retry_backoff.as_millis() as u64 * factor;
-            self.slots[local] =
-                Slot::Pending { attempts: attempt, not_before_ms: now_ms() + backoff };
-        }
-        Ok(())
-    }
-
-    /// Breaks expired leases (raising the runaway runs' abort tokens) and
-    /// requeues or terminally fails their experiments.
-    fn reap_expired(&mut self, config: &NowConfig, leases: &LeaseDir) -> std::io::Result<()> {
-        let now = now_ms();
-        for local in 0..self.slots.len() {
-            let Slot::Leased { attempt, deadline_ms, ref abort } = self.slots[local] else {
-                continue;
-            };
-            if now <= deadline_ms {
-                continue;
-            }
-            abort.abort();
-            let held = leases.reap(self.exps[local], now)?;
-            let worker = held.map(|l| l.worker).unwrap_or_else(|| "unknown".into());
-            self.reclaimed += 1;
-            let rendered = self.specs[local].to_string();
-            self.attempt_failed(
-                local,
-                attempt,
-                &worker,
-                "lease expired",
-                &rendered,
-                config,
-                leases,
-            )?;
-        }
-        Ok(())
-    }
-}
-
 /// Runs a whole campaign on the simulated NoW. Returns the merged outcome
 /// table, per-experiment terminal records (in experiment order), and the
 /// report.
@@ -299,111 +213,23 @@ pub fn run_campaign_now(
     runner: &RunnerConfig,
     config: &NowConfig,
 ) -> std::io::Result<(OutcomeTable, Vec<CompletedExperiment>, NowReport)> {
-    std::fs::create_dir_all(&config.share_dir)?;
-    let leases = LeaseDir::new(&config.share_dir);
-    let ckpt_path = config.share_dir.join("campaign.ckpt");
-    let resuming = config.resume && Journal::path_in(&config.share_dir).exists();
-
-    // Step 1: experiment configurations onto the share (idempotent).
-    for (i, spec) in specs.iter().enumerate() {
-        FaultConfig::from_specs(vec![*spec]).save(&fault_path(&config.share_dir, i))?;
-    }
-
-    let mut resumed_count = 0;
-    let mut reclaimed_at_start = 0;
-    let mut orphans: Vec<(usize, u64, String)> = Vec::new();
-    let mut slots: Vec<Slot> = Vec::with_capacity(specs.len());
-    let mut completed: Vec<Option<CompletedExperiment>> = vec![None; specs.len()];
-
-    if resuming {
-        // The checkpoint must be the very one the journal was recorded
-        // against; compare digests before trusting any replayed outcome.
-        let header = Checkpoint::load_header(&ckpt_path)?;
-        let state = replay_state(&config.share_dir, specs, header.digest)?;
-        for (exp, exp_state) in state.experiments.iter().enumerate() {
-            match exp_state {
-                ExpState::Unfinished { attempts } => {
-                    // Break any orphaned lease left by the dead campaign
-                    // process, whatever its deadline says.
-                    let mut attempts = *attempts;
-                    if let Some(orphan) = leases.read(exp)? {
-                        leases.release(exp)?;
-                        reclaimed_at_start += 1;
-                        attempts = attempts.max(orphan.attempt);
-                        orphans.push((exp, orphan.attempt, orphan.worker));
-                    }
-                    slots.push(Slot::Pending { attempts, not_before_ms: 0 });
-                }
-                ExpState::Done { outcome, attempt, ticks } => {
-                    slots.push(Slot::Done);
-                    completed[exp] = Some(CompletedExperiment {
-                        exp,
-                        outcome: *outcome,
-                        attempts: *attempt,
-                        ticks: *ticks,
-                        resumed: true,
-                    });
-                    resumed_count += 1;
-                }
-                ExpState::Failed { attempts } => {
-                    slots.push(Slot::Failed);
-                    completed[exp] = Some(CompletedExperiment {
-                        exp,
-                        outcome: Outcome::Infrastructure,
-                        attempts: *attempts,
-                        ticks: 0,
-                        resumed: true,
-                    });
-                    resumed_count += 1;
-                }
-            }
-        }
-    } else {
-        // Fresh start: clear any stale run artifacts, then spool the
-        // checkpoint (step 2) and open a new journal with the campaign
-        // identity header.
-        clear_run_artifacts(&config.share_dir)?;
-        prepared.checkpoint.save(&ckpt_path)?;
-        slots.extend((0..specs.len()).map(|_| Slot::Pending { attempts: 0, not_before_ms: 0 }));
-    }
-
-    let mut journal = Journal::open(&config.share_dir)?;
-    if resuming {
-        // Journal the attempts burned by orphaned leases, so a *second*
-        // resume still counts them toward the retry cap.
-        for (exp, attempt, worker) in orphans {
-            journal.append(&JournalEvent::AttemptFailed {
-                exp: exp as u64,
-                attempt,
-                worker,
-                reason: "orphaned lease (campaign restart)".to_string(),
-                spec: Some(specs[exp].to_string()),
-            })?;
-        }
-    } else {
-        journal.append(&JournalEvent::Campaign {
-            version: JOURNAL_VERSION,
-            experiments: specs.len() as u64,
-            checkpoint_digest: prepared.checkpoint.digest(),
-            spec_digest: spec_digest(specs),
-        })?;
-    }
+    let seeded = seed_fixed_campaign(&config.share_dir, prepared, specs, config.resume)?;
+    let resumed_count = seeded.resumed;
 
     // Step 3: one local checkpoint copy per workstation.
-    let locals = load_local_checkpoints(&ckpt_path, config.workstations)?;
+    let locals =
+        load_local_checkpoints(&config.share_dir.join("campaign.ckpt"), config.workstations)?;
     let window = execute_window(
         prepared,
         workload,
         (0..specs.len()).collect(),
         specs.to_vec(),
-        slots,
-        completed,
+        seeded.seed,
         &locals,
         runner,
         config,
-        journal,
-        &leases,
-        reclaimed_at_start,
+        seeded.journal,
+        seeded.reclaimed,
         0,
     )?;
     if window.halted {
@@ -436,6 +262,152 @@ pub fn run_campaign_now(
     Ok((table, results, report))
 }
 
+/// The seeded starting state of a fixed-n campaign: the opened journal
+/// plus one [`SeedSlot`] per experiment.
+pub(crate) struct CampaignSeed {
+    /// The campaign journal, header written (fresh) or replayed (resume).
+    pub(crate) journal: Journal,
+    /// Starting slot state per experiment.
+    pub(crate) seed: Vec<SeedSlot>,
+    /// Experiments whose terminal record was replayed.
+    pub(crate) resumed: usize,
+    /// Orphaned leases broken while seeding.
+    pub(crate) reclaimed: u64,
+}
+
+/// Seeds a fixed-n campaign on `share`: spools the fault files (step 1)
+/// and the checkpoint (step 2), opens the journal, and — on resume —
+/// replays it, verifies the campaign identity, reaps orphaned leases, and
+/// marks already-terminal experiments. Shared by the in-process NoW
+/// executor and the campaign server's fixed-n queues.
+pub(crate) fn seed_fixed_campaign(
+    share: &Path,
+    prepared: &PreparedWorkload,
+    specs: &[FaultSpec],
+    resume: bool,
+) -> std::io::Result<CampaignSeed> {
+    std::fs::create_dir_all(share)?;
+    let leases = LeaseDir::new(share);
+    let ckpt_path = share.join("campaign.ckpt");
+    let resuming = resume && Journal::path_in(share).exists();
+
+    // Step 1: experiment configurations onto the share (idempotent).
+    for (i, spec) in specs.iter().enumerate() {
+        FaultConfig::from_specs(vec![*spec]).save(&fault_path(share, i))?;
+    }
+
+    let mut resumed_count = 0;
+    let mut reclaimed_at_start = 0;
+    let mut orphans: Vec<(usize, u64, String)> = Vec::new();
+    let mut seed: Vec<SeedSlot> = Vec::with_capacity(specs.len());
+
+    if resuming {
+        // The checkpoint must be the very one the journal was recorded
+        // against; compare digests before trusting any replayed outcome.
+        let header = Checkpoint::load_header(&ckpt_path)?;
+        let state = replay_state(share, specs, header.digest)?;
+        for (exp, exp_state) in state.experiments.iter().enumerate() {
+            match exp_state {
+                ExpState::Unfinished { attempts } => {
+                    // Break any orphaned lease left by the dead campaign
+                    // process, whatever its deadline says.
+                    let mut attempts = *attempts;
+                    if let Some(orphan) = leases.read(exp)? {
+                        leases.release(exp)?;
+                        reclaimed_at_start += 1;
+                        attempts = attempts.max(orphan.attempt);
+                        orphans.push((exp, orphan.attempt, orphan.worker));
+                    }
+                    seed.push(SeedSlot::Pending { attempts });
+                }
+                ExpState::Done { outcome, attempt, ticks } => {
+                    seed.push(SeedSlot::Terminal {
+                        record: CompletedExperiment {
+                            exp,
+                            outcome: *outcome,
+                            attempts: *attempt,
+                            ticks: *ticks,
+                            resumed: true,
+                        },
+                    });
+                    resumed_count += 1;
+                }
+                ExpState::Failed { attempts } => {
+                    seed.push(SeedSlot::Terminal {
+                        record: CompletedExperiment {
+                            exp,
+                            outcome: Outcome::Infrastructure,
+                            attempts: *attempts,
+                            ticks: 0,
+                            resumed: true,
+                        },
+                    });
+                    resumed_count += 1;
+                }
+            }
+        }
+    } else {
+        // Fresh start: clear any stale run artifacts, then spool the
+        // checkpoint (step 2) and open a new journal with the campaign
+        // identity header.
+        clear_run_artifacts(share)?;
+        prepared.checkpoint.save(&ckpt_path)?;
+        seed.extend((0..specs.len()).map(|_| SeedSlot::Pending { attempts: 0 }));
+    }
+
+    let mut journal = Journal::open(share)?;
+    if resuming {
+        // Journal the attempts burned by orphaned leases, so a *second*
+        // resume still counts them toward the retry cap.
+        for (exp, attempt, worker) in orphans {
+            journal.append(&JournalEvent::AttemptFailed {
+                exp: exp as u64,
+                attempt,
+                worker,
+                reason: "orphaned lease (campaign restart)".to_string(),
+                spec: Some(specs[exp].to_string()),
+            })?;
+        }
+    } else {
+        journal.append(&JournalEvent::Campaign {
+            version: JOURNAL_VERSION,
+            experiments: specs.len() as u64,
+            checkpoint_digest: prepared.checkpoint.digest(),
+            spec_digest: spec_digest(specs),
+        })?;
+    }
+    Ok(CampaignSeed { journal, seed, resumed: resumed_count, reclaimed: reclaimed_at_start })
+}
+
+/// Seeds an adaptive campaign on `share`: spools the checkpoint, opens
+/// the journal (header on fresh start), and — on resume — replays the
+/// draw/terminal prefix. Shared by the in-process adaptive executor and
+/// the campaign server's adaptive queues.
+pub(crate) fn seed_adaptive_campaign(
+    share: &Path,
+    prepared: &PreparedWorkload,
+    adaptive: &AdaptiveConfig,
+    seed: u64,
+    resume: bool,
+) -> std::io::Result<(Journal, AdaptiveReplay)> {
+    std::fs::create_dir_all(share)?;
+    let ckpt_path = share.join("campaign.ckpt");
+    let resuming = resume && Journal::path_in(share).exists();
+    let replay = if resuming {
+        let header = Checkpoint::load_header(&ckpt_path)?;
+        replay_adaptive(share, adaptive, seed, header.digest)?
+    } else {
+        clear_run_artifacts(share)?;
+        prepared.checkpoint.save(&ckpt_path)?;
+        AdaptiveReplay::default()
+    };
+    let mut journal = Journal::open(share)?;
+    if !resuming {
+        journal.append(&adaptive.header(seed, prepared.checkpoint.digest()))?;
+    }
+    Ok((journal, replay))
+}
+
 /// What one execution window did.
 struct WindowResult {
     journal: Journal,
@@ -452,8 +424,8 @@ struct WindowResult {
 fn load_local_checkpoints(
     ckpt_path: &Path,
     workstations: usize,
-) -> std::io::Result<Vec<std::sync::Arc<Checkpoint>>> {
-    (0..workstations).map(|_| Checkpoint::load(ckpt_path).map(std::sync::Arc::new)).collect()
+) -> std::io::Result<Vec<Arc<Checkpoint>>> {
+    (0..workstations).map(|_| Checkpoint::load(ckpt_path).map(Arc::new)).collect()
 }
 
 /// Runs one window of experiments over the workstation pool: the paper's
@@ -461,57 +433,85 @@ fn load_local_checkpoints(
 /// the fixed-n campaign (one window) and the adaptive engine (one window
 /// per round) share it. `exps[i]` is the global index of local slot `i`;
 /// fault files for every listed experiment must already be spooled.
+///
+/// Each worker thread is the generic [`drive_worker`] loop over a
+/// [`SpoolTransport`] — the same loop remote socket workers run.
 #[allow(clippy::too_many_arguments)]
 fn execute_window(
     prepared: &PreparedWorkload,
     workload: &dyn Workload,
     exps: Vec<usize>,
     specs: Vec<FaultSpec>,
-    slots: Vec<Slot>,
-    completed: Vec<Option<CompletedExperiment>>,
-    locals: &[std::sync::Arc<Checkpoint>],
+    seed: Vec<SeedSlot>,
+    locals: &[Arc<Checkpoint>],
     runner: &RunnerConfig,
     config: &NowConfig,
     journal: Journal,
-    leases: &LeaseDir,
     reclaimed_at_start: u64,
     finished_before: usize,
 ) -> std::io::Result<WindowResult> {
-    debug_assert!(exps.len() == specs.len() && exps.len() == slots.len());
-    let shared = Mutex::new(Shared {
-        terminal: slots.iter().filter(|s| matches!(s, Slot::Done | Slot::Failed)).count(),
+    debug_assert!(exps.len() == specs.len() && exps.len() == seed.len());
+    let scheduler = Mutex::new(WindowScheduler::new(
+        &config.share_dir,
+        Arc::clone(&config.clock),
+        config.scheduler_policy(),
+        journal,
         exps,
         specs,
-        slots,
-        journal,
-        completed,
-        per_ws: vec![0; config.workstations],
-        retries: 0,
-        reclaimed: reclaimed_at_start,
-        finished_here: 0,
+        seed,
+        config.workstations,
+        reclaimed_at_start,
         finished_before,
-        halted: false,
-    });
+    ));
 
     let started = Instant::now();
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut handles = Vec::new();
         for (ws, local) in locals.iter().enumerate() {
             for slot in 0..config.slots_per_workstation {
-                let local = std::sync::Arc::clone(local);
-                let shared = &shared;
+                let local = Arc::clone(local);
+                let scheduler = &scheduler;
                 handles.push(scope.spawn(move || {
-                    worker_loop(
-                        &format!("ws{ws}.slot{slot}"),
-                        ws,
-                        &local,
-                        prepared,
-                        workload,
-                        runner,
-                        config,
-                        shared,
-                        leases,
-                    )
+                    let mut opts = WorkerOptions::new(format!("ws{ws}.slot{slot}"));
+                    opts.runner = *runner;
+                    opts.chaos_panic_on = config.chaos.panic_on.clone();
+                    let mut transport =
+                        SpoolTransport { scheduler, share: config.share_dir.clone(), ws };
+                    let mut execute =
+                        |assignment: &WorkAssignment| -> Result<ExperimentResult, String> {
+                            let snap = snapshot_path(&config.share_dir, assignment.exp);
+                            let result = if config.snapshot_ticks > 0 {
+                                run_experiment_snapshotted(
+                                    &local,
+                                    prepared,
+                                    workload,
+                                    assignment.spec,
+                                    runner,
+                                    &assignment.abort,
+                                    &snap,
+                                    SnapshotPolicy::every(config.snapshot_ticks),
+                                )
+                            } else {
+                                run_experiment_from_with_abort(
+                                    &local,
+                                    prepared,
+                                    workload,
+                                    assignment.spec,
+                                    runner,
+                                    &assignment.abort,
+                                )
+                            };
+                            // A verdict was reached: the crash-resume state
+                            // is spent. Aborted runs keep theirs — the
+                            // retry resumes from it.
+                            if config.snapshot_ticks > 0
+                                && result.outcome != Outcome::Infrastructure
+                            {
+                                let _ = std::fs::remove_file(&snap);
+                            }
+                            Ok(result)
+                        };
+                    drive_worker(&mut transport, &opts, &mut execute).map(|_| ())
                 }));
             }
         }
@@ -522,158 +522,135 @@ fn execute_window(
     })?;
     let wall = started.elapsed();
 
-    let s = shared.into_inner().expect("no worker holds the schedule");
+    let s = scheduler.into_inner().expect("no worker holds the schedule");
+    let (journal, completed, per_ws, retries, reclaimed, terminal, finished_here, halted) =
+        s.into_parts();
     Ok(WindowResult {
-        journal: s.journal,
-        completed: s.completed,
-        per_ws: s.per_ws,
-        retries: s.retries,
-        reclaimed: s.reclaimed,
-        terminal: s.terminal,
-        finished_here: s.finished_here,
-        halted: s.halted,
+        journal,
+        completed,
+        per_ws,
+        retries,
+        reclaimed,
+        terminal,
+        finished_here,
+        halted,
         wall,
     })
 }
 
-/// One worker slot: claim → lease → execute (under `catch_unwind`) →
-/// journal, until the campaign has no claimable work left.
+/// One adaptive round's executable remainder, after replayed terminals
+/// were folded straight into the state.
+pub(crate) struct RoundWindow {
+    /// Global experiment indices to execute.
+    pub(crate) exps: Vec<usize>,
+    /// Cell index per window slot (for folding completions back).
+    pub(crate) cells: Vec<usize>,
+    /// Fault spec per window slot.
+    pub(crate) specs: Vec<FaultSpec>,
+    /// Scheduler seed per window slot.
+    pub(crate) seed: Vec<SeedSlot>,
+    /// Draws whose terminal outcome was replayed from the journal.
+    pub(crate) resumed: usize,
+    /// Orphaned leases broken while planning.
+    pub(crate) reclaimed: u64,
+}
+
+/// Plans one adaptive round: validates/journals the round's draws against
+/// the replayed prefix, folds already-terminal draws into `state` and
+/// `table`, spools fault files and reaps per-experiment orphans for the
+/// remainder. Shared by the in-process adaptive campaign and the campaign
+/// server's adaptive queues.
 #[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    worker: &str,
-    ws: usize,
-    local_ckpt: &Checkpoint,
-    prepared: &PreparedWorkload,
-    workload: &dyn Workload,
-    runner: &RunnerConfig,
-    config: &NowConfig,
-    shared: &Mutex<Shared>,
+pub(crate) fn plan_round(
+    draws: &[Draw],
+    adaptive: &AdaptiveConfig,
+    replay: &AdaptiveReplay,
+    state: &mut AdaptiveState,
+    table: &mut OutcomeTable,
+    journal: &mut Journal,
+    share: &Path,
     leases: &LeaseDir,
-) -> std::io::Result<()> {
-    loop {
-        // Step 4: claim the next remaining experiment under a lease.
-        let claimed = {
-            let mut s = shared.lock().expect("schedule mutex");
-            if s.halted || s.terminal == s.exps.len() {
-                return Ok(());
+) -> std::io::Result<RoundWindow> {
+    let mut round = RoundWindow {
+        exps: Vec::new(),
+        cells: Vec::new(),
+        specs: Vec::new(),
+        seed: Vec::new(),
+        resumed: 0,
+        reclaimed: 0,
+    };
+    // Commit the whole round's draw decisions to the journal before
+    // executing any of them; a journaled prefix must match the re-derived
+    // trajectory exactly.
+    for d in draws {
+        let label = adaptive.cells[d.cell].to_string();
+        if let Some((cell, ordinal)) = replay.drawn.get(d.exp as usize) {
+            if *cell != label || *ordinal != d.draw {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!(
+                        "journaled draw {} ({cell} #{ordinal}) does not match the \
+                         re-derived trajectory ({label} #{})",
+                        d.exp, d.draw
+                    ),
+                ));
             }
-            s.reap_expired(config, leases)?;
-            let now = now_ms();
-            let pick = s.slots.iter().position(
-                |slot| matches!(slot, Slot::Pending { not_before_ms, .. } if now >= *not_before_ms),
-            );
-            match pick {
-                None => None,
-                Some(local) => {
-                    let Slot::Pending { attempts, .. } = s.slots[local] else { unreachable!() };
-                    let exp = s.exps[local];
-                    let attempt = attempts + 1;
-                    let deadline_ms = now + config.lease.as_millis() as u64;
-                    let lease = leases
-                        .claim(exp, worker, attempt, deadline_ms)?
-                        .expect("in-process schedule guarantees the lease is free");
-                    let abort = AbortToken::new();
-                    s.journal.append(&JournalEvent::Leased {
-                        exp: exp as u64,
-                        worker: worker.to_string(),
-                        attempt,
-                        deadline_ms: lease.deadline_ms,
-                    })?;
-                    s.slots[local] = Slot::Leased { attempt, deadline_ms, abort: abort.clone() };
-                    Some((local, exp, attempt, abort))
-                }
-            }
-        };
-
-        let Some((local, exp, attempt, abort)) = claimed else {
-            // Everything is leased or backing off; wait for the world to
-            // change rather than busy-spinning on the lock.
-            std::thread::sleep(Duration::from_millis(1));
-            continue;
-        };
-
-        let cfg = FaultConfig::load(&fault_path(&config.share_dir, exp))
-            .expect("spooled fault file readable");
-        let spec = cfg.faults()[0];
-        let chaos_panic = config.chaos.panic_on.contains(&(exp, attempt));
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            assert!(!chaos_panic, "chaos: injected panic for experiment {exp} attempt {attempt}");
-            run_experiment_from_with_abort(local_ckpt, prepared, workload, spec, runner, &abort)
-        }));
-
-        let mut s = shared.lock().expect("schedule mutex");
-        // A reaped worker's slot has moved on; its late result is a zombie
-        // and must not double-count (the journal keeps first-terminal-wins
-        // semantics too).
-        let still_mine = matches!(s.slots[local], Slot::Leased { attempt: a, .. } if a == attempt);
-        if !still_mine {
-            continue;
+        } else {
+            journal.append(&JournalEvent::Drawn { exp: d.exp, cell: label, draw: d.draw })?;
         }
-        match run {
-            Ok(result) if result.outcome != Outcome::Infrastructure => {
-                finish_experiment(&mut s, local, attempt, ws, &result, config)?;
-                leases.release(exp)?;
-                if config.chaos.halt_after.is_some_and(|n| s.finished_before + s.finished_here >= n)
-                {
-                    s.halted = true;
-                }
+        match replay.terminal.get(&d.exp) {
+            Some(ReplayTerminal::Done { outcome, .. }) => {
+                state.record(d.cell, *outcome);
+                table.add(*outcome);
+                round.resumed += 1;
             }
-            Ok(result) => {
-                // The runner aborted (reaper raced us) — treat like any
-                // other failed attempt.
-                let reason = format!("runner aborted ({})", result.exit);
-                let rendered = spec.to_string();
-                s.attempt_failed(local, attempt, worker, &reason, &rendered, config, leases)?;
+            Some(ReplayTerminal::Failed { .. }) => {
+                // Infrastructure failures spent budget but are not
+                // evidence — mirror of the live path.
+                table.add(Outcome::Infrastructure);
+                round.resumed += 1;
             }
-            Err(panic) => {
-                // Panic provenance: the payload message plus the offending
-                // fault spec, so the journal alone reproduces the case.
-                let reason = format!("worker panic: {}", panic_message(&panic));
-                let rendered = spec.to_string();
-                s.attempt_failed(local, attempt, worker, &reason, &rendered, config, leases)?;
-                if config.chaos.halt_after.is_some_and(|n| s.finished_before + s.finished_here >= n)
-                {
-                    s.halted = true;
+            None => {
+                let global = d.exp as usize;
+                FaultConfig::from_specs(vec![d.spec]).save(&fault_path(share, global))?;
+                let mut attempts = replay.attempts.get(&d.exp).copied().unwrap_or(0);
+                if let Some(orphan) = leases.read(global)? {
+                    // A worker of the dead campaign process died holding
+                    // this draw.
+                    leases.release(global)?;
+                    round.reclaimed += 1;
+                    attempts = attempts.max(orphan.attempt);
+                    journal.append(&JournalEvent::AttemptFailed {
+                        exp: d.exp,
+                        attempt: orphan.attempt,
+                        worker: orphan.worker,
+                        reason: "orphaned lease (campaign restart)".to_string(),
+                        spec: Some(d.spec.to_string()),
+                    })?;
                 }
+                round.exps.push(global);
+                round.cells.push(d.cell);
+                round.specs.push(d.spec);
+                round.seed.push(SeedSlot::Pending { attempts });
             }
         }
     }
+    Ok(round)
 }
 
-/// Records a successful terminal outcome: journal, result file, schedule.
-fn finish_experiment(
-    s: &mut Shared,
-    local: usize,
-    attempt: u64,
-    ws: usize,
-    result: &ExperimentResult,
-    config: &NowConfig,
-) -> std::io::Result<()> {
-    let exp = s.exps[local];
-    s.journal.append(&JournalEvent::Done {
-        exp: exp as u64,
-        attempt,
-        outcome: result.outcome,
-        exit: result.exit.to_string(),
-        ticks: result.ticks,
-    })?;
-    // Step 5: the result back to the share.
-    std::fs::write(
-        result_path(&config.share_dir, exp),
-        format!("{} outcome={} exit={}\n", result.spec, result.outcome, result.exit),
-    )?;
-    s.slots[local] = Slot::Done;
-    s.completed[local] = Some(CompletedExperiment {
-        exp,
-        outcome: result.outcome,
-        attempts: attempt,
-        ticks: result.ticks,
-        resumed: false,
-    });
-    s.per_ws[ws] += 1;
-    s.terminal += 1;
-    s.finished_here += 1;
-    Ok(())
+/// Folds one executed round's terminal records back into the adaptive
+/// state and the pooled table. `cells[i]` is the cell of window slot `i`.
+pub(crate) fn fold_round(
+    state: &mut AdaptiveState,
+    table: &mut OutcomeTable,
+    cells: &[usize],
+    completed: Vec<Option<CompletedExperiment>>,
+) {
+    for (local, done) in completed.into_iter().enumerate() {
+        let done = done.expect("all window experiments reached a terminal state");
+        state.record(cells[local], done.outcome);
+        table.add(done.outcome);
+    }
 }
 
 /// Runs an adaptive (sequential early-stopping) campaign on the NoW: each
@@ -704,24 +681,11 @@ pub fn run_campaign_adaptive_now(
     adaptive: &AdaptiveConfig,
     seed: u64,
 ) -> std::io::Result<(AdaptiveOutcome, NowReport)> {
-    std::fs::create_dir_all(&config.share_dir)?;
     let leases = LeaseDir::new(&config.share_dir);
-    let ckpt_path = config.share_dir.join("campaign.ckpt");
-    let resuming = config.resume && Journal::path_in(&config.share_dir).exists();
-
-    let replay = if resuming {
-        let header = Checkpoint::load_header(&ckpt_path)?;
-        replay_adaptive(&config.share_dir, adaptive, seed, header.digest)?
-    } else {
-        clear_run_artifacts(&config.share_dir)?;
-        prepared.checkpoint.save(&ckpt_path)?;
-        AdaptiveReplay::default()
-    };
-    let mut journal = Journal::open(&config.share_dir)?;
-    if !resuming {
-        journal.append(&adaptive.header(seed, prepared.checkpoint.digest()))?;
-    }
-    let locals = load_local_checkpoints(&ckpt_path, config.workstations)?;
+    let (mut journal, replay) =
+        seed_adaptive_campaign(&config.share_dir, prepared, adaptive, seed, config.resume)?;
+    let locals =
+        load_local_checkpoints(&config.share_dir.join("campaign.ckpt"), config.workstations)?;
 
     let mut state = AdaptiveState::new(adaptive, seed, prepared.stage_events);
     let mut table = OutcomeTable::new();
@@ -735,82 +699,30 @@ pub fn run_campaign_adaptive_now(
         if draws.is_empty() {
             break;
         }
-        // Commit the whole round's draw decisions to the journal before
-        // executing any of them; a journaled prefix must match the
-        // re-derived trajectory exactly.
-        let mut window_exps: Vec<usize> = Vec::new();
-        let mut window_cells: Vec<usize> = Vec::new();
-        let mut window_specs: Vec<FaultSpec> = Vec::new();
-        let mut window_slots: Vec<Slot> = Vec::new();
-        for d in &draws {
-            let label = adaptive.cells[d.cell].to_string();
-            if let Some((cell, ordinal)) = replay.drawn.get(d.exp as usize) {
-                if *cell != label || *ordinal != d.draw {
-                    return Err(Error::new(
-                        ErrorKind::InvalidData,
-                        format!(
-                            "journaled draw {} ({cell} #{ordinal}) does not match the \
-                             re-derived trajectory ({label} #{})",
-                            d.exp, d.draw
-                        ),
-                    ));
-                }
-            } else {
-                journal.append(&JournalEvent::Drawn { exp: d.exp, cell: label, draw: d.draw })?;
-            }
-            match replay.terminal.get(&d.exp) {
-                Some(ReplayTerminal::Done { outcome, .. }) => {
-                    state.record(d.cell, *outcome);
-                    table.add(*outcome);
-                    resumed += 1;
-                }
-                Some(ReplayTerminal::Failed { .. }) => {
-                    // Infrastructure failures spent budget but are not
-                    // evidence — mirror of the live path.
-                    table.add(Outcome::Infrastructure);
-                    resumed += 1;
-                }
-                None => {
-                    let global = d.exp as usize;
-                    FaultConfig::from_specs(vec![d.spec])
-                        .save(&fault_path(&config.share_dir, global))?;
-                    let mut attempts = replay.attempts.get(&d.exp).copied().unwrap_or(0);
-                    if let Some(orphan) = leases.read(global)? {
-                        // A worker of the dead campaign process died
-                        // holding this draw.
-                        leases.release(global)?;
-                        reclaimed += 1;
-                        attempts = attempts.max(orphan.attempt);
-                        journal.append(&JournalEvent::AttemptFailed {
-                            exp: d.exp,
-                            attempt: orphan.attempt,
-                            worker: orphan.worker,
-                            reason: "orphaned lease (campaign restart)".to_string(),
-                            spec: Some(d.spec.to_string()),
-                        })?;
-                    }
-                    window_exps.push(global);
-                    window_cells.push(d.cell);
-                    window_specs.push(d.spec);
-                    window_slots.push(Slot::Pending { attempts, not_before_ms: 0 });
-                }
-            }
-        }
+        let round = plan_round(
+            &draws,
+            adaptive,
+            &replay,
+            &mut state,
+            &mut table,
+            &mut journal,
+            &config.share_dir,
+            &leases,
+        )?;
+        resumed += round.resumed;
+        reclaimed += round.reclaimed;
 
-        if !window_exps.is_empty() {
-            let prefilled = vec![None; window_exps.len()];
+        if !round.exps.is_empty() {
             let window = execute_window(
                 prepared,
                 workload,
-                window_exps,
-                window_specs,
-                window_slots,
-                prefilled,
+                round.exps,
+                round.specs,
+                round.seed,
                 &locals,
                 runner,
                 config,
                 journal,
-                &leases,
                 0,
                 finished_in_process,
             )?;
@@ -832,11 +744,7 @@ pub fn run_campaign_adaptive_now(
                     ),
                 ));
             }
-            for (local, done) in window.completed.into_iter().enumerate() {
-                let done = done.expect("all window experiments reached a terminal state");
-                state.record(window_cells[local], done.outcome);
-                table.add(done.outcome);
-            }
+            fold_round(&mut state, &mut table, &round.cells, window.completed);
         }
         state.end_round();
     }
@@ -863,7 +771,7 @@ pub fn run_campaign_adaptive_now(
 }
 
 /// Replays and validates the journal against this campaign's identity.
-fn replay_state(
+pub(crate) fn replay_state(
     share: &Path,
     specs: &[FaultSpec],
     checkpoint_digest: u64,
@@ -909,9 +817,9 @@ fn replay_state(
         .map_err(|e| Error::new(ErrorKind::InvalidData, e))
 }
 
-/// Removes journal/lease/result leftovers so a fresh (non-resume) start
-/// cannot mix state from an earlier campaign in the same directory.
-fn clear_run_artifacts(share: &Path) -> std::io::Result<()> {
+/// Removes journal/lease/result/snapshot leftovers so a fresh (non-resume)
+/// start cannot mix state from an earlier campaign in the same directory.
+pub(crate) fn clear_run_artifacts(share: &Path) -> std::io::Result<()> {
     let journal = Journal::path_in(share);
     if journal.exists() {
         std::fs::remove_file(&journal)?;
@@ -919,34 +827,17 @@ fn clear_run_artifacts(share: &Path) -> std::io::Result<()> {
     for entry in std::fs::read_dir(share)? {
         let path = entry?.path();
         match path.extension().and_then(|e| e.to_str()) {
-            Some("lease") | Some("result") => std::fs::remove_file(&path)?,
+            Some("lease") | Some("result") | Some("snap") => std::fs::remove_file(&path)?,
             _ => {}
         }
     }
     Ok(())
 }
 
-fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = panic.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = panic.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-fn fault_path(share: &Path, i: usize) -> PathBuf {
-    share.join(format!("exp{i:05}.fault"))
-}
-
-fn result_path(share: &Path, i: usize) -> PathBuf {
-    share.join(format!("exp{i:05}.result"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lease::now_ms;
     use crate::runner::prepare_workload;
     use crate::sampler::FaultSampler;
     use gemfi_cpu::CpuKind;
@@ -1168,6 +1059,28 @@ mod tests {
         for o in Outcome::ALL {
             assert_eq!(first.count(o), again.count(o), "{o}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshotting_campaign_matches_plain_and_cleans_up() {
+        let (w, p, specs, runner) = small_campaign(50, 29, 4);
+        let plain_dir = share("snapless");
+        let cfg = fast_config(2, 1, &plain_dir);
+        let (plain, ..) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+
+        let dir = share("snapful");
+        let mut cfg = fast_config(2, 1, &dir);
+        cfg.snapshot_ticks = (p.kernel_ticks / 6).max(1);
+        let (snapped, ..) = run_campaign_now(&p, &w, &specs, &runner, &cfg).unwrap();
+        for o in Outcome::ALL {
+            assert_eq!(plain.count(o), snapped.count(o), "{o}");
+        }
+        // Every experiment went terminal, so no snapshot survives.
+        for i in 0..specs.len() {
+            assert!(!snapshot_path(&dir, i).exists(), "exp {i} snapshot cleaned up");
+        }
+        std::fs::remove_dir_all(&plain_dir).ok();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -203,11 +203,26 @@ pub(crate) fn drive_to_completion(
     abort: &AbortToken,
     origin: u64,
 ) -> (RunExit, bool) {
+    drive_to_completion_observed(machine, config, abort, origin, &mut |_, _| {})
+}
+
+/// [`drive_to_completion`] with an observer invoked once per scheduling
+/// chunk (with the machine and whether the CPU switch has happened). The
+/// mid-run snapshot policy ([`crate::snapshot`]) hangs off this hook; the
+/// observer must not advance the machine.
+pub(crate) fn drive_to_completion_observed(
+    machine: &mut Machine<GemFiEngine>,
+    config: &RunnerConfig,
+    abort: &AbortToken,
+    origin: u64,
+    observer: &mut dyn FnMut(&Machine<GemFiEngine>, bool),
+) -> (RunExit, bool) {
     let mut switched = config.inject_cpu == config.finish_cpu;
     loop {
         if abort.is_aborted() {
             return (RunExit::Watchdog, true);
         }
+        observer(machine, switched);
         if !switched && machine.hooks_mut().pending_faults() == 0 {
             // The fault fired (or expired): give the affected instruction
             // time to commit or squash, then fast-forward in the cheap model.
@@ -310,11 +325,38 @@ pub(crate) fn finish_result(
     exit: RunExit,
     aborted: bool,
 ) -> ExperimentResult {
+    let injections = machine.hooks().records().to_vec();
+    finish_result_with_records(
+        machine,
+        checkpoint_tick,
+        prepared,
+        workload,
+        spec,
+        exit,
+        aborted,
+        injections,
+    )
+}
+
+/// [`finish_result`] with the injection records supplied by the caller. A
+/// run resumed from a mid-run snapshot ([`crate::snapshot`]) finishes on a
+/// machine whose engine never saw the injection — the records that classify
+/// it were persisted in the snapshot and are threaded back in here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_result_with_records(
+    machine: Machine<GemFiEngine>,
+    checkpoint_tick: u64,
+    prepared: &PreparedWorkload,
+    workload: &dyn Workload,
+    spec: FaultSpec,
+    exit: RunExit,
+    aborted: bool,
+    injections: Vec<InjectionRecord>,
+) -> ExperimentResult {
     let output = machine
         .mem()
         .read_slice(prepared.guest.output_addr(), prepared.guest.output_len)
         .unwrap_or_default();
-    let injections = machine.hooks().records().to_vec();
     let outcome = if aborted {
         Outcome::Infrastructure
     } else {
